@@ -1,0 +1,78 @@
+// Ablation (section 2.4): edge caching vs public transit. The paper
+// quotes Huston's "The Death of Transit?" - most content is served from
+// CDN caches at the edge, shrinking what the public core must carry.
+// Section 3.4 requires any such CDN service to be *open*. This bench
+// sweeps open-CDN deployment size at every eyeball router and measures
+// the transit matrix reduction and the resulting auction outlay: the
+// quantitative version of "much of the action has left the public
+// Internet".
+#include <iostream>
+
+#include "core/cdn.hpp"
+#include "market/pricing.hpp"
+#include "market/vcg.hpp"
+#include "topo/traffic.hpp"
+#include "util/table.hpp"
+
+using namespace poc;
+using util::operator""_usd;
+
+int main() {
+    std::cout << "=== Ablation: open edge-CDN deployment vs transit demand ===\n\n";
+
+    topo::BpGeneratorOptions bopt;
+    bopt.bp_count = 10;
+    bopt.min_cities = 8;
+    bopt.max_cities = 20;
+    bopt.seed = 3;
+    topo::PocTopologyOptions popt;
+    popt.min_colocated_bps = 3;
+    auto topology = topo::build_poc_topology(topo::generate_bp_networks(bopt), popt);
+    market::VirtualLinkOptions vopt;
+    vopt.attach_count = 3;
+    const market::OfferPool pool = market::make_offer_pool(topology, {}, vopt);
+
+    topo::GravityOptions gopt;
+    gopt.total_gbps = 1500.0;
+    const auto tm = topo::aggregate_top_n(topo::gravity_traffic(topology, gopt), 35);
+    const double cacheable = 0.70;  // video-dominated mix
+
+    core::CdnOffer offer;
+    offer.fee_per_unit = 2500_usd;
+    offer.open_to_all = true;
+    std::cout << "CDN offer audit: " << core::verdict_name(core::audit_offer(offer))
+              << " (open, posted price - the section 3.4 requirement)\n";
+    std::cout << "Cacheable share of traffic: " << util::cell_pct(cacheable) << ", "
+              << topology.router_city.size() << " routers, " << net::total_demand(tm)
+              << " Gbps offered\n\n";
+
+    util::Table table({"cache units/router", "offload", "transit Gbps", "auction outlay",
+                       "CDN fees", "outlay+fees"});
+    for (const double units : {0.0, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+        std::vector<core::CdnDeployment> deployments;
+        if (units > 0.0) {
+            for (std::size_t r = 0; r < topology.router_city.size(); ++r) {
+                deployments.push_back(core::CdnDeployment{net::NodeId{r}, units});
+            }
+        }
+        const core::CdnEffect effect = core::apply_cdn(tm, deployments, offer, cacheable);
+
+        market::OracleOptions oopt;
+        oopt.fidelity = market::OracleFidelity::kFast;
+        const market::AcceptabilityOracle oracle(pool.graph(), effect.reduced,
+                                                 market::ConstraintKind::kLoad, oopt);
+        const auto auction = market::run_auction(pool, oracle);
+        const util::Money outlay = auction ? auction->total_outlay : util::Money{};
+        table.add_row({util::cell(units, 0), util::cell_pct(effect.offload_fraction),
+                       util::cell(net::total_demand(effect.reduced), 0),
+                       auction ? outlay.str() : "INFEASIBLE", effect.monthly_fees.str(),
+                       (outlay + effect.monthly_fees).str()});
+    }
+    std::cout << table.render();
+    std::cout << "\nReading: cache deployment monotonically drains the transit matrix\n"
+                 "(the section 2.4 dynamic) and with it the POC's leasing outlay; the\n"
+                 "concave hit curve gives diminishing returns, so total cost\n"
+                 "(outlay + CDN fees) has an interior optimum - the provisioning\n"
+                 "trade-off an open CDN market would discover by itself.\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation (section 1.2): "there could be several coexisting (and
+// interconnected) POCs, run by different entities but adopting the same
+// basic principles". This bench splits the continental market into
+// regional POCs by longitude, provisions each against its regional
+// traffic plus gateway-hauled cross traffic, prices the inter-POC
+// circuits at contract rates, and compares against the single global
+// POC - quantifying what market fragmentation costs.
+#include <algorithm>
+#include <iostream>
+
+#include "core/federation.hpp"
+#include "market/pricing.hpp"
+#include "topo/traffic.hpp"
+#include "util/table.hpp"
+
+using namespace poc;
+
+namespace {
+
+/// Region assignment by longitude quantiles.
+std::vector<std::uint32_t> longitude_regions(const topo::PocTopology& topology,
+                                             std::uint32_t regions) {
+    const auto& cities = topo::world_cities();
+    std::vector<double> lons;
+    for (const std::size_t ci : topology.router_city) {
+        lons.push_back(cities[ci].location.lon_deg);
+    }
+    std::vector<double> sorted = lons;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::uint32_t> assignment(lons.size(), 0);
+    for (std::size_t i = 0; i < lons.size(); ++i) {
+        for (std::uint32_t r = 1; r < regions; ++r) {
+            const double cut = sorted[sorted.size() * r / regions];
+            if (lons[i] >= cut) assignment[i] = r;
+        }
+    }
+    return assignment;
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "=== Ablation: one global POC vs a federation of regional POCs ===\n\n";
+
+    topo::BpGeneratorOptions bopt;
+    bopt.bp_count = 12;
+    bopt.min_cities = 10;
+    bopt.max_cities = 24;
+    bopt.seed = 21;
+    topo::PocTopologyOptions popt;
+    popt.min_colocated_bps = 3;
+    auto topology = topo::build_poc_topology(topo::generate_bp_networks(bopt), popt);
+    const market::OfferPool pool(market::make_bp_bids(topology), {}, topology.graph);
+
+    // A long-haul-heavy matrix (weak distance decay): with the default
+    // gravity decay almost all top demands are intra-region and the
+    // federation question is moot; global CDNs/content flows are what
+    // cross-region transit actually carries.
+    topo::GravityOptions gopt;
+    gopt.total_gbps = 1200.0;
+    gopt.distance_gamma = 0.2;
+    const auto tm = topo::aggregate_top_n(topo::gravity_traffic(topology, gopt), 40);
+
+    std::cout << topology.router_city.size() << " routers, " << pool.offered_links().size()
+              << " offered links, " << net::total_demand(tm) << " Gbps\n\n";
+
+    util::Table table({"POCs", "cross-region Gbps", "interconnect", "regional outlays",
+                       "federated total", "vs single POC"});
+    std::optional<util::Money> single;
+    for (const std::uint32_t regions : {2u, 3u, 4u}) {
+        core::FederationOptions fopt;
+        market::OracleOptions oopt;
+        oopt.fidelity = market::OracleFidelity::kFast;
+        fopt.oracle = oopt;
+        const auto result = core::compare_federation(
+            pool, tm, longitude_regions(topology, regions), regions, fopt);
+        if (!single) single = result.single_poc_outlay;
+        util::Money regional{};
+        for (const auto& r : result.regions) regional += r.outlay;
+        std::string vs = "-";
+        if (single && !single->is_zero() && result.all_provisioned) {
+            vs = util::cell_pct(util::ratio(result.federated_outlay, *single));
+        } else if (!result.all_provisioned) {
+            vs = "region infeasible";
+        }
+        table.add_row({util::cell(std::size_t{regions}), util::cell(result.cross_region_gbps, 0),
+                       result.interconnect_cost.str(), regional.str(),
+                       result.federated_outlay.str(), vs});
+    }
+    std::cout << "Single global POC outlay: " << (single ? single->str() : "INFEASIBLE")
+              << "\n\n";
+    std::cout << table.render();
+    std::cout << "\nReading: federation pays for cross-region traffic twice (gateway\n"
+                 "hauling inside each region plus interconnect circuits), and that\n"
+                 "overhead grows with the number of POCs. When traffic is strongly\n"
+                 "regional the split is nearly free - consistent with the paper's\n"
+                 "claim that several coexisting POCs 'adopting the same basic\n"
+                 "principles' are viable; a long-haul-heavy matrix is where the\n"
+                 "single global POC's pooled competition wins.\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+// Microbenchmarks for the economics layer: the optimizers the regime
+// evaluations call thousands of times in parameter sweeps.
+#include <benchmark/benchmark.h>
+
+#include "econ/market_model.hpp"
+
+using namespace poc;
+
+namespace {
+
+void BM_MonopolyPrice(benchmark::State& state) {
+    const econ::LinearDemand d(100.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(econ::monopoly_price(d));
+    }
+}
+BENCHMARK(BM_MonopolyPrice);
+
+void BM_CspPriceGivenFee(benchmark::State& state) {
+    const econ::ExponentialDemand d(40.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(econ::csp_price_given_fee(d, 20.0));
+    }
+}
+BENCHMARK(BM_CspPriceGivenFee);
+
+void BM_LmpOptimalFee(benchmark::State& state) {
+    const econ::LinearDemand d(100.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(econ::lmp_optimal_fee(d));
+    }
+}
+BENCHMARK(BM_LmpOptimalFee)->Unit(benchmark::kMillisecond);
+
+void BM_BargainingEquilibrium(benchmark::State& state) {
+    const econ::LinearDemand d(100.0);
+    const std::vector<econ::LmpProfile> lmps{{"a", 3.0, 50.0, 0.1}, {"b", 1.0, 40.0, 0.3}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(econ::bargaining_equilibrium(d, lmps));
+    }
+}
+BENCHMARK(BM_BargainingEquilibrium)->Unit(benchmark::kMillisecond);
+
+void BM_WelfareIntegralAnalytic(benchmark::State& state) {
+    const econ::IsoelasticDemand d(10.0, 2.5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(econ::social_welfare(d, 25.0));
+    }
+}
+BENCHMARK(BM_WelfareIntegralAnalytic);
+
+void BM_WelfareIntegralQuadrature(benchmark::State& state) {
+    // Empirical demand exercises the generic adaptive-Simpson path in
+    // DemandCurve::demand_integral? No: EmpiricalDemand is exact too.
+    // Use a custom curve without an analytic override instead.
+    class Wiggly final : public econ::DemandCurve {
+    public:
+        double demand(double p) const override {
+            return 1.0 / (1.0 + p / 20.0 + 0.01 * p * p / 40.0);
+        }
+        double upper_support() const override { return 400.0; }
+        std::string name() const override { return "wiggly"; }
+    };
+    const Wiggly d;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(econ::consumer_welfare(d, 10.0));
+    }
+}
+BENCHMARK(BM_WelfareIntegralQuadrature);
+
+void BM_FullRegimeEvaluation(benchmark::State& state) {
+    econ::Market market;
+    market.lmps = {{"a", 3.0, 50.0, 0.0}, {"b", 1.0, 40.0, 0.0}};
+    for (int s = 0; s < 4; ++s) {
+        econ::CspProfile csp;
+        csp.name = "csp" + std::to_string(s);
+        csp.demand = std::make_shared<econ::LinearDemand>(20.0 + 5.0 * s);
+        csp.churn_by_lmp = {0.05 + 0.02 * s, 0.2 + 0.05 * s};
+        market.csps.push_back(std::move(csp));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(econ::evaluate_all(market));
+    }
+}
+BENCHMARK(BM_FullRegimeEvaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

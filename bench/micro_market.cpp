@@ -1,0 +1,116 @@
+// Microbenchmarks for the market layer: oracle queries, winner
+// determination, and the full VCG pipeline at small scale.
+#include <benchmark/benchmark.h>
+
+#include "market/pricing.hpp"
+#include "market/vcg.hpp"
+#include "topo/traffic.hpp"
+
+using namespace poc;
+
+namespace {
+
+struct Instance {
+    topo::PocTopology topology;
+    market::OfferPool pool;
+    net::TrafficMatrix tm;
+
+    explicit Instance(std::size_t bp_count)
+        : topology(make_topology(bp_count)), pool(make_pool(topology)) {
+        topo::GravityOptions gopt;
+        gopt.total_gbps = 800.0;
+        tm = topo::aggregate_top_n(topo::gravity_traffic(topology, gopt), 25);
+    }
+
+    static market::OfferPool make_pool(topo::PocTopology& topology) {
+        market::VirtualLinkOptions vopt;
+        vopt.attach_count = std::min<std::size_t>(3, topology.router_city.size());
+        return market::make_offer_pool(topology, {}, vopt);
+    }
+
+    static topo::PocTopology make_topology(std::size_t bp_count) {
+        topo::BpGeneratorOptions bopt;
+        bopt.bp_count = bp_count;
+        bopt.min_cities = 8;
+        bopt.max_cities = 16;
+        bopt.seed = 3;
+        topo::PocTopologyOptions popt;
+        popt.min_colocated_bps = 3;
+        return topo::build_poc_topology(topo::generate_bp_networks(bopt), popt);
+    }
+};
+
+void BM_OracleQueryLoad(benchmark::State& state) {
+    const Instance inst(8);
+    market::OracleOptions oopt;
+    oopt.fidelity = market::OracleFidelity::kFast;
+    const market::AcceptabilityOracle oracle(inst.pool.graph(), inst.tm,
+                                             market::ConstraintKind::kLoad, oopt);
+    const net::Subgraph sg(inst.pool.graph());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(oracle.accepts(sg));
+    }
+}
+BENCHMARK(BM_OracleQueryLoad);
+
+void BM_OracleQuerySingleFailureFast(benchmark::State& state) {
+    const Instance inst(8);
+    market::OracleOptions oopt;
+    oopt.fidelity = market::OracleFidelity::kFast;
+    const market::AcceptabilityOracle oracle(inst.pool.graph(), inst.tm,
+                                             market::ConstraintKind::kSingleFailure, oopt);
+    const net::Subgraph sg(inst.pool.graph());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(oracle.accepts(sg));
+    }
+}
+BENCHMARK(BM_OracleQuerySingleFailureFast);
+
+void BM_WinnerDetermination(benchmark::State& state) {
+    const Instance inst(static_cast<std::size_t>(state.range(0)));
+    market::OracleOptions oopt;
+    oopt.fidelity = market::OracleFidelity::kFast;
+    const market::AcceptabilityOracle oracle(inst.pool.graph(), inst.tm,
+                                             market::ConstraintKind::kLoad, oopt);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            market::select_links(inst.pool, oracle, inst.pool.offered_links()));
+    }
+}
+BENCHMARK(BM_WinnerDetermination)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_FullVcgAuction(benchmark::State& state) {
+    const Instance inst(static_cast<std::size_t>(state.range(0)));
+    market::OracleOptions oopt;
+    oopt.fidelity = market::OracleFidelity::kFast;
+    const market::AcceptabilityOracle oracle(inst.pool.graph(), inst.tm,
+                                             market::ConstraintKind::kLoad, oopt);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(market::run_auction(inst.pool, oracle));
+    }
+}
+BENCHMARK(BM_FullVcgAuction)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_BidCostEvaluation(benchmark::State& state) {
+    const Instance inst(8);
+    const auto& bid = inst.pool.bids().front();
+    const auto links = bid.offered_links();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bid.cost(links));
+    }
+}
+BENCHMARK(BM_BidCostEvaluation);
+
+void BM_TopologyGeneration(benchmark::State& state) {
+    for (auto _ : state) {
+        topo::BpGeneratorOptions bopt;
+        bopt.bp_count = 10;
+        bopt.seed = 5;
+        benchmark::DoNotOptimize(
+            topo::build_poc_topology(topo::generate_bp_networks(bopt)));
+    }
+    state.SetLabel("20-40 PoP BPs -> POC graph");
+}
+BENCHMARK(BM_TopologyGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Microbenchmarks for the network substrate: the primitives the
+// acceptability oracle A(OL) calls in its inner loop.
+#include <benchmark/benchmark.h>
+
+#include "net/failure.hpp"
+#include "net/ksp.hpp"
+#include "net/maxflow.hpp"
+#include "net/mcf.hpp"
+#include "net/shortest_path.hpp"
+#include "util/rng.hpp"
+
+using namespace poc;
+
+namespace {
+
+/// Random connected graph with n nodes and ~3n links.
+net::Graph make_graph(std::size_t n, std::uint64_t seed = 9) {
+    util::Rng rng(seed);
+    net::Graph g;
+    g.add_nodes(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        g.add_link(net::NodeId{i}, net::NodeId{i + 1}, rng.uniform(50.0, 400.0),
+                   rng.uniform(100.0, 2000.0));
+    }
+    for (std::size_t e = 0; e < 2 * n; ++e) {
+        const auto a = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{n}));
+        auto b = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{n}));
+        if (a == b) b = (b + 1) % n;
+        g.add_link(net::NodeId{a}, net::NodeId{b}, rng.uniform(50.0, 400.0),
+                   rng.uniform(100.0, 2000.0));
+    }
+    return g;
+}
+
+net::TrafficMatrix make_tm(std::size_t n, std::size_t demands, std::uint64_t seed = 33) {
+    util::Rng rng(seed);
+    net::TrafficMatrix tm;
+    for (std::size_t d = 0; d < demands; ++d) {
+        const auto s = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{n}));
+        auto t = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{n}));
+        if (s == t) t = (t + 1) % n;
+        tm.push_back({net::NodeId{s}, net::NodeId{t}, rng.uniform(5.0, 40.0)});
+    }
+    return tm;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const net::Graph g = make_graph(n);
+    const net::Subgraph sg(g);
+    const auto w = net::weight_by_length(g);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net::dijkstra(sg, net::NodeId{0u}, w));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dijkstra)->Arg(50)->Arg(200)->Arg(800)->Complexity();
+
+void BM_YenKsp(benchmark::State& state) {
+    const net::Graph g = make_graph(120);
+    const net::Subgraph sg(g);
+    const auto w = net::weight_by_length(g);
+    const auto k = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            net::yen_k_shortest(sg, net::NodeId{0u}, net::NodeId{60u}, w, k));
+    }
+}
+BENCHMARK(BM_YenKsp)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MaxFlow(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const net::Graph g = make_graph(n);
+    const net::Subgraph sg(g);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net::max_flow(sg, net::NodeId{0u}, net::NodeId{n - 1}));
+    }
+}
+BENCHMARK(BM_MaxFlow)->Arg(50)->Arg(200);
+
+void BM_GreedyRouting(benchmark::State& state) {
+    const std::size_t n = 80;
+    const net::Graph g = make_graph(n);
+    const net::Subgraph sg(g);
+    const auto tm = make_tm(n, static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net::greedy_path_routing(sg, tm));
+    }
+}
+BENCHMARK(BM_GreedyRouting)->Arg(10)->Arg(40)->Arg(120);
+
+void BM_ConcurrentFlowFptas(benchmark::State& state) {
+    const std::size_t n = 60;
+    const net::Graph g = make_graph(n);
+    const net::Subgraph sg(g);
+    const auto tm = make_tm(n, 15);
+    const double eps = static_cast<double>(state.range(0)) / 100.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net::max_concurrent_flow(sg, tm, eps));
+    }
+}
+BENCHMARK(BM_ConcurrentFlowFptas)->Arg(30)->Arg(15);
+
+void BM_SingleFailureCheck(benchmark::State& state) {
+    const std::size_t n = 40;
+    const net::Graph g = make_graph(n);
+    const net::Subgraph sg(g);
+    const auto tm = make_tm(n, 10);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net::satisfies_single_failure(sg, tm));
+    }
+}
+BENCHMARK(BM_SingleFailureCheck);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Section 4.5, incumbent advantage: "well-established LMPs can extract
+// more in termination fees than smaller ones" and "a significant
+// competitive advantage to CSPs with large market share, because they
+// can pay less in termination fees". This bench sweeps churn rates on
+// both sides and prints the negotiated-fee asymmetry.
+#include <iostream>
+#include <memory>
+
+#include "econ/market_model.hpp"
+#include "util/csv_export.hpp"
+#include "util/table.hpp"
+
+using namespace poc;
+
+int main() {
+    std::cout << "=== Section 4.5: incumbent advantage under termination fees ===\n\n";
+
+    const auto demand = std::make_shared<econ::LinearDemand>(20.0);
+
+    // --- LMP side: fee extracted vs how entrenched the LMP is. -------
+    // r_l^s is the share of customers the LMP loses if it blocks s:
+    // small for entrenched incumbents, large for fragile entrants.
+    std::cout << "LMP side - equilibrium fee earned per subscriber of one CSP,\n"
+                 "as a function of the LMP's fragility (churn if the CSP is lost):\n";
+    util::Table lmp_side({"LMP churn r", "equilibrium fee", "vs most entrenched"});
+    double fee_at_low_churn = 0.0;
+    for (const double churn : {0.02, 0.05, 0.10, 0.20, 0.40, 0.60}) {
+        const std::vector<econ::LmpProfile> lmps{{"L", 1.0, 20.0, churn}};
+        const auto eq = econ::bargaining_equilibrium(*demand, lmps);
+        if (churn == 0.02) fee_at_low_churn = eq.avg_fee;
+        lmp_side.add_row({util::cell(churn, 2), util::cell(eq.avg_fee, 3),
+                          fee_at_low_churn > 0.0
+                              ? util::cell_pct(eq.avg_fee / fee_at_low_churn)
+                              : "-"});
+    }
+    std::cout << lmp_side.render();
+    util::maybe_export_csv(lmp_side, "incumbent_lmp_side");
+
+    // --- CSP side: fee paid vs how must-have the CSP is. -------------
+    std::cout << "\nCSP side - two CSPs with *identical* demand, different stickiness\n"
+                 "(the LMP loses more customers when blocking the incumbent CSP):\n";
+    util::Table csp_side({"CSP", "churn if blocked", "avg fee paid", "posted price",
+                          "CSP profit"});
+    econ::Market market;
+    market.lmps = {{"LMP", 1.0, 20.0, 0.0}};
+    for (const auto& [name, churn] : std::vector<std::pair<std::string, double>>{
+             {"IncumbentCSP", 0.50}, {"MidCSP", 0.20}, {"EntrantCSP", 0.02}}) {
+        econ::CspProfile csp;
+        csp.name = name;
+        csp.demand = demand;
+        csp.churn_by_lmp = {churn};
+        market.csps = {csp};
+        const auto report = econ::evaluate(market, econ::Regime::kBargainedFees);
+        const econ::CspOutcome& o = report.csp_outcomes[0];
+        csp_side.add_row({name, util::cell(churn, 2), util::cell(o.avg_fee, 3),
+                          util::cell(o.posted_price, 3), util::cell(o.csp_profit, 3)});
+    }
+    std::cout << csp_side.render();
+    util::maybe_export_csv(csp_side, "incumbent_csp_side");
+
+    std::cout << "\nShape check vs paper: fees are monotone *decreasing* in the LMP's\n"
+                 "own fragility (entrenched LMPs extract more) and monotone decreasing\n"
+                 "in the CSP's stickiness (incumbent CSPs pay less and keep higher\n"
+                 "profit). Both asymmetries 'systematically favor established\n"
+                 "incumbents in both the LMP and CSP markets' (section 4.5) - the\n"
+                 "reason the POC's terms of service ban termination fees.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Section 4.5 (bilateral bargaining): the three NBS models.
+//   Model 1 - one CSP, one LMP: t = (p - r c)/2.
+//   Model 2 - many LMPs: population-weighted average fee
+//             t_avg = (p - <rc>)/2.
+//   Model 3 - renegotiation equilibrium: t = (p*(t) - <rc>)/2.
+// Plus the regime comparison NN vs UR-unilateral vs UR-bargaining.
+#include <iostream>
+#include <memory>
+
+#include "econ/market_model.hpp"
+#include "util/csv_export.hpp"
+#include "util/table.hpp"
+
+using namespace poc;
+
+int main() {
+    std::cout << "=== Section 4.5: Nash-bargained termination fees ===\n\n";
+
+    const auto demand = std::make_shared<econ::LinearDemand>(20.0);
+    const std::vector<econ::LmpProfile> lmps = {
+        {"Mega (8M subs)", 8.0, 55.0, 0.05},
+        {"Mid (2M subs)", 2.0, 50.0, 0.15},
+        {"Start (0.5M subs)", 0.5, 45.0, 0.40},
+    };
+
+    // Model 1: bilateral fees at the NN posted price.
+    const double p_nn = econ::monopoly_price(*demand).x;
+    std::cout << "Model 1 - bilateral NBS fee at fixed posted price p=" << util::cell(p_nn, 2)
+              << ":\n";
+    util::Table m1({"LMP", "churn r", "access c", "r*c", "NBS fee (p-rc)/2"});
+    for (const econ::LmpProfile& l : lmps) {
+        m1.add_row({l.name, util::cell(l.churn_if_lost, 2), util::cell(l.access_charge, 0),
+                    util::cell(l.churn_if_lost * l.access_charge, 2),
+                    util::cell(econ::bilateral_nbs_fee(p_nn, l), 2)});
+    }
+    std::cout << m1.render();
+
+    // Model 2: population-weighted average.
+    std::cout << "\nModel 2 - population-weighted average: <rc> = "
+              << util::cell(econ::average_rc(lmps), 3) << ", t_avg = (p - <rc>)/2 = "
+              << util::cell(econ::average_nbs_fee(p_nn, lmps), 3) << "\n";
+
+    // Model 3: renegotiation to the fixed point.
+    const auto eq = econ::bargaining_equilibrium(*demand, lmps);
+    std::cout << "\nModel 3 - renegotiation equilibrium (fixed point of t = (p*(t)-<rc>)/2):\n"
+              << "  converged: " << (eq.converged ? "yes" : "NO") << " in " << eq.iterations
+              << " iterations\n"
+              << "  equilibrium avg fee t = " << util::cell(eq.avg_fee, 3)
+              << ", equilibrium price p*(t) = " << util::cell(eq.price, 3) << "\n";
+    util::Table m3({"LMP", "equilibrium fee"});
+    for (std::size_t i = 0; i < lmps.size(); ++i) {
+        m3.add_row({lmps[i].name, util::cell(eq.fee_by_lmp[i], 3)});
+    }
+    std::cout << m3.render();
+
+    // Regime comparison over a small CSP portfolio.
+    econ::Market market;
+    market.lmps = lmps;
+    econ::CspProfile a;
+    a.name = "MassVideo";
+    a.demand = demand;
+    a.churn_by_lmp = {0.05, 0.15, 0.40};
+    econ::CspProfile b;
+    b.name = "SocialNet";
+    b.demand = std::make_shared<econ::ExponentialDemand>(6.0);
+    b.churn_by_lmp = {0.02, 0.08, 0.20};
+    market.csps = {a, b};
+
+    std::cout << "\nRegime comparison (paper's core welfare claim):\n";
+    util::Table cmp({"regime", "social welfare", "consumer welfare", "CSP profit",
+                     "LMP fee revenue"});
+    for (const econ::RegimeReport& r : econ::evaluate_all(market)) {
+        cmp.add_row({econ::regime_name(r.regime), util::cell(r.total_social_welfare, 3),
+                     util::cell(r.total_consumer_welfare, 3),
+                     util::cell(r.total_csp_profit, 3),
+                     util::cell(r.total_lmp_fee_revenue, 3)});
+    }
+    std::cout << cmp.render();
+    util::maybe_export_csv(cmp, "nbs_regime_comparison");
+    std::cout << "\nShape check vs paper: fees fall with churn rate (model 1); the\n"
+                 "equilibrium fee is positive but below the unilateral optimum, so\n"
+                 "SW(NN) > SW(bargaining) > SW(unilateral) - 'the price increase will\n"
+                 "likely be less under bilateral bargaining ... but still result in a\n"
+                 "lower social welfare than the NN case' (section 4.5).\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Section 4.4 (unilateral termination fees): double marginalization.
+// Reproduces, per demand family,
+//   * the CSP price response p*(t) - Lemma 1's monotone curve,
+//   * the LMP's revenue-maximizing fee t* = argmax t D(p*(t)),
+//   * the welfare gap between NN and UR-unilateral.
+#include <iostream>
+#include <memory>
+
+#include "econ/market_model.hpp"
+#include "util/csv_export.hpp"
+#include "util/table.hpp"
+
+using namespace poc;
+
+int main() {
+    std::cout << "=== Section 4.4: unilateral fees / double marginalization ===\n\n";
+
+    struct Entry {
+        std::string name;
+        std::shared_ptr<const econ::DemandCurve> demand;
+    };
+    const std::vector<Entry> families = {
+        {"linear(P=20)", std::make_shared<econ::LinearDemand>(20.0)},
+        {"exponential(theta=6)", std::make_shared<econ::ExponentialDemand>(6.0)},
+        {"isoelastic(knee=15,s=2.2)", std::make_shared<econ::IsoelasticDemand>(15.0, 2.2)},
+        {"logistic(mid=9,s=2.5)", std::make_shared<econ::LogisticDemand>(9.0, 2.5)},
+    };
+
+    util::Table table({"demand family", "p* (NN)", "t* (UR)", "p*(t*)", "D drop",
+                       "SW (NN)", "SW (UR)", "SW loss"});
+    for (const Entry& e : families) {
+        const double p_nn = econ::monopoly_price(*e.demand).x;
+        const double t_star = econ::lmp_optimal_fee(*e.demand).x;
+        const double p_ur = econ::csp_price_given_fee(*e.demand, t_star).x;
+        const double sw_nn = econ::social_welfare(*e.demand, p_nn);
+        const double sw_ur = econ::social_welfare(*e.demand, p_ur);
+        const double d_drop = 1.0 - e.demand->demand(p_ur) /
+                                        std::max(e.demand->demand(p_nn), 1e-12);
+        table.add_row({e.name, util::cell(p_nn, 2), util::cell(t_star, 2),
+                       util::cell(p_ur, 2), util::cell_pct(d_drop),
+                       util::cell(sw_nn, 2), util::cell(sw_ur, 2),
+                       util::cell_pct(1.0 - sw_ur / sw_nn)});
+    }
+    std::cout << table.render();
+    util::maybe_export_csv(table, "ur_unilateral");
+
+    // Lemma 1: the price response curve for the linear family (the
+    // paper proves p*'(t) > 0 under smooth convex demand).
+    std::cout << "\nLemma 1 price response p*(t), linear(P=20):\n";
+    const auto curve = econ::price_response_curve(*families[0].demand, 12.0, 7);
+    util::Table lemma({"t", "p*(t)", "D(p*(t))"});
+    for (const auto& [t, p] : curve) {
+        lemma.add_row({util::cell(t, 1), util::cell(p, 2),
+                       util::cell(families[0].demand->demand(p), 3)});
+    }
+    std::cout << lemma.render();
+    util::maybe_export_csv(lemma, "lemma1_price_response");
+    std::cout << "\nShape check vs paper: prices rise one-for-two with the fee for\n"
+                 "linear demand (p*(t) = (P+t)/2), demand served falls, and social\n"
+                 "welfare drops - 'termination fees strictly decrease social welfare'\n"
+                 "(section 4.4). The knee-capped isoelastic family is the edge case:\n"
+                 "its monopoly corner pins the price, so the LMP's optimal fee stops\n"
+                 "exactly where prices would move and the fee is a pure transfer out\n"
+                 "of CSP profit (0% welfare loss; Lemma 1 assumes smooth demand).\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Section 3.2/3.4 retail-pricing discussion, quantified: "LMPs might
+// charge home users a flat price, or a strictly usage-based charge, or
+// some form of tiered service ... a tension between giving users some
+// predictability in costs, while also charging based on usage". We
+// price a heavy-tailed usage population at exact break-even under all
+// three schemes and measure the cross-subsidy each one creates.
+#include <iostream>
+
+#include "econ/usage_pricing.hpp"
+#include "util/csv_export.hpp"
+#include "util/table.hpp"
+
+using namespace poc;
+
+int main() {
+    std::cout << "=== Section 3.2/3.4: LMP retail pricing schemes ===\n\n";
+
+    econ::UsagePopulationOptions popt;
+    popt.users = 50'000;
+    const auto usage = econ::draw_usage_population(popt);
+    double total = 0.0;
+    double max_gb = 0.0;
+    for (const double gb : usage) {
+        total += gb;
+        max_gb = std::max(max_gb, gb);
+    }
+    const econ::LmpCostModel cost{20.0, 0.05};
+    std::cout << popt.users << " subscribers, mean usage "
+              << util::cell(total / static_cast<double>(popt.users), 1) << " GB/month (max "
+              << util::cell(max_gb, 0) << "); LMP cost = $" << cost.fixed_per_user
+              << "/user + $" << cost.per_gb << "/GB\n\n";
+
+    econ::TieredParams tiered;
+    tiered.allowance_gb = 200.0;
+    tiered.overage_markup = 1.5;
+
+    util::Table table({"scheme", "break-even parameter", "mean bill", "min bill", "max bill",
+                       "cross-subsidy"});
+    for (const econ::PricingOutcome& o : econ::price_population_all(usage, cost, tiered)) {
+        std::string param;
+        switch (o.scheme) {
+            case econ::PricingScheme::kFlat:
+                param = "$" + util::cell(o.price_parameter, 2) + "/mo";
+                break;
+            case econ::PricingScheme::kUsage:
+                param = "$" + util::cell(o.price_parameter, 4) + "/GB";
+                break;
+            case econ::PricingScheme::kTiered:
+                param = "$" + util::cell(o.price_parameter, 2) + "/mo + 1.5x cost overage";
+                break;
+        }
+        table.add_row({econ::scheme_name(o.scheme), param, util::cell(o.mean_bill, 2),
+                       util::cell(o.min_bill, 2), util::cell(o.max_bill, 2),
+                       util::cell_pct(o.cross_subsidy_index)});
+    }
+    std::cout << table.render();
+    util::maybe_export_csv(table, "usage_pricing");
+
+    std::cout << "\nReading: every scheme recovers cost exactly (the break-even\n"
+                 "discipline of section 3.2), but they distribute it differently. Flat\n"
+                 "pricing makes light users fund the heavy tail's volume; pure usage\n"
+                 "pricing swings the other way - heavy users end up funding everyone's\n"
+                 "*fixed* costs. The tiered scheme is a two-part tariff and tracks\n"
+                 "cost causation best (lowest cross-subsidy): exactly the 'practical\n"
+                 "solution' to the predictability/usage tension the paper expects the\n"
+                 "market to find. Termination fees are not needed for any of them.\n";
+    return 0;
+}

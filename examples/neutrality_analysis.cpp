@@ -1,0 +1,76 @@
+// Network-neutrality economics (paper section 4): a market of CSPs and
+// LMPs evaluated under the three regimes - network neutrality, unilateral
+// termination fees (double marginalization), and Nash-bargained fees -
+// showing the welfare loss from fees and the incumbent advantage.
+//
+//   ./build/examples/neutrality_analysis
+#include <iostream>
+
+#include "econ/market_model.hpp"
+#include "util/table.hpp"
+
+using namespace poc;
+using econ::Regime;
+
+int main() {
+    econ::Market market;
+    market.lmps = {
+        {"CableCo (incumbent)", 6.0, 55.0, 0.0},
+        {"FiberStart (entrant)", 1.0, 45.0, 0.0},
+    };
+
+    econ::CspProfile video;
+    video.name = "StreamFlix (incumbent)";
+    video.demand = std::make_shared<econ::LinearDemand>(20.0);
+    // A must-have service: blocking it costs the incumbent LMP 12% of
+    // affected customers, the fragile entrant 30%.
+    video.churn_by_lmp = {0.12, 0.30};
+
+    econ::CspProfile newcomer;
+    newcomer.name = "NicheTV (entrant)";
+    newcomer.demand = std::make_shared<econ::LinearDemand>(20.0);
+    // Nobody switches providers over a niche service.
+    newcomer.churn_by_lmp = {0.01, 0.05};
+
+    econ::CspProfile social;
+    social.name = "ChatterBox";
+    social.demand = std::make_shared<econ::ExponentialDemand>(8.0);
+    social.churn_by_lmp = {0.10, 0.30};
+
+    market.csps = {video, newcomer, social};
+
+    const auto reports = econ::evaluate_all(market);
+
+    std::cout << "== Regime comparison (per unit consumer mass, $/month) ==\n\n";
+    util::Table regimes({"regime", "social welfare", "consumer welfare", "CSP profit",
+                         "LMP fee revenue"});
+    for (const econ::RegimeReport& r : reports) {
+        regimes.add_row({econ::regime_name(r.regime), util::cell(r.total_social_welfare, 2),
+                         util::cell(r.total_consumer_welfare, 2),
+                         util::cell(r.total_csp_profit, 2),
+                         util::cell(r.total_lmp_fee_revenue, 2)});
+    }
+    std::cout << regimes.render();
+
+    std::cout << "\n== Per-CSP detail under bargained fees (section 4.5) ==\n\n";
+    const econ::RegimeReport& bargain = reports[2];
+    util::Table fees({"CSP", "posted price", "fee @ incumbent LMP", "fee @ entrant LMP",
+                      "avg fee", "CSP profit"});
+    for (const econ::CspOutcome& o : bargain.csp_outcomes) {
+        fees.add_row({o.name, util::cell(o.posted_price, 2), util::cell(o.fee_by_lmp[0], 2),
+                      util::cell(o.fee_by_lmp[1], 2), util::cell(o.avg_fee, 2),
+                      util::cell(o.csp_profit, 2)});
+    }
+    std::cout << fees.render();
+
+    std::cout <<
+        "\nReading:\n"
+        " * Social welfare: NN > bargaining > unilateral - any termination fee\n"
+        "   raises posted prices and destroys surplus (Lemma 1 + section 4.4).\n"
+        " * The incumbent LMP (low churn if a service is blocked) extracts a\n"
+        "   higher fee than the entrant from every CSP.\n"
+        " * The incumbent CSP (high churn if lost) negotiates lower fees than\n"
+        "   the identical-demand entrant CSP - the incumbent advantage that\n"
+        "   motivates the POC's contractual network neutrality.\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Terms-of-service audit: the POC's contractual network-neutrality
+// conditions (paper section 3.4) applied to the declared traffic
+// policies of three LMPs - one clean, one subtly discriminatory, one
+// openly violating. Demonstrates the service-discrimination vs QoS
+// distinction the paper draws.
+//
+//   ./build/examples/peering_audit
+#include <iostream>
+
+#include "core/tos.hpp"
+#include "util/table.hpp"
+
+using namespace poc;
+using core::PolicyAction;
+using core::PolicyRule;
+using core::TrafficSelector;
+
+namespace {
+
+PolicyRule rule(std::string description, PolicyAction action, TrafficSelector selector,
+                bool openly_priced = false, bool security = false) {
+    PolicyRule r;
+    r.description = std::move(description);
+    r.action = action;
+    r.selector = selector;
+    r.openly_priced = openly_priced;
+    r.security_exception = security;
+    return r;
+}
+
+void print_report(const core::AuditReport& report) {
+    std::cout << "== " << report.lmp_name << " : "
+              << (report.compliant ? "COMPLIANT" : "VIOLATIONS FOUND") << " ("
+              << report.violation_count() << " finding(s)) ==\n";
+    util::Table table({"policy", "verdict"});
+    for (const core::RuleFinding& f : report.findings) {
+        table.add_row({f.rule.description, core::verdict_name(f.verdict)});
+    }
+    std::cout << table.render() << "\n";
+}
+
+}  // namespace
+
+int main() {
+    core::LmpPolicy clean;
+    clean.lmp_name = "GoodAccess";
+    clean.rules = {
+        rule("Premium low-latency tier, posted price, any customer",
+             PolicyAction::kPrioritize, TrafficSelector::kAll, /*openly_priced=*/true),
+        rule("Open CDN colocation at published rates", PolicyAction::kProvideCdn,
+             TrafficSelector::kAll, true),
+        rule("Drop spoofed-source DDoS floods", PolicyAction::kBlock,
+             TrafficSelector::kBySource, false, /*security=*/true),
+        rule("Any third party may deploy caches at posted colo fee",
+             PolicyAction::kAllowThirdPartyCdn, TrafficSelector::kAll, true),
+    };
+
+    core::LmpPolicy subtle;
+    subtle.lmp_name = "SneakyNet";
+    subtle.rules = {
+        rule("'Partner fast lane': paid priority for StreamFlix traffic only",
+             PolicyAction::kPrioritize, TrafficSelector::kBySource, true),
+        rule("In-house CDN serves only our own video service", PolicyAction::kProvideCdn,
+             TrafficSelector::kBySource),
+        rule("Cache deployment offered exclusively to StreamFlix",
+             PolicyAction::kAllowThirdPartyCdn, TrafficSelector::kBySource),
+    };
+
+    core::LmpPolicy blatant;
+    blatant.lmp_name = "TollBoothISP";
+    blatant.rules = {
+        rule("Charge remote CSPs $0.50/GB to reach our subscribers",
+             PolicyAction::kChargeTerminationFee, TrafficSelector::kAll),
+        rule("Throttle video from CSPs who have not paid", PolicyAction::kDeprioritize,
+             TrafficSelector::kByApplication),
+        rule("Block VoIP competing with our phone bundle", PolicyAction::kBlock,
+             TrafficSelector::kByApplication),
+    };
+
+    for (const auto& policy : {clean, subtle, blatant}) {
+        print_report(core::audit_lmp(policy));
+    }
+
+    std::cout
+        << "Note: SneakyNet's fast lane is *paid*, but keyed to one source - the\n"
+           "POC's conditions treat that as service discrimination, not QoS.\n"
+           "GoodAccess sells the same priority to anyone at a posted price, which\n"
+           "the paper explicitly allows (section 3.1).\n";
+    return 0;
+}

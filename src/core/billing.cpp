@@ -1,0 +1,203 @@
+#include "core/billing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poc::core {
+
+namespace {
+
+constexpr Party kPoc{PartyKind::kPoc, 0};
+
+/// Per-entity sent/received volumes implied by the roster.
+struct Usage {
+    std::vector<double> lmp_sent, lmp_recv;  // indexed by LMP
+    std::vector<double> csp_sent, csp_recv;  // direct CSPs only
+    double total = 0.0;                      // sum of sent+received
+};
+
+Usage compute_usage(const EntityRoster& roster, double reverse_fraction) {
+    Usage u;
+    u.lmp_sent.assign(roster.lmps.size(), 0.0);
+    u.lmp_recv.assign(roster.lmps.size(), 0.0);
+    u.csp_sent.assign(roster.csps.size(), 0.0);
+    u.csp_recv.assign(roster.csps.size(), 0.0);
+
+    for (std::size_t ci = 0; ci < roster.csps.size(); ++ci) {
+        const CspInfo& csp = roster.csps[ci];
+        for (std::size_t li = 0; li < roster.lmps.size(); ++li) {
+            const LmpInfo& lmp = roster.lmps[li];
+            const double subscribers = lmp.customers * csp.take_rate;
+            const double down = subscribers / 1000.0 * csp.gbps_per_1k_subscribers;
+            const double up = down * reverse_fraction;
+            if (down <= 0.0) continue;
+
+            // Eyeball side always bills to the subscriber LMP.
+            u.lmp_recv[li] += down;
+            u.lmp_sent[li] += up;
+
+            // Content side bills to the CSP if directly attached, else
+            // to its hosting LMP.
+            if (csp.attachment == CspAttachment::kDirectToPoc) {
+                u.csp_sent[ci] += down;
+                u.csp_recv[ci] += up;
+            } else {
+                u.lmp_sent[csp.via_lmp.index()] += down;
+                u.lmp_recv[csp.via_lmp.index()] += up;
+            }
+        }
+    }
+    for (const double v : u.lmp_sent) u.total += v;
+    for (const double v : u.lmp_recv) u.total += v;
+    for (const double v : u.csp_sent) u.total += v;
+    for (const double v : u.csp_recv) u.total += v;
+    return u;
+}
+
+}  // namespace
+
+EpochReport run_billing_epoch(const ProvisionedBackbone& backbone, const EntityRoster& roster,
+                              const market::OfferPool& pool, const BillingOptions& opt,
+                              const ServiceBilling* services) {
+    POC_EXPECTS(opt.reverse_fraction >= 0.0 && opt.reverse_fraction <= 1.0);
+    POC_EXPECTS(opt.poc_margin >= 0.0);
+    POC_EXPECTS(services == nullptr ||
+                (services->qos_fees_by_lmp.size() == roster.lmps.size() &&
+                 services->cdn_fees_by_csp.size() == roster.csps.size()));
+    roster.validate(pool.graph());
+
+    EpochReport report;
+
+    // --- POC side: pay the BPs (auction) and external ISPs. ---------
+    for (const market::BpOutcome& out : backbone.auction.outcomes) {
+        report.ledger.record(kPoc, Party{PartyKind::kBandwidthProvider, out.bp.value()},
+                             TransferKind::kLinkLease, out.payment, out.name + " lease");
+    }
+    // Virtual-link contract cost plus general-access contracts go to
+    // the external ISPs (index 0 collects virtual-link fees when the
+    // roster has ISPs; the split across ISPs is contract detail).
+    util::Money isp_total = backbone.auction.virtual_cost;
+    for (std::size_t i = 0; i < roster.external_isps.size(); ++i) {
+        util::Money amount = roster.external_isps[i].access_contract;
+        if (i == 0) amount += backbone.auction.virtual_cost, isp_total = util::Money{};
+        report.ledger.record(kPoc, Party{PartyKind::kExternalIsp, static_cast<std::uint32_t>(i)},
+                             TransferKind::kIspContract, amount,
+                             roster.external_isps[i].name + " contract");
+    }
+    if (!isp_total.is_zero()) {
+        // No external ISPs in the roster but virtual links were bought:
+        // book them to a synthetic ISP party.
+        report.ledger.record(kPoc, Party{PartyKind::kExternalIsp, 0},
+                             TransferKind::kIspContract, isp_total, "virtual links");
+    }
+
+    util::Money outlay{};
+    for (const Transfer& t : report.ledger.transfers()) outlay += t.amount;
+    report.poc_outlay = outlay;
+
+    // --- Section 3.1 service fees: booked first, credited against the
+    //     outlay (the nonprofit passes service income back through
+    //     lower access prices). ------------------------------------------
+    if (services != nullptr) {
+        for (std::size_t li = 0; li < roster.lmps.size(); ++li) {
+            report.ledger.record(Party{PartyKind::kLmp, static_cast<std::uint32_t>(li)}, kPoc,
+                                 TransferKind::kServiceFees, services->qos_fees_by_lmp[li],
+                                 "QoS tier fees");
+            report.service_revenue += services->qos_fees_by_lmp[li];
+        }
+        for (std::size_t ci = 0; ci < roster.csps.size(); ++ci) {
+            report.ledger.record(Party{PartyKind::kCsp, static_cast<std::uint32_t>(ci)}, kPoc,
+                                 TransferKind::kServiceFees, services->cdn_fees_by_csp[ci],
+                                 "open CDN fees");
+            report.service_revenue += services->cdn_fees_by_csp[ci];
+        }
+    }
+
+    // --- Usage-based access charges that exactly recoup the remaining
+    //     outlay. ---------------------------------------------------------
+    const Usage usage = compute_usage(roster, opt.reverse_fraction);
+    POC_EXPECTS(usage.total > 0.0);
+    const util::Money target =
+        std::max(util::Money{}, outlay.scaled(1.0 + opt.poc_margin) - report.service_revenue);
+    report.usage_price_per_gbps = target.dollars() / usage.total;
+
+    // Round each charge; track the residual and add it to the largest
+    // payer so the POC nets exactly its margin.
+    std::vector<UsageCharge> charges;
+    for (std::size_t li = 0; li < roster.lmps.size(); ++li) {
+        const double vol = usage.lmp_sent[li] + usage.lmp_recv[li];
+        if (vol <= 0.0) continue;
+        UsageCharge c;
+        c.payer = Party{PartyKind::kLmp, static_cast<std::uint32_t>(li)};
+        c.sent_gbps = usage.lmp_sent[li];
+        c.received_gbps = usage.lmp_recv[li];
+        c.amount = util::Money::from_dollars(vol * report.usage_price_per_gbps);
+        charges.push_back(c);
+    }
+    for (std::size_t ci = 0; ci < roster.csps.size(); ++ci) {
+        const double vol = usage.csp_sent[ci] + usage.csp_recv[ci];
+        if (vol <= 0.0) continue;
+        UsageCharge c;
+        c.payer = Party{PartyKind::kCsp, static_cast<std::uint32_t>(ci)};
+        c.sent_gbps = usage.csp_sent[ci];
+        c.received_gbps = usage.csp_recv[ci];
+        c.amount = util::Money::from_dollars(vol * report.usage_price_per_gbps);
+        charges.push_back(c);
+    }
+    POC_ASSERT(!charges.empty());
+
+    util::Money charged{};
+    for (const UsageCharge& c : charges) charged += c.amount;
+    const util::Money residual = target - charged;
+    auto largest = std::max_element(
+        charges.begin(), charges.end(),
+        [](const UsageCharge& a, const UsageCharge& b) { return a.amount < b.amount; });
+    largest->amount += residual;  // exact break-even true-up
+
+    for (const UsageCharge& c : charges) {
+        report.ledger.record(c.payer, kPoc, TransferKind::kPocAccess, c.amount,
+                             "POC access (usage-based)");
+    }
+    report.poc_revenue = report.ledger.total(TransferKind::kPocAccess);
+    report.charges = std::move(charges);
+
+    // --- Customer-side flows (section 3.2's remaining bullets). ------
+    for (std::size_t li = 0; li < roster.lmps.size(); ++li) {
+        const LmpInfo& lmp = roster.lmps[li];
+        const Party customers{PartyKind::kCustomers, static_cast<std::uint32_t>(li)};
+        report.ledger.record(customers, Party{PartyKind::kLmp, static_cast<std::uint32_t>(li)},
+                             TransferKind::kCustomerAccess,
+                             lmp.access_charge.scaled(lmp.customers), "access subscriptions");
+        for (std::size_t ci = 0; ci < roster.csps.size(); ++ci) {
+            const CspInfo& csp = roster.csps[ci];
+            const double subscribers = lmp.customers * csp.take_rate;
+            report.ledger.record(customers, Party{PartyKind::kCsp, static_cast<std::uint32_t>(ci)},
+                                 TransferKind::kCspSubscription,
+                                 csp.subscription_price.scaled(subscribers),
+                                 csp.name + " subscriptions");
+        }
+    }
+
+    // Hosted CSPs reimburse their hosting LMP for the POC traffic they
+    // cause (pass-through; the LMP already paid the POC above).
+    for (std::size_t ci = 0; ci < roster.csps.size(); ++ci) {
+        const CspInfo& csp = roster.csps[ci];
+        if (csp.attachment != CspAttachment::kViaLmp) continue;
+        double vol = 0.0;
+        for (const LmpInfo& lmp : roster.lmps) {
+            const double down = lmp.customers * csp.take_rate / 1000.0 *
+                                csp.gbps_per_1k_subscribers;
+            vol += down * (1.0 + opt.reverse_fraction);
+        }
+        report.ledger.record(Party{PartyKind::kCsp, static_cast<std::uint32_t>(ci)},
+                             Party{PartyKind::kLmp, csp.via_lmp.value()},
+                             TransferKind::kLmpHosting,
+                             util::Money::from_dollars(vol * report.usage_price_per_gbps),
+                             csp.name + " hosting pass-through");
+    }
+
+    POC_ENSURES(report.ledger.conserves());
+    return report;
+}
+
+}  // namespace poc::core

@@ -1,0 +1,57 @@
+// One billing epoch of the POC (paper section 3.2): usage-based POC
+// access charges sized to exactly recoup the leasing outlay (the
+// nonprofit break-even requirement), plus the customer-side payment
+// flows. Produces a Ledger whose conservation and break-even properties
+// are exact.
+#pragma once
+
+#include "core/entities.hpp"
+#include "core/ledger.hpp"
+#include "core/provisioning.hpp"
+
+namespace poc::core {
+
+struct BillingOptions {
+    /// Fraction of content volume flowing upstream (acks, uploads).
+    double reverse_fraction = 0.08;
+    /// Margin the POC adds on top of break-even (0 = exact nonprofit
+    /// break-even; small positive values build a capacity reserve).
+    double poc_margin = 0.0;
+};
+
+/// One LMP's (or direct CSP's) usage-based POC invoice.
+struct UsageCharge {
+    Party payer;
+    double sent_gbps = 0.0;
+    double received_gbps = 0.0;
+    util::Money amount;
+};
+
+/// Optional section-3.1 service fees flowing to the POC this epoch.
+/// As a nonprofit the POC credits service revenue against its leasing
+/// outlay, lowering the usage-based access price for everyone.
+struct ServiceBilling {
+    /// QoS tier fees payable by each LMP (aligned with roster.lmps).
+    std::vector<util::Money> qos_fees_by_lmp;
+    /// Open-CDN fees payable by each CSP (aligned with roster.csps).
+    std::vector<util::Money> cdn_fees_by_csp;
+};
+
+struct EpochReport {
+    Ledger ledger;
+    /// $/Gbps (sent+received) rate that recovers the outlay.
+    double usage_price_per_gbps = 0.0;
+    util::Money poc_outlay;       // lease payments + ISP contracts
+    util::Money poc_revenue;      // access charges collected
+    util::Money service_revenue;  // QoS/CDN fees collected
+    std::vector<UsageCharge> charges;
+};
+
+/// Run the payment flows for one month. The backbone must have been
+/// provisioned against (a superset of) the roster's traffic. Optional
+/// `services` books QoS/CDN fees and credits them against the outlay.
+EpochReport run_billing_epoch(const ProvisionedBackbone& backbone, const EntityRoster& roster,
+                              const market::OfferPool& pool, const BillingOptions& opt = {},
+                              const ServiceBilling* services = nullptr);
+
+}  // namespace poc::core

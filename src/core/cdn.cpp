@@ -1,0 +1,63 @@
+#include "core/cdn.hpp"
+
+#include <algorithm>
+
+namespace poc::core {
+
+double HitCurve::hit_ratio(double units) const {
+    POC_EXPECTS(half_units > 0.0);
+    POC_EXPECTS(units >= 0.0);
+    return units / (units + half_units);
+}
+
+CdnEffect apply_cdn(const net::TrafficMatrix& tm, const std::vector<CdnDeployment>& deployments,
+                    const CdnOffer& offer, double cacheable_fraction, const HitCurve& curve) {
+    POC_EXPECTS(cacheable_fraction >= 0.0 && cacheable_fraction <= 1.0);
+    POC_EXPECTS(audit_offer(offer) == Verdict::kCompliant);
+
+    // Units per router (several deployments may stack at one site).
+    std::size_t max_router = 0;
+    for (const net::Demand& d : tm) {
+        max_router = std::max({max_router, d.src.index() + 1, d.dst.index() + 1});
+    }
+    double total_units = 0.0;
+    std::vector<double> units_at;
+    for (const CdnDeployment& dep : deployments) {
+        POC_EXPECTS(dep.router.valid());
+        POC_EXPECTS(dep.units >= 0.0);
+        max_router = std::max(max_router, dep.router.index() + 1);
+        if (units_at.size() < max_router) units_at.resize(max_router, 0.0);
+        units_at[dep.router.index()] += dep.units;
+        total_units += dep.units;
+    }
+    units_at.resize(max_router, 0.0);
+
+    CdnEffect effect;
+    effect.served_at_router.assign(max_router, 0.0);
+    effect.reduced.reserve(tm.size());
+
+    double offered = 0.0;
+    double served = 0.0;
+    for (const net::Demand& d : tm) {
+        offered += d.gbps;
+        const double hit = curve.hit_ratio(units_at[d.dst.index()]);
+        const double from_cache = d.gbps * cacheable_fraction * hit;
+        served += from_cache;
+        effect.served_at_router[d.dst.index()] += from_cache;
+        effect.reduced.push_back(net::Demand{d.src, d.dst, d.gbps - from_cache});
+    }
+    effect.offload_fraction = offered > 0.0 ? served / offered : 0.0;
+    effect.monthly_fees = offer.fee_per_unit.scaled(total_units);
+    return effect;
+}
+
+Verdict audit_offer(const CdnOffer& offer) {
+    PolicyRule rule;
+    rule.description = "CDN service offer";
+    rule.action = PolicyAction::kProvideCdn;
+    rule.selector = offer.open_to_all ? TrafficSelector::kAll : TrafficSelector::kBySource;
+    rule.openly_priced = true;
+    return audit_rule(rule);
+}
+
+}  // namespace poc::core

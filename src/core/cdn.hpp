@@ -1,0 +1,72 @@
+// Open CDN service model. The paper discusses CDNs in two places:
+// section 2.4 (most content traffic is served from caches at the edge,
+// shrinking public transit) and section 3.4 (LMPs and the POC may offer
+// CDN/enhancement services, but only *openly* - per-source cache
+// deployment is a peering-condition violation).
+//
+// This module models the open variant: cache capacity deployed at POC
+// edge routers, a concave hit-ratio curve, the resulting reduction of
+// the backbone traffic matrix, and the fee-for-service revenue. The
+// ablation bench uses it to reproduce the section-2.4 dynamic: as edge
+// caches grow, transit demand and the auction outlay fall.
+#pragma once
+
+#include <vector>
+
+#include "core/entities.hpp"
+#include "core/tos.hpp"
+#include "net/graph.hpp"
+#include "util/money.hpp"
+
+namespace poc::core {
+
+/// Cache capacity placed at one POC router.
+struct CdnDeployment {
+    net::NodeId router;
+    /// Deployed cache size in abstract units (1 unit ~ one rack).
+    double units = 0.0;
+};
+
+/// Terms under which the CDN service is offered.
+struct CdnOffer {
+    /// Monthly fee per deployed unit, posted openly.
+    util::Money fee_per_unit;
+    /// True if any CSP may buy at the posted price. A closed offer is
+    /// exactly condition (iii) of the peering rules; audit_offer()
+    /// rejects it.
+    bool open_to_all = true;
+};
+
+/// Concave hit-ratio curve: hit(units) = units / (units + half_units).
+/// half_units is the deployment at which half of cacheable bytes hit.
+struct HitCurve {
+    double half_units = 4.0;
+
+    double hit_ratio(double units) const;
+};
+
+struct CdnEffect {
+    /// The backbone matrix after cache offload (same order as input).
+    net::TrafficMatrix reduced;
+    /// Fraction of total offered gbps served from caches.
+    double offload_fraction = 0.0;
+    /// Gbps served from caches per router (indexed by node id).
+    std::vector<double> served_at_router;
+    /// Monthly service fees collected by the CDN operator.
+    util::Money monthly_fees;
+};
+
+/// Apply edge caching to a traffic matrix: for every demand, the share
+/// `cacheable_fraction` can be served from a cache at the *destination*
+/// router (content flows toward eyeballs; a cache helps where the bytes
+/// land), reduced by that router's hit ratio. Deployments at routers
+/// not appearing as destinations simply idle.
+CdnEffect apply_cdn(const net::TrafficMatrix& tm, const std::vector<CdnDeployment>& deployments,
+                    const CdnOffer& offer, double cacheable_fraction,
+                    const HitCurve& curve = {});
+
+/// Check an offer against the peering conditions: open offers are
+/// compliant; closed offers violate condition (iii).
+Verdict audit_offer(const CdnOffer& offer);
+
+}  // namespace poc::core

@@ -1,0 +1,68 @@
+#include "core/entities.hpp"
+
+#include <unordered_map>
+
+namespace poc::core {
+
+void EntityRoster::validate(const net::Graph& poc_graph) const {
+    POC_EXPECTS(!lmps.empty());
+    for (const LmpInfo& l : lmps) {
+        POC_EXPECTS(l.attachment.valid());
+        POC_EXPECTS(l.attachment.index() < poc_graph.node_count());
+        POC_EXPECTS(l.customers >= 0.0);
+    }
+    for (const CspInfo& c : csps) {
+        POC_EXPECTS(c.take_rate >= 0.0 && c.take_rate <= 1.0);
+        POC_EXPECTS(c.gbps_per_1k_subscribers >= 0.0);
+        if (c.attachment == CspAttachment::kDirectToPoc) {
+            POC_EXPECTS(c.poc_router.valid());
+            POC_EXPECTS(c.poc_router.index() < poc_graph.node_count());
+        } else {
+            POC_EXPECTS(c.via_lmp.valid());
+            POC_EXPECTS(c.via_lmp.index() < lmps.size());
+        }
+    }
+    for (const ExternalIspInfo& isp : external_isps) {
+        for (const net::NodeId n : isp.attachments) {
+            POC_EXPECTS(n.valid());
+            POC_EXPECTS(n.index() < poc_graph.node_count());
+        }
+    }
+}
+
+net::TrafficMatrix roster_traffic(const EntityRoster& roster, double reverse_fraction) {
+    POC_EXPECTS(reverse_fraction >= 0.0 && reverse_fraction <= 1.0);
+
+    // Aggregate by (src router, dst router); the POC sees routers, not
+    // individual subscribers.
+    std::unordered_map<std::uint64_t, double> agg;
+    auto key = [](net::NodeId a, net::NodeId b) {
+        return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+    };
+    auto add = [&](net::NodeId src, net::NodeId dst, double gbps) {
+        if (src == dst || gbps <= 0.0) return;
+        agg[key(src, dst)] += gbps;
+    };
+
+    for (const CspInfo& csp : roster.csps) {
+        const net::NodeId origin = csp.attachment == CspAttachment::kDirectToPoc
+                                       ? csp.poc_router
+                                       : roster.lmp(csp.via_lmp).attachment;
+        for (const LmpInfo& lmp : roster.lmps) {
+            const double subscribers = lmp.customers * csp.take_rate;
+            const double down = subscribers / 1000.0 * csp.gbps_per_1k_subscribers;
+            add(origin, lmp.attachment, down);
+            add(lmp.attachment, origin, down * reverse_fraction);
+        }
+    }
+
+    net::TrafficMatrix tm;
+    tm.reserve(agg.size());
+    for (const auto& [k, gbps] : agg) {
+        tm.push_back(net::Demand{net::NodeId{static_cast<std::uint32_t>(k >> 32)},
+                                 net::NodeId{static_cast<std::uint32_t>(k & 0xffffffffu)}, gbps});
+    }
+    return tm;
+}
+
+}  // namespace poc::core

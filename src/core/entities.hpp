@@ -1,0 +1,89 @@
+// The entity model of the proposal (paper sections 1.2 and 3.2): the
+// POC, bandwidth providers, last-mile providers, content/service
+// providers, external ISPs, and customer populations, with the
+// attachment relationships of Figure 1.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/ids.hpp"
+#include "util/money.hpp"
+
+namespace poc::core {
+
+using LmpId = util::Id<struct LmpTag>;
+using CspId = util::Id<struct CspTag>;
+using IspId = util::Id<struct IspTag>;
+
+/// A last-mile provider attached to the POC.
+struct LmpInfo {
+    std::string name;
+    /// POC router where this LMP attaches.
+    net::NodeId attachment;
+    /// Subscriber count (drives traffic and access revenue).
+    double customers = 0.0;
+    /// Monthly access charge collected from each customer.
+    util::Money access_charge;
+};
+
+/// How a CSP reaches the POC (Figure 1: large CSPs attach directly,
+/// others connect through an LMP).
+enum class CspAttachment { kDirectToPoc, kViaLmp };
+
+/// A content/service provider.
+struct CspInfo {
+    std::string name;
+    CspAttachment attachment = CspAttachment::kDirectToPoc;
+    /// POC router (direct attachment) ...
+    net::NodeId poc_router;
+    /// ... or the hosting LMP (kViaLmp).
+    LmpId via_lmp;
+    /// Monthly subscription price charged to its users.
+    util::Money subscription_price;
+    /// Fraction of each LMP's customers subscribing to this CSP.
+    double take_rate = 0.0;
+    /// Traffic generated toward one subscriber (content is pushed
+    /// CSP -> eyeball; the reverse direction is a small fraction).
+    double gbps_per_1k_subscribers = 0.0;
+};
+
+/// An external (traditional) ISP the POC interconnects with.
+struct ExternalIspInfo {
+    std::string name;
+    /// POC routers where this ISP attaches (>= 2 enables virtual links).
+    std::vector<net::NodeId> attachments;
+    /// Contracted monthly price for general Internet access via this ISP.
+    util::Money access_contract;
+};
+
+/// The complete cast around one POC.
+struct EntityRoster {
+    std::vector<LmpInfo> lmps;
+    std::vector<CspInfo> csps;
+    std::vector<ExternalIspInfo> external_isps;
+
+    const LmpInfo& lmp(LmpId id) const {
+        POC_EXPECTS(id.index() < lmps.size());
+        return lmps[id.index()];
+    }
+    const CspInfo& csp(CspId id) const {
+        POC_EXPECTS(id.index() < csps.size());
+        return csps[id.index()];
+    }
+
+    /// Validate cross-references (LMP attachment routers within the
+    /// graph, CSP via_lmp ids valid, ...).
+    void validate(const net::Graph& poc_graph) const;
+};
+
+/// Build the LMP-to-LMP / CSP-to-LMP traffic matrix implied by the
+/// roster: each CSP pushes `gbps_per_1k_subscribers` per 1000 of its
+/// subscribers in every LMP, from its attachment router toward the
+/// subscriber LMP's router, plus `reverse_fraction` of that volume
+/// upstream.
+net::TrafficMatrix roster_traffic(const EntityRoster& roster, double reverse_fraction = 0.08);
+
+}  // namespace poc::core

@@ -1,0 +1,158 @@
+#include "core/federation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "net/shortest_path.hpp"
+
+namespace poc::core {
+
+namespace {
+
+/// Rebuild a bid keeping only the given links (tier discounts copied).
+market::BpBid restrict_bid(const market::BpBid& src, const std::vector<char>& keep) {
+    POC_EXPECTS(!src.has_bundle_overrides());
+    market::BpBid out(src.bp(), src.name());
+    for (const net::LinkId l : src.offered_links()) {
+        if (keep[l.index()] != 0) out.offer(l, src.base_price(l));
+    }
+    for (const market::DiscountTier& t : src.discounts()) out.add_discount(t);
+    return out;
+}
+
+/// Offer pool restricted to links whose mask entry is set.
+market::OfferPool restrict_pool(const market::OfferPool& pool, const std::vector<char>& keep) {
+    std::vector<market::BpBid> bids;
+    bids.reserve(pool.bids().size());
+    for (const market::BpBid& b : pool.bids()) bids.push_back(restrict_bid(b, keep));
+    market::VirtualLinkContract contract;
+    for (const net::LinkId l : pool.virtual_links().links()) {
+        if (keep[l.index()] != 0) contract.add(l, pool.virtual_links().price(l));
+    }
+    return market::OfferPool(std::move(bids), std::move(contract), pool.graph());
+}
+
+}  // namespace
+
+FederationResult compare_federation(const market::OfferPool& pool, const net::TrafficMatrix& tm,
+                                    const std::vector<std::uint32_t>& region_of_router,
+                                    std::uint32_t region_count, const FederationOptions& opt) {
+    const net::Graph& g = pool.graph();
+    POC_EXPECTS(region_count >= 2);
+    POC_EXPECTS(region_of_router.size() == g.node_count());
+    for (const std::uint32_t r : region_of_router) POC_EXPECTS(r < region_count);
+
+    FederationResult result;
+
+    // --- Single-POC baseline. ----------------------------------------
+    {
+        const market::AcceptabilityOracle oracle(g, tm, opt.constraint, opt.oracle);
+        if (const auto auction = market::run_auction(pool, oracle, opt.auction)) {
+            result.single_poc_outlay = auction->total_outlay;
+        }
+    }
+
+    // --- Region bookkeeping. -------------------------------------------
+    // Gateways: the highest-degree router of each region (counting only
+    // offered links).
+    std::vector<std::size_t> degree(g.node_count(), 0);
+    for (const net::LinkId l : pool.offered_links()) {
+        ++degree[g.link(l).a.index()];
+        ++degree[g.link(l).b.index()];
+    }
+    std::vector<net::NodeId> gateway(region_count);
+    std::vector<std::vector<net::NodeId>> routers(region_count);
+    for (std::size_t n = 0; n < g.node_count(); ++n) {
+        const std::uint32_t r = region_of_router[n];
+        routers[r].emplace_back(n);
+        if (!gateway[r].valid() || degree[n] > degree[gateway[r].index()]) {
+            gateway[r] = net::NodeId{n};
+        }
+    }
+    for (std::uint32_t r = 0; r < region_count; ++r) POC_EXPECTS(!routers[r].empty());
+
+    // --- Split the traffic matrix. ------------------------------------
+    // Internal demands stay; a cross demand a->b becomes a->gateway(A)
+    // in region A and gateway(B)->b in region B, plus interconnect load
+    // between the two gateways.
+    std::vector<net::TrafficMatrix> regional_tm(region_count);
+    std::map<std::pair<std::uint32_t, std::uint32_t>, double> interconnect_load;
+    auto add_demand = [&](std::uint32_t region, net::NodeId src, net::NodeId dst, double gbps) {
+        if (src == dst || gbps <= 0.0) return;
+        // Merge into an existing identical pair if present.
+        for (net::Demand& d : regional_tm[region]) {
+            if (d.src == src && d.dst == dst) {
+                d.gbps += gbps;
+                return;
+            }
+        }
+        regional_tm[region].push_back(net::Demand{src, dst, gbps});
+    };
+    for (const net::Demand& d : tm) {
+        const std::uint32_t ra = region_of_router[d.src.index()];
+        const std::uint32_t rb = region_of_router[d.dst.index()];
+        if (ra == rb) {
+            add_demand(ra, d.src, d.dst, d.gbps);
+        } else {
+            result.cross_region_gbps += d.gbps;
+            add_demand(ra, d.src, gateway[ra], d.gbps);
+            add_demand(rb, gateway[rb], d.dst, d.gbps);
+            const auto key = std::minmax(ra, rb);
+            interconnect_load[{key.first, key.second}] += d.gbps;
+        }
+    }
+
+    // --- Interconnect circuits at contract prices. ----------------------
+    const net::Subgraph full(g);
+    const net::LinkWeight by_len = net::weight_by_length(g);
+    for (const auto& [pair, gbps] : interconnect_load) {
+        const net::NodeId ga = gateway[pair.first];
+        const net::NodeId gb = gateway[pair.second];
+        double km = 5000.0;  // fallback when gateways are disconnected
+        if (const auto sp = net::shortest_path(full, ga, gb, by_len)) km = sp->weight;
+        const double blocks = std::ceil(gbps / opt.interconnect_block_gbps);
+        const double usd =
+            blocks * (opt.interconnect_fixed_usd + opt.interconnect_per_km_usd * km);
+        result.interconnect_cost += util::Money::from_dollars(usd);
+    }
+
+    // --- Regional auctions. ---------------------------------------------
+    result.all_provisioned = true;
+    for (std::uint32_t r = 0; r < region_count; ++r) {
+        RegionalOutcome out;
+        out.region = r;
+        out.routers = routers[r];
+        out.gateway = gateway[r];
+        out.internal_gbps = net::total_demand(regional_tm[r]);
+
+        std::vector<char> keep(g.link_count(), 0);
+        for (const net::LinkId l : pool.offered_links()) {
+            const net::Link& link = g.link(l);
+            if (region_of_router[link.a.index()] == r &&
+                region_of_router[link.b.index()] == r) {
+                keep[l.index()] = 1;
+            }
+        }
+        const market::OfferPool regional_pool = restrict_pool(pool, keep);
+        out.offered_links = regional_pool.offered_links().size();
+
+        if (regional_tm[r].empty()) {
+            out.provisioned = true;  // nothing to carry
+        } else {
+            const market::AcceptabilityOracle oracle(g, regional_tm[r], opt.constraint,
+                                                     opt.oracle);
+            if (const auto auction = market::run_auction(regional_pool, oracle, opt.auction)) {
+                out.provisioned = true;
+                out.outlay = auction->total_outlay;
+            }
+        }
+        result.all_provisioned = result.all_provisioned && out.provisioned;
+        result.federated_outlay += out.outlay;
+        result.regions.push_back(std::move(out));
+    }
+    result.federated_outlay += result.interconnect_cost;
+    return result;
+}
+
+}  // namespace poc::core

@@ -1,0 +1,67 @@
+// Coexisting POCs (paper section 1.2): "there could be several
+// coexisting (and interconnected) POCs, run by different entities but
+// adopting the same basic principles". This module models a federation
+// of regional POCs over one offered-link pool:
+//
+//  * routers are partitioned into regions (assignment supplied by the
+//    caller, e.g. longitude clustering);
+//  * each regional POC auctions only the links internal to its region,
+//    against the intra-region slice of the traffic matrix plus its
+//    share of cross-region traffic hauled to/from a gateway router;
+//  * cross-region traffic rides dedicated inter-POC circuits between
+//    gateways, provisioned at contract (virtual-link-style) prices.
+//
+// compare_federation() runs the federated provisioning next to the
+// single-POC baseline, quantifying the cost of fragmenting the market.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "market/vcg.hpp"
+
+namespace poc::core {
+
+struct FederationOptions {
+    market::ConstraintKind constraint = market::ConstraintKind::kLoad;
+    market::OracleOptions oracle;
+    market::AuctionOptions auction;
+    /// Inter-POC circuit pricing: fixed + per-km, times capacity blocks.
+    double interconnect_fixed_usd = 4000.0;
+    double interconnect_per_km_usd = 8.0;
+    /// Inter-POC circuits come in blocks of this capacity.
+    double interconnect_block_gbps = 400.0;
+};
+
+/// One regional POC's outcome.
+struct RegionalOutcome {
+    std::uint32_t region = 0;
+    std::vector<net::NodeId> routers;
+    net::NodeId gateway;  // carries this region's cross traffic
+    std::size_t offered_links = 0;
+    bool provisioned = false;
+    util::Money outlay;
+    double internal_gbps = 0.0;
+};
+
+struct FederationResult {
+    std::vector<RegionalOutcome> regions;
+    /// Cross-region traffic and the interconnect circuits carrying it.
+    double cross_region_gbps = 0.0;
+    util::Money interconnect_cost;
+    /// Sum of regional outlays + interconnect.
+    util::Money federated_outlay;
+    /// The single-POC baseline on the same pool and matrix.
+    std::optional<util::Money> single_poc_outlay;
+    bool all_provisioned = false;
+};
+
+/// Run the comparison. `region_of_router` assigns every router (node)
+/// of the pool's graph to a region id in [0, region_count).
+FederationResult compare_federation(const market::OfferPool& pool,
+                                    const net::TrafficMatrix& tm,
+                                    const std::vector<std::uint32_t>& region_of_router,
+                                    std::uint32_t region_count,
+                                    const FederationOptions& opt = {});
+
+}  // namespace poc::core

@@ -1,0 +1,89 @@
+#include "core/flow_sim.hpp"
+
+#include <algorithm>
+
+#include "net/shortest_path.hpp"
+
+namespace poc::core {
+
+FlowReport simulate_flows(const net::Subgraph& backbone, const net::TrafficMatrix& tm,
+                          const std::vector<bool>& is_virtual) {
+    const net::Graph& g = backbone.graph();
+    POC_EXPECTS(is_virtual.empty() || is_virtual.size() == g.link_count());
+
+    FlowReport report;
+    report.total_offered_gbps = net::total_demand(tm);
+    report.link_load_gbps.assign(g.link_count(), 0.0);
+
+    auto routing = net::greedy_path_routing(backbone, tm);
+    if (!routing) {
+        // Fall back to the concurrent-flow routing. Its routes carry
+        // lambda_j * d_j per demand; cap each demand at its offered
+        // volume so the report never counts over-routing.
+        auto cf = net::max_concurrent_flow(backbone, tm, 0.1);
+        for (std::size_t j = 0; j < tm.size(); ++j) {
+            double carried = 0.0;
+            for (const auto& [path, rate] : cf.routing.routes[j]) carried += rate;
+            if (carried > tm[j].gbps && carried > 0.0) {
+                const double f = tm[j].gbps / carried;
+                for (auto& [path, rate] : cf.routing.routes[j]) rate *= f;
+            }
+        }
+        report.fully_routed = cf.lambda >= 1.0;
+        routing = std::move(cf.routing);
+    } else {
+        report.fully_routed = true;
+    }
+
+    const net::LinkWeight by_len = net::weight_by_length(g);
+    double weighted_km = 0.0;
+    double weighted_shortest_km = 0.0;
+    double virtual_gbps_km = 0.0;
+    double total_gbps_km = 0.0;
+
+    for (std::size_t j = 0; j < tm.size(); ++j) {
+        double routed_j = 0.0;
+        for (const auto& [path, rate] : routing->routes[j]) {
+            double km = 0.0;
+            for (const net::LinkId l : path) {
+                report.link_load_gbps[l.index()] += rate;
+                km += g.link(l).length_km;
+                const double gkm = rate * g.link(l).length_km;
+                total_gbps_km += gkm;
+                if (!is_virtual.empty() && is_virtual[l.index()]) virtual_gbps_km += gkm;
+            }
+            weighted_km += rate * km;
+            routed_j += rate;
+        }
+        report.total_routed_gbps += routed_j;
+        if (routed_j > 0.0) {
+            if (const auto sp = net::shortest_path(backbone, tm[j].src, tm[j].dst, by_len)) {
+                weighted_shortest_km += routed_j * sp->weight;
+            }
+        }
+    }
+
+    double util_sum = 0.0;
+    std::size_t loaded = 0;
+    for (const net::LinkId l : backbone.active_links()) {
+        const double load = report.link_load_gbps[l.index()];
+        if (load <= 0.0) continue;
+        const double u = load / g.link(l).capacity_gbps;
+        report.max_utilization = std::max(report.max_utilization, u);
+        util_sum += u;
+        ++loaded;
+    }
+    report.mean_utilization = loaded > 0 ? util_sum / static_cast<double>(loaded) : 0.0;
+
+    if (report.total_routed_gbps > 0.0) {
+        report.mean_path_km = weighted_km / report.total_routed_gbps;
+        report.mean_shortest_km = weighted_shortest_km / report.total_routed_gbps;
+        report.stretch = report.mean_shortest_km > 0.0
+                             ? report.mean_path_km / report.mean_shortest_km
+                             : 1.0;
+    }
+    report.virtual_share = total_gbps_km > 0.0 ? virtual_gbps_km / total_gbps_km : 0.0;
+    return report;
+}
+
+}  // namespace poc::core

@@ -1,0 +1,40 @@
+// Flow-level simulation of the provisioned backbone: route the actual
+// traffic, report utilization, path stretch, and how much rides the
+// external-ISP virtual links (the fallback of section 3.3). The paper
+// leaves packet-level operation to "industry best practices"; flow
+// granularity is sufficient for every quantity it discusses.
+#pragma once
+
+#include <vector>
+
+#include "net/mcf.hpp"
+
+namespace poc::core {
+
+struct FlowReport {
+    double total_offered_gbps = 0.0;
+    double total_routed_gbps = 0.0;
+    bool fully_routed = false;
+
+    /// Utilization = load / capacity over links that carry traffic.
+    double max_utilization = 0.0;
+    double mean_utilization = 0.0;
+    /// Per-link load (indexed by link id; zero for inactive links).
+    std::vector<double> link_load_gbps;
+
+    /// Demand-weighted mean routed path length (km) and the mean
+    /// shortest-possible length (stretch = routed / shortest).
+    double mean_path_km = 0.0;
+    double mean_shortest_km = 0.0;
+    double stretch = 1.0;
+
+    /// Share of total gbps-km carried on virtual (external-ISP) links.
+    double virtual_share = 0.0;
+};
+
+/// Route `tm` over the backbone and measure. `is_virtual` flags links
+/// that are external-ISP virtual links (may be empty if none).
+FlowReport simulate_flows(const net::Subgraph& backbone, const net::TrafficMatrix& tm,
+                          const std::vector<bool>& is_virtual = {});
+
+}  // namespace poc::core

@@ -1,0 +1,108 @@
+#include "core/ledger.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace poc::core {
+
+std::string party_label(Party party) {
+    switch (party.kind) {
+        case PartyKind::kPoc:
+            return "POC";
+        case PartyKind::kBandwidthProvider:
+            return "BP" + std::to_string(party.index + 1);
+        case PartyKind::kLmp:
+            return "LMP" + std::to_string(party.index + 1);
+        case PartyKind::kCsp:
+            return "CSP" + std::to_string(party.index + 1);
+        case PartyKind::kExternalIsp:
+            return "ISP" + std::to_string(party.index + 1);
+        case PartyKind::kCustomers:
+            return "Customers(LMP" + std::to_string(party.index + 1) + ")";
+    }
+    return "?";
+}
+
+std::string transfer_label(TransferKind kind) {
+    switch (kind) {
+        case TransferKind::kLinkLease:
+            return "link lease (POC->BP)";
+        case TransferKind::kIspContract:
+            return "ISP contract (POC->ISP)";
+        case TransferKind::kPocAccess:
+            return "POC access (LMP/CSP->POC)";
+        case TransferKind::kLmpHosting:
+            return "LMP hosting (CSP->LMP)";
+        case TransferKind::kCustomerAccess:
+            return "customer access (users->LMP)";
+        case TransferKind::kCspSubscription:
+            return "CSP subscription (users->CSP)";
+        case TransferKind::kServiceFees:
+            return "service fees (QoS/CDN->POC)";
+    }
+    return "?";
+}
+
+void Ledger::record(Party from, Party to, TransferKind kind, util::Money amount,
+                    std::string memo) {
+    POC_EXPECTS(!amount.is_negative());
+    POC_EXPECTS(!(from == to));
+    if (amount.is_zero()) return;
+    transfers_.push_back(Transfer{from, to, kind, amount, std::move(memo)});
+}
+
+util::Money Ledger::balance(Party party) const {
+    util::Money net{};
+    for (const Transfer& t : transfers_) {
+        if (t.to == party) net += t.amount;
+        if (t.from == party) net -= t.amount;
+    }
+    return net;
+}
+
+util::Money Ledger::total(TransferKind kind) const {
+    util::Money sum{};
+    for (const Transfer& t : transfers_) {
+        if (t.kind == kind) sum += t.amount;
+    }
+    return sum;
+}
+
+bool Ledger::conserves() const {
+    // Group by party and sum; zero-sum by construction, but we verify
+    // against the actual records.
+    std::map<std::pair<int, std::uint32_t>, util::Money> balances;
+    for (const Transfer& t : transfers_) {
+        balances[{static_cast<int>(t.from.kind), t.from.index}] -= t.amount;
+        balances[{static_cast<int>(t.to.kind), t.to.index}] += t.amount;
+    }
+    util::Money total{};
+    for (const auto& [party, bal] : balances) total += bal;
+    return total.is_zero();
+}
+
+std::string Ledger::statement() const {
+    std::map<std::pair<int, std::uint32_t>, util::Money> balances;
+    for (const Transfer& t : transfers_) {
+        balances[{static_cast<int>(t.from.kind), t.from.index}] -= t.amount;
+        balances[{static_cast<int>(t.to.kind), t.to.index}] += t.amount;
+    }
+    std::ostringstream os;
+    os << "== balances ==\n";
+    for (const auto& [key, bal] : balances) {
+        const Party p{static_cast<PartyKind>(key.first), key.second};
+        os << "  " << party_label(p) << ": " << bal << "\n";
+    }
+    os << "== category totals ==\n";
+    for (const TransferKind k :
+         {TransferKind::kLinkLease, TransferKind::kIspContract, TransferKind::kPocAccess,
+          TransferKind::kLmpHosting, TransferKind::kCustomerAccess,
+          TransferKind::kCspSubscription, TransferKind::kServiceFees}) {
+        os << "  " << transfer_label(k) << ": " << total(k) << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace poc::core

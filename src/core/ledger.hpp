@@ -1,0 +1,95 @@
+// Double-entry ledger for the payment structure of section 3.2:
+//
+//   * the POC pays the BPs (auction payments) and external ISPs;
+//   * each LMP and directly-attached CSP pays the POC for access;
+//   * each customer pays their LMP for access and their CSPs for
+//     services; CSPs hosted by an LMP pay that LMP.
+//
+// Every transfer is recorded once with a debit and credit party, so
+// conservation (sum of balances == 0) and the POC's break-even
+// requirement are exact integer checks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/money.hpp"
+
+namespace poc::core {
+
+/// Ledger party kinds (parties are (kind, index) pairs; index is the
+/// entity's id within its kind, 0 for singletons like the POC).
+enum class PartyKind : std::uint8_t {
+    kPoc,
+    kBandwidthProvider,
+    kLmp,
+    kCsp,
+    kExternalIsp,
+    /// The aggregate customer population of one LMP.
+    kCustomers,
+};
+
+struct Party {
+    PartyKind kind{};
+    std::uint32_t index = 0;
+
+    friend bool operator==(const Party&, const Party&) = default;
+};
+
+std::string party_label(Party party);
+
+/// Transfer categories, mirroring section 3.2's bullet list plus the
+/// optional section 3.1 services.
+enum class TransferKind : std::uint8_t {
+    kLinkLease,          // POC -> BP (auction payment)
+    kIspContract,        // POC -> external ISP
+    kPocAccess,          // LMP or direct CSP -> POC
+    kLmpHosting,         // LMP-hosted CSP -> LMP
+    kCustomerAccess,     // customers -> LMP
+    kCspSubscription,    // customers -> CSP
+    kServiceFees,        // QoS / CDN service fees -> POC
+};
+
+std::string transfer_label(TransferKind kind);
+
+struct Transfer {
+    Party from;
+    Party to;
+    TransferKind kind{};
+    util::Money amount;
+    std::string memo;
+};
+
+/// Append-only ledger with exact integer accounting.
+class Ledger {
+public:
+    /// Record a transfer. Amounts must be non-negative; zero transfers
+    /// are dropped silently (convenience for generated flows).
+    void record(Party from, Party to, TransferKind kind, util::Money amount,
+                std::string memo = {});
+
+    const std::vector<Transfer>& transfers() const noexcept { return transfers_; }
+
+    /// Net balance of a party: credits minus debits.
+    util::Money balance(Party party) const;
+
+    /// Sum of all amounts in a category.
+    util::Money total(TransferKind kind) const;
+
+    /// Conservation: the sum of all balances is exactly zero (holds by
+    /// construction; exposed for tests and audits).
+    bool conserves() const;
+
+    /// The POC's net position; a nonprofit targets >= 0 with ~0 margin.
+    util::Money poc_net() const { return balance(Party{PartyKind::kPoc, 0}); }
+
+    /// Human-readable statement (per party, then per category).
+    std::string statement() const;
+
+private:
+    std::vector<Transfer> transfers_;
+};
+
+}  // namespace poc::core

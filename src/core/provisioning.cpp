@@ -1,0 +1,16 @@
+#include "core/provisioning.hpp"
+
+namespace poc::core {
+
+std::optional<ProvisionedBackbone> provision(const market::OfferPool& pool,
+                                             const net::TrafficMatrix& tm,
+                                             const ProvisioningRequest& request) {
+    const market::AcceptabilityOracle oracle(pool.graph(), tm, request.constraint,
+                                             request.oracle);
+    auto auction = market::run_auction(pool, oracle, request.auction);
+    if (!auction) return std::nullopt;
+    net::Subgraph selected(pool.graph(), auction->selection.links);
+    return ProvisionedBackbone{std::move(selected), std::move(*auction)};
+}
+
+}  // namespace poc::core

@@ -1,0 +1,36 @@
+// The provisioning pipeline: traffic-matrix upper bound -> constraint
+// -> auction -> selected backbone. This is the operational loop the POC
+// nonprofit runs each leasing period (paper section 3.3).
+#pragma once
+
+#include <optional>
+
+#include "market/vcg.hpp"
+
+namespace poc::core {
+
+struct ProvisioningRequest {
+    market::ConstraintKind constraint = market::ConstraintKind::kLoad;
+    market::OracleOptions oracle;
+    market::AuctionOptions auction;
+};
+
+/// A provisioned backbone: the auction outcome plus the selected links
+/// as a routable subgraph view (valid as long as the pool's graph
+/// lives).
+struct ProvisionedBackbone {
+    net::Subgraph selected;
+    market::AuctionResult auction;
+
+    /// The POC's monthly leasing outlay (VCG payments + virtual-link
+    /// contracts).
+    util::Money monthly_outlay() const { return auction.total_outlay; }
+};
+
+/// Provision a backbone for the given traffic-matrix upper bound.
+/// Returns nullopt when the offers cannot satisfy the constraint.
+std::optional<ProvisionedBackbone> provision(const market::OfferPool& pool,
+                                             const net::TrafficMatrix& tm,
+                                             const ProvisioningRequest& request);
+
+}  // namespace poc::core

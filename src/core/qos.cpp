@@ -1,0 +1,69 @@
+#include "core/qos.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace poc::core {
+
+std::size_t QosCatalog::add_tier(QosTier tier) {
+    POC_EXPECTS(!tier.price_per_gbps.is_negative());
+    for (const QosTier& t : tiers_) {
+        POC_EXPECTS(t.priority != tier.priority);
+    }
+    tiers_.push_back(std::move(tier));
+    return tiers_.size() - 1;
+}
+
+void QosCatalog::subscribe(std::size_t tier_index, double gbps) {
+    POC_EXPECTS(tier_index < tiers_.size());
+    POC_EXPECTS(gbps > 0.0);
+    subscriptions_.push_back(QosSubscription{tier_index, gbps});
+}
+
+std::vector<double> QosCatalog::volume_by_tier() const {
+    std::vector<double> volume(tiers_.size(), 0.0);
+    for (const QosSubscription& s : subscriptions_) volume[s.tier_index] += s.gbps;
+    return volume;
+}
+
+util::Money QosCatalog::monthly_revenue() const {
+    util::Money total{};
+    for (const QosSubscription& s : subscriptions_) {
+        total += tiers_[s.tier_index].price_per_gbps.scaled(s.gbps);
+    }
+    return total;
+}
+
+PolicyRule QosCatalog::as_policy_rule() const {
+    PolicyRule rule;
+    rule.description = "QoS catalog (" + std::to_string(tiers_.size()) +
+                       " tiers, posted prices, open to all)";
+    rule.action = PolicyAction::kPrioritize;
+    rule.selector = TrafficSelector::kAll;
+    rule.openly_priced = true;
+    return rule;
+}
+
+std::vector<double> QosCatalog::delay_factors(double capacity_gbps) const {
+    POC_EXPECTS(capacity_gbps > 0.0);
+    const std::vector<double> volume = volume_by_tier();
+    const double total = std::accumulate(volume.begin(), volume.end(), 0.0);
+    POC_EXPECTS(total < capacity_gbps);
+
+    // Order tiers by priority (smaller first).
+    std::vector<std::size_t> order(tiers_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return tiers_[a].priority < tiers_[b].priority; });
+
+    std::vector<double> factors(tiers_.size(), 1.0);
+    double rho_above = 0.0;  // utilization of strictly higher tiers
+    for (const std::size_t t : order) {
+        const double rho_k = volume[t] / capacity_gbps;
+        factors[t] = 1.0 / ((1.0 - rho_above) * (1.0 - rho_above - rho_k));
+        rho_above += rho_k;
+    }
+    return factors;
+}
+
+}  // namespace poc::core

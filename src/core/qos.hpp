@@ -1,0 +1,74 @@
+// Quality-of-service offerings (paper section 3.1). The POC and LMPs
+// may offer different service levels "openly ... so that users could
+// choose their desired level of service and pay the resulting price";
+// what they may not do is unilaterally favor traffic (service
+// discrimination). This module models the allowed variant: a catalog of
+// priority tiers at posted prices, subscription accounting, and a
+// strict-priority queueing model that quantifies what each tier buys as
+// utilization grows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tos.hpp"
+#include "util/money.hpp"
+
+namespace poc::core {
+
+/// One openly-offered service tier.
+struct QosTier {
+    std::string name;
+    /// Smaller = served first. Must be unique within a catalog.
+    int priority = 0;
+    /// Posted price per Gbps-month, identical for every buyer.
+    util::Money price_per_gbps;
+};
+
+/// A subscription to a tier by some (unnamed) customer.
+struct QosSubscription {
+    std::size_t tier_index = 0;
+    double gbps = 0.0;
+};
+
+/// An open catalog of QoS tiers with subscriptions.
+class QosCatalog {
+public:
+    /// Add a tier. Priorities must be unique; prices non-negative.
+    /// Returns the tier index.
+    std::size_t add_tier(QosTier tier);
+
+    const std::vector<QosTier>& tiers() const noexcept { return tiers_; }
+
+    /// Subscribe `gbps` at a tier (anyone may; that is the point).
+    void subscribe(std::size_t tier_index, double gbps);
+
+    const std::vector<QosSubscription>& subscriptions() const noexcept {
+        return subscriptions_;
+    }
+
+    /// Total subscribed volume per tier (indexed by tier).
+    std::vector<double> volume_by_tier() const;
+
+    /// Monthly revenue across all subscriptions.
+    util::Money monthly_revenue() const;
+
+    /// The catalog expressed as a policy rule: openly priced,
+    /// selector-free priority - compliant by construction. Exposed so
+    /// audits can include QoS catalogs alongside ad-hoc rules.
+    PolicyRule as_policy_rule() const;
+
+    /// Mean queueing delay factor for each tier under strict priority
+    /// service, normalized to 1.0 for an empty system, at total
+    /// utilization implied by the subscriptions against `capacity_gbps`
+    /// (M/M/1 priority approximation:
+    ///   W_k ~ 1 / ((1 - rho_{<k}) (1 - rho_{<=k})) ).
+    /// Requires the subscribed volume to fit: sum < capacity.
+    std::vector<double> delay_factors(double capacity_gbps) const;
+
+private:
+    std::vector<QosTier> tiers_;
+    std::vector<QosSubscription> subscriptions_;
+};
+
+}  // namespace poc::core

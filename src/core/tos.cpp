@@ -1,0 +1,83 @@
+#include "core/tos.hpp"
+
+#include <algorithm>
+
+namespace poc::core {
+
+const char* verdict_name(Verdict verdict) {
+    switch (verdict) {
+        case Verdict::kCompliant:
+            return "compliant";
+        case Verdict::kViolatesConditionI:
+            return "violates (i) differential traffic treatment";
+        case Verdict::kViolatesConditionII:
+            return "violates (ii) differential CDN provision";
+        case Verdict::kViolatesConditionIII:
+            return "violates (iii) differential third-party access";
+        case Verdict::kViolatesNoTerminationFee:
+            return "violates no-termination-fee";
+    }
+    return "?";
+}
+
+Verdict audit_rule(const PolicyRule& rule) {
+    const bool selective = rule.selector != TrafficSelector::kAll;
+
+    switch (rule.action) {
+        case PolicyAction::kChargeTerminationFee:
+            // Categorically prohibited, however it is keyed or priced.
+            return Verdict::kViolatesNoTerminationFee;
+
+        case PolicyAction::kPrioritize:
+        case PolicyAction::kDeprioritize:
+        case PolicyAction::kBlock: {
+            if (rule.action == PolicyAction::kBlock && rule.security_exception) {
+                return Verdict::kCompliant;  // explicit carve-out
+            }
+            if (rule.maintenance_exception) return Verdict::kCompliant;
+            if (!selective) {
+                // Uniform treatment, or QoS sold at a posted price to
+                // whoever pays: allowed.
+                return Verdict::kCompliant;
+            }
+            // Keyed on source/destination/application: discrimination,
+            // even if money changes hands (a "paid fast lane" for one
+            // CSP is exactly what condition (i) forbids).
+            return Verdict::kViolatesConditionI;
+        }
+
+        case PolicyAction::kProvideCdn: {
+            if (!selective) return Verdict::kCompliant;  // open CDN service
+            // CDN offered only for certain sources/destinations.
+            return Verdict::kViolatesConditionII;
+        }
+
+        case PolicyAction::kAllowThirdPartyCdn: {
+            if (!selective && rule.openly_priced) return Verdict::kCompliant;
+            if (!selective) return Verdict::kCompliant;  // open even if free
+            // Only some parties may deploy (e.g. allow Netflix's boxes
+            // but nobody else's).
+            return Verdict::kViolatesConditionIII;
+        }
+    }
+    return Verdict::kCompliant;
+}
+
+std::size_t AuditReport::violation_count() const {
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [](const RuleFinding& f) { return f.verdict != Verdict::kCompliant; }));
+}
+
+AuditReport audit_lmp(const LmpPolicy& policy) {
+    AuditReport report;
+    report.lmp_name = policy.lmp_name;
+    for (const PolicyRule& rule : policy.rules) {
+        const Verdict v = audit_rule(rule);
+        report.compliant = report.compliant && v == Verdict::kCompliant;
+        report.findings.push_back(RuleFinding{rule, v});
+    }
+    return report;
+}
+
+}  // namespace poc::core

@@ -1,0 +1,92 @@
+// Terms-of-service engine: the POC's contractual network-neutrality
+// conditions (paper section 3.4). A POC-connected LMP must not
+//
+//   (i)   differentially treat incoming traffic based on source or
+//         application, nor outgoing traffic based on destination or
+//         application (priorities or blocking);
+//   (ii)  differentially provide CDN or other application-enhancement
+//         services based on source/destination;
+//   (iii) differentially allow third parties to provide such services
+//         targeting only a subset of traffic;
+//
+// and may not charge termination fees. Exceptions: security blocking
+// and internal-maintenance handling. QoS and enhancement services *are*
+// allowed when openly offered at posted prices to all comers - the
+// paper's key distinction between service discrimination and QoS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace poc::core {
+
+/// What a policy rule keys on.
+enum class TrafficSelector {
+    kAll,            // applies uniformly to everyone / whoever pays
+    kBySource,       // keyed on origin network or CSP
+    kByDestination,  // keyed on destination network or CSP
+    kByApplication,  // keyed on application/protocol
+};
+
+/// What the rule does.
+enum class PolicyAction {
+    kPrioritize,
+    kDeprioritize,
+    kBlock,
+    kProvideCdn,          // the LMP's own CDN / enhancement service
+    kAllowThirdPartyCdn,  // permitting an outside party to deploy one
+    kChargeTerminationFee,
+};
+
+/// One line of an LMP's traffic policy.
+struct PolicyRule {
+    std::string description;
+    PolicyAction action{};
+    TrafficSelector selector = TrafficSelector::kAll;
+    /// Openly offered at a posted price to any customer (QoS-for-fee).
+    bool openly_priced = false;
+    /// Security exception (e.g. DDoS blocking).
+    bool security_exception = false;
+    /// Internal maintenance traffic handling.
+    bool maintenance_exception = false;
+};
+
+/// Audit verdict for one rule.
+enum class Verdict {
+    kCompliant,
+    kViolatesConditionI,    // differential treatment of traffic
+    kViolatesConditionII,   // differential own-CDN provision
+    kViolatesConditionIII,  // differential third-party CDN access
+    kViolatesNoTerminationFee,
+};
+
+const char* verdict_name(Verdict verdict);
+
+/// Classify one rule against the peering conditions.
+Verdict audit_rule(const PolicyRule& rule);
+
+/// An LMP's declared policy set.
+struct LmpPolicy {
+    std::string lmp_name;
+    std::vector<PolicyRule> rules;
+};
+
+struct RuleFinding {
+    PolicyRule rule;
+    Verdict verdict{};
+};
+
+struct AuditReport {
+    std::string lmp_name;
+    std::vector<RuleFinding> findings;
+    bool compliant = true;
+
+    std::size_t violation_count() const;
+};
+
+/// Audit a full policy; `compliant` is true iff every rule passes.
+AuditReport audit_lmp(const LmpPolicy& policy);
+
+}  // namespace poc::core

@@ -1,0 +1,54 @@
+#include "econ/bargaining.hpp"
+
+#include <algorithm>
+
+namespace poc::econ {
+
+double bilateral_nbs_fee(double posted_price, const LmpProfile& lmp) {
+    POC_EXPECTS(posted_price >= 0.0);
+    POC_EXPECTS(lmp.churn_if_lost >= 0.0 && lmp.churn_if_lost <= 1.0);
+    POC_EXPECTS(lmp.access_charge >= 0.0);
+    return 0.5 * (posted_price - lmp.churn_if_lost * lmp.access_charge);
+}
+
+double average_rc(const std::vector<LmpProfile>& lmps) {
+    POC_EXPECTS(!lmps.empty());
+    double mass = 0.0;
+    double rc = 0.0;
+    for (const LmpProfile& l : lmps) {
+        POC_EXPECTS(l.customers > 0.0);
+        mass += l.customers;
+        rc += l.customers * l.churn_if_lost * l.access_charge;
+    }
+    return rc / mass;
+}
+
+double average_nbs_fee(double posted_price, const std::vector<LmpProfile>& lmps) {
+    POC_EXPECTS(posted_price >= 0.0);
+    return 0.5 * (posted_price - average_rc(lmps));
+}
+
+BargainingEquilibrium bargaining_equilibrium(const DemandCurve& demand,
+                                             const std::vector<LmpProfile>& lmps) {
+    const double rc = average_rc(lmps);
+
+    // Fixed point of t -> max(0, (p*(t) - <rc>) / 2).
+    const auto g = [&](double t) {
+        const double p = csp_price_given_fee(demand, std::max(0.0, t)).x;
+        return std::max(0.0, 0.5 * (p - rc));
+    };
+    const FixedPointResult fp = fixed_point(g, /*x0=*/0.0, /*damping=*/0.5, /*tol=*/1e-7);
+
+    BargainingEquilibrium eq;
+    eq.avg_fee = fp.x;
+    eq.iterations = fp.iterations;
+    eq.converged = fp.converged;
+    eq.price = csp_price_given_fee(demand, eq.avg_fee).x;
+    eq.fee_by_lmp.reserve(lmps.size());
+    for (const LmpProfile& l : lmps) {
+        eq.fee_by_lmp.push_back(std::max(0.0, bilateral_nbs_fee(eq.price, l)));
+    }
+    return eq;
+}
+
+}  // namespace poc::econ

@@ -1,0 +1,64 @@
+// Nash-bargaining fee negotiation (paper section 4.5). Three models of
+// increasing scope, matching the paper's exposition:
+//
+//  1. Bilateral: one CSP s and one LMP l negotiate the termination fee
+//     with the CSP's posted price fixed. The NBS maximizes
+//     [D(p)(p - t)] * [D(p)(t + r*c)] giving the closed form
+//     t = (p - r*c) / 2.
+//  2. Many LMPs: each negotiates bilaterally; the population-weighted
+//     average fee is t_avg = (p - <rc>) / 2 with
+//     <rc> = sum_l n_l r_l c_l / sum_l n_l.
+//  3. Renegotiation equilibrium: the CSP re-prices against the average
+//     fee (equation (1)) and fees are renegotiated until the fixed
+//     point t = (p*(t) - <rc>) / 2 is reached.
+#pragma once
+
+#include <vector>
+
+#include "econ/pricing_models.hpp"
+
+namespace poc::econ {
+
+/// One LMP as seen by a bargaining CSP.
+struct LmpProfile {
+    std::string name;
+    /// Customer mass n_l (any positive unit; only ratios matter).
+    double customers = 1.0;
+    /// Monthly access charge c_l the LMP collects per customer.
+    double access_charge = 50.0;
+    /// r_l^s: fraction of the LMP's customers (who subscribe to s) it
+    /// loses if negotiations with CSP s break down. Small for
+    /// entrenched incumbents, large for entrants (paper's key driver of
+    /// incumbent advantage).
+    double churn_if_lost = 0.1;
+};
+
+/// Model 1: the bilateral NBS fee t = (p - r*c)/2 for posted price p.
+/// May be negative (the LMP pays the CSP) when r*c > p.
+double bilateral_nbs_fee(double posted_price, const LmpProfile& lmp);
+
+/// Model 2: the population-weighted average fee across LMPs at a fixed
+/// posted price. Requires a non-empty profile list with positive masses.
+double average_nbs_fee(double posted_price, const std::vector<LmpProfile>& lmps);
+
+/// <rc>: population-weighted average of r_l * c_l.
+double average_rc(const std::vector<LmpProfile>& lmps);
+
+struct BargainingEquilibrium {
+    /// Fixed-point average fee t_avg.
+    double avg_fee = 0.0;
+    /// The CSP's equilibrium posted price p*(t_avg).
+    double price = 0.0;
+    /// Per-LMP negotiated fees at the equilibrium price, in input order.
+    std::vector<double> fee_by_lmp;
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+/// Model 3: alternate re-pricing and renegotiation to the fixed point
+/// t = (p*(t) - <rc>) / 2. Fees are floored at zero (the paper assumes
+/// the positive-fee regime).
+BargainingEquilibrium bargaining_equilibrium(const DemandCurve& demand,
+                                             const std::vector<LmpProfile>& lmps);
+
+}  // namespace poc::econ

@@ -1,0 +1,205 @@
+#include "econ/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace poc::econ {
+
+namespace {
+
+/// Adaptive Simpson quadrature on [a, b].
+double simpson(const std::function<double(double)>& f, double a, double b, double fa, double fm,
+               double fb, double whole, double tol, int depth) {
+    const double m = 0.5 * (a + b);
+    const double lm = 0.5 * (a + m);
+    const double rm = 0.5 * (m + b);
+    const double flm = f(lm);
+    const double frm = f(rm);
+    const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+    const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+    if (depth <= 0 || std::abs(left + right - whole) < 15.0 * tol) {
+        return left + right + (left + right - whole) / 15.0;
+    }
+    return simpson(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1) +
+           simpson(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1);
+}
+
+double integrate(const std::function<double(double)>& f, double a, double b, double tol = 1e-9) {
+    if (b <= a) return 0.0;
+    const double fa = f(a);
+    const double fb = f(b);
+    const double fm = f(0.5 * (a + b));
+    const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    return simpson(f, a, b, fa, fm, fb, whole, tol, 40);
+}
+
+}  // namespace
+
+double DemandCurve::derivative(double price) const {
+    const double h = std::max(1e-6, 1e-6 * std::abs(price));
+    const double lo = std::max(0.0, price - h);
+    return (demand(price + h) - demand(lo)) / (price + h - lo);
+}
+
+double DemandCurve::demand_integral(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    const double hi = upper_support();
+    if (price >= hi) return 0.0;
+    return integrate([this](double p) { return demand(p); }, price, hi);
+}
+
+// ---------------------------------------------------------------- Linear
+
+LinearDemand::LinearDemand(double p_max) : p_max_(p_max) { POC_EXPECTS(p_max > 0.0); }
+
+double LinearDemand::demand(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    return std::max(0.0, 1.0 - price / p_max_);
+}
+
+double LinearDemand::derivative(double price) const {
+    return price < p_max_ ? -1.0 / p_max_ : 0.0;
+}
+
+double LinearDemand::demand_integral(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    if (price >= p_max_) return 0.0;
+    const double r = p_max_ - price;
+    return 0.5 * r * r / p_max_;
+}
+
+std::string LinearDemand::name() const {
+    return "linear(pmax=" + std::to_string(p_max_) + ")";
+}
+
+// ----------------------------------------------------------- Exponential
+
+ExponentialDemand::ExponentialDemand(double theta) : theta_(theta) { POC_EXPECTS(theta > 0.0); }
+
+double ExponentialDemand::demand(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    return std::exp(-price / theta_);
+}
+
+double ExponentialDemand::derivative(double price) const {
+    return -std::exp(-price / theta_) / theta_;
+}
+
+double ExponentialDemand::demand_integral(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    return theta_ * std::exp(-price / theta_);
+}
+
+double ExponentialDemand::upper_support() const {
+    // exp(-40) ~ 4e-18: numerically zero demand.
+    return 40.0 * theta_;
+}
+
+std::string ExponentialDemand::name() const {
+    return "exponential(theta=" + std::to_string(theta_) + ")";
+}
+
+// ------------------------------------------------------------ Isoelastic
+
+IsoelasticDemand::IsoelasticDemand(double p_knee, double sigma)
+    : p_knee_(p_knee), sigma_(sigma) {
+    POC_EXPECTS(p_knee > 0.0);
+    POC_EXPECTS(sigma > 1.0);  // sigma <= 1 has divergent surplus
+}
+
+double IsoelasticDemand::demand(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    if (price <= p_knee_) return 1.0;
+    return std::pow(price / p_knee_, -sigma_);
+}
+
+double IsoelasticDemand::derivative(double price) const {
+    if (price <= p_knee_) return 0.0;
+    return -sigma_ / p_knee_ * std::pow(price / p_knee_, -sigma_ - 1.0);
+}
+
+double IsoelasticDemand::demand_integral(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    // Integral of (p/k)^-s from x to inf = k/(s-1) * (x/k)^{1-s}, x>=k.
+    const double x = std::max(price, p_knee_);
+    double tail = p_knee_ / (sigma_ - 1.0) * std::pow(x / p_knee_, 1.0 - sigma_);
+    if (price < p_knee_) tail += p_knee_ - price;  // flat region integrates at D=1
+    return tail;
+}
+
+double IsoelasticDemand::upper_support() const {
+    // Demand below 1e-9: (p/k)^-s = 1e-9.
+    return p_knee_ * std::pow(1e9, 1.0 / sigma_);
+}
+
+std::string IsoelasticDemand::name() const {
+    return "isoelastic(knee=" + std::to_string(p_knee_) + ",sigma=" + std::to_string(sigma_) +
+           ")";
+}
+
+// -------------------------------------------------------------- Logistic
+
+LogisticDemand::LogisticDemand(double mid, double scale) : mid_(mid), scale_(scale) {
+    POC_EXPECTS(mid > 0.0);
+    POC_EXPECTS(scale > 0.0);
+}
+
+double LogisticDemand::demand(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    return 1.0 / (1.0 + std::exp((price - mid_) / scale_));
+}
+
+double LogisticDemand::derivative(double price) const {
+    const double d = demand(price);
+    return -d * (1.0 - d) / scale_;
+}
+
+double LogisticDemand::demand_integral(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    // Integral of logistic = scale * log(1 + exp(-(p-mid)/scale)),
+    // evaluated from price to infinity.
+    return scale_ * std::log1p(std::exp(-(price - mid_) / scale_));
+}
+
+double LogisticDemand::upper_support() const { return mid_ + 40.0 * scale_; }
+
+std::string LogisticDemand::name() const {
+    return "logistic(mid=" + std::to_string(mid_) + ",scale=" + std::to_string(scale_) + ")";
+}
+
+// ------------------------------------------------------------- Empirical
+
+EmpiricalDemand::EmpiricalDemand(std::vector<double> willingness_to_pay)
+    : sorted_wtp_(std::move(willingness_to_pay)) {
+    POC_EXPECTS(!sorted_wtp_.empty());
+    std::sort(sorted_wtp_.begin(), sorted_wtp_.end());
+    POC_EXPECTS(sorted_wtp_.front() >= 0.0);
+}
+
+double EmpiricalDemand::demand(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    const auto it = std::lower_bound(sorted_wtp_.begin(), sorted_wtp_.end(), price);
+    const auto above = static_cast<double>(std::distance(it, sorted_wtp_.end()));
+    return above / static_cast<double>(sorted_wtp_.size());
+}
+
+double EmpiricalDemand::demand_integral(double price) const {
+    POC_EXPECTS(price >= 0.0);
+    // Sum of (v - price) over sampled v >= price, normalized: the exact
+    // consumer surplus of the empirical population.
+    double s = 0.0;
+    for (auto it = std::lower_bound(sorted_wtp_.begin(), sorted_wtp_.end(), price);
+         it != sorted_wtp_.end(); ++it) {
+        s += *it - price;
+    }
+    return s / static_cast<double>(sorted_wtp_.size());
+}
+
+double EmpiricalDemand::upper_support() const { return sorted_wtp_.back() + 1.0; }
+
+std::string EmpiricalDemand::name() const {
+    return "empirical(n=" + std::to_string(sorted_wtp_.size()) + ")";
+}
+
+}  // namespace poc::econ

@@ -1,0 +1,120 @@
+// Demand curves for the network-neutrality analysis (paper section 4.2):
+// each CSP s faces a consumer population whose willingness-to-pay has
+// CDF F_s, giving demand D_s(p) = 1 - F_s(p), monotone decreasing.
+// Lemma 1 additionally requires D to be smooth, strictly decreasing,
+// strictly convex, and vanishing at infinity; the families here satisfy
+// those conditions on their supports (documented per family).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace poc::econ {
+
+/// Interface: demand as a fraction of the unit consumer mass.
+class DemandCurve {
+public:
+    virtual ~DemandCurve() = default;
+
+    /// D(p) in [0, 1] for p >= 0.
+    virtual double demand(double price) const = 0;
+
+    /// D'(p); default central difference.
+    virtual double derivative(double price) const;
+
+    /// Integral of D from `price` to infinity (== consumer surplus at
+    /// posted price `price`); default adaptive Simpson against
+    /// `upper_support()`.
+    virtual double demand_integral(double price) const;
+
+    /// A price beyond which demand is negligible (used by optimizers
+    /// and the default integrator). Must be finite and positive.
+    virtual double upper_support() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/// Linear demand D(p) = max(0, 1 - p / p_max). Weakly convex (affine);
+/// the classic textbook case. Willingness to pay ~ Uniform[0, p_max].
+class LinearDemand final : public DemandCurve {
+public:
+    explicit LinearDemand(double p_max);
+    double demand(double price) const override;
+    double derivative(double price) const override;
+    double demand_integral(double price) const override;
+    double upper_support() const override { return p_max_; }
+    std::string name() const override;
+
+private:
+    double p_max_;
+};
+
+/// Exponential demand D(p) = exp(-p / theta): strictly decreasing,
+/// strictly convex, vanishing - satisfies Lemma 1 everywhere.
+class ExponentialDemand final : public DemandCurve {
+public:
+    explicit ExponentialDemand(double theta);
+    double demand(double price) const override;
+    double derivative(double price) const override;
+    double demand_integral(double price) const override;
+    double upper_support() const override;
+    std::string name() const override;
+
+private:
+    double theta_;
+};
+
+/// Isoelastic demand D(p) = min(1, (p / p_knee)^-sigma), sigma > 1:
+/// constant price elasticity above the knee (Pareto willingness to
+/// pay). Strictly convex and vanishing on (p_knee, inf).
+class IsoelasticDemand final : public DemandCurve {
+public:
+    IsoelasticDemand(double p_knee, double sigma);
+    double demand(double price) const override;
+    double derivative(double price) const override;
+    double demand_integral(double price) const override;
+    double upper_support() const override;
+    std::string name() const override;
+
+private:
+    double p_knee_;
+    double sigma_;
+};
+
+/// Logistic demand D(p) = 1 / (1 + exp((p - mid) / scale)): smooth
+/// S-curve; convex for p > mid. Models a service with a broad mass of
+/// moderate-value users.
+class LogisticDemand final : public DemandCurve {
+public:
+    LogisticDemand(double mid, double scale);
+    double demand(double price) const override;
+    double derivative(double price) const override;
+    double demand_integral(double price) const override;
+    double upper_support() const override;
+    std::string name() const override;
+
+private:
+    double mid_;
+    double scale_;
+};
+
+/// Demand from an empirical willingness-to-pay sample: D(p) = fraction
+/// of sampled values >= p, linearly interpolated. Lets experiments use
+/// simulated consumer populations directly.
+class EmpiricalDemand final : public DemandCurve {
+public:
+    /// Requires a non-empty sample of non-negative values.
+    explicit EmpiricalDemand(std::vector<double> willingness_to_pay);
+    double demand(double price) const override;
+    double demand_integral(double price) const override;
+    double upper_support() const override;
+    std::string name() const override;
+
+private:
+    std::vector<double> sorted_wtp_;
+};
+
+}  // namespace poc::econ

@@ -1,0 +1,81 @@
+#include "econ/entry.hpp"
+
+#include <algorithm>
+
+namespace poc::econ {
+
+std::vector<EntryCandidate> draw_entry_population(const std::vector<LmpProfile>& lmps,
+                                                  const EntryPopulationOptions& opt) {
+    POC_EXPECTS(!lmps.empty());
+    POC_EXPECTS(opt.candidates >= 1);
+    POC_EXPECTS(opt.quality_sigma >= 0.0);
+    POC_EXPECTS(opt.cost_fraction_lo >= 0.0);
+    POC_EXPECTS(opt.cost_fraction_lo <= opt.cost_fraction_hi);
+    POC_EXPECTS(opt.entrant_churn >= 0.0 && opt.entrant_churn <= 1.0);
+
+    util::Rng rng(opt.seed);
+    std::vector<EntryCandidate> candidates;
+    candidates.reserve(opt.candidates);
+    for (std::size_t i = 0; i < opt.candidates; ++i) {
+        EntryCandidate c;
+        c.name = "cand" + std::to_string(i);
+        const double theta = rng.lognormal(opt.quality_mu, opt.quality_sigma);
+        c.demand = std::make_shared<ExponentialDemand>(theta);
+        // NN monopoly profit of exponential demand: p* = theta,
+        // profit = theta * e^-1.
+        const double nn_profit = monopoly_price(*c.demand).value;
+        c.entry_cost = nn_profit * rng.uniform(opt.cost_fraction_lo, opt.cost_fraction_hi);
+        c.churn_by_lmp.assign(lmps.size(), opt.entrant_churn);
+        candidates.push_back(std::move(c));
+    }
+    return candidates;
+}
+
+EntryReport evaluate_entry(const std::vector<EntryCandidate>& candidates,
+                           const std::vector<LmpProfile>& lmps, Regime regime) {
+    POC_EXPECTS(!lmps.empty());
+    EntryReport report;
+    report.regime = regime;
+    report.candidates = candidates.size();
+
+    Market market;
+    market.lmps = lmps;
+
+    for (const EntryCandidate& c : candidates) {
+        POC_EXPECTS(c.demand != nullptr);
+        POC_EXPECTS(c.churn_by_lmp.size() == lmps.size());
+
+        CspProfile profile;
+        profile.name = c.name;
+        profile.demand = c.demand;
+        profile.churn_by_lmp = c.churn_by_lmp;
+        market.csps = {profile};
+
+        const RegimeReport outcome = evaluate(market, regime);
+        const CspOutcome& o = outcome.csp_outcomes[0];
+        const bool enters = o.csp_profit >= c.entry_cost;
+
+        if (enters) {
+            ++report.entered;
+            report.total_entrant_profit += o.csp_profit;
+            report.realized_social_welfare += o.social_welfare;
+        } else {
+            // Would this candidate have been viable under NN? If so the
+            // regime forecloses its welfare contribution.
+            const RegimeReport nn = evaluate(market, Regime::kNetworkNeutrality);
+            if (nn.csp_outcomes[0].csp_profit >= c.entry_cost) {
+                report.foreclosed_social_welfare += nn.csp_outcomes[0].social_welfare;
+            }
+        }
+    }
+    return report;
+}
+
+std::vector<EntryReport> evaluate_entry_all(const std::vector<EntryCandidate>& candidates,
+                                            const std::vector<LmpProfile>& lmps) {
+    return {evaluate_entry(candidates, lmps, Regime::kNetworkNeutrality),
+            evaluate_entry(candidates, lmps, Regime::kUnilateralFees),
+            evaluate_entry(candidates, lmps, Regime::kBargainedFees)};
+}
+
+}  // namespace poc::econ

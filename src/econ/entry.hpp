@@ -1,0 +1,80 @@
+// Market entry under the fee regimes: the paper's *dynamic* argument
+// (section 4.1). Static social welfare is one goal; the second is
+// "fostering competition ... which in turn (because of their innovation
+// ...) can lead to increases in future social welfare". Termination
+// fees depress an entrant CSP's profit (it has little bargaining power,
+// section 4.5), so fewer candidate services clear their entry cost.
+//
+// Model: a population of candidate CSPs, each with a demand curve drawn
+// from a family (heterogeneous quality theta) and a fixed entry cost F.
+// A candidate enters under a regime iff its per-period profit in that
+// regime covers the amortized entry cost. Entrants are *entrants*:
+// their churn-if-lost is low, so under bargaining they pay high fees -
+// exactly the asymmetry of section 4.5. The realized "future" welfare
+// is the summed social welfare of the services that actually enter.
+#pragma once
+
+#include <memory>
+
+#include "econ/market_model.hpp"
+#include "util/rng.hpp"
+
+namespace poc::econ {
+
+/// One candidate service considering entry.
+struct EntryCandidate {
+    std::string name;
+    std::shared_ptr<const DemandCurve> demand;
+    /// Per-period fixed cost the service must cover to be viable
+    /// (amortized development + operations).
+    double entry_cost = 0.0;
+    /// Churn-if-blocked at each LMP (entrants: low).
+    std::vector<double> churn_by_lmp;
+};
+
+struct EntryPopulationOptions {
+    std::size_t candidates = 100;
+    /// Quality theta ~ lognormal(mu, sigma); demand is exponential with
+    /// scale theta (smooth, satisfies Lemma 1).
+    double quality_mu = 2.0;
+    double quality_sigma = 0.5;
+    /// Entry cost as a fraction of the candidate's NN monopoly profit,
+    /// drawn uniformly from [lo, hi]. Values near 1 make entry marginal
+    /// - the region where regime differences decide.
+    double cost_fraction_lo = 0.3;
+    double cost_fraction_hi = 1.1;
+    /// Entrant churn-if-blocked per LMP (low: nobody switches ISPs over
+    /// a brand-new service).
+    double entrant_churn = 0.03;
+    std::uint64_t seed = 17;
+};
+
+/// Draw a candidate population for the given LMP market.
+std::vector<EntryCandidate> draw_entry_population(const std::vector<LmpProfile>& lmps,
+                                                  const EntryPopulationOptions& opt = {});
+
+/// Outcome of evaluating one regime over a candidate population.
+struct EntryReport {
+    Regime regime{};
+    std::size_t entered = 0;
+    std::size_t candidates = 0;
+    /// Summed per-period profit of the entrants (net of fees, gross of
+    /// entry cost).
+    double total_entrant_profit = 0.0;
+    /// The "future social welfare": summed SW of services that entered.
+    double realized_social_welfare = 0.0;
+    /// SW left on the table: summed SW of viable-under-NN candidates
+    /// that this regime priced out.
+    double foreclosed_social_welfare = 0.0;
+};
+
+/// Evaluate entry for one regime. A candidate enters iff
+/// profit(regime) >= entry_cost.
+EntryReport evaluate_entry(const std::vector<EntryCandidate>& candidates,
+                           const std::vector<LmpProfile>& lmps, Regime regime);
+
+/// All three regimes side by side over the same population.
+std::vector<EntryReport> evaluate_entry_all(const std::vector<EntryCandidate>& candidates,
+                                            const std::vector<LmpProfile>& lmps);
+
+}  // namespace poc::econ

@@ -1,0 +1,117 @@
+#include "econ/market_model.hpp"
+
+#include <algorithm>
+
+namespace poc::econ {
+
+const char* regime_name(Regime regime) {
+    switch (regime) {
+        case Regime::kNetworkNeutrality:
+            return "NN";
+        case Regime::kUnilateralFees:
+            return "UR-unilateral";
+        case Regime::kBargainedFees:
+            return "UR-bargaining";
+    }
+    return "?";
+}
+
+void validate(const Market& market) {
+    POC_EXPECTS(!market.csps.empty());
+    POC_EXPECTS(!market.lmps.empty());
+    for (const LmpProfile& l : market.lmps) {
+        POC_EXPECTS(l.customers > 0.0);
+        POC_EXPECTS(l.access_charge >= 0.0);
+    }
+    for (const CspProfile& s : market.csps) {
+        POC_EXPECTS(s.demand != nullptr);
+        POC_EXPECTS(s.churn_by_lmp.size() == market.lmps.size());
+        for (const double r : s.churn_by_lmp) POC_EXPECTS(r >= 0.0 && r <= 1.0);
+    }
+}
+
+namespace {
+
+/// LMP profiles specialized to one CSP's churn rates.
+std::vector<LmpProfile> lmps_for_csp(const Market& market, const CspProfile& csp) {
+    std::vector<LmpProfile> out = market.lmps;
+    for (std::size_t l = 0; l < out.size(); ++l) out[l].churn_if_lost = csp.churn_by_lmp[l];
+    return out;
+}
+
+double total_mass(const std::vector<LmpProfile>& lmps) {
+    double m = 0.0;
+    for (const LmpProfile& l : lmps) m += l.customers;
+    return m;
+}
+
+CspOutcome evaluate_csp(const Market& market, const CspProfile& csp, Regime regime) {
+    const DemandCurve& d = *csp.demand;
+    CspOutcome out;
+    out.name = csp.name;
+
+    switch (regime) {
+        case Regime::kNetworkNeutrality: {
+            out.posted_price = monopoly_price(d).x;
+            out.avg_fee = 0.0;
+            out.fee_by_lmp.assign(market.lmps.size(), 0.0);
+            break;
+        }
+        case Regime::kUnilateralFees: {
+            // Every LMP solves the same maximization (the paper: "they
+            // all do the same calculation"), so fees are uniform.
+            const double t = lmp_optimal_fee(d).x;
+            out.avg_fee = t;
+            out.fee_by_lmp.assign(market.lmps.size(), t);
+            out.posted_price = csp_price_given_fee(d, t).x;
+            break;
+        }
+        case Regime::kBargainedFees: {
+            const auto lmps = lmps_for_csp(market, csp);
+            const BargainingEquilibrium eq = bargaining_equilibrium(d, lmps);
+            out.avg_fee = eq.avg_fee;
+            out.fee_by_lmp = eq.fee_by_lmp;
+            out.posted_price = eq.price;
+            break;
+        }
+    }
+
+    out.demand_served = d.demand(out.posted_price);
+    out.social_welfare = social_welfare(d, out.posted_price);
+    out.consumer_welfare = consumer_welfare(d, out.posted_price);
+
+    // Population-weighted fee actually paid (fee_by_lmp can vary).
+    const double mass = total_mass(market.lmps);
+    double paid = 0.0;
+    for (std::size_t l = 0; l < market.lmps.size(); ++l) {
+        paid += market.lmps[l].customers / mass * out.fee_by_lmp[l];
+    }
+    out.csp_profit = (out.posted_price - paid) * out.demand_served;
+    out.lmp_fee_revenue = paid * out.demand_served;
+    return out;
+}
+
+}  // namespace
+
+RegimeReport evaluate(const Market& market, Regime regime) {
+    validate(market);
+    RegimeReport report;
+    report.regime = regime;
+    for (const CspProfile& csp : market.csps) {
+        CspOutcome out = evaluate_csp(market, csp, regime);
+        report.total_social_welfare += out.social_welfare;
+        report.total_consumer_welfare += out.consumer_welfare;
+        report.total_csp_profit += out.csp_profit;
+        report.total_lmp_fee_revenue += out.lmp_fee_revenue;
+        report.csp_outcomes.push_back(std::move(out));
+    }
+    return report;
+}
+
+std::vector<RegimeReport> evaluate_all(const Market& market) {
+    return {evaluate(market, Regime::kNetworkNeutrality),
+            evaluate(market, Regime::kUnilateralFees),
+            evaluate(market, Regime::kBargainedFees)};
+}
+
+}  // namespace poc::econ

@@ -1,0 +1,82 @@
+// The full section-4 market model: S independent CSPs sold to the
+// customers of L regional-monopoly LMPs, evaluated under the three
+// regimes the paper analyzes:
+//
+//   NN             - network neutrality: no termination fees (4.3).
+//   UR-unilateral  - each LMP unilaterally sets the revenue-maximizing
+//                    fee; double marginalization (4.4).
+//   UR-bargaining  - fees negotiated via the Nash bargaining solution
+//                    with renegotiation to equilibrium (4.5).
+//
+// The paper's qualitative claims, which the regime report quantifies:
+// both UR variants lower social welfare versus NN; bargaining is less
+// damaging than unilateral fee setting; and under bargaining, incumbent
+// LMPs (low churn) extract higher fees while incumbent CSPs (high
+// churn-if-lost) pay lower fees, the incumbent advantage.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "econ/bargaining.hpp"
+#include "econ/welfare.hpp"
+
+namespace poc::econ {
+
+/// One CSP in the market.
+struct CspProfile {
+    std::string name;
+    std::shared_ptr<const DemandCurve> demand;
+    /// Per-LMP churn rates r_l^s (size must equal the LMP count): the
+    /// fraction of LMP l's s-subscribers who leave l if s is blocked.
+    /// Higher for must-have incumbent services.
+    std::vector<double> churn_by_lmp;
+};
+
+/// The market: CSPs x LMPs.
+struct Market {
+    std::vector<CspProfile> csps;
+    std::vector<LmpProfile> lmps;
+};
+
+enum class Regime { kNetworkNeutrality, kUnilateralFees, kBargainedFees };
+
+const char* regime_name(Regime regime);
+
+/// Per-CSP outcome under one regime.
+struct CspOutcome {
+    std::string name;
+    double posted_price = 0.0;
+    /// Population-weighted average termination fee paid (0 under NN).
+    double avg_fee = 0.0;
+    /// Per-LMP fees (uniform under NN/unilateral).
+    std::vector<double> fee_by_lmp;
+    double demand_served = 0.0;     // D(p)
+    double social_welfare = 0.0;    // per unit mass
+    double consumer_welfare = 0.0;  // per unit mass
+    double csp_profit = 0.0;        // (p - t_avg) * D(p)
+    double lmp_fee_revenue = 0.0;   // t_avg * D(p), summed over masses below
+};
+
+/// Whole-market outcome under one regime.
+struct RegimeReport {
+    Regime regime{};
+    std::vector<CspOutcome> csp_outcomes;
+    double total_social_welfare = 0.0;
+    double total_consumer_welfare = 0.0;
+    double total_csp_profit = 0.0;
+    double total_lmp_fee_revenue = 0.0;
+};
+
+/// Evaluate the market under a regime. Requires a consistent market:
+/// every CSP's churn vector sized to the LMP count, non-null demands.
+RegimeReport evaluate(const Market& market, Regime regime);
+
+/// Convenience: all three regimes side by side.
+std::vector<RegimeReport> evaluate_all(const Market& market);
+
+/// Validation helper used by constructors and tests.
+void validate(const Market& market);
+
+}  // namespace poc::econ

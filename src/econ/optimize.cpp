@@ -1,0 +1,79 @@
+#include "econ/optimize.hpp"
+
+#include <cmath>
+
+namespace poc::econ {
+
+OptimizeResult golden_max(const std::function<double(double)>& f, double lo, double hi,
+                          double tol) {
+    POC_EXPECTS(lo < hi);
+    POC_EXPECTS(tol > 0.0);
+    const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+
+    double a = lo;
+    double b = hi;
+    double c = b - inv_phi * (b - a);
+    double d = a + inv_phi * (b - a);
+    double fc = f(c);
+    double fd = f(d);
+    while (b - a > tol) {
+        if (fc > fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    const double x = 0.5 * (a + b);
+    return OptimizeResult{x, f(x)};
+}
+
+std::optional<double> bisect_root(const std::function<double(double)>& f, double lo, double hi,
+                                  double tol) {
+    POC_EXPECTS(lo < hi);
+    POC_EXPECTS(tol > 0.0);
+    double fl = f(lo);
+    double fh = f(hi);
+    if (fl == 0.0) return lo;
+    if (fh == 0.0) return hi;
+    if ((fl > 0.0) == (fh > 0.0)) return std::nullopt;
+    while (hi - lo > tol) {
+        const double mid = 0.5 * (lo + hi);
+        const double fm = f(mid);
+        if (fm == 0.0) return mid;
+        if ((fm > 0.0) == (fl > 0.0)) {
+            lo = mid;
+            fl = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+FixedPointResult fixed_point(const std::function<double(double)>& g, double x0, double damping,
+                             double tol, std::size_t max_iter) {
+    POC_EXPECTS(damping > 0.0 && damping <= 1.0);
+    POC_EXPECTS(tol > 0.0);
+    FixedPointResult r;
+    r.x = x0;
+    for (r.iterations = 0; r.iterations < max_iter; ++r.iterations) {
+        const double gx = g(r.x);
+        if (std::abs(gx - r.x) < tol) {
+            r.x = gx;
+            r.converged = true;
+            return r;
+        }
+        r.x = (1.0 - damping) * r.x + damping * gx;
+    }
+    return r;
+}
+
+}  // namespace poc::econ

@@ -1,0 +1,41 @@
+// One-dimensional numeric building blocks for the economic models:
+// golden-section maximization (revenue curves are unimodal for the
+// demand families we use), bisection root finding, and damped
+// fixed-point iteration (the renegotiation equilibrium of section 4.5).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "util/contracts.hpp"
+
+namespace poc::econ {
+
+struct OptimizeResult {
+    double x = 0.0;
+    double value = 0.0;
+};
+
+/// Maximize a unimodal f on [lo, hi] by golden-section search.
+/// Requires lo < hi and tol > 0.
+OptimizeResult golden_max(const std::function<double(double)>& f, double lo, double hi,
+                          double tol = 1e-9);
+
+/// Root of a continuous f on [lo, hi] with f(lo), f(hi) of opposite
+/// sign (bisection). Returns nullopt if signs match.
+std::optional<double> bisect_root(const std::function<double(double)>& f, double lo, double hi,
+                                  double tol = 1e-10);
+
+struct FixedPointResult {
+    double x = 0.0;
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+/// Damped fixed-point iteration x <- (1-damping)*x + damping*g(x),
+/// starting at x0, stopping when |g(x) - x| < tol.
+FixedPointResult fixed_point(const std::function<double(double)>& g, double x0,
+                             double damping = 0.5, double tol = 1e-9,
+                             std::size_t max_iter = 10'000);
+
+}  // namespace poc::econ

@@ -1,0 +1,39 @@
+#include "econ/pricing_models.hpp"
+
+namespace poc::econ {
+
+OptimizeResult monopoly_price(const DemandCurve& d) { return csp_price_given_fee(d, 0.0); }
+
+OptimizeResult csp_price_given_fee(const DemandCurve& d, double fee) {
+    POC_EXPECTS(fee >= 0.0);
+    const double hi = std::max(d.upper_support(), fee * 1.01 + 1e-9);
+    return golden_max([&](double p) { return (p - fee) * d.demand(p); }, fee, hi);
+}
+
+OptimizeResult lmp_optimal_fee(const DemandCurve& d) {
+    const double hi = d.upper_support();
+    return golden_max(
+        [&](double t) {
+            const double p = csp_price_given_fee(d, t).x;
+            return t * d.demand(p);
+        },
+        0.0, hi,
+        // The outer objective is evaluated through an inner optimizer;
+        // a looser tolerance keeps it both stable and fast.
+        1e-6 * hi);
+}
+
+std::vector<std::pair<double, double>> price_response_curve(const DemandCurve& d, double t_max,
+                                                            std::size_t samples) {
+    POC_EXPECTS(t_max > 0.0);
+    POC_EXPECTS(samples >= 2);
+    std::vector<std::pair<double, double>> out;
+    out.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double t = t_max * static_cast<double>(i) / static_cast<double>(samples - 1);
+        out.emplace_back(t, csp_price_given_fee(d, t).x);
+    }
+    return out;
+}
+
+}  // namespace poc::econ

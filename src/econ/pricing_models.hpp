@@ -1,0 +1,29 @@
+// The pricing machinery of sections 4.3 and 4.4: monopoly pricing under
+// network neutrality, the double-marginalization response to a
+// termination fee, and the LMP's unilaterally revenue-maximizing fee.
+#pragma once
+
+#include "econ/demand.hpp"
+#include "econ/optimize.hpp"
+
+namespace poc::econ {
+
+/// p* = argmax p * D(p): the CSP's revenue-maximizing posted price in
+/// the network-neutrality regime (section 4.3).
+OptimizeResult monopoly_price(const DemandCurve& d);
+
+/// p*(t) = argmax (p - t) * D(p): the CSP's revenue-maximizing price
+/// when each subscriber costs it a termination fee t (equation (1)).
+/// Requires t >= 0.
+OptimizeResult csp_price_given_fee(const DemandCurve& d, double fee);
+
+/// t* = argmax t * D(p*(t)): the LMP's unilaterally optimal termination
+/// fee (section 4.4, "double marginalization").
+OptimizeResult lmp_optimal_fee(const DemandCurve& d);
+
+/// Numeric probe of Lemma 1: p*(t) sampled on a fee grid, returned as
+/// (t, p*(t)) pairs; the test asserts monotone non-decreasing p.
+std::vector<std::pair<double, double>> price_response_curve(const DemandCurve& d, double t_max,
+                                                            std::size_t samples);
+
+}  // namespace poc::econ

@@ -1,0 +1,115 @@
+#include "econ/usage_pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace poc::econ {
+
+UsagePopulation draw_usage_population(const UsagePopulationOptions& opt) {
+    POC_EXPECTS(opt.users >= 1);
+    POC_EXPECTS(opt.sigma >= 0.0);
+    util::Rng rng(opt.seed);
+    UsagePopulation usage(opt.users);
+    for (double& u : usage) u = rng.lognormal(opt.mu, opt.sigma);
+    return usage;
+}
+
+const char* scheme_name(PricingScheme scheme) {
+    switch (scheme) {
+        case PricingScheme::kFlat:
+            return "flat";
+        case PricingScheme::kUsage:
+            return "usage-based";
+        case PricingScheme::kTiered:
+            return "tiered";
+    }
+    return "?";
+}
+
+PricingOutcome price_population(const UsagePopulation& usage, const LmpCostModel& cost,
+                                PricingScheme scheme, const TieredParams& tiered) {
+    POC_EXPECTS(!usage.empty());
+    POC_EXPECTS(cost.fixed_per_user >= 0.0 && cost.per_gb >= 0.0);
+    POC_EXPECTS(tiered.allowance_gb >= 0.0);
+    POC_EXPECTS(tiered.overage_markup >= 1.0);
+    const auto n = static_cast<double>(usage.size());
+
+    double total_gb = 0.0;
+    double total_cost = 0.0;
+    for (const double gb : usage) {
+        POC_EXPECTS(gb >= 0.0);
+        total_gb += gb;
+        total_cost += cost.cost_of(gb);
+    }
+
+    PricingOutcome out;
+    out.scheme = scheme;
+    out.total_cost = total_cost;
+
+    // Bill function per scheme, parameterized to exact break-even.
+    std::vector<double> bills(usage.size());
+    switch (scheme) {
+        case PricingScheme::kFlat: {
+            out.price_parameter = total_cost / n;  // one fee recovers all
+            std::fill(bills.begin(), bills.end(), out.price_parameter);
+            break;
+        }
+        case PricingScheme::kUsage: {
+            // Bill = rate * gb; include fixed costs in the rate.
+            POC_EXPECTS(total_gb > 0.0);
+            out.price_parameter = total_cost / total_gb;
+            for (std::size_t i = 0; i < usage.size(); ++i) {
+                bills[i] = out.price_parameter * usage[i];
+            }
+            break;
+        }
+        case PricingScheme::kTiered: {
+            // Overage price fixed at markup * marginal cost; solve the
+            // base fee so total revenue == total cost.
+            const double overage_rate = tiered.overage_markup * cost.per_gb;
+            double overage_revenue = 0.0;
+            for (const double gb : usage) {
+                overage_revenue += overage_rate * std::max(0.0, gb - tiered.allowance_gb);
+            }
+            out.price_parameter = (total_cost - overage_revenue) / n;
+            POC_EXPECTS(out.price_parameter >= 0.0);  // allowance too low otherwise
+            for (std::size_t i = 0; i < usage.size(); ++i) {
+                bills[i] = out.price_parameter +
+                           overage_rate * std::max(0.0, usage[i] - tiered.allowance_gb);
+            }
+            break;
+        }
+    }
+
+    double subsidy = 0.0;
+    double min_bill = std::numeric_limits<double>::infinity();
+    double max_bill = 0.0;
+    double sum_bill = 0.0;
+    for (std::size_t i = 0; i < usage.size(); ++i) {
+        const double overpay = bills[i] - cost.cost_of(usage[i]);
+        if (overpay > 0.0) subsidy += overpay;
+        min_bill = std::min(min_bill, bills[i]);
+        max_bill = std::max(max_bill, bills[i]);
+        sum_bill += bills[i];
+    }
+    out.total_revenue = sum_bill;
+    out.cross_subsidy_index = sum_bill > 0.0 ? subsidy / sum_bill : 0.0;
+    out.min_bill = min_bill;
+    out.max_bill = max_bill;
+    out.mean_bill = sum_bill / n;
+    POC_ENSURES(std::abs(out.total_revenue - out.total_cost) < 1e-6 * std::max(1.0, total_cost));
+    return out;
+}
+
+std::vector<PricingOutcome> price_population_all(const UsagePopulation& usage,
+                                                 const LmpCostModel& cost,
+                                                 const TieredParams& tiered) {
+    return {price_population(usage, cost, PricingScheme::kFlat, tiered),
+            price_population(usage, cost, PricingScheme::kUsage, tiered),
+            price_population(usage, cost, PricingScheme::kTiered, tiered)};
+}
+
+}  // namespace poc::econ

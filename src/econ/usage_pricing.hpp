@@ -1,0 +1,85 @@
+// LMP retail pricing schemes (paper section 3.2/3.4): "LMPs might
+// charge home users a flat price, or a strictly usage-based charge, or
+// some form of tiered service", with an acknowledged tension between
+// cost predictability and usage alignment - "it is better to have costs
+// borne by the entities that caused those costs". This module makes the
+// trade-off computable over a heterogeneous usage population:
+//
+//  * flat      - everyone pays the same, light users subsidize heavy;
+//  * usage     - $/GB, costs borne by cause, zero cross-subsidy;
+//  * tiered    - flat up to an allowance, then $/GB (the compromise).
+//
+// For each scheme we report revenue, cost recovery, the cross-subsidy
+// index (share of revenue transferred from below-average to
+// above-average users relative to cost), and each user's bill spread.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace poc::econ {
+
+/// One subscriber's monthly usage in GB.
+using UsagePopulation = std::vector<double>;
+
+struct UsagePopulationOptions {
+    std::size_t users = 10'000;
+    /// Usage ~ lognormal(mu, sigma) GB/month: a long right tail, as
+    /// observed on real access networks.
+    double mu = 4.0;     // median ~ e^4 ~ 55 GB
+    double sigma = 1.1;  // heavy tail
+    std::uint64_t seed = 5;
+};
+
+UsagePopulation draw_usage_population(const UsagePopulationOptions& opt = {});
+
+/// The LMP's cost model: fixed per-subscriber cost plus per-GB cost
+/// (the POC access charge it pays upstream).
+struct LmpCostModel {
+    double fixed_per_user = 20.0;
+    double per_gb = 0.05;
+
+    double cost_of(double gb) const { return fixed_per_user + per_gb * gb; }
+};
+
+enum class PricingScheme { kFlat, kUsage, kTiered };
+
+const char* scheme_name(PricingScheme scheme);
+
+struct TieredParams {
+    double allowance_gb = 200.0;
+    /// Overage price as a multiple of marginal cost.
+    double overage_markup = 1.5;
+};
+
+struct PricingOutcome {
+    PricingScheme scheme{};
+    /// The break-even price parameter: flat monthly fee (kFlat), $/GB
+    /// (kUsage), or base fee under the tier (kTiered).
+    double price_parameter = 0.0;
+    double total_revenue = 0.0;
+    double total_cost = 0.0;
+    /// Fraction of total revenue paid by users whose bill exceeds their
+    /// own cost, net of their cost - the cross-subsidy flowing from
+    /// light to heavy users (0 for pure usage pricing).
+    double cross_subsidy_index = 0.0;
+    /// Bill dispersion across users.
+    double min_bill = 0.0;
+    double max_bill = 0.0;
+    double mean_bill = 0.0;
+};
+
+/// Price the population at exact break-even under a scheme and report.
+/// Tiered pricing fixes the overage price from the cost model and
+/// solves the base fee for break-even.
+PricingOutcome price_population(const UsagePopulation& usage, const LmpCostModel& cost,
+                                PricingScheme scheme, const TieredParams& tiered = {});
+
+/// All three schemes on the same population.
+std::vector<PricingOutcome> price_population_all(const UsagePopulation& usage,
+                                                 const LmpCostModel& cost,
+                                                 const TieredParams& tiered = {});
+
+}  // namespace poc::econ

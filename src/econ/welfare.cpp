@@ -1,0 +1,24 @@
+#include "econ/welfare.hpp"
+
+namespace poc::econ {
+
+double social_welfare(const DemandCurve& d, double price) {
+    POC_EXPECTS(price >= 0.0);
+    return price * d.demand(price) + d.demand_integral(price);
+}
+
+double consumer_welfare(const DemandCurve& d, double price) {
+    POC_EXPECTS(price >= 0.0);
+    return d.demand_integral(price);
+}
+
+double csp_revenue(const DemandCurve& d, double price) {
+    POC_EXPECTS(price >= 0.0);
+    return price * d.demand(price);
+}
+
+double deadweight_loss(const DemandCurve& d, double price) {
+    return social_welfare(d, 0.0) - social_welfare(d, price);
+}
+
+}  // namespace poc::econ

@@ -1,0 +1,25 @@
+// Welfare accounting (sections 4.1 and 4.3): social welfare is total
+// user utility gross of payments (payments are transfers); consumer
+// welfare nets payments out. Both are per-unit-consumer-mass, per CSP,
+// and additive over independent CSPs.
+#pragma once
+
+#include "econ/demand.hpp"
+
+namespace poc::econ {
+
+/// Social welfare of one CSP at posted price p:
+///   SW(p) = integral_{p}^{inf} v dF(v) = p * D(p) + integral_p^inf D.
+double social_welfare(const DemandCurve& d, double price);
+
+/// Consumer welfare (surplus): CS(p) = integral_p^inf D(v) dv.
+double consumer_welfare(const DemandCurve& d, double price);
+
+/// CSP gross revenue per unit mass at price p: p * D(p).
+double csp_revenue(const DemandCurve& d, double price);
+
+/// Deadweight loss relative to free provision:
+///   DWL(p) = SW(0) - SW(p) (the value destroyed by pricing users out).
+double deadweight_loss(const DemandCurve& d, double price);
+
+}  // namespace poc::econ

@@ -1,0 +1,159 @@
+#include "market/bid.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace poc::market {
+
+void BpBid::offer(net::LinkId link, util::Money base_price) {
+    POC_EXPECTS(link.valid());
+    POC_EXPECTS(base_price > util::Money{});
+    POC_EXPECTS(!offers(link));
+    links_.push_back(link);
+    base_price_.emplace(link, base_price);
+}
+
+void BpBid::add_discount(DiscountTier tier) {
+    POC_EXPECTS(tier.fraction >= 0.0 && tier.fraction < 1.0);
+    POC_EXPECTS(tier.min_links >= 2);
+    tiers_.push_back(tier);
+}
+
+void BpBid::override_bundle(std::vector<net::LinkId> bundle, util::Money price) {
+    POC_EXPECTS(!bundle.empty());
+    POC_EXPECTS(price >= util::Money{});
+    std::sort(bundle.begin(), bundle.end());
+    POC_EXPECTS(std::adjacent_find(bundle.begin(), bundle.end()) == bundle.end());
+    for (const net::LinkId l : bundle) POC_EXPECTS(offers(l));
+    bundle_overrides_.emplace_back(std::move(bundle), price);
+}
+
+util::Money BpBid::base_price(net::LinkId link) const {
+    const auto it = base_price_.find(link);
+    POC_EXPECTS(it != base_price_.end());
+    return it->second;
+}
+
+std::optional<util::Money> BpBid::cost(const std::vector<net::LinkId>& subset) const {
+    if (subset.empty()) return util::Money{};
+
+    util::Money additive{};
+    for (const net::LinkId l : subset) {
+        const auto it = base_price_.find(l);
+        if (it == base_price_.end()) return std::nullopt;  // not offered: infinite
+        additive += it->second;
+    }
+
+    // Exact bundle override?
+    std::vector<net::LinkId> sorted = subset;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [bundle, price] : bundle_overrides_) {
+        if (bundle == sorted) return price;
+    }
+
+    // Largest applicable volume tier.
+    double best_fraction = 0.0;
+    for (const DiscountTier& t : tiers_) {
+        if (subset.size() >= t.min_links) best_fraction = std::max(best_fraction, t.fraction);
+    }
+    return additive.scaled(1.0 - best_fraction);
+}
+
+double BpBid::max_discount_fraction() const noexcept {
+    double best = 0.0;
+    for (const DiscountTier& t : tiers_) best = std::max(best, t.fraction);
+    return best;
+}
+
+void VirtualLinkContract::add(net::LinkId link, util::Money price) {
+    POC_EXPECTS(link.valid());
+    POC_EXPECTS(price > util::Money{});
+    POC_EXPECTS(!contains(link));
+    links_.push_back(link);
+    price_.emplace(link, price);
+}
+
+util::Money VirtualLinkContract::cost(const std::vector<net::LinkId>& subset) const {
+    util::Money total{};
+    for (const net::LinkId l : subset) total += price(l);
+    return total;
+}
+
+util::Money VirtualLinkContract::price(net::LinkId link) const {
+    const auto it = price_.find(link);
+    POC_EXPECTS(it != price_.end());
+    return it->second;
+}
+
+OfferPool::OfferPool(std::vector<BpBid> bids, VirtualLinkContract virtual_links,
+                     const net::Graph& graph)
+    : bids_(std::move(bids)), virtual_links_(std::move(virtual_links)), graph_(&graph) {
+    owner_by_link_.assign(graph.link_count(), BpId{});
+    std::vector<char> covered(graph.link_count(), 0);
+
+    for (const BpBid& bid : bids_) {
+        for (const net::LinkId l : bid.offered_links()) {
+            POC_EXPECTS(l.index() < graph.link_count());
+            POC_EXPECTS(covered[l.index()] == 0);  // one owner per link
+            covered[l.index()] = 1;
+            owner_by_link_[l.index()] = bid.bp();
+        }
+    }
+    for (const net::LinkId l : virtual_links_.links()) {
+        POC_EXPECTS(l.index() < graph.link_count());
+        POC_EXPECTS(covered[l.index()] == 0);
+        covered[l.index()] = 1;
+        // owner stays invalid: virtual link.
+    }
+    for (std::size_t i = 0; i < covered.size(); ++i) {
+        if (covered[i] == 1) offered_.emplace_back(i);
+    }
+    covered_ = std::move(covered);
+}
+
+bool OfferPool::is_offered(net::LinkId link) const {
+    POC_EXPECTS(link.index() < covered_.size());
+    return covered_[link.index()] == 1;
+}
+
+const BpBid& OfferPool::bid(BpId bp) const {
+    for (const BpBid& b : bids_) {
+        if (b.bp() == bp) return b;
+    }
+    POC_EXPECTS(false && "unknown BP id");
+    // Unreachable; silences missing-return warnings.
+    return bids_.front();
+}
+
+BpId OfferPool::owner(net::LinkId link) const {
+    POC_EXPECTS(is_offered(link));
+    return owner_by_link_[link.index()];
+}
+
+std::optional<util::Money> OfferPool::total_cost(const std::vector<net::LinkId>& links) const {
+    util::Money total{};
+    std::vector<net::LinkId> virtual_share;
+    for (const BpBid& bid : bids_) {
+        const auto share = owned_subset(links, bid.bp());
+        const auto c = bid.cost(share);
+        if (!c) return std::nullopt;
+        total += *c;
+    }
+    for (const net::LinkId l : links) {
+        if (is_virtual(l)) virtual_share.push_back(l);
+    }
+    total += virtual_links_.cost(virtual_share);
+    return total;
+}
+
+std::vector<net::LinkId> OfferPool::owned_subset(const std::vector<net::LinkId>& links,
+                                                 BpId bp) const {
+    std::vector<net::LinkId> out;
+    for (const net::LinkId l : links) {
+        if (owner(l) == bp) out.push_back(l);
+    }
+    return out;
+}
+
+}  // namespace poc::market

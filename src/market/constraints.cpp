@@ -1,0 +1,75 @@
+#include "market/constraints.hpp"
+
+#include "net/connectivity.hpp"
+#include "net/mcf.hpp"
+
+namespace poc::market {
+
+const char* constraint_name(ConstraintKind kind) {
+    switch (kind) {
+        case ConstraintKind::kLoad:
+            return "#1 load";
+        case ConstraintKind::kSingleFailure:
+            return "#2 single-failure";
+        case ConstraintKind::kPerPairFailure:
+            return "#3 per-pair-failure";
+    }
+    return "?";
+}
+
+AcceptabilityOracle::AcceptabilityOracle(const net::Graph& graph, net::TrafficMatrix tm,
+                                         ConstraintKind kind, OracleOptions opt)
+    : graph_(&graph), tm_(std::move(tm)), kind_(kind), opt_(opt) {
+    POC_EXPECTS(opt_.fast_failure_derate > 0.0 && opt_.fast_failure_derate <= 1.0);
+}
+
+bool AcceptabilityOracle::accepts(const net::Subgraph& sg) const {
+    ++opt_.query_count;
+    POC_EXPECTS(&sg.graph() == graph_);
+    return opt_.fidelity == OracleFidelity::kExact ? accepts_exact(sg) : accepts_fast(sg);
+}
+
+bool AcceptabilityOracle::accepts_exact(const net::Subgraph& sg) const {
+    net::ResilienceOptions ropt;
+    ropt.fptas_eps = opt_.fptas_eps;
+    switch (kind_) {
+        case ConstraintKind::kLoad:
+            return net::satisfies_load(sg, tm_, opt_.fptas_eps);
+        case ConstraintKind::kSingleFailure:
+            return net::satisfies_single_failure(sg, tm_, ropt);
+        case ConstraintKind::kPerPairFailure:
+            return net::satisfies_per_pair_failure(sg, tm_, ropt);
+    }
+    return false;
+}
+
+bool AcceptabilityOracle::accepts_fast(const net::Subgraph& sg) const {
+    if (!net::all_pairs_connected(sg, tm_)) return false;
+    switch (kind_) {
+        case ConstraintKind::kLoad: {
+            return net::greedy_path_routing(sg, tm_).has_value();
+        }
+        case ConstraintKind::kSingleFailure: {
+            // (a) Demand endpoints must be 2-edge-connected: connected
+            //     even with every bridge removed.
+            net::Subgraph no_bridges = sg;
+            for (const net::LinkId b : net::find_bridges(sg)) no_bridges.set_active(b, false);
+            if (!net::all_pairs_connected(no_bridges, tm_)) return false;
+            // (b) The matrix must fit with protection headroom: every
+            //     link derated to `fast_failure_derate` of capacity.
+            net::GreedyRoutingOptions gopt;
+            gopt.utilization_cap = opt_.fast_failure_derate;
+            return net::greedy_path_routing(sg, tm_, gopt).has_value();
+        }
+        case ConstraintKind::kPerPairFailure: {
+            const auto primaries = net::primary_paths(sg, tm_);
+            if (!net::greedy_path_routing(sg, tm_).has_value()) return false;
+            net::GreedyRoutingOptions gopt;
+            gopt.exclusions = &primaries;
+            return net::greedy_path_routing(sg, tm_, gopt).has_value();
+        }
+    }
+    return false;
+}
+
+}  // namespace poc::market

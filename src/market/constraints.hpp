@@ -1,0 +1,74 @@
+// The acceptability oracle A(OL) of the paper's auction (section 3.3):
+// a set of links is acceptable when it "provides enough bandwidth to
+// handle the traffic matrix and obeys whatever other constraints the POC
+// desires". We implement the paper's three evaluated constraints plus a
+// fidelity knob: the exhaustive checks are exact but expensive, so the
+// winner-determination search can run against cheaper conservative
+// surrogates and validate the final selection exhaustively.
+#pragma once
+
+#include <cstddef>
+
+#include "net/failure.hpp"
+#include "net/graph.hpp"
+
+namespace poc::market {
+
+/// The paper's Figure 2 constraint scenarios.
+enum class ConstraintKind {
+    /// #1: the selected links carry the offered traffic matrix.
+    kLoad,
+    /// #2: ... even after any single link failure.
+    kSingleFailure,
+    /// #3: ... with each pair's primary path failed simultaneously.
+    kPerPairFailure,
+};
+
+const char* constraint_name(ConstraintKind kind);
+
+/// How thoroughly acceptability is checked.
+enum class OracleFidelity {
+    /// Full semantics: exhaustive failure re-checks (net/failure.hpp).
+    kExact,
+    /// Conservative surrogate for the search loop: greedy-routability
+    /// with derated capacity plus 2-edge-connectivity between demand
+    /// endpoints for kSingleFailure; greedy-only checks elsewhere.
+    kFast,
+};
+
+struct OracleOptions {
+    OracleFidelity fidelity = OracleFidelity::kExact;
+    /// Capacity derate used by the kFast single-failure surrogate: the
+    /// matrix must fit when every link carries at most this fraction.
+    double fast_failure_derate = 0.65;
+    /// FPTAS epsilon for exact-mode fallbacks.
+    double fptas_eps = 0.15;
+    /// Count of oracle invocations (diagnostics; mutated by accepts()).
+    mutable std::size_t query_count = 0;
+};
+
+/// Stateless functor: does the active link set satisfy the constraint
+/// for the given traffic matrix?
+class AcceptabilityOracle {
+public:
+    AcceptabilityOracle(const net::Graph& graph, net::TrafficMatrix tm, ConstraintKind kind,
+                        OracleOptions opt = {});
+
+    bool accepts(const net::Subgraph& sg) const;
+
+    ConstraintKind kind() const noexcept { return kind_; }
+    const net::TrafficMatrix& traffic() const noexcept { return tm_; }
+    const net::Graph& graph() const noexcept { return *graph_; }
+    std::size_t query_count() const noexcept { return opt_.query_count; }
+
+private:
+    bool accepts_fast(const net::Subgraph& sg) const;
+    bool accepts_exact(const net::Subgraph& sg) const;
+
+    const net::Graph* graph_;
+    net::TrafficMatrix tm_;
+    ConstraintKind kind_;
+    OracleOptions opt_;
+};
+
+}  // namespace poc::market

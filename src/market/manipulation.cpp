@@ -1,0 +1,91 @@
+#include "market/manipulation.hpp"
+
+#include <algorithm>
+
+namespace poc::market {
+
+namespace {
+
+/// Copy a bid, optionally scaling prices and dropping withheld links.
+BpBid transform_bid(const BpBid& src, double price_factor,
+                    const std::vector<net::LinkId>* withheld) {
+    POC_EXPECTS(!src.has_bundle_overrides());
+    BpBid out(src.bp(), src.name());
+    for (const net::LinkId l : src.offered_links()) {
+        if (withheld != nullptr &&
+            std::find(withheld->begin(), withheld->end(), l) != withheld->end()) {
+            continue;
+        }
+        out.offer(l, src.base_price(l).scaled(price_factor));
+    }
+    for (const DiscountTier& t : src.discounts()) out.add_discount(t);
+    return out;
+}
+
+OfferPool rebuild(const OfferPool& pool, BpId target, double price_factor,
+                  const std::vector<net::LinkId>* withheld) {
+    std::vector<BpBid> bids;
+    bids.reserve(pool.bids().size());
+    for (const BpBid& b : pool.bids()) {
+        if (b.bp() == target) {
+            bids.push_back(transform_bid(b, price_factor, withheld));
+        } else {
+            bids.push_back(transform_bid(b, 1.0, nullptr));
+        }
+    }
+    return OfferPool(std::move(bids), pool.virtual_links(), pool.graph());
+}
+
+}  // namespace
+
+std::optional<WithholdingAnalysis> analyze_joint_withholding(const OfferPool& pool,
+                                                             const AcceptabilityOracle& oracle,
+                                                             const AuctionOptions& opt) {
+    auto baseline = run_auction(pool, oracle, opt);
+    if (!baseline) return std::nullopt;
+
+    // Each BP keeps only the links it won in the baseline.
+    std::vector<BpBid> bids;
+    for (const BpBid& b : pool.bids()) {
+        const auto& won = baseline->outcome(b.bp()).selected_links;
+        std::vector<net::LinkId> withheld;
+        for (const net::LinkId l : b.offered_links()) {
+            if (std::find(won.begin(), won.end(), l) == won.end()) withheld.push_back(l);
+        }
+        bids.push_back(transform_bid(b, 1.0, &withheld));
+    }
+    OfferPool colluding(std::move(bids), pool.virtual_links(), pool.graph());
+
+    auto withheld_result = run_auction(colluding, oracle, opt);
+    if (!withheld_result) return std::nullopt;
+
+    WithholdingAnalysis analysis;
+    analysis.payment_delta.reserve(pool.bids().size());
+    for (const BpBid& b : pool.bids()) {
+        analysis.payment_delta.push_back(withheld_result->outcome(b.bp()).payment -
+                                         baseline->outcome(b.bp()).payment);
+    }
+    analysis.outlay_delta = withheld_result->total_outlay - baseline->total_outlay;
+    analysis.baseline = std::move(*baseline);
+    analysis.withheld = std::move(*withheld_result);
+    return analysis;
+}
+
+util::Money bp_utility(const AuctionResult& result, BpId bp,
+                       const std::function<util::Money(const std::vector<net::LinkId>&)>&
+                           true_cost) {
+    const BpOutcome& out = result.outcome(bp);
+    return out.payment - true_cost(out.selected_links);
+}
+
+OfferPool with_scaled_bid(const OfferPool& pool, BpId bp, double factor) {
+    POC_EXPECTS(factor > 0.0);
+    return rebuild(pool, bp, factor, nullptr);
+}
+
+OfferPool with_withheld_links(const OfferPool& pool, BpId bp,
+                              const std::vector<net::LinkId>& withheld) {
+    return rebuild(pool, bp, 1.0, &withheld);
+}
+
+}  // namespace poc::market

@@ -1,0 +1,58 @@
+// Manipulation analysis for the auction (paper section 3.3, collusion
+// paragraph): "If the BPs can guess in advance what the set SL is, they
+// can decide to not offer any links not in this set without changing
+// their own payoff, but possibly changing that of others ... the
+// presence of the connections to external ISPs sets an upper bound on
+// the costs of alternate paths, so any of the manipulations ... can
+// only have limited impact."
+//
+// This module reproduces that reasoning quantitatively: re-run the
+// auction with every BP withholding its non-selected links and measure
+// the payment inflation, plus a misreporting probe used by the
+// strategyproofness property tests.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "market/vcg.hpp"
+
+namespace poc::market {
+
+/// Joint-withholding experiment result.
+struct WithholdingAnalysis {
+    AuctionResult baseline;
+    /// Auction re-run where each BP offers only its baseline-selected
+    /// links (the best-case collusion the paper describes).
+    AuctionResult withheld;
+    /// Per-BP payment change (withheld - baseline), in bid order.
+    std::vector<util::Money> payment_delta;
+    /// Total outlay change: the cost of the collusion to the POC,
+    /// bounded above by rerouting everything onto virtual links.
+    util::Money outlay_delta;
+};
+
+/// Run the joint link-withholding scenario. Returns nullopt when either
+/// auction is infeasible.
+std::optional<WithholdingAnalysis> analyze_joint_withholding(const OfferPool& pool,
+                                                             const AcceptabilityOracle& oracle,
+                                                             const AuctionOptions& opt = {});
+
+/// Utility of BP `bp` under a (possibly misreported) pool: payment
+/// received minus *true* cost of the links it wins, where the true cost
+/// function is supplied separately. Used by strategyproofness tests:
+/// truthful utility >= misreported utility for every probe.
+util::Money bp_utility(const AuctionResult& result, BpId bp,
+                       const std::function<util::Money(const std::vector<net::LinkId>&)>&
+                           true_cost);
+
+/// Rebuild a pool with one BP's base prices scaled by `factor`
+/// (uniform over- or under-bidding probe). Discount tiers are copied
+/// unchanged; requires no bundle overrides.
+OfferPool with_scaled_bid(const OfferPool& pool, BpId bp, double factor);
+
+/// Rebuild a pool with one BP withholding the given links.
+OfferPool with_withheld_links(const OfferPool& pool, BpId bp,
+                              const std::vector<net::LinkId>& withheld);
+
+}  // namespace poc::market

@@ -1,0 +1,66 @@
+// Lease-price model and the bridge from a generated POC topology to an
+// auction offer pool. Substitutes for real leased-line price sheets
+// (see DESIGN.md): price grows affinely with distance and capacity,
+// modulated by a per-BP cost multiplier (carriers have different cost
+// bases) and idiosyncratic per-link noise. Because the auction is
+// strategy-proof, BPs bid these costs truthfully; only relative costs
+// shape the payment-over-bid margins.
+#pragma once
+
+#include <cstdint>
+
+#include "market/bid.hpp"
+#include "topo/poc_topology.hpp"
+#include "util/rng.hpp"
+
+namespace poc::market {
+
+struct PricingOptions {
+    /// Monthly price = (fixed + per_km * km) * (capacity/100G)^cap_exp
+    ///                 * bp_multiplier * noise.
+    double fixed_usd = 2000.0;
+    double per_km_usd = 4.0;
+    double capacity_exponent = 0.6;  // economies of scale in capacity
+    /// Per-BP multiplier drawn log-normally around 1 with this sigma.
+    double bp_cost_sigma = 0.25;
+    /// Per-link multiplicative noise drawn uniformly from
+    /// [1-noise, 1+noise].
+    double link_noise = 0.15;
+    /// Volume discount granted by every BP for >= threshold links.
+    std::size_t discount_threshold = 8;
+    double discount_fraction = 0.08;
+    /// Set to 0 to disable discounts (required by the exact solver's
+    /// strategyproofness tests only insofar as bundle overrides are
+    /// concerned; tier discounts are fine).
+    std::uint64_t seed = 7;
+};
+
+/// Build the BP bids for every logical link of the topology.
+std::vector<BpBid> make_bp_bids(const topo::PocTopology& topo, const PricingOptions& opt = {});
+
+struct VirtualLinkOptions {
+    /// The external ISPs attach at the `attach_count` most-connected
+    /// routers and provide a full mesh of virtual links between those
+    /// attachment points (paper section 3.3: virtual links through the
+    /// external ISPs between their POC attachment points).
+    std::size_t attach_count = 4;
+    /// Virtual capacity per link (transit contracts are elastic; this
+    /// caps how much the POC may shift onto the external ISPs).
+    double capacity_gbps = 800.0;
+    /// Contract price multiplier relative to the equivalent leased
+    /// line: transit fallback is intentionally more expensive, which is
+    /// also what bounds collusion gains (paper section 3.3).
+    double price_multiplier = 3.0;
+};
+
+/// Extend the topology graph with external-ISP virtual links and return
+/// their contract. Mutates `topo.graph` (adds links) and appends
+/// matching entries to `topo.link_owner` marked as virtual.
+VirtualLinkContract add_virtual_links(topo::PocTopology& topo, const PricingOptions& pricing,
+                                      const VirtualLinkOptions& opt = {});
+
+/// Convenience: bids + virtual links + offer pool in one call.
+OfferPool make_offer_pool(topo::PocTopology& topo, const PricingOptions& pricing = {},
+                          const VirtualLinkOptions& vopt = {});
+
+}  // namespace poc::market

@@ -1,0 +1,83 @@
+#include "market/vcg.hpp"
+
+#include <algorithm>
+
+namespace poc::market {
+
+const BpOutcome& AuctionResult::outcome(BpId bp) const {
+    const auto it = std::find_if(outcomes.begin(), outcomes.end(),
+                                 [bp](const BpOutcome& o) { return o.bp == bp; });
+    POC_EXPECTS(it != outcomes.end());
+    return *it;
+}
+
+namespace {
+
+std::optional<Selection> solve(const OfferPool& pool, const AcceptabilityOracle& oracle,
+                               const std::vector<net::LinkId>& available,
+                               const AuctionOptions& opt) {
+    return opt.exact ? select_links_exact(pool, oracle, available)
+                     : select_links(pool, oracle, available, opt.windet);
+}
+
+}  // namespace
+
+std::optional<AuctionResult> run_auction(const OfferPool& pool,
+                                         const AcceptabilityOracle& oracle,
+                                         const AuctionOptions& opt) {
+    const auto sl = solve(pool, oracle, pool.offered_links(), opt);
+    if (!sl) return std::nullopt;
+
+    AuctionResult result;
+    result.selection = *sl;
+
+    std::vector<net::LinkId> selected_virtual;
+    for (const net::LinkId l : sl->links) {
+        if (pool.is_virtual(l)) selected_virtual.push_back(l);
+    }
+    result.virtual_cost = pool.virtual_links().cost(selected_virtual);
+    result.total_outlay = result.virtual_cost;
+
+    for (const BpBid& bid : pool.bids()) {
+        BpOutcome out;
+        out.bp = bid.bp();
+        out.name = bid.name();
+        out.selected_links = pool.owned_subset(sl->links, bid.bp());
+        const auto own_cost = bid.cost(out.selected_links);
+        POC_ASSERT(own_cost.has_value());  // winners are always priced
+        out.bid_cost = *own_cost;
+
+        // Clarke pivot: re-solve with this BP's offers withdrawn.
+        std::vector<net::LinkId> without;
+        without.reserve(pool.offered_links().size());
+        for (const net::LinkId l : pool.offered_links()) {
+            if (pool.owner(l) != bid.bp()) without.push_back(l);
+        }
+        const auto sl_without = solve(pool, oracle, without, opt);
+        if (!sl_without) {
+            // A(OL - L_alpha) empty: the paper's assumption is violated;
+            // the pivot term is undefined. Pay the declared cost and
+            // flag it.
+            out.pivot_defined = false;
+            out.payment = out.bid_cost;
+        } else {
+            out.cost_without = sl_without->cost;
+            // The heuristic solver can return SL_-alpha worse than it
+            // found SL (or, rarely, slightly better); clamp the
+            // externality at zero so payments respect the VCG lower
+            // bound P_alpha >= C_alpha(SL_alpha). With the exact solver
+            // the externality is non-negative by optimality.
+            const util::Money externality =
+                std::max(util::Money{}, sl_without->cost - sl->cost);
+            out.payment = out.bid_cost + externality;
+        }
+        out.pob = out.bid_cost.is_zero() ? 0.0
+                                         : util::ratio(out.payment - out.bid_cost, out.bid_cost);
+        result.total_outlay += out.payment;
+        result.outcomes.push_back(std::move(out));
+    }
+    result.oracle_queries = oracle.query_count();
+    return result;
+}
+
+}  // namespace poc::market

@@ -1,0 +1,70 @@
+// The strategy-proof bandwidth auction (paper section 3.3): a VCG
+// mechanism with the Clarke pivot rule.
+//
+//   SL     = argmin { C(L) : L in A(OL) }
+//   SL_-a  = argmin { C(L) : L in A(OL - L_a) }
+//   P_a    = C_a(SL_a) + ( C(SL_-a) - C(SL) )
+//
+// Payments never fall below the BP's declared cost C_a(SL_a) because
+// removing links cannot lower the optimum; the payment-over-bid margin
+// PoB = (P_a - C_a) / C_a is the quantity plotted in Figure 2.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "market/windet.hpp"
+
+namespace poc::market {
+
+/// Per-BP auction outcome.
+struct BpOutcome {
+    BpId bp;
+    std::string name;
+    /// SL_alpha: this BP's links in the winning set.
+    std::vector<net::LinkId> selected_links;
+    /// C_alpha(SL_alpha): the BP's declared cost of its winning links.
+    util::Money bid_cost;
+    /// C(SL_-alpha): optimum cost with this BP absent.
+    util::Money cost_without;
+    /// P_alpha: VCG payment to this BP.
+    util::Money payment;
+    /// Payment-over-bid margin (P-C)/C; zero when the BP won nothing.
+    double pob = 0.0;
+    /// False when A(OL - L_alpha) was empty, so the Clarke term is
+    /// undefined (the paper assumes this never happens; we surface it).
+    bool pivot_defined = true;
+};
+
+struct AuctionResult {
+    /// SL and C(SL).
+    Selection selection;
+    /// C_v(SL intersect VL): contract cost of selected virtual links.
+    util::Money virtual_cost;
+    /// Per-BP outcomes, in bid order.
+    std::vector<BpOutcome> outcomes;
+    /// Sum of all P_alpha plus the virtual-link contract cost: the
+    /// POC's total monthly outlay, which its LMP charges must recoup.
+    util::Money total_outlay;
+    /// Total acceptability-oracle queries (diagnostics).
+    std::size_t oracle_queries = 0;
+
+    /// Outcome lookup by BP id.
+    const BpOutcome& outcome(BpId bp) const;
+};
+
+struct AuctionOptions {
+    /// Use the exact branch-and-bound winner determination (small
+    /// instances only); the heuristic otherwise.
+    bool exact = false;
+    WinnerDeterminationOptions windet;
+};
+
+/// Run the full auction. Returns nullopt when OL itself is unacceptable
+/// (no backbone can be provisioned from the offers).
+std::optional<AuctionResult> run_auction(const OfferPool& pool,
+                                         const AcceptabilityOracle& oracle,
+                                         const AuctionOptions& opt = {});
+
+}  // namespace poc::market

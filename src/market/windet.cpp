@@ -1,0 +1,199 @@
+#include "market/windet.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace poc::market {
+
+namespace {
+
+/// Price of one link as offered (base price for BP links, contract
+/// price for virtual links), used for removal ordering.
+util::Money unit_price(const OfferPool& pool, net::LinkId link) {
+    const BpId owner = pool.owner(link);
+    if (owner.valid()) return pool.bid(owner).base_price(link);
+    return pool.virtual_links().price(link);
+}
+
+/// Expensive-per-gbps links are removal candidates first.
+std::vector<net::LinkId> removal_order(const OfferPool& pool,
+                                       const std::vector<net::LinkId>& links) {
+    std::vector<net::LinkId> order = links;
+    std::sort(order.begin(), order.end(), [&](net::LinkId a, net::LinkId b) {
+        const double pa = unit_price(pool, a).dollars() / pool.graph().link(a).capacity_gbps;
+        const double pb = unit_price(pool, b).dollars() / pool.graph().link(b).capacity_gbps;
+        if (pa != pb) return pa > pb;
+        return a < b;  // deterministic tie break
+    });
+    return order;
+}
+
+/// State for the batched reverse deletion: active set + its cost.
+class DeletionPass {
+public:
+    DeletionPass(const OfferPool& pool, const AcceptabilityOracle& oracle, net::Subgraph& sg,
+                 util::Money current_cost)
+        : pool_(pool), oracle_(oracle), sg_(sg), cost_(current_cost) {}
+
+    util::Money cost() const noexcept { return cost_; }
+
+    /// Try removing `batch` (all currently active). Commits when the
+    /// result stays acceptable and does not cost more (tier discounts
+    /// can make deletions *raise* C). On rejection, bisects.
+    void try_remove(const std::vector<net::LinkId>& batch) {
+        if (batch.empty()) return;
+        for (const net::LinkId l : batch) sg_.set_active(l, false);
+        const auto new_cost = pool_.total_cost(sg_.active_links());
+        if (new_cost && *new_cost <= cost_ && oracle_.accepts(sg_)) {
+            cost_ = *new_cost;
+            return;  // committed
+        }
+        for (const net::LinkId l : batch) sg_.set_active(l, true);
+        if (batch.size() == 1) return;  // this link stays
+        const auto mid = batch.begin() + static_cast<std::ptrdiff_t>(batch.size() / 2);
+        try_remove({batch.begin(), mid});
+        try_remove({mid, batch.end()});
+    }
+
+private:
+    const OfferPool& pool_;
+    const AcceptabilityOracle& oracle_;
+    net::Subgraph& sg_;
+    util::Money cost_;
+};
+
+}  // namespace
+
+std::optional<Selection> select_links(const OfferPool& pool, const AcceptabilityOracle& oracle,
+                                      const std::vector<net::LinkId>& available,
+                                      const WinnerDeterminationOptions& opt) {
+    POC_EXPECTS(opt.batch_size >= 1);
+    net::Subgraph sg(pool.graph(), available);
+    if (!oracle.accepts(sg)) return std::nullopt;
+
+    const auto full_cost = pool.total_cost(available);
+    POC_EXPECTS(full_cost.has_value());  // offered sets are always priced
+
+    DeletionPass pass(pool, oracle, sg, *full_cost);
+    const std::vector<net::LinkId> order = removal_order(pool, available);
+
+    std::size_t i = 0;
+    while (i < order.size()) {
+        std::vector<net::LinkId> batch;
+        while (i < order.size() && batch.size() < opt.batch_size) {
+            if (sg.is_active(order[i])) batch.push_back(order[i]);
+            ++i;
+        }
+        pass.try_remove(batch);
+    }
+
+    if (opt.polish_pass) {
+        // Marginal costs shifted as the set shrank; one more single-link
+        // sweep in refreshed order catches stragglers.
+        for (const net::LinkId l : removal_order(pool, sg.active_links())) {
+            if (sg.is_active(l)) pass.try_remove({l});
+        }
+    }
+
+    Selection sel;
+    sel.links = sg.active_links();
+    sel.cost = pass.cost();
+    POC_ENSURES(oracle.accepts(net::Subgraph(pool.graph(), sel.links)));
+    return sel;
+}
+
+namespace {
+
+/// Branch-and-bound engine for the exact solver.
+class ExactSearch {
+public:
+    ExactSearch(const OfferPool& pool, const AcceptabilityOracle& oracle,
+                std::vector<net::LinkId> order)
+        : pool_(pool), oracle_(oracle), order_(std::move(order)), sg_(pool.graph(), order_) {}
+
+    std::optional<Selection> run() {
+        if (!oracle_.accepts(sg_)) return std::nullopt;
+        // Seed the incumbent with the heuristic so pruning bites early.
+        if (const auto seed = select_links(pool_, oracle_, order_)) {
+            best_cost_ = seed->cost;
+            best_links_ = seed->links;
+        }
+        dfs(0);
+        if (best_cost_ == util::Money::from_micros(std::numeric_limits<std::int64_t>::max())) {
+            return std::nullopt;
+        }
+        return Selection{best_links_, best_cost_};
+    }
+
+private:
+    /// Admissible lower bound on the final cost given the links fixed-in
+    /// so far: additive price with each BP's best tier discount applied
+    /// (valid because discounts only shrink additive totals and bundle
+    /// overrides are excluded by precondition).
+    util::Money fixed_lower_bound() const {
+        util::Money lb{};
+        for (const BpBid& bid : pool_.bids()) {
+            util::Money additive{};
+            for (const net::LinkId l : fixed_in_) {
+                if (pool_.owner(l) == bid.bp()) additive += bid.base_price(l);
+            }
+            lb += additive.scaled(1.0 - bid.max_discount_fraction());
+        }
+        for (const net::LinkId l : fixed_in_) {
+            if (pool_.is_virtual(l)) lb += pool_.virtual_links().price(l);
+        }
+        return lb;
+    }
+
+    void dfs(std::size_t depth) {
+        // Monotone acceptability: if even keeping every undecided link
+        // fails, no completion can succeed.
+        if (!oracle_.accepts(sg_)) return;
+        if (fixed_lower_bound() >= best_cost_) return;
+
+        if (depth == order_.size()) {
+            const auto cost = pool_.total_cost(fixed_in_);
+            POC_ASSERT(cost.has_value());
+            if (*cost < best_cost_) {
+                best_cost_ = *cost;
+                best_links_ = fixed_in_;
+                std::sort(best_links_.begin(), best_links_.end());
+            }
+            return;
+        }
+
+        const net::LinkId link = order_[depth];
+        // Branch 1: exclude (cheaper subtree first).
+        sg_.set_active(link, false);
+        dfs(depth + 1);
+        sg_.set_active(link, true);
+        // Branch 2: include.
+        fixed_in_.push_back(link);
+        dfs(depth + 1);
+        fixed_in_.pop_back();
+    }
+
+    const OfferPool& pool_;
+    const AcceptabilityOracle& oracle_;
+    std::vector<net::LinkId> order_;
+    net::Subgraph sg_;
+    std::vector<net::LinkId> fixed_in_;
+    util::Money best_cost_ = util::Money::from_micros(std::numeric_limits<std::int64_t>::max());
+    std::vector<net::LinkId> best_links_;
+};
+
+}  // namespace
+
+std::optional<Selection> select_links_exact(const OfferPool& pool,
+                                            const AcceptabilityOracle& oracle,
+                                            const std::vector<net::LinkId>& available) {
+    for (const BpBid& bid : pool.bids()) {
+        POC_EXPECTS(!bid.has_bundle_overrides());
+    }
+    // Expensive links first: excluding them early finds cheap incumbents
+    // sooner and tightens the bound.
+    ExactSearch search(pool, oracle, removal_order(pool, available));
+    return search.run();
+}
+
+}  // namespace poc::market

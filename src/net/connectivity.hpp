@@ -1,0 +1,38 @@
+// Connectivity analysis over Subgraphs: components, reachability,
+// bridges. The topology builder uses components to validate generated
+// networks; the resilience constraints use bridges as a fast necessary
+// condition (a demand crossing a bridge cannot survive that link's
+// failure).
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace poc::net {
+
+/// Component label per node (labels are 0..count-1, dense).
+struct Components {
+    std::vector<std::uint32_t> label;
+    std::uint32_t count = 0;
+
+    bool same(NodeId a, NodeId b) const { return label[a.index()] == label[b.index()]; }
+};
+
+/// Connected components over active links.
+Components connected_components(const Subgraph& sg);
+
+/// True if every demand's endpoints are in the same component.
+bool all_pairs_connected(const Subgraph& sg, const TrafficMatrix& tm);
+
+/// True if all nodes that have at least one active incident link are in
+/// one component (isolated nodes are ignored: an un-leased attachment
+/// point is not a partition).
+bool spanning_connected(const Subgraph& sg);
+
+/// Bridge links (links whose removal disconnects their endpoints),
+/// found with Tarjan's low-link algorithm. Parallel links are never
+/// bridges.
+std::vector<LinkId> find_bridges(const Subgraph& sg);
+
+}  // namespace poc::net

@@ -1,0 +1,67 @@
+#include "net/failure.hpp"
+
+#include <algorithm>
+
+#include "net/connectivity.hpp"
+
+namespace poc::net {
+
+bool satisfies_load(const Subgraph& sg, const TrafficMatrix& tm, double fptas_eps) {
+    if (!all_pairs_connected(sg, tm)) return false;
+    return is_routable(sg, tm, fptas_eps);
+}
+
+bool satisfies_single_failure(const Subgraph& sg, const TrafficMatrix& tm,
+                              const ResilienceOptions& opt) {
+    if (!satisfies_load(sg, tm, opt.fptas_eps)) return false;
+
+    // Find a nominal feasible routing; links that carry no flow in it
+    // can fail without consequence (the same routing remains valid), so
+    // only loaded links need exhaustive rechecking.
+    auto nominal = greedy_path_routing(sg, tm);
+    std::vector<double> load;
+    if (nominal) {
+        load = nominal->link_load(sg.graph());
+    } else {
+        const auto cf = max_concurrent_flow(sg, tm, opt.fptas_eps);
+        if (cf.lambda < 1.0) return false;
+        load = cf.routing.link_load(sg.graph());
+    }
+
+    Subgraph work = sg;
+    for (const LinkId lid : sg.active_links()) {
+        const double cap = sg.graph().link(lid).capacity_gbps;
+        if (load[lid.index()] <= opt.recheck_load_threshold * cap ||
+            load[lid.index()] <= 1e-9) {
+            continue;  // unloaded in the nominal routing: failure is free
+        }
+        work.set_active(lid, false);
+        const bool ok = satisfies_load(work, tm, opt.fptas_eps);
+        work.set_active(lid, true);
+        if (!ok) return false;
+    }
+    return true;
+}
+
+std::vector<std::vector<LinkId>> primary_paths(const Subgraph& sg, const TrafficMatrix& tm) {
+    std::vector<std::vector<LinkId>> primaries(tm.size());
+    const LinkWeight w = weight_by_length(sg.graph());
+    for (std::size_t j = 0; j < tm.size(); ++j) {
+        if (tm[j].gbps <= 0.0) continue;
+        if (const auto sp = shortest_path(sg, tm[j].src, tm[j].dst, w)) {
+            primaries[j] = sp->links;
+        }
+    }
+    return primaries;
+}
+
+bool satisfies_per_pair_failure(const Subgraph& sg, const TrafficMatrix& tm,
+                                const ResilienceOptions& opt) {
+    if (!satisfies_load(sg, tm, opt.fptas_eps)) return false;
+    const CommodityExclusions primaries = primary_paths(sg, tm);
+    // Every demand must still be routable (simultaneously) while its own
+    // primary path's links are excluded for it.
+    return is_routable(sg, tm, opt.fptas_eps, &primaries);
+}
+
+}  // namespace poc::net

@@ -1,0 +1,55 @@
+// Failure models for the auction's resilience constraints (paper
+// section 3.3):
+//
+//   Constraint #1 - the selected links can carry the traffic matrix.
+//   Constraint #2 - ... even after "any single path between a pair of
+//                   routers has failed". We operationalize a failed path
+//                   as the failure of any one of its links: the set must
+//                   survive every single-link failure.
+//   Constraint #3 - ... assuming "a path between each pair of routers
+//                   has failed": every demand must be routable while
+//                   avoiding the links of its own primary (shortest)
+//                   path, i.e. each commodity is rerouted onto backup
+//                   capacity simultaneously.
+//
+// The mapping from the paper's one-sentence definitions to these checks
+// is recorded in DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/mcf.hpp"
+
+namespace poc::net {
+
+struct ResilienceOptions {
+    /// FPTAS precision for feasibility fallback checks.
+    double fptas_eps = 0.15;
+    /// For single-link-failure checking: only the links carrying at
+    /// least this fraction of their capacity under the nominal routing
+    /// are re-checked exhaustively (lightly-loaded links trivially
+    /// survive because their traffic fits in neighbors' headroom only if
+    /// re-verified; set to 0 to re-check every active link).
+    double recheck_load_threshold = 0.0;
+};
+
+/// Constraint #1: the matrix is routable on the active links.
+bool satisfies_load(const Subgraph& sg, const TrafficMatrix& tm, double fptas_eps = 0.15);
+
+/// Constraint #2: routable after every possible single-link failure.
+/// (Exhaustive over active links above the threshold; see options.)
+bool satisfies_single_failure(const Subgraph& sg, const TrafficMatrix& tm,
+                              const ResilienceOptions& opt = {});
+
+/// Constraint #3: every demand routable with its primary path's links
+/// excluded for that demand, all demands simultaneously.
+bool satisfies_per_pair_failure(const Subgraph& sg, const TrafficMatrix& tm,
+                                const ResilienceOptions& opt = {});
+
+/// The primary (shortest-by-length) path link set per demand, used by
+/// the per-pair failure model. Demands with disconnected endpoints get
+/// an empty set.
+std::vector<std::vector<LinkId>> primary_paths(const Subgraph& sg, const TrafficMatrix& tm);
+
+}  // namespace poc::net

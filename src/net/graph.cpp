@@ -1,0 +1,88 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+
+namespace poc::net {
+
+NodeId Graph::add_node(std::string label) {
+    node_labels_.push_back(std::move(label));
+    adjacency_dirty_ = true;
+    return NodeId{node_labels_.size() - 1};
+}
+
+NodeId Graph::add_nodes(std::size_t count) {
+    POC_EXPECTS(count > 0);
+    const NodeId first{node_labels_.size()};
+    node_labels_.resize(node_labels_.size() + count);
+    adjacency_dirty_ = true;
+    return first;
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b, double capacity_gbps, double length_km) {
+    POC_EXPECTS(a.valid() && a.index() < node_count());
+    POC_EXPECTS(b.valid() && b.index() < node_count());
+    POC_EXPECTS(a != b);
+    POC_EXPECTS(capacity_gbps > 0.0);
+    POC_EXPECTS(length_km >= 0.0);
+    links_.push_back(Link{a, b, capacity_gbps, length_km});
+    adjacency_dirty_ = true;
+    return LinkId{links_.size() - 1};
+}
+
+std::span<const LinkId> Graph::incident(NodeId node) const {
+    POC_EXPECTS(node.index() < node_count());
+    ensure_adjacency_current();
+    const auto lo = adj_offsets_[node.index()];
+    const auto hi = adj_offsets_[node.index() + 1];
+    return {adj_links_.data() + lo, adj_links_.data() + hi};
+}
+
+std::vector<LinkId> Graph::all_links() const {
+    std::vector<LinkId> out;
+    out.reserve(links_.size());
+    for (std::size_t i = 0; i < links_.size(); ++i) out.emplace_back(i);
+    return out;
+}
+
+void Graph::ensure_adjacency_current() const {
+    if (!adjacency_dirty_) return;
+    adj_offsets_.assign(node_count() + 1, 0);
+    for (const Link& l : links_) {
+        ++adj_offsets_[l.a.index() + 1];
+        ++adj_offsets_[l.b.index() + 1];
+    }
+    for (std::size_t i = 1; i < adj_offsets_.size(); ++i) adj_offsets_[i] += adj_offsets_[i - 1];
+    adj_links_.assign(links_.size() * 2, LinkId{});
+    std::vector<std::uint32_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        const Link& l = links_[i];
+        adj_links_[cursor[l.a.index()]++] = LinkId{i};
+        adj_links_[cursor[l.b.index()]++] = LinkId{i};
+    }
+    adjacency_dirty_ = false;
+}
+
+Subgraph::Subgraph(const Graph& graph)
+    : graph_(&graph), mask_(graph.link_count(), 1), active_count_(graph.link_count()) {}
+
+Subgraph::Subgraph(const Graph& graph, const std::vector<LinkId>& active)
+    : graph_(&graph), mask_(graph.link_count(), 0) {
+    for (const LinkId id : active) set_active(id, true);
+}
+
+std::vector<LinkId> Subgraph::active_links() const {
+    std::vector<LinkId> out;
+    out.reserve(active_count_);
+    for (std::size_t i = 0; i < mask_.size(); ++i) {
+        if (mask_[i] != 0) out.emplace_back(i);
+    }
+    return out;
+}
+
+double total_demand(const TrafficMatrix& tm) {
+    double s = 0.0;
+    for (const Demand& d : tm) s += d.gbps;
+    return s;
+}
+
+}  // namespace poc::net

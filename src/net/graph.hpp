@@ -1,0 +1,139 @@
+// Graph core for the POC backbone: an undirected multigraph of
+// capacitated links between routers. The auction reasons about *subsets*
+// of links, so every algorithm in poc::net runs against a Subgraph view
+// (graph + active-link mask) rather than a copied graph; toggling a link
+// in or out of consideration is O(1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/ids.hpp"
+
+namespace poc::net {
+
+using NodeId = util::Id<struct NodeTag>;
+using LinkId = util::Id<struct LinkTag>;
+
+/// An undirected capacitated link. `capacity_gbps` bounds total flow in
+/// both directions combined (a leased wavelength is full-duplex, but the
+/// auction's traffic matrix is directional; we model the common case of
+/// symmetric provisioning by charging both directions against the same
+/// capacity, which is conservative).
+struct Link {
+    NodeId a;
+    NodeId b;
+    double capacity_gbps = 0.0;
+    /// Routing weight; by convention the geographic length in km (so
+    /// shortest paths approximate lowest latency).
+    double length_km = 0.0;
+
+    /// The endpoint that is not `from`. Requires from ∈ {a, b}.
+    NodeId other(NodeId from) const {
+        POC_EXPECTS(from == a || from == b);
+        return from == a ? b : a;
+    }
+};
+
+/// Immutable-after-build undirected multigraph.
+class Graph {
+public:
+    Graph() = default;
+
+    /// Create `count` nodes, returning the id of the first. Node labels
+    /// are optional and for reporting only.
+    NodeId add_node(std::string label = {});
+    NodeId add_nodes(std::size_t count);
+
+    /// Add an undirected link. Self-loops are rejected (a leased circuit
+    /// connects two distinct routers). Parallel links are allowed: two
+    /// BPs may offer circuits between the same city pair.
+    LinkId add_link(NodeId a, NodeId b, double capacity_gbps, double length_km);
+
+    std::size_t node_count() const noexcept { return node_labels_.size(); }
+    std::size_t link_count() const noexcept { return links_.size(); }
+
+    const Link& link(LinkId id) const {
+        POC_EXPECTS(id.index() < links_.size());
+        return links_[id.index()];
+    }
+
+    const std::string& node_label(NodeId id) const {
+        POC_EXPECTS(id.index() < node_labels_.size());
+        return node_labels_[id.index()];
+    }
+
+    /// Links incident to `node` (both parallel and distinct neighbors).
+    std::span<const LinkId> incident(NodeId node) const;
+
+    /// All link ids, in insertion order.
+    std::vector<LinkId> all_links() const;
+
+private:
+    void ensure_adjacency_current() const;
+
+    std::vector<std::string> node_labels_;
+    std::vector<Link> links_;
+
+    // CSR adjacency, rebuilt lazily after link insertion.
+    mutable std::vector<std::uint32_t> adj_offsets_;
+    mutable std::vector<LinkId> adj_links_;
+    mutable bool adjacency_dirty_ = true;
+};
+
+/// A view of a Graph restricted to a subset of its links. Cheap to copy;
+/// the mask is a shared-size vector<char> (not vector<bool>, for speed).
+class Subgraph {
+public:
+    /// View with every link active.
+    explicit Subgraph(const Graph& graph);
+
+    /// View with exactly the given links active.
+    Subgraph(const Graph& graph, const std::vector<LinkId>& active);
+
+    const Graph& graph() const noexcept { return *graph_; }
+
+    bool is_active(LinkId id) const {
+        POC_EXPECTS(id.index() < mask_.size());
+        return mask_[id.index()] != 0;
+    }
+
+    void set_active(LinkId id, bool active) {
+        POC_EXPECTS(id.index() < mask_.size());
+        const char now = active ? 1 : 0;
+        if (mask_[id.index()] != now) {
+            mask_[id.index()] = now;
+            active_count_ += active ? 1 : static_cast<std::size_t>(-1);
+        }
+    }
+
+    std::size_t active_count() const noexcept { return active_count_; }
+
+    /// Active links in id order.
+    std::vector<LinkId> active_links() const;
+
+    std::size_t node_count() const noexcept { return graph_->node_count(); }
+
+private:
+    const Graph* graph_;
+    std::vector<char> mask_;
+    std::size_t active_count_ = 0;
+};
+
+/// A directional traffic demand between two routers.
+struct Demand {
+    NodeId src;
+    NodeId dst;
+    double gbps = 0.0;
+};
+
+/// A point-to-point traffic matrix as a demand list (sparse form).
+using TrafficMatrix = std::vector<Demand>;
+
+/// Sum of all demand volumes.
+double total_demand(const TrafficMatrix& tm);
+
+}  // namespace poc::net

@@ -1,0 +1,20 @@
+// Yen's algorithm for the k shortest loopless paths. The multi-commodity
+// routing in the feasibility oracle and the per-pair failure model
+// (constraint #3 of the auction, paper section 3.3) both work over a
+// candidate path set per commodity; Yen provides that set.
+#pragma once
+
+#include <vector>
+
+#include "net/shortest_path.hpp"
+
+namespace poc::net {
+
+/// Up to k shortest loopless paths from src to dst over active links,
+/// ordered by non-decreasing weight. Fewer than k are returned when the
+/// subgraph does not contain k distinct loopless paths. Requires k >= 1
+/// and non-negative weights.
+std::vector<WeightedPath> yen_k_shortest(const Subgraph& sg, NodeId src, NodeId dst,
+                                         const LinkWeight& weight, std::size_t k);
+
+}  // namespace poc::net

@@ -1,0 +1,160 @@
+#include "net/maxflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace poc::net {
+
+namespace {
+
+/// Internal residual-arc representation for Dinic. Each undirected link
+/// becomes one arc pair (u->v, v->u), each initialized with the full
+/// link capacity; pushing flow on one direction grows the residual of
+/// the other, which correctly models an undirected edge.
+struct Arc {
+    std::uint32_t to;
+    std::uint32_t rev;  // index of the reverse arc in arcs_of[to]
+    double residual;
+    std::uint32_t link_index;  // originating link, for flow extraction
+    bool forward;              // true if this arc goes link.a -> link.b
+};
+
+class Dinic {
+public:
+    Dinic(const Subgraph& sg, bool unit_capacity) : g_(sg.graph()), arcs_of_(g_.node_count()) {
+        for (const LinkId lid : sg.active_links()) {
+            const Link& l = g_.link(lid);
+            const double cap = unit_capacity ? 1.0 : l.capacity_gbps;
+            add_pair(l.a.value(), l.b.value(), cap, lid);
+        }
+    }
+
+    double run(std::uint32_t s, std::uint32_t t) {
+        double total = 0.0;
+        while (bfs(s, t)) {
+            it_.assign(arcs_of_.size(), 0);
+            while (true) {
+                const double pushed = dfs(s, t, std::numeric_limits<double>::infinity());
+                if (pushed <= kEps) break;
+                total += pushed;
+            }
+        }
+        return total;
+    }
+
+    /// Per-link net a->b flow after run(). Both arcs of a link start at
+    /// the full capacity, so net flow = (residual_ba - residual_ab) / 2.
+    std::vector<LinkFlow> flows(const Subgraph& sg) const {
+        std::vector<LinkFlow> out;
+        for (const LinkId lid : sg.active_links()) {
+            const Link& l = sg.graph().link(lid);
+            double net_ab = 0.0;
+            for (const Arc& a : arcs_of_[l.a.index()]) {
+                if (a.link_index == lid.value() && a.forward) {
+                    const Arc& rev = arcs_of_[a.to][a.rev];
+                    net_ab = (rev.residual - a.residual) / 2.0;
+                    break;
+                }
+            }
+            if (std::abs(net_ab) > kEps) out.push_back(LinkFlow{lid, net_ab});
+        }
+        return out;
+    }
+
+    std::vector<NodeId> reachable_in_residual(std::uint32_t s) const {
+        std::vector<char> seen(arcs_of_.size(), 0);
+        std::queue<std::uint32_t> q;
+        q.push(s);
+        seen[s] = 1;
+        std::vector<NodeId> out;
+        while (!q.empty()) {
+            const std::uint32_t u = q.front();
+            q.pop();
+            out.push_back(NodeId{u});
+            for (const Arc& a : arcs_of_[u]) {
+                if (a.residual > kEps && seen[a.to] == 0) {
+                    seen[a.to] = 1;
+                    q.push(a.to);
+                }
+            }
+        }
+        return out;
+    }
+
+private:
+    static constexpr double kEps = 1e-9;
+
+    void add_pair(std::uint32_t u, std::uint32_t v, double cap, LinkId lid) {
+        const auto iu = static_cast<std::uint32_t>(arcs_of_[u].size());
+        const auto iv = static_cast<std::uint32_t>(arcs_of_[v].size());
+        arcs_of_[u].push_back(Arc{v, iv, cap, lid.value(), true});
+        arcs_of_[v].push_back(Arc{u, iu, cap, lid.value(), false});
+    }
+
+    bool bfs(std::uint32_t s, std::uint32_t t) {
+        level_.assign(arcs_of_.size(), -1);
+        std::queue<std::uint32_t> q;
+        q.push(s);
+        level_[s] = 0;
+        while (!q.empty()) {
+            const std::uint32_t u = q.front();
+            q.pop();
+            for (const Arc& a : arcs_of_[u]) {
+                if (a.residual > kEps && level_[a.to] < 0) {
+                    level_[a.to] = level_[u] + 1;
+                    q.push(a.to);
+                }
+            }
+        }
+        return level_[t] >= 0;
+    }
+
+    double dfs(std::uint32_t u, std::uint32_t t, double limit) {
+        if (u == t) return limit;
+        for (std::uint32_t& i = it_[u]; i < arcs_of_[u].size(); ++i) {
+            Arc& a = arcs_of_[u][i];
+            if (a.residual <= kEps || level_[a.to] != level_[u] + 1) continue;
+            const double pushed = dfs(a.to, t, std::min(limit, a.residual));
+            if (pushed > kEps) {
+                a.residual -= pushed;
+                arcs_of_[a.to][a.rev].residual += pushed;
+                return pushed;
+            }
+        }
+        return 0.0;
+    }
+
+    const Graph& g_;
+    std::vector<std::vector<Arc>> arcs_of_;
+    std::vector<int> level_;
+    std::vector<std::uint32_t> it_;
+};
+
+}  // namespace
+
+MaxFlowResult max_flow(const Subgraph& sg, NodeId src, NodeId dst) {
+    POC_EXPECTS(src != dst);
+    POC_EXPECTS(src.index() < sg.node_count());
+    POC_EXPECTS(dst.index() < sg.node_count());
+    Dinic dinic(sg, /*unit_capacity=*/false);
+    MaxFlowResult result;
+    result.value = dinic.run(src.value(), dst.value());
+    result.flows = dinic.flows(sg);
+    result.source_side = dinic.reachable_in_residual(src.value());
+    return result;
+}
+
+std::size_t link_disjoint_path_count(const Subgraph& sg, NodeId src, NodeId dst) {
+    POC_EXPECTS(src != dst);
+    Dinic dinic(sg, /*unit_capacity=*/true);
+    const double value = dinic.run(src.value(), dst.value());
+    return static_cast<std::size_t>(std::llround(value));
+}
+
+double min_cut_capacity(const Subgraph& sg, NodeId src, NodeId dst) {
+    return max_flow(sg, src, dst).value;
+}
+
+}  // namespace poc::net

@@ -1,0 +1,39 @@
+// Dinic's max-flow over a Subgraph. Used for (i) edge-disjoint path
+// counting in the resilience constraints, (ii) max-flow/min-cut property
+// tests, and (iii) single-commodity feasibility probes inside the
+// auction's acceptability oracle.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace poc::net {
+
+/// Flow assignment on a single link, signed: positive means net flow
+/// from link.a to link.b.
+struct LinkFlow {
+    LinkId link;
+    double flow = 0.0;
+};
+
+struct MaxFlowResult {
+    double value = 0.0;
+    /// Net flow per active link (absent links carry zero).
+    std::vector<LinkFlow> flows;
+    /// Nodes on the source side of the induced min cut.
+    std::vector<NodeId> source_side;
+};
+
+/// Max flow src->dst where each undirected active link can carry up to
+/// its capacity in either direction (net). Requires src != dst.
+MaxFlowResult max_flow(const Subgraph& sg, NodeId src, NodeId dst);
+
+/// As max_flow but with every active link given unit capacity: the value
+/// is the number of link-disjoint paths between src and dst (Menger).
+std::size_t link_disjoint_path_count(const Subgraph& sg, NodeId src, NodeId dst);
+
+/// Total capacity of the min cut separating src from dst (== max flow).
+double min_cut_capacity(const Subgraph& sg, NodeId src, NodeId dst);
+
+}  // namespace poc::net

@@ -1,0 +1,79 @@
+// Multi-commodity flow machinery for the auction's acceptability oracle
+// A(OL) (paper section 3.3): given a candidate set of leased links, can
+// the POC route its traffic-matrix upper bound?
+//
+// Exact fractional MCF is an LP; instead we provide two practical
+// oracles, both standard in traffic-engineering practice:
+//
+//  * greedy_path_routing - fast water-filling over k-shortest candidate
+//    paths. Sufficient (not necessary): success proves feasibility.
+//  * max_concurrent_flow - Fleischer's FPTAS for maximum concurrent
+//    flow. Returns a certified-feasible throughput factor lambda such
+//    that lambda >= (1-eps)^2 * OPT; lambda >= 1 proves the matrix fits.
+//
+// The winner-determination search uses the cheap oracle first and falls
+// back to the FPTAS.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/shortest_path.hpp"
+
+namespace poc::net {
+
+/// A fractional routing: per demand, a set of paths with assigned rates.
+struct CommodityRouting {
+    /// routes[d] lists (path, gbps) pairs for tm[d]; rates sum to at
+    /// most tm[d].gbps (equality when the routing is complete).
+    std::vector<std::vector<std::pair<std::vector<LinkId>, double>>> routes;
+
+    /// Total gbps placed on each link by this routing.
+    std::vector<double> link_load(const Graph& g) const;
+};
+
+/// Per-commodity link exclusions: exclusions[d] lists links that demand
+/// tm[d] must not traverse (used by the per-pair failure constraint,
+/// where each demand avoids its own failed primary path).
+using CommodityExclusions = std::vector<std::vector<LinkId>>;
+
+struct GreedyRoutingOptions {
+    /// Number of candidate shortest paths per commodity.
+    std::size_t k_paths = 4;
+    /// Capacity headroom: links are filled only to this fraction.
+    double utilization_cap = 1.0;
+    /// Optional per-commodity forbidden links (size == tm.size()).
+    const CommodityExclusions* exclusions = nullptr;
+    /// Optional base routing weight per link (indexed by link id);
+    /// defaults to geographic length. Winner determination passes lease
+    /// prices here so routing concentrates on cheap links.
+    const std::vector<double>* base_weight = nullptr;
+};
+
+/// Water-filling over Yen candidate paths, demands placed largest-first.
+/// Returns the routing if every demand fits entirely, nullopt otherwise.
+std::optional<CommodityRouting> greedy_path_routing(const Subgraph& sg, const TrafficMatrix& tm,
+                                                    const GreedyRoutingOptions& opt = {});
+
+struct ConcurrentFlowResult {
+    /// Certified feasible throughput: every demand can simultaneously
+    /// route lambda * its volume. lambda >= 1 ==> the matrix fits.
+    double lambda = 0.0;
+    /// The scaled-feasible routing achieving lambda.
+    CommodityRouting routing;
+};
+
+/// Fleischer's max-concurrent-flow approximation. eps in (0, 0.5].
+/// Demands whose endpoints are unreachable (under their exclusions)
+/// yield lambda = 0.
+ConcurrentFlowResult max_concurrent_flow(const Subgraph& sg, const TrafficMatrix& tm,
+                                         double eps = 0.1,
+                                         const CommodityExclusions* exclusions = nullptr);
+
+/// Combined feasibility oracle: greedy first, FPTAS fallback.
+/// `fptas_eps` controls the fallback's precision/speed trade-off.
+bool is_routable(const Subgraph& sg, const TrafficMatrix& tm, double fptas_eps = 0.15,
+                 const CommodityExclusions* exclusions = nullptr);
+
+}  // namespace poc::net

@@ -1,0 +1,131 @@
+#include "net/mincostflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "net/shortest_path.hpp"
+
+namespace poc::net {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Arc {
+    std::uint32_t to;
+    std::uint32_t rev;
+    double residual;
+    double initial;  // initial residual (capacity for primary arcs, 0 otherwise)
+    double cost;     // per unit (negated on reverse arcs)
+    std::uint32_t link_index;
+    /// True for the capacity-bearing arc created by add_pair; false for
+    /// its residual twin. Flow extraction reads only primary arcs.
+    bool primary;
+    /// For primary arcs: true if the arc runs link.a -> link.b.
+    bool along_ab;
+};
+
+}  // namespace
+
+std::optional<MinCostFlowResult> min_cost_flow(const Subgraph& sg, NodeId src, NodeId dst,
+                                               double amount, const LinkWeight& cost_per_unit) {
+    POC_EXPECTS(src != dst);
+    POC_EXPECTS(amount >= 0.0);
+    const Graph& g = sg.graph();
+
+    std::vector<std::vector<Arc>> arcs(g.node_count());
+    auto add_pair = [&](std::uint32_t u, std::uint32_t v, double cap, double cost, LinkId lid,
+                        bool along_ab) {
+        const auto iu = static_cast<std::uint32_t>(arcs[u].size());
+        const auto iv = static_cast<std::uint32_t>(arcs[v].size());
+        arcs[u].push_back(Arc{v, iv, cap, cap, cost, lid.value(), true, along_ab});
+        arcs[v].push_back(Arc{u, iu, 0.0, 0.0, -cost, lid.value(), false, !along_ab});
+    };
+    for (const LinkId lid : sg.active_links()) {
+        const Link& l = g.link(lid);
+        const double cost = cost_per_unit(lid);
+        POC_EXPECTS(cost >= 0.0);
+        // Undirected link: independent directed capacity each way, with a
+        // shared cap would need coupling; we use the conservative model
+        // of full capacity per direction (same as max_flow's arc pair).
+        add_pair(l.a.value(), l.b.value(), l.capacity_gbps, cost, lid, true);
+        add_pair(l.b.value(), l.a.value(), l.capacity_gbps, cost, lid, false);
+    }
+
+    const std::size_t n = g.node_count();
+    std::vector<double> potential(n, 0.0);  // costs are non-negative, so 0 init works
+    MinCostFlowResult result;
+
+    double remaining = amount;
+    while (remaining > kEps) {
+        // Dijkstra with reduced costs.
+        std::vector<double> dist(n, kInf);
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> parent(n, {~0u, ~0u});
+        using Item = std::pair<double, std::uint32_t>;
+        std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+        dist[src.index()] = 0.0;
+        heap.emplace(0.0, src.value());
+        while (!heap.empty()) {
+            const auto [d, u] = heap.top();
+            heap.pop();
+            if (d > dist[u] + kEps) continue;
+            for (std::uint32_t i = 0; i < arcs[u].size(); ++i) {
+                const Arc& a = arcs[u][i];
+                if (a.residual <= kEps) continue;
+                const double rc = a.cost + potential[u] - potential[a.to];
+                const double nd = d + std::max(rc, 0.0);
+                if (nd < dist[a.to] - kEps) {
+                    dist[a.to] = nd;
+                    parent[a.to] = {u, i};
+                    heap.emplace(nd, a.to);
+                }
+            }
+        }
+        if (dist[dst.index()] == kInf) return std::nullopt;  // saturated: cannot route all
+
+        for (std::size_t v = 0; v < n; ++v) {
+            if (dist[v] < kInf) potential[v] += dist[v];
+        }
+
+        // Bottleneck along the path.
+        double push = remaining;
+        for (std::uint32_t v = dst.value(); v != src.value();) {
+            const auto [u, i] = parent[v];
+            push = std::min(push, arcs[u][i].residual);
+            v = u;
+        }
+        POC_ASSERT(push > kEps);
+
+        for (std::uint32_t v = dst.value(); v != src.value();) {
+            const auto [u, i] = parent[v];
+            Arc& a = arcs[u][i];
+            a.residual -= push;
+            arcs[a.to][a.rev].residual += push;
+            result.cost += push * a.cost;
+            v = u;
+        }
+        remaining -= push;
+        result.routed += push;
+    }
+
+    // Extract per-link net flows from the primary arcs only.
+    std::vector<double> net(g.link_count(), 0.0);
+    for (const auto& node_arcs : arcs) {
+        for (const Arc& a : node_arcs) {
+            if (!a.primary) continue;
+            const double used = a.initial - a.residual;
+            net[a.link_index] += a.along_ab ? used : -used;
+        }
+    }
+    for (const LinkId lid : sg.active_links()) {
+        if (std::abs(net[lid.index()]) > kEps) {
+            result.flows.push_back(LinkFlow{lid, net[lid.index()]});
+        }
+    }
+    return result;
+}
+
+}  // namespace poc::net

@@ -1,0 +1,32 @@
+// Min-cost single-commodity flow (successive shortest paths with
+// Johnson potentials). The flow simulator uses it to route one LMP's
+// aggregate traffic at minimum total latency-km over the provisioned
+// backbone.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/maxflow.hpp"
+#include "net/shortest_path.hpp"
+
+namespace poc::net {
+
+struct MinCostFlowResult {
+    /// Amount actually routed (== requested amount when feasible).
+    double routed = 0.0;
+    /// Total cost = sum over links of |flow| * cost-per-unit.
+    double cost = 0.0;
+    /// Net flow per link (positive = a->b).
+    std::vector<LinkFlow> flows;
+};
+
+/// Route `amount` units src->dst at minimum total cost, where each
+/// active link carries at most its capacity and costs `cost_per_unit(l)`
+/// per unit of flow (must be >= 0). Returns nullopt when the network
+/// cannot carry the full amount.
+std::optional<MinCostFlowResult> min_cost_flow(const Subgraph& sg, NodeId src, NodeId dst,
+                                               double amount, const LinkWeight& cost_per_unit);
+
+}  // namespace poc::net

@@ -1,0 +1,139 @@
+#include "net/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace poc::net {
+
+LinkWeight weight_by_length(const Graph& g) {
+    return [&g](LinkId id) { return g.link(id).length_km; };
+}
+
+LinkWeight weight_unit() {
+    return [](LinkId) { return 1.0; };
+}
+
+std::vector<LinkId> ShortestPathTree::path_to(NodeId target) const {
+    POC_EXPECTS(target.index() < dist.size());
+    POC_EXPECTS(reachable(target));
+    std::vector<LinkId> links;
+    // Walk parent pointers; needs the graph only implicitly because the
+    // parent link's endpoints determine the predecessor. We store just
+    // link ids here, so the caller walks with path_nodes() if node order
+    // matters. To reconstruct we track the current node via parents.
+    // parent_link[v] connects v to its predecessor.
+    NodeId v = target;
+    while (v != source) {
+        const LinkId pl = parent_link[v.index()];
+        POC_ASSERT(pl.valid());
+        links.push_back(pl);
+        // Move to the other endpoint. We cannot consult the Graph here,
+        // so ShortestPathTree stores predecessor nodes too; see below.
+        v = pred_node_[v.index()];
+    }
+    std::reverse(links.begin(), links.end());
+    return links;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ShortestPathTree dijkstra(const Subgraph& sg, NodeId source, const LinkWeight& weight) {
+    const Graph& g = sg.graph();
+    POC_EXPECTS(source.index() < g.node_count());
+
+    ShortestPathTree tree;
+    tree.source = source;
+    tree.dist.assign(g.node_count(), kInf);
+    tree.parent_link.assign(g.node_count(), LinkId{});
+    tree.pred_node_.assign(g.node_count(), NodeId{});
+    tree.dist[source.index()] = 0.0;
+
+    using Item = std::pair<double, NodeId::underlying_type>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.emplace(0.0, source.value());
+
+    while (!heap.empty()) {
+        const auto [d, u_raw] = heap.top();
+        heap.pop();
+        const NodeId u{u_raw};
+        if (d > tree.dist[u.index()]) continue;  // stale entry
+        for (const LinkId lid : g.incident(u)) {
+            if (!sg.is_active(lid)) continue;
+            const double w = weight(lid);
+            POC_EXPECTS(w >= 0.0);
+            const NodeId v = g.link(lid).other(u);
+            const double nd = d + w;
+            if (nd < tree.dist[v.index()]) {
+                tree.dist[v.index()] = nd;
+                tree.parent_link[v.index()] = lid;
+                tree.pred_node_[v.index()] = u;
+                heap.emplace(nd, v.value());
+            }
+        }
+    }
+    return tree;
+}
+
+std::optional<ShortestPathTree> bellman_ford(const Subgraph& sg, NodeId source,
+                                             const LinkWeight& weight) {
+    const Graph& g = sg.graph();
+    POC_EXPECTS(source.index() < g.node_count());
+
+    ShortestPathTree tree;
+    tree.source = source;
+    tree.dist.assign(g.node_count(), kInf);
+    tree.parent_link.assign(g.node_count(), LinkId{});
+    tree.pred_node_.assign(g.node_count(), NodeId{});
+    tree.dist[source.index()] = 0.0;
+
+    const auto links = sg.active_links();
+    const std::size_t n = g.node_count();
+    bool changed = true;
+    for (std::size_t round = 0; round < n && changed; ++round) {
+        changed = false;
+        for (const LinkId lid : links) {
+            const Link& l = g.link(lid);
+            const double w = weight(lid);
+            auto relax = [&](NodeId from, NodeId to) {
+                if (tree.dist[from.index()] == kInf) return;
+                const double nd = tree.dist[from.index()] + w;
+                if (nd < tree.dist[to.index()] - 1e-15) {
+                    tree.dist[to.index()] = nd;
+                    tree.parent_link[to.index()] = lid;
+                    tree.pred_node_[to.index()] = from;
+                    changed = true;
+                }
+            };
+            relax(l.a, l.b);
+            relax(l.b, l.a);
+        }
+        if (round == n - 1 && changed) return std::nullopt;  // negative cycle
+    }
+    return tree;
+}
+
+std::optional<WeightedPath> shortest_path(const Subgraph& sg, NodeId src, NodeId dst,
+                                          const LinkWeight& weight) {
+    const ShortestPathTree tree = dijkstra(sg, src, weight);
+    if (!tree.reachable(dst)) return std::nullopt;
+    WeightedPath wp;
+    wp.links = tree.path_to(dst);
+    wp.weight = tree.dist[dst.index()];
+    return wp;
+}
+
+std::vector<NodeId> path_nodes(const Graph& g, NodeId src, const std::vector<LinkId>& links) {
+    std::vector<NodeId> nodes{src};
+    NodeId cur = src;
+    for (const LinkId lid : links) {
+        cur = g.link(lid).other(cur);  // throws contract violation if walk breaks
+        nodes.push_back(cur);
+    }
+    return nodes;
+}
+
+}  // namespace poc::net

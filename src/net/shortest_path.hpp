@@ -1,0 +1,69 @@
+// Single-source shortest paths over a Subgraph with pluggable link
+// weights. Dijkstra is the workhorse (all weights in this project are
+// non-negative); Bellman-Ford exists as an independent oracle for
+// property tests and for min-cost-flow potential initialization.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace poc::net {
+
+/// Link weight functor: maps a link to its routing cost. Must be
+/// non-negative for Dijkstra.
+using LinkWeight = std::function<double(LinkId)>;
+
+/// Weight by geographic length (the default routing metric).
+LinkWeight weight_by_length(const Graph& g);
+/// Unit weight (hop count).
+LinkWeight weight_unit();
+
+/// Result of a single-source shortest path computation.
+struct ShortestPathTree {
+    NodeId source;
+    /// dist[v] = cost of the best path source->v, or +inf if unreachable.
+    std::vector<double> dist;
+    /// parent_link[v] = the link used to enter v on the best path, or an
+    /// invalid id for the source / unreachable nodes.
+    std::vector<LinkId> parent_link;
+    /// pred_node_[v] = the node preceding v on the best path (the other
+    /// endpoint of parent_link[v]). Stored so path reconstruction does
+    /// not need the graph.
+    std::vector<NodeId> pred_node_;
+
+    bool reachable(NodeId v) const {
+        return dist[v.index()] < std::numeric_limits<double>::infinity();
+    }
+
+    /// Reconstruct the link sequence source->target. Requires target
+    /// reachable. Returned links are ordered from source to target.
+    std::vector<LinkId> path_to(NodeId target) const;
+};
+
+/// Dijkstra over active links. Requires weights >= 0.
+ShortestPathTree dijkstra(const Subgraph& sg, NodeId source, const LinkWeight& weight);
+
+/// Bellman-Ford over active links. Supports negative weights; returns
+/// std::nullopt if a negative cycle is reachable from the source.
+std::optional<ShortestPathTree> bellman_ford(const Subgraph& sg, NodeId source,
+                                             const LinkWeight& weight);
+
+/// A path with its total weight.
+struct WeightedPath {
+    std::vector<LinkId> links;
+    double weight = 0.0;
+};
+
+/// Convenience: best path between two nodes, or nullopt if disconnected.
+std::optional<WeightedPath> shortest_path(const Subgraph& sg, NodeId src, NodeId dst,
+                                          const LinkWeight& weight);
+
+/// The node sequence visited by a path starting at `src`. Requires the
+/// links to form a connected walk from src.
+std::vector<NodeId> path_nodes(const Graph& g, NodeId src, const std::vector<LinkId>& links);
+
+}  // namespace poc::net

@@ -1,0 +1,33 @@
+#include "sim/event_queue.hpp"
+
+#include <limits>
+
+namespace poc::sim {
+
+void Simulator::schedule_at(double time, EventHandler handler) {
+    POC_EXPECTS(time >= now_);
+    POC_EXPECTS(handler != nullptr);
+    queue_.push(Scheduled{time, next_seq_++, std::move(handler)});
+}
+
+void Simulator::schedule_in(double delay, EventHandler handler) {
+    POC_EXPECTS(delay >= 0.0);
+    schedule_at(now_ + delay, std::move(handler));
+}
+
+std::size_t Simulator::run(double until) {
+    stopped_ = false;
+    std::size_t executed = 0;
+    while (!queue_.empty() && !stopped_) {
+        if (queue_.top().time > until) break;
+        // priority_queue::top is const; copy the handler out before pop.
+        Scheduled ev = queue_.top();
+        queue_.pop();
+        now_ = ev.time;
+        ev.handler(*this);
+        ++executed;
+    }
+    return executed;
+}
+
+}  // namespace poc::sim

@@ -1,0 +1,58 @@
+// A small discrete-event simulation engine: a time-ordered event queue
+// with deterministic FIFO tie-breaking. The scenario layer uses it to
+// sequence auction epochs, capacity recalls, failures, and demand
+// growth on a common clock (time unit: months).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace poc::sim {
+
+class Simulator;
+
+using EventHandler = std::function<void(Simulator&)>;
+
+/// Deterministic discrete-event loop.
+class Simulator {
+public:
+    /// Schedule a handler at an absolute time >= now().
+    void schedule_at(double time, EventHandler handler);
+
+    /// Schedule a handler `delay >= 0` after now().
+    void schedule_in(double delay, EventHandler handler);
+
+    /// Run until the queue empties or `until` is passed (events at
+    /// exactly `until` still run). Returns the number of events run.
+    std::size_t run(double until = std::numeric_limits<double>::infinity());
+
+    /// Stop after the current event returns.
+    void stop() noexcept { stopped_ = true; }
+
+    double now() const noexcept { return now_; }
+    std::size_t pending() const noexcept { return queue_.size(); }
+
+private:
+    struct Scheduled {
+        double time;
+        std::uint64_t seq;  // FIFO among equal times
+        EventHandler handler;
+    };
+    struct Later {
+        bool operator()(const Scheduled& a, const Scheduled& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+    double now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+    bool stopped_ = false;
+};
+
+}  // namespace poc::sim

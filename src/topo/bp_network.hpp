@@ -1,0 +1,53 @@
+// Synthetic bandwidth-provider (BP) physical networks. This is the
+// substitute for the Internet Topology Zoo dataset used by the paper's
+// Figure 2 experiment (see DESIGN.md): we generate 20 BP backbones over
+// a shared city gazetteer, sized so that BP shares of the resulting POC
+// logical-link pool span roughly 2%..12%, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "topo/geo.hpp"
+#include "util/rng.hpp"
+
+namespace poc::topo {
+
+/// One bandwidth provider's physical backbone.
+struct BpNetwork {
+    std::string name;
+    /// Gazetteer indices of the cities where this BP has a PoP; aligned
+    /// with the node ids of `physical` (node i <-> cities[i]).
+    std::vector<std::size_t> cities;
+    /// The BP's own fibre graph between its PoPs.
+    net::Graph physical;
+};
+
+struct BpGeneratorOptions {
+    std::size_t bp_count = 20;
+    /// PoP-count range across BPs. Sizes ramp linearly from min to max
+    /// (with jitter), producing the skewed share distribution the paper
+    /// reports (smallest BP ~2% of logical links, largest ~12%).
+    std::size_t min_cities = 12;
+    std::size_t max_cities = 40;
+    /// Waxman connectivity parameters: P(link u,v) =
+    /// alpha * exp(-dist(u,v) / (beta * max_dist)).
+    double waxman_alpha = 0.9;
+    double waxman_beta = 0.22;
+    /// Physical link capacity choices (Gbps), drawn uniformly.
+    std::vector<double> capacity_choices_gbps = {100.0, 200.0, 400.0};
+    std::uint64_t seed = 42;
+};
+
+/// Generate `opt.bp_count` connected BP backbones. Deterministic in the
+/// seed. Every generated network is connected (Waxman draw augmented
+/// with a Euclidean-MST skeleton).
+std::vector<BpNetwork> generate_bp_networks(const BpGeneratorOptions& opt = {});
+
+/// Number of BPs with a PoP in each gazetteer city (indexed by city).
+std::vector<std::size_t> bp_presence_by_city(const std::vector<BpNetwork>& bps,
+                                             std::size_t city_count);
+
+}  // namespace poc::topo

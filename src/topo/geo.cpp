@@ -1,0 +1,117 @@
+#include "topo/geo.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace poc::topo {
+
+double haversine_km(GeoPoint a, GeoPoint b) {
+    constexpr double kEarthRadiusKm = 6371.0;
+    const double to_rad = std::numbers::pi / 180.0;
+    const double phi1 = a.lat_deg * to_rad;
+    const double phi2 = b.lat_deg * to_rad;
+    const double dphi = (b.lat_deg - a.lat_deg) * to_rad;
+    const double dlambda = (b.lon_deg - a.lon_deg) * to_rad;
+    const double s = std::sin(dphi / 2.0) * std::sin(dphi / 2.0) +
+                     std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2.0) *
+                         std::sin(dlambda / 2.0);
+    return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+const std::vector<City>& world_cities() {
+    // Interconnection-relevant metros with approximate coordinates and
+    // metro populations (millions). The values need only be plausible:
+    // they seed BP presence and the gravity traffic model.
+    static const std::vector<City> kCities = {
+        // North America
+        {"NewYork", {40.71, -74.01}, 19.8},
+        {"Ashburn", {39.04, -77.49}, 6.3},
+        {"Chicago", {41.88, -87.63}, 9.5},
+        {"Dallas", {32.78, -96.80}, 7.6},
+        {"LosAngeles", {34.05, -118.24}, 13.2},
+        {"SanJose", {37.34, -121.89}, 7.7},
+        {"Seattle", {47.61, -122.33}, 4.0},
+        {"Miami", {25.76, -80.19}, 6.1},
+        {"Atlanta", {33.75, -84.39}, 6.1},
+        {"Denver", {39.74, -104.99}, 3.0},
+        {"Toronto", {43.65, -79.38}, 6.4},
+        {"Montreal", {45.50, -73.57}, 4.3},
+        {"Vancouver", {49.28, -123.12}, 2.6},
+        {"MexicoCity", {19.43, -99.13}, 21.8},
+        {"Houston", {29.76, -95.37}, 7.1},
+        {"Boston", {42.36, -71.06}, 4.9},
+        {"Phoenix", {33.45, -112.07}, 4.9},
+        {"Minneapolis", {44.98, -93.27}, 3.7},
+        {"KansasCity", {39.10, -94.58}, 2.2},
+        {"SaltLakeCity", {40.76, -111.89}, 1.3},
+        // Europe
+        {"London", {51.51, -0.13}, 14.3},
+        {"Amsterdam", {52.37, 4.90}, 2.5},
+        {"Frankfurt", {50.11, 8.68}, 2.7},
+        {"Paris", {48.86, 2.35}, 13.0},
+        {"Madrid", {40.42, -3.70}, 6.7},
+        {"Milan", {45.46, 9.19}, 4.3},
+        {"Stockholm", {59.33, 18.07}, 2.4},
+        {"Copenhagen", {55.68, 12.57}, 2.1},
+        {"Dublin", {53.35, -6.26}, 2.0},
+        {"Vienna", {48.21, 16.37}, 2.9},
+        {"Warsaw", {52.23, 21.01}, 3.1},
+        {"Zurich", {47.38, 8.54}, 1.4},
+        {"Brussels", {50.85, 4.35}, 2.1},
+        {"Lisbon", {38.72, -9.14}, 2.9},
+        {"Prague", {50.08, 14.44}, 2.7},
+        {"Budapest", {47.50, 19.04}, 3.0},
+        {"Bucharest", {44.43, 26.10}, 2.3},
+        {"Athens", {37.98, 23.73}, 3.6},
+        {"Helsinki", {60.17, 24.94}, 1.5},
+        {"Oslo", {59.91, 10.75}, 1.6},
+        {"Marseille", {43.30, 5.37}, 1.9},
+        {"Barcelona", {41.39, 2.17}, 5.6},
+        {"Berlin", {52.52, 13.40}, 6.1},
+        {"Munich", {48.14, 11.58}, 2.9},
+        {"Rome", {41.90, 12.50}, 4.3},
+        {"Istanbul", {41.01, 28.98}, 15.6},
+        {"Moscow", {55.76, 37.62}, 12.5},
+        {"Kyiv", {50.45, 30.52}, 3.0},
+        // Asia & Middle East
+        {"Tokyo", {35.68, 139.69}, 37.4},
+        {"Osaka", {34.69, 135.50}, 19.2},
+        {"Singapore", {1.35, 103.82}, 5.9},
+        {"HongKong", {22.32, 114.17}, 7.5},
+        {"Seoul", {37.57, 126.98}, 25.6},
+        {"Taipei", {25.03, 121.57}, 7.0},
+        {"Mumbai", {19.08, 72.88}, 20.4},
+        {"Chennai", {13.08, 80.27}, 10.9},
+        {"Delhi", {28.70, 77.10}, 31.2},
+        {"Jakarta", {-6.21, 106.85}, 10.6},
+        {"KualaLumpur", {3.14, 101.69}, 8.0},
+        {"Bangkok", {13.76, 100.50}, 10.7},
+        {"Manila", {14.60, 120.98}, 13.9},
+        {"Dubai", {25.20, 55.27}, 3.4},
+        {"TelAviv", {32.09, 34.78}, 4.0},
+        {"Riyadh", {24.71, 46.68}, 7.7},
+        {"Shanghai", {31.23, 121.47}, 27.8},
+        {"Beijing", {39.90, 116.41}, 20.9},
+        {"Shenzhen", {22.54, 114.06}, 12.6},
+        // South America
+        {"SaoPaulo", {-23.55, -46.63}, 22.4},
+        {"RioDeJaneiro", {-22.91, -43.17}, 13.6},
+        {"BuenosAires", {-34.60, -58.38}, 15.4},
+        {"Santiago", {-33.45, -70.67}, 6.8},
+        {"Bogota", {4.71, -74.07}, 11.0},
+        {"Lima", {-12.05, -77.04}, 10.9},
+        // Africa
+        {"Johannesburg", {-26.20, 28.05}, 10.0},
+        {"CapeTown", {-33.92, 18.42}, 4.8},
+        {"Lagos", {6.52, 3.38}, 14.9},
+        {"Nairobi", {-1.29, 36.82}, 5.1},
+        {"Cairo", {30.04, 31.24}, 21.3},
+        // Oceania
+        {"Sydney", {-33.87, 151.21}, 5.4},
+        {"Melbourne", {-37.81, 144.96}, 5.2},
+        {"Auckland", {-36.85, 174.76}, 1.7},
+    };
+    return kCities;
+}
+
+}  // namespace poc::topo

@@ -1,0 +1,34 @@
+// Geographic substrate: coordinates, great-circle distance, and the
+// built-in city gazetteer used by the synthetic topology generator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace poc::topo {
+
+/// A point on the globe (degrees).
+struct GeoPoint {
+    double lat_deg = 0.0;
+    double lon_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+double haversine_km(GeoPoint a, GeoPoint b);
+
+/// A city where bandwidth providers may have points of presence.
+struct City {
+    std::string name;
+    GeoPoint location;
+    /// Metro population in millions; drives both BP-presence probability
+    /// and the gravity traffic model.
+    double population_m = 0.0;
+};
+
+/// The built-in gazetteer: ~80 interconnection-relevant metros across
+/// North America, Europe, Asia, South America, Africa, and Oceania.
+/// Deterministic and ordered; indices into this vector are stable city
+/// ids for a process lifetime.
+const std::vector<City>& world_cities();
+
+}  // namespace poc::topo

@@ -1,0 +1,66 @@
+// Minimal GraphML importer for Internet Topology Zoo files. The paper
+// built its Figure 2 input from TopologyZoo [33]; that dataset is not
+// redistributable here, so the default pipeline uses the synthetic
+// generator (bp_network.hpp) — but users who have the .graphml files
+// can load them through this importer and run the same experiments on
+// the paper's actual input.
+//
+// The parser is deliberately small: it understands the subset of
+// GraphML that TopologyZoo emits (<key> declarations, <node>/<edge>
+// elements with <data> children) and nothing more. It is not a general
+// XML parser.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/bp_network.hpp"
+
+namespace poc::topo {
+
+/// A parsed GraphML node.
+struct ZooNode {
+    std::string id;     // GraphML node id
+    std::string label;  // human-readable name if present
+    /// Geographic coordinates; absent for placeholder nodes (Topology
+    /// Zoo contains a few unlocated nodes).
+    std::optional<GeoPoint> location;
+};
+
+struct ZooEdge {
+    std::string source;  // node ids
+    std::string target;
+};
+
+/// One parsed topology file.
+struct ZooGraph {
+    std::string name;  // graph label if present
+    std::vector<ZooNode> nodes;
+    std::vector<ZooEdge> edges;
+
+    /// Index of a node by GraphML id; nullopt if unknown.
+    std::optional<std::size_t> node_index(const std::string& id) const;
+};
+
+/// Parse GraphML text. Throws util::ContractViolation on malformed
+/// input (unclosed tags, edges referencing unknown nodes).
+ZooGraph parse_graphml(const std::string& text);
+
+struct ZooImportOptions {
+    /// Capacity assigned to each imported physical link (TopologyZoo
+    /// has no capacities; the paper does not state its assignment).
+    double capacity_gbps = 100.0;
+    /// Nodes without coordinates are dropped (true) or rejected (false).
+    bool drop_unlocated = true;
+};
+
+/// Convert a parsed topology into a BpNetwork over the built-in
+/// gazetteer: each located zoo node maps to its nearest gazetteer city
+/// (several zoo nodes may merge into one city - exactly the
+/// "closely colocated" notion the POC router placement needs), edges
+/// become physical links with haversine lengths, and self-loops created
+/// by merging are dropped.
+BpNetwork bp_from_zoo(const ZooGraph& zoo, const ZooImportOptions& opt = {});
+
+}  // namespace poc::topo

@@ -1,0 +1,60 @@
+// POC candidate topology: routers placed where enough BPs colocate, and
+// the pool of *logical links* the BPs can offer between those routers.
+// A logical link is a point-to-point circuit between two POC routers
+// realized over one BP's physical backbone (possibly several physical
+// hops), mirroring the paper's construction: "we placed POC routers at
+// points where there were four or more BPs closely colocated ... 4674
+// point-to-point connections between POC routers; we call these
+// connections logical links because they may involve several physical
+// links."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "topo/bp_network.hpp"
+
+namespace poc::topo {
+
+/// Sentinel owner index for links that belong to no BP (external-ISP
+/// virtual links appended after construction).
+inline constexpr std::uint32_t kVirtualOwner = ~std::uint32_t{0};
+
+struct PocTopologyOptions {
+    /// Minimum number of colocated BPs for a city to host a POC router.
+    std::size_t min_colocated_bps = 4;
+    /// A BP offers a circuit between two of its POC-router cities only
+    /// if its internal path is at most this factor longer than the
+    /// great-circle distance (keeps offers commercially sensible and
+    /// bounds the logical-link count).
+    double max_circuitousness = 2.6;
+    /// Upper bound on offered circuit length (km); transcontinental
+    /// circuits beyond this are not offered as single logical links.
+    double max_circuit_km = 11000.0;
+};
+
+/// The POC candidate network.
+struct PocTopology {
+    /// Routers (nodes) and offered logical links (edges). Link capacity
+    /// is the bottleneck physical capacity of the realizing path; link
+    /// length is the realizing path's total km.
+    net::Graph graph;
+    /// Gazetteer city index of each POC router (aligned with node ids).
+    std::vector<std::size_t> router_city;
+    /// Owning BP index per logical link (aligned with link ids).
+    std::vector<std::uint32_t> link_owner;
+    std::size_t bp_count = 0;
+
+    /// Logical links owned by one BP.
+    std::vector<net::LinkId> links_of(std::uint32_t bp) const;
+    /// Fraction of all logical links owned by one BP.
+    double share_of(std::uint32_t bp) const;
+};
+
+/// Build the POC candidate topology from generated BP networks.
+/// Requires at least two cities to qualify as router sites.
+PocTopology build_poc_topology(const std::vector<BpNetwork>& bps,
+                               const PocTopologyOptions& opt = {});
+
+}  // namespace poc::topo

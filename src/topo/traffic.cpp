@@ -1,0 +1,130 @@
+#include "topo/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace poc::topo {
+
+namespace {
+
+/// Scale demands so they sum to total_gbps.
+void rescale(net::TrafficMatrix& tm, double total_gbps) {
+    const double current = net::total_demand(tm);
+    POC_EXPECTS(current > 0.0);
+    const double f = total_gbps / current;
+    for (net::Demand& d : tm) d.gbps *= f;
+}
+
+}  // namespace
+
+net::TrafficMatrix gravity_traffic(const PocTopology& topo, const GravityOptions& opt) {
+    POC_EXPECTS(opt.total_gbps > 0.0);
+    POC_EXPECTS(opt.distance_gamma >= 0.0);
+    POC_EXPECTS(opt.floor_fraction >= 0.0 && opt.floor_fraction < 1.0);
+    const auto& cities = world_cities();
+    const std::size_t n = topo.router_city.size();
+    POC_EXPECTS(n >= 2);
+
+    net::TrafficMatrix tm;
+    double max_weight = 0.0;
+    std::vector<double> weights;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j) continue;
+            const City& ci = cities[topo.router_city[i]];
+            const City& cj = cities[topo.router_city[j]];
+            const double dist = std::max(haversine_km(ci.location, cj.location), 100.0);
+            const double w = ci.population_m * cj.population_m /
+                             std::pow(dist, opt.distance_gamma);
+            tm.push_back(net::Demand{net::NodeId{i}, net::NodeId{j}, w});
+            weights.push_back(w);
+            max_weight = std::max(max_weight, w);
+        }
+    }
+    // Sparsify: drop the long tail of tiny demands.
+    const double floor = max_weight * opt.floor_fraction;
+    net::TrafficMatrix kept;
+    for (const net::Demand& d : tm) {
+        if (d.gbps >= floor) kept.push_back(d);
+    }
+    POC_ENSURES(!kept.empty());
+    rescale(kept, opt.total_gbps);
+    return kept;
+}
+
+net::TrafficMatrix uniform_traffic(const PocTopology& topo, double total_gbps) {
+    POC_EXPECTS(total_gbps > 0.0);
+    const std::size_t n = topo.router_city.size();
+    POC_EXPECTS(n >= 2);
+    const double per = total_gbps / static_cast<double>(n * (n - 1));
+    net::TrafficMatrix tm;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i != j) tm.push_back(net::Demand{net::NodeId{i}, net::NodeId{j}, per});
+        }
+    }
+    return tm;
+}
+
+net::TrafficMatrix hotspot_traffic(const PocTopology& topo, double total_gbps,
+                                   std::size_t hotspot_count, double hot_fraction) {
+    POC_EXPECTS(total_gbps > 0.0);
+    POC_EXPECTS(hotspot_count >= 1);
+    POC_EXPECTS(hot_fraction > 0.0 && hot_fraction < 1.0);
+    const auto& cities = world_cities();
+    const std::size_t n = topo.router_city.size();
+    POC_EXPECTS(hotspot_count < n);
+
+    // Hotspots: the most-populous router metros.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return cities[topo.router_city[a]].population_m >
+               cities[topo.router_city[b]].population_m;
+    });
+    std::vector<bool> hot(n, false);
+    for (std::size_t h = 0; h < hotspot_count; ++h) hot[order[h]] = true;
+
+    // Hot part: every non-hot router sends toward each hotspot,
+    // proportionally to the sender's population.
+    net::TrafficMatrix tm;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (hot[i]) continue;
+        for (std::size_t h = 0; h < hotspot_count; ++h) {
+            const std::size_t j = order[h];
+            const double w = cities[topo.router_city[i]].population_m;
+            // Content flows *to* eyeballs: hotspot -> i dominates.
+            tm.push_back(net::Demand{net::NodeId{j}, net::NodeId{i}, 3.0 * w});
+            tm.push_back(net::Demand{net::NodeId{i}, net::NodeId{j}, w});
+        }
+    }
+    rescale(tm, total_gbps * hot_fraction);
+
+    GravityOptions gopt;
+    gopt.total_gbps = total_gbps * (1.0 - hot_fraction);
+    net::TrafficMatrix background = gravity_traffic(topo, gopt);
+    tm.insert(tm.end(), background.begin(), background.end());
+    return tm;
+}
+
+net::TrafficMatrix aggregate_top_n(const net::TrafficMatrix& tm, std::size_t n) {
+    POC_EXPECTS(n >= 1);
+    if (tm.size() <= n) return tm;
+    net::TrafficMatrix sorted = tm;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const net::Demand& a, const net::Demand& b) { return a.gbps > b.gbps; });
+    const double total = net::total_demand(sorted);
+    sorted.resize(n);
+    rescale(sorted, total);
+    return sorted;
+}
+
+net::TrafficMatrix scale_traffic(const net::TrafficMatrix& tm, double factor) {
+    POC_EXPECTS(factor >= 0.0);
+    net::TrafficMatrix out = tm;
+    for (net::Demand& d : out) d.gbps *= factor;
+    return out;
+}
+
+}  // namespace poc::topo

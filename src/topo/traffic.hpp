@@ -1,0 +1,48 @@
+// Traffic-matrix generators for the POC attachment points. The paper
+// used an unspecified synthetic matrix; we provide the standard gravity
+// model (population product with distance decay) as the default, plus
+// uniform and hotspot matrices for sensitivity studies, and a top-N
+// aggregation helper that caps the commodity count seen by the MCF
+// oracles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "topo/poc_topology.hpp"
+
+namespace poc::topo {
+
+struct GravityOptions {
+    /// Total offered load summed over all demands (Gbps).
+    double total_gbps = 5000.0;
+    /// Distance-decay exponent; 0 disables the distance term.
+    double distance_gamma = 1.0;
+    /// Demands below this fraction of the largest demand are dropped
+    /// (keeps the matrix sparse, as real inter-metro matrices are).
+    double floor_fraction = 0.01;
+};
+
+/// Gravity matrix over all ordered router pairs:
+/// d(i,j) ~ pop_i * pop_j / dist(i,j)^gamma, scaled to total_gbps.
+net::TrafficMatrix gravity_traffic(const PocTopology& topo, const GravityOptions& opt = {});
+
+/// Equal demand between every ordered router pair, scaled to total_gbps.
+net::TrafficMatrix uniform_traffic(const PocTopology& topo, double total_gbps);
+
+/// Hotspot matrix: a few routers (the most-populous metros) sink a
+/// `hot_fraction` of the total, the rest is gravity-spread. Models the
+/// content-network concentration the paper describes in section 2.4.
+net::TrafficMatrix hotspot_traffic(const PocTopology& topo, double total_gbps,
+                                   std::size_t hotspot_count = 3, double hot_fraction = 0.5);
+
+/// Keep only the n largest demands, rescaling so the total volume is
+/// preserved (coarsens the commodity set for the feasibility oracles;
+/// conservative because the same load is concentrated on fewer pairs).
+net::TrafficMatrix aggregate_top_n(const net::TrafficMatrix& tm, std::size_t n);
+
+/// Scale every demand by `factor` (demand growth between epochs).
+net::TrafficMatrix scale_traffic(const net::TrafficMatrix& tm, double factor);
+
+}  // namespace poc::topo

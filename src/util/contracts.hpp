@@ -1,0 +1,49 @@
+// Contract checking in the style of the C++ Core Guidelines (I.6 / I.8 /
+// GSL Expects/Ensures). Violations throw poc::util::ContractViolation so
+// that tests can assert on misuse and long-running simulations fail loudly
+// instead of corrupting results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace poc::util {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+public:
+    ContractViolation(const char* kind, const char* expr, const char* file, int line)
+        : std::logic_error(std::string(kind) + " violated: `" + expr + "` at " + file + ":" +
+                           std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line) {
+    throw ContractViolation(kind, expr, file, line);
+}
+}  // namespace detail
+
+}  // namespace poc::util
+
+/// Precondition check: document and enforce what a function expects of its
+/// arguments (Core Guidelines I.6).
+#define POC_EXPECTS(cond)                                                              \
+    do {                                                                               \
+        if (!(cond)) ::poc::util::detail::contract_fail("Precondition", #cond, __FILE__, \
+                                                        __LINE__);                     \
+    } while (false)
+
+/// Postcondition check (Core Guidelines I.8).
+#define POC_ENSURES(cond)                                                               \
+    do {                                                                                \
+        if (!(cond)) ::poc::util::detail::contract_fail("Postcondition", #cond, __FILE__, \
+                                                        __LINE__);                      \
+    } while (false)
+
+/// Internal invariant check.
+#define POC_ASSERT(cond)                                                             \
+    do {                                                                             \
+        if (!(cond)) ::poc::util::detail::contract_fail("Invariant", #cond, __FILE__, \
+                                                        __LINE__);                   \
+    } while (false)

@@ -1,0 +1,29 @@
+#include "util/csv_export.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/contracts.hpp"
+
+namespace poc::util {
+
+std::optional<std::string> csv_export_dir() {
+    const char* dir = std::getenv("POC_CSV_DIR");
+    if (dir == nullptr || dir[0] == '\0') return std::nullopt;
+    return std::string(dir);
+}
+
+std::optional<std::string> maybe_export_csv(const Table& table, const std::string& name) {
+    POC_EXPECTS(!name.empty());
+    POC_EXPECTS(name.find('/') == std::string::npos);  // plain file name
+    const auto dir = csv_export_dir();
+    if (!dir) return std::nullopt;
+    const std::string path = *dir + "/" + name + ".csv";
+    std::ofstream out(path);
+    POC_EXPECTS(out.good());  // misconfigured POC_CSV_DIR should fail loudly
+    out << table.render_csv();
+    POC_ENSURES(out.good());
+    return path;
+}
+
+}  // namespace poc::util

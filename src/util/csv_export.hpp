@@ -1,0 +1,24 @@
+// Optional CSV export for the benchmark harnesses: when the
+// POC_CSV_DIR environment variable names a directory, each experiment
+// binary also writes its tables there as CSV (for plotting/regression
+// against EXPERIMENTS.md). Without the variable this is a no-op, so
+// default runs stay side-effect free.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace poc::util {
+
+/// The export directory from POC_CSV_DIR, if set and non-empty.
+std::optional<std::string> csv_export_dir();
+
+/// Write `table` as <dir>/<name>.csv when exporting is enabled.
+/// Returns the path written, or nullopt when disabled. Throws
+/// ContractViolation if the directory is set but unwritable (a silent
+/// drop would be worse than failing the bench).
+std::optional<std::string> maybe_export_csv(const Table& table, const std::string& name);
+
+}  // namespace poc::util

@@ -1,0 +1,51 @@
+// Strongly-typed integer identifiers. The POC model juggles several id
+// spaces (network nodes, links, bandwidth providers, LMPs, CSPs, ...);
+// a dedicated type per space makes mixing them a compile error instead
+// of a silent index bug (Core Guidelines I.4: precise, strongly-typed
+// interfaces).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace poc::util {
+
+/// A strongly-typed index. Tag is a phantom type naming the id space.
+template <typename Tag>
+class Id {
+public:
+    using underlying_type = std::uint32_t;
+    static constexpr underlying_type kInvalid = ~underlying_type{0};
+
+    constexpr Id() noexcept = default;
+    constexpr explicit Id(underlying_type value) noexcept : value_(value) {}
+    constexpr explicit Id(std::size_t value) noexcept
+        : value_(static_cast<underlying_type>(value)) {}
+
+    constexpr underlying_type value() const noexcept { return value_; }
+    constexpr std::size_t index() const noexcept { return value_; }
+    constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+    friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+private:
+    underlying_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+    if (id.valid()) return os << id.value();
+    return os << "<invalid>";
+}
+
+}  // namespace poc::util
+
+template <typename Tag>
+struct std::hash<poc::util::Id<Tag>> {
+    std::size_t operator()(poc::util::Id<Tag> id) const noexcept {
+        return std::hash<typename poc::util::Id<Tag>::underlying_type>{}(id.value());
+    }
+};

@@ -1,0 +1,25 @@
+#include "util/log.hpp"
+
+namespace poc::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+void set_log_sink(std::ostream* sink) noexcept { g_sink = sink; }
+
+namespace detail {
+
+void log_write(LogLevel level, const std::string& message) {
+    static const char* const kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+    std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+    const auto idx = static_cast<std::size_t>(level);
+    out << "[" << (idx < 4 ? kNames[idx] : "?????") << "] " << message << "\n";
+}
+
+}  // namespace detail
+
+}  // namespace poc::util

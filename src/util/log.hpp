@@ -1,0 +1,40 @@
+// Minimal leveled logging. The library itself logs nothing by default;
+// harnesses and examples opt in by raising the level. Not thread-safe by
+// design: all simulations in this project are single-threaded and
+// deterministic.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace poc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Redirect output (default std::cerr). Pass nullptr to restore default.
+void set_log_sink(std::ostream* sink) noexcept;
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+}  // namespace poc::util
+
+#define POC_LOG(level, expr)                                                      \
+    do {                                                                          \
+        if (static_cast<int>(level) >= static_cast<int>(::poc::util::log_level())) { \
+            std::ostringstream poc_log_oss;                                       \
+            poc_log_oss << expr;                                                  \
+            ::poc::util::detail::log_write(level, poc_log_oss.str());             \
+        }                                                                         \
+    } while (false)
+
+#define POC_DEBUG(expr) POC_LOG(::poc::util::LogLevel::kDebug, expr)
+#define POC_INFO(expr) POC_LOG(::poc::util::LogLevel::kInfo, expr)
+#define POC_WARN(expr) POC_LOG(::poc::util::LogLevel::kWarn, expr)
+#define POC_ERROR(expr) POC_LOG(::poc::util::LogLevel::kError, expr)

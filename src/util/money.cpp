@@ -1,0 +1,61 @@
+#include "util/money.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+
+namespace poc::util {
+
+Money Money::from_dollars(double dollars) {
+    POC_EXPECTS(std::isfinite(dollars));
+    const double micros = dollars * static_cast<double>(kMicrosPerDollar);
+    POC_EXPECTS(std::abs(micros) < 9.2e18);
+    return from_micros(static_cast<std::int64_t>(std::llround(micros)));
+}
+
+Money Money::scaled(double factor) const {
+    POC_EXPECTS(std::isfinite(factor));
+    const double scaled = static_cast<double>(micros_) * factor;
+    POC_EXPECTS(std::abs(scaled) < 9.2e18);
+    return from_micros(static_cast<std::int64_t>(std::llround(scaled)));
+}
+
+double ratio(Money num, Money den) {
+    POC_EXPECTS(den.micros_ != 0);
+    return static_cast<double>(num.micros_) / static_cast<double>(den.micros_);
+}
+
+std::string Money::str() const {
+    const bool neg = micros_ < 0;
+    // Avoid overflow on INT64_MIN by working with unsigned magnitude.
+    const auto mag =
+        neg ? (~static_cast<std::uint64_t>(micros_) + 1) : static_cast<std::uint64_t>(micros_);
+    const std::uint64_t whole = mag / static_cast<std::uint64_t>(kMicrosPerDollar);
+    const std::uint64_t frac_micros = mag % static_cast<std::uint64_t>(kMicrosPerDollar);
+    const std::uint64_t cents = (frac_micros + 5'000) / 10'000;  // round to cents
+
+    std::uint64_t display_whole = whole;
+    std::uint64_t display_cents = cents;
+    if (display_cents == 100) {  // rounding carried into the dollar column
+        display_whole += 1;
+        display_cents = 0;
+    }
+
+    std::string digits = std::to_string(display_whole);
+    std::string grouped;
+    grouped.reserve(digits.size() + digits.size() / 3);
+    const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) grouped += ',';
+        grouped += digits[i];
+    }
+
+    std::string cents_str = std::to_string(display_cents);
+    if (cents_str.size() < 2) cents_str.insert(cents_str.begin(), '0');
+
+    return std::string(neg ? "-$" : "$") + grouped + "." + cents_str;
+}
+
+std::ostream& operator<<(std::ostream& os, Money m) { return os << m.str(); }
+
+}  // namespace poc::util

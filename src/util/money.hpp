@@ -1,0 +1,93 @@
+// Fixed-point money type. All ledger arithmetic in the POC payment
+// structure uses Money rather than double so that "the sum total of
+// revenue from the LMPs is enough to cover the bandwidth costs of the
+// POC" (paper, section 3.2) can be checked exactly: conservation tests
+// compare integers, not epsilon-fuzzed floats.
+//
+// Representation: signed 64-bit count of micro-dollars (1e-6 USD).
+// Range is about +/- 9.2 trillion dollars, comfortably above any
+// backbone-leasing budget.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace poc::util {
+
+class Money {
+public:
+    static constexpr std::int64_t kMicrosPerDollar = 1'000'000;
+
+    constexpr Money() noexcept = default;
+
+    /// Construct from a raw micro-dollar count.
+    static constexpr Money from_micros(std::int64_t micros) noexcept {
+        Money m;
+        m.micros_ = micros;
+        return m;
+    }
+
+    /// Construct from whole dollars.
+    static constexpr Money from_dollars(std::int64_t dollars) noexcept {
+        return from_micros(dollars * kMicrosPerDollar);
+    }
+
+    /// Construct from a double amount of dollars, rounding to the nearest
+    /// micro-dollar (ties away from zero).
+    static Money from_dollars(double dollars);
+
+    constexpr std::int64_t micros() const noexcept { return micros_; }
+    constexpr double dollars() const noexcept {
+        return static_cast<double>(micros_) / static_cast<double>(kMicrosPerDollar);
+    }
+
+    constexpr bool is_zero() const noexcept { return micros_ == 0; }
+    constexpr bool is_negative() const noexcept { return micros_ < 0; }
+
+    constexpr Money operator-() const noexcept { return from_micros(-micros_); }
+
+    constexpr Money& operator+=(Money rhs) noexcept {
+        micros_ += rhs.micros_;
+        return *this;
+    }
+    constexpr Money& operator-=(Money rhs) noexcept {
+        micros_ -= rhs.micros_;
+        return *this;
+    }
+
+    friend constexpr Money operator+(Money a, Money b) noexcept { return a += b; }
+    friend constexpr Money operator-(Money a, Money b) noexcept { return a -= b; }
+
+    /// Scale by a dimensionless factor, rounding to nearest micro-dollar.
+    Money scaled(double factor) const;
+
+    /// Ratio of two amounts (e.g. payment-over-bid). Requires a nonzero
+    /// denominator.
+    friend double ratio(Money num, Money den);
+
+    friend constexpr auto operator<=>(Money, Money) noexcept = default;
+
+    /// "$1,234.56"-style human-readable rendering (two decimal places,
+    /// thousands separators).
+    std::string str() const;
+
+private:
+    std::int64_t micros_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Money m);
+
+/// Namespace-scope declaration so qualified calls (util::ratio) work in
+/// addition to ADL via the in-class friend declaration.
+double ratio(Money num, Money den);
+
+/// User-defined literal for whole dollars: 100_usd.
+constexpr Money operator""_usd(unsigned long long dollars) {
+    return Money::from_dollars(static_cast<std::int64_t>(dollars));
+}
+
+}  // namespace poc::util

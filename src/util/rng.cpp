@@ -1,0 +1,120 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace poc::util {
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+    POC_EXPECTS(n > 0);
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+        const std::uint64_t t = (0 - n) % n;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    POC_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+    const std::uint64_t draw = (span == 0) ? next() : uniform_int(span);
+    return lo + static_cast<std::int64_t>(draw);
+}
+
+double Rng::normal() noexcept {
+    if (have_spare_normal_) {
+        have_spare_normal_ = false;
+        return spare_normal_;
+    }
+    // Box-Muller; draw u1 away from zero to keep log finite.
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_normal_ = r * std::sin(theta);
+    have_spare_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sigma) {
+    POC_EXPECTS(sigma >= 0.0);
+    return mean + sigma * normal();
+}
+
+double Rng::exponential(double rate) {
+    POC_EXPECTS(rate > 0.0);
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+double Rng::pareto(double x_m, double alpha) {
+    POC_EXPECTS(x_m > 0.0);
+    POC_EXPECTS(alpha > 0.0);
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return x_m / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+    POC_EXPECTS(sigma >= 0.0);
+    return std::exp(normal(mu, sigma));
+}
+
+bool Rng::bernoulli(double p) {
+    POC_EXPECTS(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+    POC_EXPECTS(!weights.empty());
+    double total = 0.0;
+    for (const double w : weights) {
+        POC_EXPECTS(w >= 0.0);
+        total += w;
+    }
+    POC_EXPECTS(total > 0.0);
+    const double target = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (target < acc) return i;
+    }
+    // Floating-point slack: return the last index with positive weight.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0) return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+    POC_EXPECTS(k <= n);
+    // Partial Fisher-Yates over an index vector.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + static_cast<std::size_t>(uniform_int(n - i));
+        using std::swap;
+        swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+}
+
+}  // namespace poc::util

@@ -1,0 +1,138 @@
+// Deterministic pseudo-random number generation for reproducible
+// simulations. We implement splitmix64 (for seeding) and xoshiro256**
+// (for the main stream) rather than relying on std::mt19937 so that the
+// stream is identical across standard libraries and platforms; every
+// experiment in the benchmark harness is seeded and replayable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace poc::util {
+
+/// splitmix64: tiny, high-quality 64-bit mixer. Used to expand a single
+/// user seed into the 256-bit xoshiro state.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator so it composes with <random> if
+/// ever needed, but we provide our own distributions below for
+/// cross-platform determinism.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& s : state_) s = sm.next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    result_type operator()() noexcept { return next(); }
+
+    std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept {
+        // 53 random mantissa bits; exact dyadic rational in [0,1).
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi). Requires lo <= hi.
+    double uniform(double lo, double hi) {
+        POC_EXPECTS(lo <= hi);
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Uniform integer in [0, n). Requires n > 0. Uses Lemire-style
+    /// rejection to avoid modulo bias.
+    std::uint64_t uniform_int(std::uint64_t n);
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Standard normal via Box-Muller (deterministic across platforms).
+    double normal() noexcept;
+
+    /// Normal with the given mean and standard deviation (sigma >= 0).
+    double normal(double mean, double sigma);
+
+    /// Exponential with the given rate (rate > 0).
+    double exponential(double rate);
+
+    /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed demand).
+    double pareto(double x_m, double alpha);
+
+    /// Log-normal with the given parameters of the underlying normal.
+    double lognormal(double mu, double sigma);
+
+    /// Bernoulli trial with success probability p in [0, 1].
+    bool bernoulli(double p);
+
+    /// Sample an index from a discrete distribution given non-negative
+    /// weights (not necessarily normalized, at least one positive).
+    std::size_t discrete(const std::vector<double>& weights);
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        if (v.empty()) return;
+        for (std::size_t i = v.size() - 1; i > 0; --i) {
+            const std::size_t j = static_cast<std::size_t>(uniform_int(i + 1));
+            using std::swap;
+            swap(v[i], v[j]);
+        }
+    }
+
+    /// Sample k distinct indices from [0, n) without replacement.
+    std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+    /// A decorrelated child stream (for per-entity randomness that is
+    /// stable under changes elsewhere in the program).
+    Rng split() noexcept {
+        Rng child;
+        child.state_ = {next(), next(), next(), next()};
+        return child;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+    bool have_spare_normal_ = false;
+    double spare_normal_ = 0.0;
+};
+
+}  // namespace poc::util

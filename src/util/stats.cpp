@@ -1,0 +1,120 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poc::util {
+
+void Accumulator::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+    POC_EXPECTS(n_ >= 1);
+    return mean_;
+}
+
+double Accumulator::variance() const {
+    POC_EXPECTS(n_ >= 2);
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+    POC_EXPECTS(n_ >= 1);
+    return min_;
+}
+
+double Accumulator::max() const {
+    POC_EXPECTS(n_ >= 1);
+    return max_;
+}
+
+double percentile(std::vector<double> sample, double q) { return percentile_inplace(sample, q); }
+
+double percentile_inplace(std::vector<double>& sample, double q) {
+    POC_EXPECTS(!sample.empty());
+    POC_EXPECTS(q >= 0.0 && q <= 1.0);
+    const double rank = q * static_cast<double>(sample.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(std::floor(rank));
+    const auto hi_idx = static_cast<std::size_t>(std::ceil(rank));
+    std::nth_element(sample.begin(),
+                     sample.begin() + static_cast<std::ptrdiff_t>(lo_idx), sample.end());
+    const double lo_val = sample[lo_idx];
+    if (hi_idx == lo_idx) return lo_val;
+    const double hi_val =
+        *std::min_element(sample.begin() + static_cast<std::ptrdiff_t>(lo_idx) + 1, sample.end());
+    const double frac = rank - static_cast<double>(lo_idx);
+    return lo_val + frac * (hi_val - lo_val);
+}
+
+double mean_of(const std::vector<double>& sample) {
+    POC_EXPECTS(!sample.empty());
+    double s = 0.0;
+    for (const double x : sample) s += x;
+    return s / static_cast<double>(sample.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+    POC_EXPECTS(lo < hi);
+    POC_EXPECTS(bins >= 1);
+}
+
+void Histogram::add(double x) noexcept {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto bin = static_cast<std::size_t>((x - lo_) / width);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;  // FP edge
+    ++counts_[bin];
+}
+
+std::size_t Histogram::count_in_bin(std::size_t bin) const {
+    POC_EXPECTS(bin < counts_.size());
+    return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+    POC_EXPECTS(bin < counts_.size());
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + static_cast<double>(bin) * width;
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size()); }
+
+std::string Histogram::ascii(std::size_t width) const {
+    std::size_t peak = 1;
+    for (const std::size_t c : counts_) peak = std::max(peak, c);
+    std::string out;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "[%10.3f, %10.3f) ", bin_lo(b), bin_hi(b));
+        out += buf;
+        const auto bar = counts_[b] * width / peak;
+        out.append(bar, '#');
+        out += " " + std::to_string(counts_[b]) + "\n";
+    }
+    if (underflow_ > 0) out += "underflow: " + std::to_string(underflow_) + "\n";
+    if (overflow_ > 0) out += "overflow: " + std::to_string(overflow_) + "\n";
+    return out;
+}
+
+}  // namespace poc::util

@@ -1,0 +1,85 @@
+// Descriptive statistics used across the benchmark harnesses: running
+// accumulators, percentiles, and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace poc::util {
+
+/// Single-pass accumulator (Welford) for mean/variance plus min/max.
+class Accumulator {
+public:
+    void add(double x) noexcept;
+
+    std::size_t count() const noexcept { return n_; }
+    bool empty() const noexcept { return n_ == 0; }
+
+    /// Mean of the observations. Requires at least one observation.
+    double mean() const;
+    /// Unbiased sample variance. Requires at least two observations.
+    double variance() const;
+    /// Sample standard deviation. Requires at least two observations.
+    double stddev() const;
+    /// Smallest observation. Requires at least one observation.
+    double min() const;
+    /// Largest observation. Requires at least one observation.
+    double max() const;
+    /// Sum of all observations.
+    double sum() const noexcept { return sum_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics (the "type 7" estimator). q in [0, 1]; sample non-empty.
+/// The input is copied; use percentile_inplace to avoid the copy.
+double percentile(std::vector<double> sample, double q);
+
+/// As percentile(), but partially sorts the given vector in place.
+double percentile_inplace(std::vector<double>& sample, double q);
+
+/// Mean of a non-empty sample.
+double mean_of(const std::vector<double>& sample);
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+public:
+    /// Requires lo < hi and bins >= 1.
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+
+    std::size_t bin_count() const noexcept { return counts_.size(); }
+    std::size_t count_in_bin(std::size_t bin) const;
+    std::size_t underflow() const noexcept { return underflow_; }
+    std::size_t overflow() const noexcept { return overflow_; }
+    std::size_t total() const noexcept { return total_; }
+
+    /// Left edge of the given bin.
+    double bin_lo(std::size_t bin) const;
+    /// Right edge of the given bin.
+    double bin_hi(std::size_t bin) const;
+
+    /// Multi-line ASCII rendering (for harness logs).
+    std::string ascii(std::size_t width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+}  // namespace poc::util

@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace poc::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    POC_EXPECTS(!headers_.empty());
+    alignment_.assign(headers_.size(), Align::kRight);
+    alignment_[0] = Align::kLeft;
+}
+
+void Table::set_alignment(std::vector<Align> alignment) {
+    POC_EXPECTS(alignment.size() == headers_.size());
+    alignment_ = std::move(alignment);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    POC_EXPECTS(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::size_t pad = widths[c] - row[c].size();
+            line += ' ';
+            if (alignment_[c] == Align::kRight) line.append(pad, ' ');
+            line += row[c];
+            if (alignment_[c] == Align::kLeft) line.append(pad, ' ');
+            line += " |";
+        }
+        return line + "\n";
+    };
+
+    std::string out = emit_row(headers_);
+    out += "|";
+    for (const std::size_t w : widths) {
+        out.append(w + 2, '-');
+        out += "|";
+    }
+    out += "\n";
+    for (const auto& row : rows_) out += emit_row(row);
+    return out;
+}
+
+std::string Table::render_csv() const {
+    auto quote = [](const std::string& s) {
+        if (s.find_first_of(",\"\n") == std::string::npos) return s;
+        std::string q = "\"";
+        for (const char ch : s) {
+            if (ch == '"') q += "\"\"";
+            else q += ch;
+        }
+        return q + "\"";
+    };
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) out += ',';
+            out += quote(row[c]);
+        }
+        out += '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return out;
+}
+
+std::string cell(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+std::string cell(std::int64_t value) { return std::to_string(value); }
+std::string cell(std::size_t value) { return std::to_string(value); }
+
+std::string cell_pct(double fraction, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+}  // namespace poc::util

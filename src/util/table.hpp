@@ -1,0 +1,55 @@
+// ASCII table rendering for the benchmark harnesses. Every experiment
+// binary prints paper-style rows through this class so the output format
+// is uniform and easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace poc::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, push rows of strings (or use
+/// the cell() helpers for numbers), then render.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Per-column alignment; defaults to left for the first column and
+    /// right for the rest (the usual label-then-numbers layout).
+    void set_alignment(std::vector<Align> alignment);
+
+    /// Append a row. Must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    std::size_t row_count() const noexcept { return rows_.size(); }
+    std::size_t column_count() const noexcept { return headers_.size(); }
+
+    /// Render with box-drawing rules, e.g.
+    ///   | BP   |   bid |   payment |  PoB |
+    ///   |------|-------|-----------|------|
+    ///   | BP1  |  12.0 |      13.1 | 0.09 |
+    std::string render() const;
+
+    /// Render as CSV (RFC-4180 quoting).
+    std::string render_csv() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<Align> alignment_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given number of decimal places.
+std::string cell(double value, int decimals = 3);
+/// Format an integer.
+std::string cell(std::int64_t value);
+std::string cell(std::size_t value);
+/// Format a percentage ("12.3%") from a fraction.
+std::string cell_pct(double fraction, int decimals = 1);
+
+}  // namespace poc::util

@@ -1,0 +1,182 @@
+// Integration: provision a small backbone, run a billing epoch, and
+// verify the section-3.2 payment structure exactly (conservation, POC
+// break-even, who-pays-whom).
+#include "core/billing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers/market.hpp"
+
+namespace poc::core {
+namespace {
+
+using util::Money;
+using util::operator""_usd;
+
+struct BillingFixture {
+    test::ParallelLinksFixture links;
+    market::OfferPool pool;
+    EntityRoster roster;
+    net::TrafficMatrix tm;
+
+    BillingFixture() : pool(links.pool()) {
+        roster.lmps = {{"EyeballLMP", net::NodeId{1u}, 100'000.0, 50_usd}};
+        CspInfo csp;
+        csp.name = "StreamCo";
+        csp.attachment = CspAttachment::kDirectToPoc;
+        csp.poc_router = net::NodeId{0u};
+        csp.subscription_price = 10_usd;
+        csp.take_rate = 0.5;
+        csp.gbps_per_1k_subscribers = 0.1;  // 5 Gbps down
+        roster.csps = {csp};
+        tm = roster_traffic(roster, 0.08);
+    }
+};
+
+ProvisionedBackbone provision_fixture(const BillingFixture& fx) {
+    ProvisioningRequest req;
+    req.auction.exact = true;
+    const auto backbone = provision(fx.pool, fx.tm, req);
+    EXPECT_TRUE(backbone.has_value());
+    return *backbone;
+}
+
+TEST(Billing, LedgerConservesExactly) {
+    const BillingFixture fx;
+    const auto backbone = provision_fixture(fx);
+    const EpochReport report = run_billing_epoch(backbone, fx.roster, fx.pool);
+    EXPECT_TRUE(report.ledger.conserves());
+}
+
+TEST(Billing, PocBreaksEvenExactly) {
+    const BillingFixture fx;
+    const auto backbone = provision_fixture(fx);
+    const EpochReport report = run_billing_epoch(backbone, fx.roster, fx.pool);
+    // Nonprofit: revenue == outlay to the micro-dollar.
+    EXPECT_EQ(report.poc_revenue, report.poc_outlay);
+    EXPECT_EQ(report.ledger.poc_net(), Money{});
+}
+
+TEST(Billing, MarginLeavesPocSurplus) {
+    const BillingFixture fx;
+    const auto backbone = provision_fixture(fx);
+    BillingOptions opt;
+    opt.poc_margin = 0.10;
+    const EpochReport report = run_billing_epoch(backbone, fx.roster, fx.pool, opt);
+    EXPECT_EQ(report.ledger.poc_net(), report.poc_outlay.scaled(0.10));
+}
+
+TEST(Billing, BpsReceiveAuctionPayments) {
+    const BillingFixture fx;
+    const auto backbone = provision_fixture(fx);
+    const EpochReport report = run_billing_epoch(backbone, fx.roster, fx.pool);
+    for (const market::BpOutcome& out : backbone.auction.outcomes) {
+        const Party bp{PartyKind::kBandwidthProvider, out.bp.value()};
+        EXPECT_EQ(report.ledger.balance(bp), out.payment) << out.name;
+    }
+}
+
+TEST(Billing, ChargesProportionalToUsage) {
+    const BillingFixture fx;
+    const auto backbone = provision_fixture(fx);
+    const EpochReport report = run_billing_epoch(backbone, fx.roster, fx.pool);
+    ASSERT_EQ(report.charges.size(), 2u);  // the LMP and the direct CSP
+    // Both sides of the same flows: equal sent+received volumes, equal
+    // charges (up to the one-micro-dollar true-up).
+    const auto& a = report.charges[0];
+    const auto& b = report.charges[1];
+    EXPECT_NEAR(a.sent_gbps + a.received_gbps, b.sent_gbps + b.received_gbps, 1e-9);
+    EXPECT_LE((a.amount - b.amount).micros() < 0 ? (b.amount - a.amount).micros()
+                                                 : (a.amount - b.amount).micros(),
+              10);
+}
+
+TEST(Billing, CustomerFlowsRecorded) {
+    const BillingFixture fx;
+    const auto backbone = provision_fixture(fx);
+    const EpochReport report = run_billing_epoch(backbone, fx.roster, fx.pool);
+    // 100k customers * $50 access.
+    EXPECT_EQ(report.ledger.total(TransferKind::kCustomerAccess),
+              Money::from_dollars(5'000'000.0));
+    // 50k subscribers * $10.
+    EXPECT_EQ(report.ledger.total(TransferKind::kCspSubscription),
+              Money::from_dollars(500'000.0));
+}
+
+TEST(Billing, HostedCspPaysItsLmp) {
+    BillingFixture fx;
+    CspInfo hosted;
+    hosted.name = "IndieCo";
+    hosted.attachment = CspAttachment::kViaLmp;
+    hosted.via_lmp = LmpId{0u};
+    hosted.subscription_price = 3_usd;
+    hosted.take_rate = 0.1;
+    hosted.gbps_per_1k_subscribers = 0.01;
+    fx.roster.csps.push_back(hosted);
+    fx.tm = roster_traffic(fx.roster, 0.08);
+    // IndieCo's traffic terminates at its own LMP's router (src == dst)
+    // so the matrix is unchanged, but hosting pass-through must appear.
+    const auto backbone = provision_fixture(fx);
+    const EpochReport report = run_billing_epoch(backbone, fx.roster, fx.pool);
+    EXPECT_GT(report.ledger.total(TransferKind::kLmpHosting), Money{});
+    EXPECT_TRUE(report.ledger.conserves());
+}
+
+TEST(Billing, ServiceFeesReduceAccessPrice) {
+    // Section 3.1 services: QoS/CDN revenue is credited against the
+    // outlay, lowering the usage-based price for everyone.
+    const BillingFixture fx;
+    const auto backbone = provision_fixture(fx);
+    const EpochReport plain = run_billing_epoch(backbone, fx.roster, fx.pool);
+
+    ServiceBilling services;
+    services.qos_fees_by_lmp = {30_usd};
+    services.cdn_fees_by_csp = {20_usd};
+    const EpochReport with_services =
+        run_billing_epoch(backbone, fx.roster, fx.pool, {}, &services);
+
+    EXPECT_EQ(with_services.service_revenue, 50_usd);
+    EXPECT_LT(with_services.usage_price_per_gbps, plain.usage_price_per_gbps);
+    // The POC still nets exactly zero: services + access == outlay.
+    EXPECT_EQ(with_services.ledger.poc_net(), Money{});
+    EXPECT_EQ(with_services.ledger.total(TransferKind::kServiceFees), 50_usd);
+    EXPECT_TRUE(with_services.ledger.conserves());
+}
+
+TEST(Billing, ExcessServiceRevenueFloorsAccessAtZero) {
+    const BillingFixture fx;
+    const auto backbone = provision_fixture(fx);
+    ServiceBilling services;
+    // Service income far above the leasing outlay.
+    services.qos_fees_by_lmp = {Money::from_dollars(1e9)};
+    services.cdn_fees_by_csp = {Money{}};
+    const EpochReport report =
+        run_billing_epoch(backbone, fx.roster, fx.pool, {}, &services);
+    EXPECT_DOUBLE_EQ(report.usage_price_per_gbps, 0.0);
+    EXPECT_TRUE(report.poc_revenue.is_zero());
+    EXPECT_TRUE(report.ledger.conserves());
+}
+
+TEST(Billing, ServiceVectorSizesValidated) {
+    const BillingFixture fx;
+    const auto backbone = provision_fixture(fx);
+    ServiceBilling services;
+    services.qos_fees_by_lmp = {};  // wrong size
+    services.cdn_fees_by_csp = {Money{}};
+    EXPECT_THROW(run_billing_epoch(backbone, fx.roster, fx.pool, {}, &services),
+                 util::ContractViolation);
+}
+
+TEST(Billing, UsagePricePositiveAndConsistent) {
+    const BillingFixture fx;
+    const auto backbone = provision_fixture(fx);
+    const EpochReport report = run_billing_epoch(backbone, fx.roster, fx.pool);
+    EXPECT_GT(report.usage_price_per_gbps, 0.0);
+    // Price * total volume ~ outlay.
+    double vol = 0.0;
+    for (const UsageCharge& c : report.charges) vol += c.sent_gbps + c.received_gbps;
+    EXPECT_NEAR(report.usage_price_per_gbps * vol, report.poc_outlay.dollars(), 0.01);
+}
+
+}  // namespace
+}  // namespace poc::core

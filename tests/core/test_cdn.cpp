@@ -1,0 +1,102 @@
+#include "core/cdn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace poc::core {
+namespace {
+
+using util::operator""_usd;
+
+net::TrafficMatrix sample_tm() {
+    return {{net::NodeId{0u}, net::NodeId{1u}, 10.0}, {net::NodeId{0u}, net::NodeId{2u}, 20.0}};
+}
+
+CdnOffer open_offer() {
+    CdnOffer offer;
+    offer.fee_per_unit = 500_usd;
+    offer.open_to_all = true;
+    return offer;
+}
+
+TEST(HitCurve, ConcaveAndBounded) {
+    HitCurve curve;
+    curve.half_units = 4.0;
+    EXPECT_DOUBLE_EQ(curve.hit_ratio(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(curve.hit_ratio(4.0), 0.5);
+    EXPECT_LT(curve.hit_ratio(100.0), 1.0);
+    // Diminishing returns.
+    const double gain1 = curve.hit_ratio(2.0) - curve.hit_ratio(0.0);
+    const double gain2 = curve.hit_ratio(4.0) - curve.hit_ratio(2.0);
+    EXPECT_GT(gain1, gain2);
+}
+
+TEST(Cdn, ReducesDestinationDemand) {
+    const std::vector<CdnDeployment> deps{{net::NodeId{1u}, 4.0}};  // hit 0.5
+    const CdnEffect e = apply_cdn(sample_tm(), deps, open_offer(), /*cacheable=*/0.8);
+    // Demand 0->1: 10 * (1 - 0.8*0.5) = 6; demand 0->2 untouched.
+    EXPECT_NEAR(e.reduced[0].gbps, 6.0, 1e-9);
+    EXPECT_NEAR(e.reduced[1].gbps, 20.0, 1e-9);
+    EXPECT_NEAR(e.served_at_router[1], 4.0, 1e-9);
+    EXPECT_NEAR(e.offload_fraction, 4.0 / 30.0, 1e-9);
+}
+
+TEST(Cdn, StackedDeploymentsAccumulate) {
+    const std::vector<CdnDeployment> deps{{net::NodeId{1u}, 2.0}, {net::NodeId{1u}, 2.0}};
+    const CdnEffect e = apply_cdn(sample_tm(), deps, open_offer(), 1.0);
+    EXPECT_NEAR(e.reduced[0].gbps, 5.0, 1e-9);  // hit(4) = 0.5
+}
+
+TEST(Cdn, FeesChargePerUnit) {
+    const std::vector<CdnDeployment> deps{{net::NodeId{1u}, 3.0}, {net::NodeId{2u}, 1.5}};
+    const CdnEffect e = apply_cdn(sample_tm(), deps, open_offer(), 0.5);
+    EXPECT_EQ(e.monthly_fees, util::Money::from_dollars(4.5 * 500.0));
+}
+
+TEST(Cdn, NoDeploymentNoEffect) {
+    const CdnEffect e = apply_cdn(sample_tm(), {}, open_offer(), 0.9);
+    EXPECT_DOUBLE_EQ(e.offload_fraction, 0.0);
+    EXPECT_NEAR(e.reduced[0].gbps, 10.0, 1e-9);
+    EXPECT_TRUE(e.monthly_fees.is_zero());
+}
+
+TEST(Cdn, ZeroCacheableFractionNoEffect) {
+    const std::vector<CdnDeployment> deps{{net::NodeId{1u}, 100.0}};
+    const CdnEffect e = apply_cdn(sample_tm(), deps, open_offer(), 0.0);
+    EXPECT_DOUBLE_EQ(e.offload_fraction, 0.0);
+}
+
+TEST(Cdn, MoreCacheMoreOffload) {
+    const CdnEffect small = apply_cdn(sample_tm(), {{net::NodeId{1u}, 1.0}}, open_offer(), 0.8);
+    const CdnEffect big = apply_cdn(sample_tm(), {{net::NodeId{1u}, 16.0}}, open_offer(), 0.8);
+    EXPECT_GT(big.offload_fraction, small.offload_fraction);
+}
+
+TEST(Cdn, ClosedOfferRejected) {
+    CdnOffer closed = open_offer();
+    closed.open_to_all = false;
+    EXPECT_EQ(audit_offer(closed), Verdict::kViolatesConditionII);
+    EXPECT_THROW(apply_cdn(sample_tm(), {}, closed, 0.5), util::ContractViolation);
+}
+
+TEST(Cdn, OpenOfferCompliant) {
+    EXPECT_EQ(audit_offer(open_offer()), Verdict::kCompliant);
+}
+
+TEST(Cdn, RejectsBadFraction) {
+    EXPECT_THROW(apply_cdn(sample_tm(), {}, open_offer(), 1.5), util::ContractViolation);
+}
+
+TEST(Cdn, TotalDemandConserved) {
+    // reduced + served == offered, demand by demand.
+    const std::vector<CdnDeployment> deps{{net::NodeId{1u}, 4.0}, {net::NodeId{2u}, 8.0}};
+    const auto tm = sample_tm();
+    const CdnEffect e = apply_cdn(tm, deps, open_offer(), 0.7);
+    double served = 0.0;
+    for (const double s : e.served_at_router) served += s;
+    EXPECT_NEAR(net::total_demand(e.reduced) + served, net::total_demand(tm), 1e-9);
+}
+
+}  // namespace
+}  // namespace poc::core

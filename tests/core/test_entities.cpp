@@ -1,0 +1,123 @@
+#include "core/entities.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers/graphs.hpp"
+
+namespace poc::core {
+namespace {
+
+using util::operator""_usd;
+
+EntityRoster fixture_roster() {
+    EntityRoster roster;
+    roster.lmps = {
+        {"EyeballEast", net::NodeId{0u}, 1'000'000.0, 50_usd},
+        {"EyeballWest", net::NodeId{2u}, 500'000.0, 45_usd},
+    };
+    CspInfo video;
+    video.name = "StreamCo";
+    video.attachment = CspAttachment::kDirectToPoc;
+    video.poc_router = net::NodeId{1u};
+    video.subscription_price = 12_usd;
+    video.take_rate = 0.4;
+    video.gbps_per_1k_subscribers = 0.01;
+    CspInfo hosted;
+    hosted.name = "IndieCo";
+    hosted.attachment = CspAttachment::kViaLmp;
+    hosted.via_lmp = LmpId{0u};
+    hosted.subscription_price = 5_usd;
+    hosted.take_rate = 0.1;
+    hosted.gbps_per_1k_subscribers = 0.002;
+    roster.csps = {video, hosted};
+    return roster;
+}
+
+TEST(Roster, ValidatesAgainstGraph) {
+    net::Graph g = test::triangle();
+    EXPECT_NO_THROW(fixture_roster().validate(g));
+}
+
+TEST(Roster, RejectsBadAttachment) {
+    net::Graph g = test::triangle();
+    EntityRoster r = fixture_roster();
+    r.lmps[0].attachment = net::NodeId{9u};
+    EXPECT_THROW(r.validate(g), util::ContractViolation);
+}
+
+TEST(Roster, RejectsBadViaLmp) {
+    net::Graph g = test::triangle();
+    EntityRoster r = fixture_roster();
+    r.csps[1].via_lmp = LmpId{7u};
+    EXPECT_THROW(r.validate(g), util::ContractViolation);
+}
+
+TEST(Roster, RejectsBadTakeRate) {
+    net::Graph g = test::triangle();
+    EntityRoster r = fixture_roster();
+    r.csps[0].take_rate = 1.5;
+    EXPECT_THROW(r.validate(g), util::ContractViolation);
+}
+
+TEST(RosterTraffic, VolumesMatchSubscriberMath) {
+    const EntityRoster r = fixture_roster();
+    const auto tm = roster_traffic(r, 0.0);  // no reverse traffic
+    // StreamCo -> EyeballEast: 1M * 0.4 / 1000 * 0.01 = 4 Gbps.
+    double found = 0.0;
+    for (const net::Demand& d : tm) {
+        if (d.src == net::NodeId{1u} && d.dst == net::NodeId{0u}) found = d.gbps;
+    }
+    EXPECT_NEAR(found, 4.0, 1e-9);
+}
+
+TEST(RosterTraffic, ReverseFractionAddsUpstream) {
+    const EntityRoster r = fixture_roster();
+    const auto tm = roster_traffic(r, 0.25);
+    double down = 0.0;
+    double up = 0.0;
+    for (const net::Demand& d : tm) {
+        if (d.src == net::NodeId{1u} && d.dst == net::NodeId{2u}) down = d.gbps;
+        if (d.src == net::NodeId{2u} && d.dst == net::NodeId{1u}) up = d.gbps;
+    }
+    EXPECT_GT(down, 0.0);
+    EXPECT_NEAR(up, down * 0.25, 1e-9);
+}
+
+TEST(RosterTraffic, HostedCspOriginatesAtItsLmp) {
+    const EntityRoster r = fixture_roster();
+    const auto tm = roster_traffic(r, 0.0);
+    // IndieCo is hosted at LMP0 (router 0); its traffic to EyeballWest
+    // (router 2) appears as 0 -> 2.
+    bool found = false;
+    for (const net::Demand& d : tm) {
+        if (d.src == net::NodeId{0u} && d.dst == net::NodeId{2u}) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(RosterTraffic, SameRouterFlowsDropped) {
+    // IndieCo hosted at LMP0 serving LMP0's own customers: src == dst,
+    // never enters the POC matrix.
+    const EntityRoster r = fixture_roster();
+    for (const net::Demand& d : roster_traffic(r)) {
+        EXPECT_NE(d.src, d.dst);
+    }
+}
+
+TEST(RosterTraffic, AggregatesPerRouterPair) {
+    // Two CSPs at the same router produce one aggregated demand per
+    // destination.
+    EntityRoster r = fixture_roster();
+    CspInfo second = r.csps[0];
+    second.name = "StreamCo2";
+    r.csps.push_back(second);
+    const auto tm = roster_traffic(r, 0.0);
+    std::size_t count_1_to_0 = 0;
+    for (const net::Demand& d : tm) {
+        if (d.src == net::NodeId{1u} && d.dst == net::NodeId{0u}) ++count_1_to_0;
+    }
+    EXPECT_EQ(count_1_to_0, 1u);
+}
+
+}  // namespace
+}  // namespace poc::core

@@ -1,0 +1,99 @@
+#include "core/flow_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers/graphs.hpp"
+
+namespace poc::core {
+namespace {
+
+TEST(FlowSim, RoutesAndReportsUtilization) {
+    net::Graph g = test::triangle();
+    net::Subgraph sg(g);
+    const net::TrafficMatrix tm{{net::NodeId{0u}, net::NodeId{1u}, 5.0}};
+    const FlowReport r = simulate_flows(sg, tm);
+    EXPECT_TRUE(r.fully_routed);
+    EXPECT_NEAR(r.total_offered_gbps, 5.0, 1e-9);
+    EXPECT_NEAR(r.total_routed_gbps, 5.0, 1e-9);
+    EXPECT_NEAR(r.max_utilization, 0.5, 1e-9);  // 5 over the cap-10 direct link
+    EXPECT_NEAR(r.link_load_gbps[0], 5.0, 1e-9);
+}
+
+TEST(FlowSim, StretchOneOnShortestPath) {
+    // Two-hop route (2 km) clearly beats the 4 km direct link even
+    // under the router's hop-penalized congestion metric.
+    net::Graph g;
+    const auto n0 = g.add_node();
+    const auto n1 = g.add_node();
+    const auto n2 = g.add_node();
+    g.add_link(n0, n1, 10.0, 1.0);
+    g.add_link(n1, n2, 10.0, 1.0);
+    g.add_link(n0, n2, 10.0, 4.0);
+    net::Subgraph sg(g);
+    const FlowReport r = simulate_flows(sg, {{n0, n2, 2.0}});
+    EXPECT_NEAR(r.stretch, 1.0, 1e-6);
+    EXPECT_NEAR(r.mean_path_km, 2.0, 1e-6);  // via node 1
+}
+
+TEST(FlowSim, StretchAboveOneWhenSpilling) {
+    net::Graph g = test::triangle();
+    net::Subgraph sg(g);
+    // 13 > 10: must also use the longer direct link.
+    const FlowReport r = simulate_flows(sg, {{net::NodeId{0u}, net::NodeId{2u}, 13.0}});
+    EXPECT_TRUE(r.fully_routed);
+    EXPECT_GT(r.stretch, 1.0);
+}
+
+TEST(FlowSim, PartialRoutingReported) {
+    net::Graph g = test::chain(2, 10.0);
+    net::Subgraph sg(g);
+    const FlowReport r = simulate_flows(sg, {{net::NodeId{0u}, net::NodeId{1u}, 25.0}});
+    EXPECT_FALSE(r.fully_routed);
+    EXPECT_LE(r.total_routed_gbps, 10.0 + 1e-6);
+}
+
+TEST(FlowSim, VirtualShareTracksVirtualLinks) {
+    net::Graph g = test::triangle();
+    net::Subgraph sg(g);
+    std::vector<bool> is_virtual(g.link_count(), false);
+    is_virtual[2] = true;  // the direct 0-2 link
+    // Demand 13 forces spill onto the virtual link.
+    const FlowReport r =
+        simulate_flows(sg, {{net::NodeId{0u}, net::NodeId{2u}, 13.0}}, is_virtual);
+    EXPECT_GT(r.virtual_share, 0.0);
+    EXPECT_LT(r.virtual_share, 1.0);
+}
+
+TEST(FlowSim, ZeroVirtualShareWithoutFlags) {
+    net::Graph g = test::triangle();
+    net::Subgraph sg(g);
+    const FlowReport r = simulate_flows(sg, {{net::NodeId{0u}, net::NodeId{1u}, 1.0}});
+    EXPECT_DOUBLE_EQ(r.virtual_share, 0.0);
+}
+
+TEST(FlowSim, EmptyMatrixCleanReport) {
+    net::Graph g = test::triangle();
+    net::Subgraph sg(g);
+    const FlowReport r = simulate_flows(sg, {});
+    EXPECT_TRUE(r.fully_routed);
+    EXPECT_DOUBLE_EQ(r.total_routed_gbps, 0.0);
+    EXPECT_DOUBLE_EQ(r.max_utilization, 0.0);
+}
+
+TEST(FlowSim, LoadsNeverExceedCapacity) {
+    util::Rng rng(3);
+    net::Graph g = test::random_connected(rng, 8, 8);
+    net::Subgraph sg(g);
+    net::TrafficMatrix tm;
+    for (std::size_t i = 0; i < 4; ++i) {
+        tm.push_back({net::NodeId{i}, net::NodeId{i + 3}, rng.uniform(0.5, 3.0)});
+    }
+    const FlowReport r = simulate_flows(sg, tm);
+    for (const net::LinkId l : g.all_links()) {
+        EXPECT_LE(r.link_load_gbps[l.index()], g.link(l).capacity_gbps * (1.0 + 1e-6));
+    }
+    EXPECT_LE(r.max_utilization, 1.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace poc::core

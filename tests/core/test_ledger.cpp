@@ -1,0 +1,104 @@
+#include "core/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace poc::core {
+namespace {
+
+using util::Money;
+using util::operator""_usd;
+
+constexpr Party kPoc{PartyKind::kPoc, 0};
+constexpr Party kBp0{PartyKind::kBandwidthProvider, 0};
+constexpr Party kLmp0{PartyKind::kLmp, 0};
+constexpr Party kLmp1{PartyKind::kLmp, 1};
+
+TEST(Ledger, RecordsAndBalances) {
+    Ledger ledger;
+    ledger.record(kLmp0, kPoc, TransferKind::kPocAccess, 100_usd);
+    ledger.record(kPoc, kBp0, TransferKind::kLinkLease, 60_usd);
+    EXPECT_EQ(ledger.balance(kPoc), 40_usd);
+    EXPECT_EQ(ledger.balance(kBp0), 60_usd);
+    EXPECT_EQ(ledger.balance(kLmp0), -100_usd);
+}
+
+TEST(Ledger, ConservationAlwaysHolds) {
+    Ledger ledger;
+    ledger.record(kLmp0, kPoc, TransferKind::kPocAccess, 123_usd);
+    ledger.record(kLmp1, kPoc, TransferKind::kPocAccess, 77_usd);
+    ledger.record(kPoc, kBp0, TransferKind::kLinkLease, 199_usd);
+    EXPECT_TRUE(ledger.conserves());
+}
+
+TEST(Ledger, TotalsByCategory) {
+    Ledger ledger;
+    ledger.record(kLmp0, kPoc, TransferKind::kPocAccess, 100_usd);
+    ledger.record(kLmp1, kPoc, TransferKind::kPocAccess, 50_usd);
+    ledger.record(kPoc, kBp0, TransferKind::kLinkLease, 75_usd);
+    EXPECT_EQ(ledger.total(TransferKind::kPocAccess), 150_usd);
+    EXPECT_EQ(ledger.total(TransferKind::kLinkLease), 75_usd);
+    EXPECT_EQ(ledger.total(TransferKind::kCspSubscription), Money{});
+}
+
+TEST(Ledger, ZeroTransfersDropped) {
+    Ledger ledger;
+    ledger.record(kLmp0, kPoc, TransferKind::kPocAccess, Money{});
+    EXPECT_TRUE(ledger.transfers().empty());
+}
+
+TEST(Ledger, RejectsNegativeAndSelfTransfers) {
+    Ledger ledger;
+    EXPECT_THROW(ledger.record(kLmp0, kPoc, TransferKind::kPocAccess,
+                               Money::from_dollars(-1.0)),
+                 util::ContractViolation);
+    EXPECT_THROW(ledger.record(kPoc, kPoc, TransferKind::kPocAccess, 1_usd),
+                 util::ContractViolation);
+}
+
+TEST(Ledger, PocNetBreakEven) {
+    Ledger ledger;
+    ledger.record(kLmp0, kPoc, TransferKind::kPocAccess, 100_usd);
+    ledger.record(kPoc, kBp0, TransferKind::kLinkLease, 100_usd);
+    EXPECT_EQ(ledger.poc_net(), Money{});
+}
+
+TEST(Ledger, StatementListsPartiesAndCategories) {
+    Ledger ledger;
+    ledger.record(Party{PartyKind::kCustomers, 0}, kLmp0, TransferKind::kCustomerAccess,
+                  42_usd, "subs");
+    const std::string s = ledger.statement();
+    EXPECT_NE(s.find("Customers(LMP1)"), std::string::npos);
+    EXPECT_NE(s.find("LMP1"), std::string::npos);
+    EXPECT_NE(s.find("customer access"), std::string::npos);
+    EXPECT_NE(s.find("$42.00"), std::string::npos);
+}
+
+TEST(Ledger, PartyLabelsDistinct) {
+    EXPECT_EQ(party_label(kPoc), "POC");
+    EXPECT_EQ(party_label(Party{PartyKind::kCsp, 2}), "CSP3");
+    EXPECT_EQ(party_label(Party{PartyKind::kExternalIsp, 0}), "ISP1");
+}
+
+TEST(Ledger, MemoPreserved) {
+    Ledger ledger;
+    ledger.record(kLmp0, kPoc, TransferKind::kPocAccess, 10_usd, "march invoice");
+    ASSERT_EQ(ledger.transfers().size(), 1u);
+    EXPECT_EQ(ledger.transfers()[0].memo, "march invoice");
+}
+
+TEST(Ledger, ExactIntegerAccounting) {
+    // One third of a dollar three times sums to 999999 micros with
+    // floor rounding; Money's llround keeps the books exact instead.
+    Ledger ledger;
+    const Money third = Money::from_dollars(1.0 / 3.0);
+    for (int i = 0; i < 3; ++i) {
+        ledger.record(kLmp0, kPoc, TransferKind::kPocAccess, third);
+    }
+    EXPECT_EQ(ledger.balance(kPoc).micros(), 3 * third.micros());
+    EXPECT_TRUE(ledger.conserves());
+}
+
+}  // namespace
+}  // namespace poc::core

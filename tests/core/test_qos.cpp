@@ -1,0 +1,108 @@
+#include "core/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace poc::core {
+namespace {
+
+using util::operator""_usd;
+
+QosCatalog three_tier() {
+    QosCatalog c;
+    c.add_tier({"platinum", 0, 12_usd});
+    c.add_tier({"gold", 1, 6_usd});
+    c.add_tier({"best-effort", 2, 2_usd});
+    return c;
+}
+
+TEST(Qos, AddTierRejectsDuplicatePriority) {
+    QosCatalog c = three_tier();
+    EXPECT_THROW(c.add_tier({"dup", 1, 1_usd}), util::ContractViolation);
+}
+
+TEST(Qos, SubscriptionsAggregateByTier) {
+    QosCatalog c = three_tier();
+    c.subscribe(0, 10.0);
+    c.subscribe(2, 50.0);
+    c.subscribe(0, 5.0);
+    const auto volume = c.volume_by_tier();
+    EXPECT_DOUBLE_EQ(volume[0], 15.0);
+    EXPECT_DOUBLE_EQ(volume[1], 0.0);
+    EXPECT_DOUBLE_EQ(volume[2], 50.0);
+}
+
+TEST(Qos, RevenueSumsPostedPrices) {
+    QosCatalog c = three_tier();
+    c.subscribe(0, 10.0);  // 120
+    c.subscribe(2, 50.0);  // 100
+    EXPECT_EQ(c.monthly_revenue(), 220_usd);
+}
+
+TEST(Qos, PolicyRuleIsCompliant) {
+    const QosCatalog c = three_tier();
+    EXPECT_EQ(audit_rule(c.as_policy_rule()), Verdict::kCompliant);
+}
+
+TEST(Qos, DelayFactorsOrderedByPriority) {
+    QosCatalog c = three_tier();
+    c.subscribe(0, 20.0);
+    c.subscribe(1, 30.0);
+    c.subscribe(2, 40.0);
+    const auto f = c.delay_factors(100.0);
+    // Higher priority -> strictly smaller delay factor when loaded.
+    EXPECT_LT(f[0], f[1]);
+    EXPECT_LT(f[1], f[2]);
+    EXPECT_GE(f[0], 1.0);
+}
+
+TEST(Qos, TopTierInsulatedFromLowerLoad) {
+    // Load added below the platinum tier must not change platinum's
+    // delay (strict priority).
+    QosCatalog c = three_tier();
+    c.subscribe(0, 20.0);
+    const double before = c.delay_factors(100.0)[0];
+    c.subscribe(2, 60.0);
+    const double after = c.delay_factors(100.0)[0];
+    EXPECT_NEAR(before, after, 1e-12);
+}
+
+TEST(Qos, LowTierSuffersFromHigherLoad) {
+    QosCatalog c = three_tier();
+    c.subscribe(2, 20.0);
+    const double lightly = c.delay_factors(100.0)[2];
+    c.subscribe(0, 80.0 - 1.0);  // near saturation above it
+    const double heavily = c.delay_factors(100.0)[2];
+    EXPECT_GT(heavily, 10.0 * lightly);
+}
+
+TEST(Qos, EmptySystemHasUnitFactors) {
+    const QosCatalog c = three_tier();
+    for (const double f : c.delay_factors(100.0)) EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(Qos, DelayRequiresFittingLoad) {
+    QosCatalog c = three_tier();
+    c.subscribe(0, 120.0);
+    EXPECT_THROW(c.delay_factors(100.0), util::ContractViolation);
+}
+
+TEST(Qos, SubscribeValidatesInput) {
+    QosCatalog c = three_tier();
+    EXPECT_THROW(c.subscribe(9, 1.0), util::ContractViolation);
+    EXPECT_THROW(c.subscribe(0, 0.0), util::ContractViolation);
+}
+
+TEST(Qos, PriorityOrderIndependentOfInsertionOrder) {
+    QosCatalog c;
+    c.add_tier({"low", 5, 1_usd});
+    c.add_tier({"high", 1, 9_usd});
+    c.subscribe(0, 30.0);
+    c.subscribe(1, 30.0);
+    const auto f = c.delay_factors(100.0);
+    EXPECT_LT(f[1], f[0]);  // "high" (index 1) is served first
+}
+
+}  // namespace
+}  // namespace poc::core

@@ -1,0 +1,115 @@
+#include "core/tos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace poc::core {
+namespace {
+
+PolicyRule rule(PolicyAction action, TrafficSelector selector, bool openly_priced = false) {
+    PolicyRule r;
+    r.action = action;
+    r.selector = selector;
+    r.openly_priced = openly_priced;
+    return r;
+}
+
+TEST(Tos, TerminationFeeAlwaysViolates) {
+    for (const TrafficSelector s :
+         {TrafficSelector::kAll, TrafficSelector::kBySource, TrafficSelector::kByApplication}) {
+        for (const bool priced : {false, true}) {
+            EXPECT_EQ(audit_rule(rule(PolicyAction::kChargeTerminationFee, s, priced)),
+                      Verdict::kViolatesNoTerminationFee);
+        }
+    }
+}
+
+TEST(Tos, SourceKeyedPriorityViolatesConditionI) {
+    EXPECT_EQ(audit_rule(rule(PolicyAction::kPrioritize, TrafficSelector::kBySource)),
+              Verdict::kViolatesConditionI);
+    EXPECT_EQ(audit_rule(rule(PolicyAction::kDeprioritize, TrafficSelector::kByDestination)),
+              Verdict::kViolatesConditionI);
+    EXPECT_EQ(audit_rule(rule(PolicyAction::kBlock, TrafficSelector::kByApplication)),
+              Verdict::kViolatesConditionI);
+}
+
+TEST(Tos, PaidFastLaneForOneCspStillViolates) {
+    // The QoS carve-out covers openly-priced service sold to anyone,
+    // not a priced rule keyed to one source.
+    EXPECT_EQ(audit_rule(rule(PolicyAction::kPrioritize, TrafficSelector::kBySource, true)),
+              Verdict::kViolatesConditionI);
+}
+
+TEST(Tos, OpenQosIsCompliant) {
+    EXPECT_EQ(audit_rule(rule(PolicyAction::kPrioritize, TrafficSelector::kAll, true)),
+              Verdict::kCompliant);
+    EXPECT_EQ(audit_rule(rule(PolicyAction::kDeprioritize, TrafficSelector::kAll)),
+              Verdict::kCompliant);
+}
+
+TEST(Tos, SecurityBlockingExempt) {
+    PolicyRule r = rule(PolicyAction::kBlock, TrafficSelector::kBySource);
+    r.security_exception = true;
+    EXPECT_EQ(audit_rule(r), Verdict::kCompliant);
+}
+
+TEST(Tos, MaintenancePriorityExempt) {
+    PolicyRule r = rule(PolicyAction::kPrioritize, TrafficSelector::kByApplication);
+    r.maintenance_exception = true;
+    EXPECT_EQ(audit_rule(r), Verdict::kCompliant);
+}
+
+TEST(Tos, SelectiveCdnViolatesConditionII) {
+    EXPECT_EQ(audit_rule(rule(PolicyAction::kProvideCdn, TrafficSelector::kBySource)),
+              Verdict::kViolatesConditionII);
+    EXPECT_EQ(audit_rule(rule(PolicyAction::kProvideCdn, TrafficSelector::kAll, true)),
+              Verdict::kCompliant);
+}
+
+TEST(Tos, SelectiveThirdPartyCdnViolatesConditionIII) {
+    // "Allow Netflix to install services that enhance their traffic but
+    // disallow others" - the paper's own example.
+    EXPECT_EQ(audit_rule(rule(PolicyAction::kAllowThirdPartyCdn, TrafficSelector::kBySource)),
+              Verdict::kViolatesConditionIII);
+    EXPECT_EQ(audit_rule(rule(PolicyAction::kAllowThirdPartyCdn, TrafficSelector::kAll, true)),
+              Verdict::kCompliant);
+}
+
+TEST(Tos, AuditAggregatesFindings) {
+    LmpPolicy policy;
+    policy.lmp_name = "ShadyLMP";
+    policy.rules = {
+        rule(PolicyAction::kPrioritize, TrafficSelector::kAll, true),       // ok
+        rule(PolicyAction::kChargeTerminationFee, TrafficSelector::kAll),   // bad
+        rule(PolicyAction::kProvideCdn, TrafficSelector::kByDestination),   // bad
+    };
+    const AuditReport report = audit_lmp(policy);
+    EXPECT_EQ(report.lmp_name, "ShadyLMP");
+    EXPECT_FALSE(report.compliant);
+    EXPECT_EQ(report.violation_count(), 2u);
+    ASSERT_EQ(report.findings.size(), 3u);
+    EXPECT_EQ(report.findings[0].verdict, Verdict::kCompliant);
+}
+
+TEST(Tos, CleanPolicyCompliant) {
+    LmpPolicy policy;
+    policy.lmp_name = "GoodLMP";
+    policy.rules = {rule(PolicyAction::kPrioritize, TrafficSelector::kAll, true),
+                    rule(PolicyAction::kProvideCdn, TrafficSelector::kAll, true)};
+    const AuditReport report = audit_lmp(policy);
+    EXPECT_TRUE(report.compliant);
+    EXPECT_EQ(report.violation_count(), 0u);
+}
+
+TEST(Tos, EmptyPolicyCompliant) {
+    EXPECT_TRUE(audit_lmp({"Empty", {}}).compliant);
+}
+
+TEST(Tos, VerdictNamesHumanReadable) {
+    EXPECT_NE(std::string(verdict_name(Verdict::kViolatesConditionI)).find("(i)"),
+              std::string::npos);
+    EXPECT_NE(std::string(verdict_name(Verdict::kViolatesNoTerminationFee)).find("termination"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace poc::core

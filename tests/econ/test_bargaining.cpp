@@ -1,0 +1,100 @@
+// Section 4.5: Nash bargaining fees. For linear demand D = 1 - p/P
+// the renegotiation fixed point solves t = ((P+t)/2 - rc)/2, giving
+// t = (P - 2 rc)/3 and p = (2P - rc)/3.
+#include "econ/bargaining.hpp"
+
+#include <gtest/gtest.h>
+
+namespace poc::econ {
+namespace {
+
+LmpProfile lmp(double customers, double charge, double churn, std::string name = "l") {
+    LmpProfile p;
+    p.name = std::move(name);
+    p.customers = customers;
+    p.access_charge = charge;
+    p.churn_if_lost = churn;
+    return p;
+}
+
+TEST(BilateralNbs, ClosedForm) {
+    EXPECT_DOUBLE_EQ(bilateral_nbs_fee(60.0, lmp(1.0, 50.0, 0.2)), (60.0 - 10.0) / 2.0);
+    EXPECT_DOUBLE_EQ(bilateral_nbs_fee(60.0, lmp(1.0, 50.0, 0.0)), 30.0);
+}
+
+TEST(BilateralNbs, NegativeWhenChurnCostDominates) {
+    // r*c = 0.9*100 = 90 > p: the LMP pays the CSP.
+    EXPECT_LT(bilateral_nbs_fee(60.0, lmp(1.0, 100.0, 0.9)), 0.0);
+}
+
+TEST(BilateralNbs, IncumbentLmpExtractsMore) {
+    // Incumbent: low churn-if-lost -> higher fee. The paper's key
+    // incumbent-advantage driver on the LMP side.
+    const double f_incumbent = bilateral_nbs_fee(60.0, lmp(1.0, 50.0, 0.05));
+    const double f_entrant = bilateral_nbs_fee(60.0, lmp(1.0, 50.0, 0.5));
+    EXPECT_GT(f_incumbent, f_entrant);
+}
+
+TEST(AverageRc, PopulationWeighted) {
+    const std::vector<LmpProfile> lmps{lmp(3.0, 50.0, 0.1), lmp(1.0, 30.0, 0.5)};
+    // (3*5 + 1*15) / 4 = 7.5.
+    EXPECT_DOUBLE_EQ(average_rc(lmps), 7.5);
+}
+
+TEST(AverageNbsFee, MatchesFormula) {
+    const std::vector<LmpProfile> lmps{lmp(3.0, 50.0, 0.1), lmp(1.0, 30.0, 0.5)};
+    EXPECT_DOUBLE_EQ(average_nbs_fee(60.0, lmps), (60.0 - 7.5) / 2.0);
+}
+
+TEST(Equilibrium, LinearClosedForm) {
+    LinearDemand d(100.0);
+    const std::vector<LmpProfile> lmps{lmp(1.0, 50.0, 0.2)};  // rc = 10
+    const auto eq = bargaining_equilibrium(d, lmps);
+    EXPECT_TRUE(eq.converged);
+    EXPECT_NEAR(eq.avg_fee, (100.0 - 2.0 * 10.0) / 3.0, 1e-3);
+    EXPECT_NEAR(eq.price, (2.0 * 100.0 - 10.0) / 3.0, 1e-3);
+}
+
+TEST(Equilibrium, FeesBelowUnilateralLevel) {
+    // Bargaining splits surplus; unilateral t* for linear demand is
+    // P/2 = 50 > equilibrium fee.
+    LinearDemand d(100.0);
+    const auto eq = bargaining_equilibrium(d, {lmp(1.0, 50.0, 0.2)});
+    EXPECT_LT(eq.avg_fee, 50.0);
+    EXPECT_GT(eq.avg_fee, 0.0);
+}
+
+TEST(Equilibrium, PerLmpFeesOrderedByChurn) {
+    LinearDemand d(100.0);
+    const std::vector<LmpProfile> lmps{lmp(1.0, 50.0, 0.05, "incumbent"),
+                                       lmp(1.0, 50.0, 0.6, "entrant")};
+    const auto eq = bargaining_equilibrium(d, lmps);
+    ASSERT_EQ(eq.fee_by_lmp.size(), 2u);
+    EXPECT_GT(eq.fee_by_lmp[0], eq.fee_by_lmp[1]);
+}
+
+TEST(Equilibrium, HighChurnCostClampsFeeAtZero) {
+    // rc huge: negotiated fee would be negative; the positive-fee
+    // regime clamps at zero and the equilibrium price reverts to the
+    // NN monopoly price.
+    LinearDemand d(100.0);
+    const auto eq = bargaining_equilibrium(d, {lmp(1.0, 500.0, 0.9)});
+    EXPECT_DOUBLE_EQ(eq.avg_fee, 0.0);
+    EXPECT_NEAR(eq.price, 50.0, 1e-3);
+}
+
+TEST(Equilibrium, ZeroChurnSingleLmpMatchesNoOutsideOption) {
+    // rc = 0: t = p/2 and p = (P+t)/2 -> t = P/3.
+    LinearDemand d(90.0);
+    const auto eq = bargaining_equilibrium(d, {lmp(1.0, 50.0, 0.0)});
+    EXPECT_NEAR(eq.avg_fee, 30.0, 1e-3);
+}
+
+TEST(Bargaining, RejectsBadProfiles) {
+    EXPECT_THROW(average_rc({}), util::ContractViolation);
+    EXPECT_THROW(bilateral_nbs_fee(10.0, lmp(1.0, 50.0, 1.5)), util::ContractViolation);
+    EXPECT_THROW(average_rc({lmp(0.0, 50.0, 0.1)}), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::econ

@@ -1,0 +1,156 @@
+#include "econ/demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace poc::econ {
+namespace {
+
+std::vector<std::shared_ptr<const DemandCurve>> all_families() {
+    return {
+        std::make_shared<LinearDemand>(100.0),
+        std::make_shared<ExponentialDemand>(40.0),
+        std::make_shared<IsoelasticDemand>(10.0, 2.5),
+        std::make_shared<LogisticDemand>(50.0, 12.0),
+    };
+}
+
+TEST(Demand, BoundedInUnitInterval) {
+    for (const auto& d : all_families()) {
+        for (double p = 0.0; p <= d->upper_support(); p += d->upper_support() / 37.0) {
+            const double q = d->demand(p);
+            EXPECT_GE(q, 0.0) << d->name();
+            EXPECT_LE(q, 1.0) << d->name();
+        }
+    }
+}
+
+TEST(Demand, MonotoneDecreasing) {
+    for (const auto& d : all_families()) {
+        double prev = d->demand(0.0);
+        for (double p = 1.0; p <= d->upper_support(); p += d->upper_support() / 53.0) {
+            const double q = d->demand(p);
+            EXPECT_LE(q, prev + 1e-12) << d->name() << " at p=" << p;
+            prev = q;
+        }
+    }
+}
+
+TEST(Demand, FullDemandAtZeroPrice) {
+    for (const auto& d : all_families()) {
+        EXPECT_GE(d->demand(0.0), 0.5) << d->name();
+    }
+    EXPECT_DOUBLE_EQ(LinearDemand(100.0).demand(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(ExponentialDemand(40.0).demand(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(IsoelasticDemand(10.0, 2.0).demand(0.0), 1.0);
+}
+
+TEST(Demand, DerivativeMatchesNumericDifference) {
+    for (const auto& d : all_families()) {
+        for (double p : {5.0, 20.0, 45.0}) {
+            const double h = 1e-5;
+            const double numeric = (d->demand(p + h) - d->demand(p - h)) / (2.0 * h);
+            EXPECT_NEAR(d->derivative(p), numeric, 1e-4) << d->name() << " at p=" << p;
+        }
+    }
+}
+
+TEST(Demand, AnalyticIntegralMatchesQuadrature) {
+    for (const auto& d : all_families()) {
+        for (double p : {0.0, 10.0, 30.0}) {
+            // Midpoint-rule reference on [p, upper_support]. Isoelastic
+            // has a kink at the knee and a huge support, so the
+            // reference needs a fine grid.
+            const double hi = d->upper_support();
+            const int n = 400'000;
+            double sum = 0.0;
+            const double dx = (hi - p) / n;
+            for (int i = 0; i < n; ++i) sum += d->demand(p + (i + 0.5) * dx) * dx;
+            EXPECT_NEAR(d->demand_integral(p), sum, 2e-3 * std::max(1.0, sum))
+                << d->name() << " at p=" << p;
+        }
+    }
+}
+
+TEST(Demand, IntegralDecreasingInPrice) {
+    for (const auto& d : all_families()) {
+        EXPECT_GT(d->demand_integral(0.0), d->demand_integral(20.0));
+        EXPECT_GE(d->demand_integral(20.0), 0.0);
+    }
+}
+
+TEST(LinearDemand, ClosedForms) {
+    LinearDemand d(80.0);
+    EXPECT_DOUBLE_EQ(d.demand(40.0), 0.5);
+    EXPECT_DOUBLE_EQ(d.demand(80.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.demand(200.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.derivative(40.0), -1.0 / 80.0);
+    EXPECT_DOUBLE_EQ(d.demand_integral(0.0), 40.0);  // pmax/2
+    EXPECT_DOUBLE_EQ(d.demand_integral(40.0), 10.0);
+}
+
+TEST(ExponentialDemand, ClosedForms) {
+    ExponentialDemand d(25.0);
+    EXPECT_NEAR(d.demand(25.0), std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(d.demand_integral(0.0), 25.0, 1e-9);
+}
+
+TEST(IsoelasticDemand, FlatThenPowerLaw) {
+    IsoelasticDemand d(10.0, 2.0);
+    EXPECT_DOUBLE_EQ(d.demand(5.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.demand(20.0), 0.25);  // (2)^-2
+    EXPECT_THROW(IsoelasticDemand(10.0, 1.0), util::ContractViolation);
+}
+
+TEST(LogisticDemand, HalfAtMidpoint) {
+    LogisticDemand d(60.0, 10.0);
+    EXPECT_NEAR(d.demand(60.0), 0.5, 1e-12);
+}
+
+TEST(EmpiricalDemand, ExactStepFunction) {
+    EmpiricalDemand d({10.0, 20.0, 30.0, 40.0});
+    EXPECT_DOUBLE_EQ(d.demand(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.demand(10.0), 1.0);   // >= is a purchase
+    EXPECT_DOUBLE_EQ(d.demand(10.5), 0.75);
+    EXPECT_DOUBLE_EQ(d.demand(45.0), 0.0);
+}
+
+TEST(EmpiricalDemand, SurplusIsExactMean) {
+    EmpiricalDemand d({10.0, 20.0, 30.0});
+    // At p=15: (20-15 + 30-15)/3.
+    EXPECT_NEAR(d.demand_integral(15.0), 20.0 / 3.0, 1e-12);
+}
+
+TEST(EmpiricalDemand, MatchesParametricOnSampledPopulation) {
+    // Sampling WTP from Uniform[0,100] should approximate LinearDemand.
+    util::Rng rng(77);
+    std::vector<double> wtp;
+    for (int i = 0; i < 50'000; ++i) wtp.push_back(rng.uniform(0.0, 100.0));
+    EmpiricalDemand emp(std::move(wtp));
+    LinearDemand lin(100.0);
+    for (double p : {10.0, 50.0, 90.0}) {
+        EXPECT_NEAR(emp.demand(p), lin.demand(p), 0.02);
+        EXPECT_NEAR(emp.demand_integral(p), lin.demand_integral(p), 1.0);
+    }
+}
+
+TEST(Demand, RejectsBadConstruction) {
+    EXPECT_THROW(LinearDemand(0.0), util::ContractViolation);
+    EXPECT_THROW(ExponentialDemand(-1.0), util::ContractViolation);
+    EXPECT_THROW(LogisticDemand(10.0, 0.0), util::ContractViolation);
+    EXPECT_THROW(EmpiricalDemand({}), util::ContractViolation);
+    EXPECT_THROW(EmpiricalDemand({-1.0}), util::ContractViolation);
+}
+
+TEST(Demand, RejectsNegativePrice) {
+    LinearDemand d(10.0);
+    EXPECT_THROW(d.demand(-1.0), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::econ

@@ -1,0 +1,98 @@
+// The paper's dynamic argument (section 4.1): fee regimes foreclose
+// entrant services, lowering *future* social welfare.
+#include "econ/entry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace poc::econ {
+namespace {
+
+std::vector<LmpProfile> two_lmps() {
+    return {{"Big", 4.0, 50.0, 0.0}, {"Small", 1.0, 40.0, 0.0}};
+}
+
+TEST(EntryPopulation, DrawsRequestedCandidates) {
+    const auto lmps = two_lmps();
+    const auto pop = draw_entry_population(lmps);
+    EXPECT_EQ(pop.size(), 100u);
+    for (const EntryCandidate& c : pop) {
+        EXPECT_NE(c.demand, nullptr);
+        EXPECT_GT(c.entry_cost, 0.0);
+        EXPECT_EQ(c.churn_by_lmp.size(), 2u);
+    }
+}
+
+TEST(EntryPopulation, DeterministicInSeed) {
+    const auto lmps = two_lmps();
+    EntryPopulationOptions opt;
+    opt.seed = 9;
+    const auto a = draw_entry_population(lmps, opt);
+    const auto b = draw_entry_population(lmps, opt);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].entry_cost, b[i].entry_cost);
+    }
+}
+
+TEST(Entry, NnAdmitsTheMostEntrants) {
+    const auto lmps = two_lmps();
+    const auto pop = draw_entry_population(lmps);
+    const auto reports = evaluate_entry_all(pop, lmps);
+    ASSERT_EQ(reports.size(), 3u);
+    const auto& nn = reports[0];
+    const auto& uni = reports[1];
+    const auto& bar = reports[2];
+    EXPECT_GE(nn.entered, bar.entered);
+    EXPECT_GE(bar.entered, uni.entered);
+    // Fees must actually bite for the test to be informative.
+    EXPECT_GT(nn.entered, uni.entered);
+}
+
+TEST(Entry, RealizedWelfareOrderedLikeEntry) {
+    const auto lmps = two_lmps();
+    const auto pop = draw_entry_population(lmps);
+    const auto reports = evaluate_entry_all(pop, lmps);
+    EXPECT_GE(reports[0].realized_social_welfare, reports[2].realized_social_welfare);
+    EXPECT_GE(reports[2].realized_social_welfare, reports[1].realized_social_welfare);
+}
+
+TEST(Entry, NnForeclosesNothing) {
+    const auto lmps = two_lmps();
+    const auto pop = draw_entry_population(lmps);
+    const auto nn = evaluate_entry(pop, lmps, Regime::kNetworkNeutrality);
+    EXPECT_DOUBLE_EQ(nn.foreclosed_social_welfare, 0.0);
+}
+
+TEST(Entry, FeeRegimesForecloseViableServices) {
+    const auto lmps = two_lmps();
+    const auto pop = draw_entry_population(lmps);
+    const auto uni = evaluate_entry(pop, lmps, Regime::kUnilateralFees);
+    EXPECT_GT(uni.foreclosed_social_welfare, 0.0);
+}
+
+TEST(Entry, ZeroEntryCostEveryoneEnters) {
+    const auto lmps = two_lmps();
+    auto pop = draw_entry_population(lmps);
+    for (EntryCandidate& c : pop) c.entry_cost = 0.0;
+    const auto uni = evaluate_entry(pop, lmps, Regime::kUnilateralFees);
+    EXPECT_EQ(uni.entered, pop.size());
+}
+
+TEST(Entry, ProhibitiveEntryCostNobodyEnters) {
+    const auto lmps = two_lmps();
+    auto pop = draw_entry_population(lmps);
+    for (EntryCandidate& c : pop) c.entry_cost = 1e12;
+    const auto nn = evaluate_entry(pop, lmps, Regime::kNetworkNeutrality);
+    EXPECT_EQ(nn.entered, 0u);
+}
+
+TEST(Entry, ValidatesInputs) {
+    EXPECT_THROW(draw_entry_population({}), util::ContractViolation);
+    const auto lmps = two_lmps();
+    auto pop = draw_entry_population(lmps);
+    pop[0].churn_by_lmp.pop_back();
+    EXPECT_THROW(evaluate_entry(pop, lmps, Regime::kNetworkNeutrality),
+                 util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::econ

@@ -1,0 +1,131 @@
+#include "econ/market_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace poc::econ {
+namespace {
+
+Market fixture_market() {
+    Market m;
+    m.lmps = {
+        {"IncumbentLMP", 5.0, 50.0, 0.0},  // churn overridden per CSP
+        {"EntrantLMP", 1.0, 40.0, 0.0},
+    };
+    CspProfile video;
+    video.name = "VideoCo";
+    video.demand = std::make_shared<LinearDemand>(100.0);
+    video.churn_by_lmp = {0.05, 0.30};  // incumbent loses few, entrant many
+    CspProfile niche;
+    niche.name = "NicheCo";
+    niche.demand = std::make_shared<ExponentialDemand>(30.0);
+    niche.churn_by_lmp = {0.01, 0.05};
+    m.csps = {video, niche};
+    return m;
+}
+
+TEST(MarketModel, ValidatesConsistency) {
+    Market bad = fixture_market();
+    bad.csps[0].churn_by_lmp.pop_back();
+    EXPECT_THROW(validate(bad), util::ContractViolation);
+    bad = fixture_market();
+    bad.csps[0].demand = nullptr;
+    EXPECT_THROW(validate(bad), util::ContractViolation);
+    EXPECT_NO_THROW(validate(fixture_market()));
+}
+
+TEST(MarketModel, NnHasZeroFees) {
+    const auto report = evaluate(fixture_market(), Regime::kNetworkNeutrality);
+    for (const CspOutcome& o : report.csp_outcomes) {
+        EXPECT_DOUBLE_EQ(o.avg_fee, 0.0);
+        EXPECT_DOUBLE_EQ(o.lmp_fee_revenue, 0.0);
+    }
+    EXPECT_DOUBLE_EQ(report.total_lmp_fee_revenue, 0.0);
+}
+
+TEST(MarketModel, WelfareOrderingAcrossRegimes) {
+    // SW(NN) >= SW(bargaining) >= SW(unilateral): fees raise prices,
+    // and bargained fees are below the unilateral revenue-maximizing
+    // level.
+    const auto reports = evaluate_all(fixture_market());
+    ASSERT_EQ(reports.size(), 3u);
+    const double sw_nn = reports[0].total_social_welfare;
+    const double sw_uni = reports[1].total_social_welfare;
+    const double sw_bar = reports[2].total_social_welfare;
+    EXPECT_GT(sw_nn, sw_bar);
+    EXPECT_GT(sw_bar, sw_uni);
+}
+
+TEST(MarketModel, ConsumerWelfareAlsoOrdered) {
+    const auto reports = evaluate_all(fixture_market());
+    EXPECT_GT(reports[0].total_consumer_welfare, reports[1].total_consumer_welfare);
+    EXPECT_GE(reports[2].total_consumer_welfare, reports[1].total_consumer_welfare);
+}
+
+TEST(MarketModel, FeesRaisePostedPrices) {
+    const auto reports = evaluate_all(fixture_market());
+    for (std::size_t s = 0; s < reports[0].csp_outcomes.size(); ++s) {
+        EXPECT_LE(reports[0].csp_outcomes[s].posted_price,
+                  reports[2].csp_outcomes[s].posted_price + 1e-6);
+        EXPECT_LE(reports[2].csp_outcomes[s].posted_price,
+                  reports[1].csp_outcomes[s].posted_price + 1e-6);
+    }
+}
+
+TEST(MarketModel, IncumbentLmpExtractsHigherFee) {
+    const auto report = evaluate(fixture_market(), Regime::kBargainedFees);
+    // LMP 0 (low churn) negotiates a higher fee than LMP 1 for VideoCo.
+    const CspOutcome& video = report.csp_outcomes[0];
+    ASSERT_EQ(video.fee_by_lmp.size(), 2u);
+    EXPECT_GT(video.fee_by_lmp[0], video.fee_by_lmp[1]);
+}
+
+TEST(MarketModel, IncumbentCspPaysLowerAverageFee) {
+    // Give the same demand curve to an incumbent CSP (high churn if
+    // lost) and an entrant (low churn): the incumbent pays less.
+    Market m;
+    m.lmps = {{"LMP", 1.0, 50.0, 0.0}};
+    CspProfile incumbent;
+    incumbent.name = "IncumbentCSP";
+    incumbent.demand = std::make_shared<LinearDemand>(100.0);
+    incumbent.churn_by_lmp = {0.6};
+    CspProfile entrant = incumbent;
+    entrant.name = "EntrantCSP";
+    entrant.churn_by_lmp = {0.02};
+    m.csps = {incumbent, entrant};
+    const auto report = evaluate(m, Regime::kBargainedFees);
+    EXPECT_LT(report.csp_outcomes[0].avg_fee, report.csp_outcomes[1].avg_fee);
+    // And keeps more profit.
+    EXPECT_GT(report.csp_outcomes[0].csp_profit, report.csp_outcomes[1].csp_profit);
+}
+
+TEST(MarketModel, UnilateralFeesUniformAcrossLmps) {
+    const auto report = evaluate(fixture_market(), Regime::kUnilateralFees);
+    for (const CspOutcome& o : report.csp_outcomes) {
+        ASSERT_EQ(o.fee_by_lmp.size(), 2u);
+        EXPECT_DOUBLE_EQ(o.fee_by_lmp[0], o.fee_by_lmp[1]);
+        EXPECT_GT(o.avg_fee, 0.0);
+    }
+}
+
+TEST(MarketModel, LmpFeeRevenuePositiveUnderUr) {
+    const auto reports = evaluate_all(fixture_market());
+    EXPECT_GT(reports[1].total_lmp_fee_revenue, 0.0);
+    EXPECT_GT(reports[2].total_lmp_fee_revenue, 0.0);
+}
+
+TEST(MarketModel, ProfitPlusFeeEqualsGrossRevenue) {
+    const auto report = evaluate(fixture_market(), Regime::kBargainedFees);
+    for (const CspOutcome& o : report.csp_outcomes) {
+        const double gross = o.posted_price * o.demand_served;
+        EXPECT_NEAR(o.csp_profit + o.lmp_fee_revenue, gross, 1e-9);
+    }
+}
+
+TEST(MarketModel, RegimeNamesStable) {
+    EXPECT_STREQ(regime_name(Regime::kNetworkNeutrality), "NN");
+    EXPECT_STREQ(regime_name(Regime::kUnilateralFees), "UR-unilateral");
+    EXPECT_STREQ(regime_name(Regime::kBargainedFees), "UR-bargaining");
+}
+
+}  // namespace
+}  // namespace poc::econ

@@ -1,0 +1,88 @@
+#include "econ/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace poc::econ {
+namespace {
+
+TEST(GoldenMax, FindsParabolaPeak) {
+    const auto r = golden_max([](double x) { return -(x - 3.0) * (x - 3.0) + 5.0; }, 0.0, 10.0);
+    EXPECT_NEAR(r.x, 3.0, 1e-6);
+    EXPECT_NEAR(r.value, 5.0, 1e-9);
+}
+
+TEST(GoldenMax, BoundaryMaximum) {
+    const auto r = golden_max([](double x) { return x; }, 0.0, 4.0);
+    EXPECT_NEAR(r.x, 4.0, 1e-6);
+}
+
+TEST(GoldenMax, HandlesFlatFunction) {
+    const auto r = golden_max([](double) { return 7.0; }, 1.0, 2.0);
+    EXPECT_NEAR(r.value, 7.0, 1e-12);
+    EXPECT_GE(r.x, 1.0);
+    EXPECT_LE(r.x, 2.0);
+}
+
+TEST(GoldenMax, RevenueCurveKnownOptimum) {
+    // p * (1 - p/100): max at 50.
+    const auto r = golden_max([](double p) { return p * (1.0 - p / 100.0); }, 0.0, 100.0);
+    EXPECT_NEAR(r.x, 50.0, 1e-5);
+    EXPECT_NEAR(r.value, 25.0, 1e-9);
+}
+
+TEST(GoldenMax, RejectsBadInterval) {
+    EXPECT_THROW(golden_max([](double x) { return x; }, 2.0, 1.0), util::ContractViolation);
+}
+
+TEST(BisectRoot, FindsSqrtTwo) {
+    const auto root = bisect_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+    ASSERT_TRUE(root.has_value());
+    EXPECT_NEAR(*root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(BisectRoot, ExactEndpointRoot) {
+    const auto root = bisect_root([](double x) { return x; }, 0.0, 1.0);
+    ASSERT_TRUE(root.has_value());
+    EXPECT_DOUBLE_EQ(*root, 0.0);
+}
+
+TEST(BisectRoot, NulloptWhenSignsMatch) {
+    EXPECT_FALSE(bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0).has_value());
+}
+
+TEST(FixedPoint, ConvergesToContractionFixpoint) {
+    // g(x) = cos(x): fixed point ~0.739085.
+    const auto r = fixed_point([](double x) { return std::cos(x); }, 0.0, 1.0, 1e-10);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 0.7390851332, 1e-6);
+}
+
+TEST(FixedPoint, DampingStabilizesOscillation) {
+    // g(x) = 4 - x oscillates undamped; with damping it converges to 2.
+    const auto r = fixed_point([](double x) { return 4.0 - x; }, 0.0, 0.5, 1e-10);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 2.0, 1e-6);
+}
+
+TEST(FixedPoint, ReportsNonConvergence) {
+    const auto r = fixed_point([](double x) { return x + 1.0; }, 0.0, 1.0, 1e-10, 50);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.iterations, 50u);
+}
+
+TEST(FixedPoint, ImmediateFixpoint) {
+    const auto r = fixed_point([](double x) { return x; }, 3.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_DOUBLE_EQ(r.x, 3.0);
+    EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(FixedPoint, RejectsBadDamping) {
+    EXPECT_THROW(fixed_point([](double x) { return x; }, 0.0, 0.0), util::ContractViolation);
+    EXPECT_THROW(fixed_point([](double x) { return x; }, 0.0, 1.5), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::econ

@@ -1,0 +1,82 @@
+// Closed-form checks of sections 4.3-4.4: for linear demand
+// D(p) = 1 - p/P the textbook double-marginalization results are
+//   p* = P/2 (NN), p*(t) = (P+t)/2, t* = P/2, p*(t*) = 3P/4.
+// For exponential demand D(p) = exp(-p/theta):
+//   p* = theta, p*(t) = theta + t, t* = theta, p*(t*) = 2 theta.
+#include "econ/pricing_models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace poc::econ {
+namespace {
+
+TEST(MonopolyPrice, LinearHalfOfMax) {
+    LinearDemand d(100.0);
+    EXPECT_NEAR(monopoly_price(d).x, 50.0, 1e-4);
+    EXPECT_NEAR(monopoly_price(d).value, 25.0, 1e-6);
+}
+
+TEST(MonopolyPrice, ExponentialEqualsTheta) {
+    ExponentialDemand d(40.0);
+    EXPECT_NEAR(monopoly_price(d).x, 40.0, 1e-3);
+}
+
+TEST(CspPriceGivenFee, LinearClosedForm) {
+    LinearDemand d(100.0);
+    for (const double t : {0.0, 10.0, 30.0, 60.0}) {
+        EXPECT_NEAR(csp_price_given_fee(d, t).x, (100.0 + t) / 2.0, 1e-3) << "t=" << t;
+    }
+}
+
+TEST(CspPriceGivenFee, ExponentialClosedForm) {
+    ExponentialDemand d(40.0);
+    for (const double t : {0.0, 20.0, 50.0}) {
+        EXPECT_NEAR(csp_price_given_fee(d, t).x, 40.0 + t, 0.05) << "t=" << t;
+    }
+}
+
+TEST(CspPriceGivenFee, PriceAlwaysAboveFee) {
+    LogisticDemand d(50.0, 10.0);
+    for (const double t : {0.0, 15.0, 40.0, 80.0}) {
+        EXPECT_GE(csp_price_given_fee(d, t).x, t);
+    }
+}
+
+TEST(LmpOptimalFee, LinearDoubleMarginalization) {
+    LinearDemand d(100.0);
+    const auto t = lmp_optimal_fee(d);
+    EXPECT_NEAR(t.x, 50.0, 0.05);
+    // Resulting consumer price 3P/4.
+    EXPECT_NEAR(csp_price_given_fee(d, t.x).x, 75.0, 0.05);
+}
+
+TEST(LmpOptimalFee, ExponentialEqualsTheta) {
+    ExponentialDemand d(40.0);
+    EXPECT_NEAR(lmp_optimal_fee(d).x, 40.0, 0.2);
+}
+
+TEST(LmpOptimalFee, FeeRevenuePositive) {
+    IsoelasticDemand d(10.0, 2.5);
+    const auto t = lmp_optimal_fee(d);
+    EXPECT_GT(t.value, 0.0);
+    EXPECT_GT(t.x, 0.0);
+}
+
+TEST(PriceResponseCurve, CoversGridAndMonotone) {
+    LinearDemand d(100.0);
+    const auto curve = price_response_curve(d, 60.0, 13);
+    ASSERT_EQ(curve.size(), 13u);
+    EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+    EXPECT_DOUBLE_EQ(curve.back().first, 60.0);
+    for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+        EXPECT_LE(curve[i].second, curve[i + 1].second + 1e-6);
+    }
+}
+
+TEST(PricingModels, RejectsNegativeFee) {
+    LinearDemand d(100.0);
+    EXPECT_THROW(csp_price_given_fee(d, -1.0), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::econ

@@ -1,0 +1,112 @@
+#include "econ/usage_pricing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace poc::econ {
+namespace {
+
+UsagePopulation small_pop() { return {10.0, 50.0, 100.0, 500.0}; }
+
+LmpCostModel cost_model() { return LmpCostModel{20.0, 0.05}; }
+
+TEST(UsagePopulation, DrawsPositiveHeavyTailed) {
+    const auto pop = draw_usage_population();
+    EXPECT_EQ(pop.size(), 10'000u);
+    double mean = 0.0;
+    double max = 0.0;
+    for (const double gb : pop) {
+        EXPECT_GT(gb, 0.0);
+        mean += gb;
+        max = std::max(max, gb);
+    }
+    mean /= static_cast<double>(pop.size());
+    EXPECT_GT(max, 5.0 * mean);  // heavy tail
+}
+
+TEST(Pricing, AllSchemesBreakEvenExactly) {
+    for (const PricingOutcome& o : price_population_all(small_pop(), cost_model())) {
+        EXPECT_NEAR(o.total_revenue, o.total_cost, 1e-9) << scheme_name(o.scheme);
+    }
+}
+
+TEST(Pricing, FlatHasUniformBillsAndHighSubsidy) {
+    const auto o = price_population(small_pop(), cost_model(), PricingScheme::kFlat);
+    EXPECT_DOUBLE_EQ(o.min_bill, o.max_bill);
+    // Total cost = 4*20 + 0.05*660 = 113; fee = 28.25. Light user costs
+    // 20.5 but pays 28.25: cross-subsidy present.
+    EXPECT_NEAR(o.price_parameter, 113.0 / 4.0, 1e-9);
+    EXPECT_GT(o.cross_subsidy_index, 0.0);
+}
+
+TEST(Pricing, UsageBillsProportionalToUsage) {
+    const auto o = price_population(small_pop(), cost_model(), PricingScheme::kUsage);
+    // Rate = 113 / 660.
+    EXPECT_NEAR(o.price_parameter, 113.0 / 660.0, 1e-9);
+    EXPECT_NEAR(o.min_bill, 10.0 * o.price_parameter, 1e-9);
+    EXPECT_NEAR(o.max_bill, 500.0 * o.price_parameter, 1e-9);
+}
+
+TEST(Pricing, TieredTwoPartTariffMinimizesCrossSubsidy) {
+    // Flat pricing makes light users fund the heavy tail's volume;
+    // pure usage pricing makes heavy users fund everyone's *fixed*
+    // costs. The tiered scheme is a two-part tariff - fixed-ish base
+    // plus volumetric overage - and tracks cost causation best, so it
+    // minimizes the cross-subsidy index. (This is the classic two-part
+    // tariff result; the paper expects the market to find such
+    // "practical solutions" to the predictability/usage tension.)
+    const auto pop = draw_usage_population();
+    const auto all = price_population_all(pop, cost_model());
+    const double flat = all[0].cross_subsidy_index;
+    const double usage = all[1].cross_subsidy_index;
+    const double tiered = all[2].cross_subsidy_index;
+    EXPECT_GT(flat, tiered);
+    EXPECT_GT(usage, tiered);
+}
+
+TEST(Pricing, PureUsageStillSubsidizesFixedCosts) {
+    // Usage pricing folds fixed costs into $/GB, so heavy users carry
+    // more than their incremental cost: the index is small but not 0
+    // when fixed costs exist...
+    const auto o = price_population(small_pop(), cost_model(), PricingScheme::kUsage);
+    EXPECT_GT(o.cross_subsidy_index, 0.0);
+    // ... and exactly 0 when cost is purely volumetric.
+    const auto pure = price_population(small_pop(), LmpCostModel{0.0, 0.05},
+                                       PricingScheme::kUsage);
+    EXPECT_NEAR(pure.cross_subsidy_index, 0.0, 1e-12);
+}
+
+TEST(Pricing, TieredBillsFlatUnderAllowance) {
+    TieredParams tiered;
+    tiered.allowance_gb = 150.0;
+    const auto o = price_population(small_pop(), cost_model(), PricingScheme::kTiered, tiered);
+    // Users at 10/50/100 GB pay only the base fee; 500 GB pays overage.
+    EXPECT_NEAR(o.min_bill, o.price_parameter, 1e-9);
+    EXPECT_GT(o.max_bill, o.price_parameter);
+}
+
+TEST(Pricing, TieredRejectsAllowanceMakingBaseNegative) {
+    // Allowance 0 + big markup: overage revenue alone exceeds cost.
+    TieredParams tiered;
+    tiered.allowance_gb = 0.0;
+    tiered.overage_markup = 100.0;
+    EXPECT_THROW(price_population(small_pop(), cost_model(), PricingScheme::kTiered, tiered),
+                 util::ContractViolation);
+}
+
+TEST(Pricing, ValidatesInputs) {
+    EXPECT_THROW(price_population({}, cost_model(), PricingScheme::kFlat),
+                 util::ContractViolation);
+    EXPECT_THROW(price_population({-1.0}, cost_model(), PricingScheme::kFlat),
+                 util::ContractViolation);
+}
+
+TEST(Pricing, SchemeNamesStable) {
+    EXPECT_STREQ(scheme_name(PricingScheme::kFlat), "flat");
+    EXPECT_STREQ(scheme_name(PricingScheme::kUsage), "usage-based");
+    EXPECT_STREQ(scheme_name(PricingScheme::kTiered), "tiered");
+}
+
+}  // namespace
+}  // namespace poc::econ

@@ -1,0 +1,127 @@
+// End-to-end Figure 1 simulation at test scale: generated topology,
+// auction-provisioned backbone, entity roster, flow simulation, billing
+// epoch, and a multi-epoch scenario on top.
+#include <gtest/gtest.h>
+
+#include "core/billing.hpp"
+#include "core/flow_sim.hpp"
+#include "market/pricing.hpp"
+#include "sim/scenario.hpp"
+#include "topo/traffic.hpp"
+
+namespace poc {
+namespace {
+
+using util::operator""_usd;
+
+struct EndToEndFixture {
+    topo::PocTopology topology;
+    market::OfferPool pool;
+    core::EntityRoster roster;
+    net::TrafficMatrix tm;
+
+    EndToEndFixture() : topology(make_topology()), pool(make_pool(topology)) {
+        // LMPs at the first three routers, one direct CSP at the fourth.
+        roster.lmps = {
+            {"MetroNet", net::NodeId{0u}, 800'000.0, 55_usd},
+            {"RuralLink", net::NodeId{1u}, 200'000.0, 60_usd},
+            {"CityFiber", net::NodeId{2u}, 500'000.0, 45_usd},
+        };
+        core::CspInfo stream;
+        stream.name = "StreamCo";
+        stream.attachment = core::CspAttachment::kDirectToPoc;
+        stream.poc_router = net::NodeId{3u};
+        stream.subscription_price = 14_usd;
+        stream.take_rate = 0.35;
+        stream.gbps_per_1k_subscribers = 0.02;
+        core::CspInfo indie;
+        indie.name = "IndieCo";
+        indie.attachment = core::CspAttachment::kViaLmp;
+        indie.via_lmp = core::LmpId{0u};
+        indie.subscription_price = 6_usd;
+        indie.take_rate = 0.08;
+        indie.gbps_per_1k_subscribers = 0.005;
+        roster.csps = {stream, indie};
+        roster.external_isps = {{"GlobalTransit", {net::NodeId{0u}, net::NodeId{1u}}, 2000_usd}};
+        tm = core::roster_traffic(roster);
+    }
+
+    static topo::PocTopology make_topology() {
+        topo::BpGeneratorOptions bopt;
+        bopt.bp_count = 6;
+        bopt.min_cities = 6;
+        bopt.max_cities = 14;
+        bopt.seed = 47;
+        topo::PocTopologyOptions popt;
+        popt.min_colocated_bps = 3;
+        return topo::build_poc_topology(topo::generate_bp_networks(bopt), popt);
+    }
+
+    static market::OfferPool make_pool(topo::PocTopology& topology) {
+        market::VirtualLinkOptions vopt;
+        vopt.attach_count = 3;
+        return market::make_offer_pool(topology, {}, vopt);
+    }
+
+    core::ProvisioningRequest request() const {
+        core::ProvisioningRequest req;
+        market::OracleOptions oopt;
+        oopt.fidelity = market::OracleFidelity::kFast;
+        req.oracle = oopt;
+        return req;
+    }
+};
+
+TEST(EndToEnd, ProvisionRouteBill) {
+    EndToEndFixture fx;
+    const auto backbone = core::provision(fx.pool, fx.tm, fx.request());
+    ASSERT_TRUE(backbone.has_value());
+
+    // Traffic flows over the provisioned backbone.
+    const core::FlowReport flows = core::simulate_flows(backbone->selected, fx.tm);
+    EXPECT_TRUE(flows.fully_routed);
+    EXPECT_LE(flows.max_utilization, 1.0 + 1e-6);
+
+    // Billing: exact conservation and break-even.
+    const core::EpochReport epoch = core::run_billing_epoch(*backbone, fx.roster, fx.pool);
+    EXPECT_TRUE(epoch.ledger.conserves());
+    EXPECT_EQ(epoch.ledger.poc_net(), util::Money{});
+    EXPECT_GT(epoch.poc_outlay, util::Money{});
+
+    // Section 3.2 flow directions: BPs and ISPs end positive, the POC
+    // at zero, customers negative.
+    EXPECT_LT(epoch.ledger.balance(core::Party{core::PartyKind::kCustomers, 0}),
+              util::Money{});
+    EXPECT_GT(epoch.ledger.total(core::TransferKind::kLinkLease), util::Money{});
+}
+
+TEST(EndToEnd, ScenarioOverProvisionedMarket) {
+    EndToEndFixture fx;
+    sim::ScenarioOptions sopt;
+    sopt.epochs = 3;
+    sopt.request = fx.request();
+    std::vector<sim::ScenarioEvent> events(2);
+    events[0].kind = sim::ScenarioEvent::Kind::kDemandGrowth;
+    events[0].epoch = 1;
+    events[0].factor = 1.5;
+    events[1].kind = sim::ScenarioEvent::Kind::kBpRecall;
+    events[1].epoch = 2;
+    events[1].bp = 0;
+    events[1].fraction = 0.5;
+    const auto outcomes = sim::run_scenario(fx.pool, fx.tm, events, sopt);
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (const auto& o : outcomes) {
+        EXPECT_TRUE(o.provisioned) << "epoch " << o.epoch;
+        EXPECT_TRUE(o.flows.fully_routed) << "epoch " << o.epoch;
+    }
+    EXPECT_NEAR(outcomes[1].total_demand_gbps, outcomes[0].total_demand_gbps * 1.5, 1e-6);
+    EXPECT_LT(outcomes[2].offered_links, outcomes[1].offered_links);
+}
+
+TEST(EndToEnd, RosterValidatedAgainstProvisionedGraph) {
+    EndToEndFixture fx;
+    EXPECT_NO_THROW(fx.roster.validate(fx.pool.graph()));
+}
+
+}  // namespace
+}  // namespace poc

@@ -1,0 +1,125 @@
+// Reduced-scale Figure 2 pipeline: synthetic BP networks -> POC
+// topology -> pricing -> VCG auction under all three constraints.
+// Asserts the structural properties the paper reports, at a scale that
+// runs in seconds (the full-scale run lives in bench/fig2_auction).
+#include <gtest/gtest.h>
+
+#include "market/pricing.hpp"
+#include "market/vcg.hpp"
+#include "topo/traffic.hpp"
+
+namespace poc {
+namespace {
+
+struct Fig2Fixture {
+    topo::PocTopology topology;
+    market::OfferPool pool;
+    net::TrafficMatrix tm;
+
+    Fig2Fixture() : topology(make_topology()), pool(make_pool(topology)), tm(make_tm(topology)) {}
+
+    static topo::PocTopology make_topology() {
+        topo::BpGeneratorOptions bopt;
+        bopt.bp_count = 6;
+        bopt.min_cities = 6;
+        bopt.max_cities = 14;
+        bopt.seed = 31;
+        topo::PocTopologyOptions popt;
+        popt.min_colocated_bps = 3;
+        return topo::build_poc_topology(topo::generate_bp_networks(bopt), popt);
+    }
+
+    static market::OfferPool make_pool(topo::PocTopology& topology) {
+        market::PricingOptions pricing;
+        pricing.seed = 17;
+        market::VirtualLinkOptions vopt;
+        vopt.attach_count = 3;
+        return market::make_offer_pool(topology, pricing, vopt);
+    }
+
+    static net::TrafficMatrix make_tm(const topo::PocTopology& topology) {
+        topo::GravityOptions gopt;
+        gopt.total_gbps = 400.0;
+        return topo::aggregate_top_n(topo::gravity_traffic(topology, gopt), 25);
+    }
+};
+
+std::optional<market::AuctionResult> run_constraint(const Fig2Fixture& fx,
+                                                    market::ConstraintKind kind) {
+    market::OracleOptions oopt;
+    oopt.fidelity = market::OracleFidelity::kFast;
+    const market::AcceptabilityOracle oracle(fx.pool.graph(), fx.tm, kind, oopt);
+    return market::run_auction(fx.pool, oracle);
+}
+
+TEST(Fig2Pipeline, AllThreeConstraintsProvisionable) {
+    const Fig2Fixture fx;
+    for (const auto kind :
+         {market::ConstraintKind::kLoad, market::ConstraintKind::kSingleFailure,
+          market::ConstraintKind::kPerPairFailure}) {
+        const auto result = run_constraint(fx, kind);
+        ASSERT_TRUE(result.has_value()) << market::constraint_name(kind);
+        EXPECT_GT(result->selection.links.size(), 0u);
+        EXPECT_GT(result->selection.cost, util::Money{});
+    }
+}
+
+TEST(Fig2Pipeline, PaymentsIndividuallyRational) {
+    const Fig2Fixture fx;
+    const auto result = run_constraint(fx, market::ConstraintKind::kLoad);
+    ASSERT_TRUE(result.has_value());
+    for (const market::BpOutcome& out : result->outcomes) {
+        EXPECT_GE(out.payment, out.bid_cost) << out.name;
+        EXPECT_GE(out.pob, 0.0) << out.name;
+    }
+}
+
+TEST(Fig2Pipeline, ResilienceCostsAtLeastPlainLoad) {
+    // Stricter constraints need at least as much (usually more) budget.
+    // Heuristic noise can nudge costs a little, so allow 2% slack.
+    const Fig2Fixture fx;
+    const auto load = run_constraint(fx, market::ConstraintKind::kLoad);
+    const auto failure = run_constraint(fx, market::ConstraintKind::kSingleFailure);
+    ASSERT_TRUE(load && failure);
+    EXPECT_GE(failure->selection.cost.dollars(), load->selection.cost.dollars() * 0.98);
+    EXPECT_GE(failure->selection.links.size(), load->selection.links.size());
+}
+
+TEST(Fig2Pipeline, SelectedSetPassesExactValidation) {
+    // The kFast search result must satisfy the exact oracle (the bench
+    // validates its final selection the same way).
+    const Fig2Fixture fx;
+    const auto result = run_constraint(fx, market::ConstraintKind::kLoad);
+    ASSERT_TRUE(result.has_value());
+    const market::AcceptabilityOracle exact(fx.pool.graph(), fx.tm,
+                                            market::ConstraintKind::kLoad);
+    EXPECT_TRUE(exact.accepts(net::Subgraph(fx.pool.graph(), result->selection.links)));
+}
+
+TEST(Fig2Pipeline, PobVariesAcrossBps) {
+    // The paper highlights "the high variation in the PoB" - margins
+    // should not be uniform across winners.
+    const Fig2Fixture fx;
+    const auto result = run_constraint(fx, market::ConstraintKind::kLoad);
+    ASSERT_TRUE(result.has_value());
+    double min_pob = 1e9;
+    double max_pob = -1e9;
+    for (const market::BpOutcome& out : result->outcomes) {
+        if (out.selected_links.empty()) continue;
+        min_pob = std::min(min_pob, out.pob);
+        max_pob = std::max(max_pob, out.pob);
+    }
+    EXPECT_GT(max_pob, min_pob);
+}
+
+TEST(Fig2Pipeline, OutlayDecomposition) {
+    const Fig2Fixture fx;
+    const auto result = run_constraint(fx, market::ConstraintKind::kLoad);
+    ASSERT_TRUE(result.has_value());
+    util::Money payments = result->virtual_cost;
+    for (const market::BpOutcome& out : result->outcomes) payments += out.payment;
+    EXPECT_EQ(payments, result->total_outlay);
+}
+
+}  // namespace
+}  // namespace poc

@@ -1,0 +1,112 @@
+// Determinism and oracle-fidelity properties of the auction pipeline.
+// The paper argues the POC must use "an open algorithm so that it
+// cannot be accused of favoritism" - openness is only meaningful if the
+// algorithm is reproducible, so determinism is a contract here, not a
+// nicety.
+#include <gtest/gtest.h>
+
+#include "helpers/market.hpp"
+#include "market/pricing.hpp"
+#include "market/vcg.hpp"
+#include "topo/traffic.hpp"
+
+namespace poc::market {
+namespace {
+
+class AuctionDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuctionDeterminism, IdenticalInputsIdenticalOutcomes) {
+    test::RandomSmallInstance inst(GetParam());
+    const OfferPool pool = inst.pool();
+    const AcceptabilityOracle oracle(inst.graph, inst.tm, ConstraintKind::kLoad);
+    const auto a = run_auction(pool, oracle);
+    const auto b = run_auction(pool, oracle);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) return;
+    EXPECT_EQ(a->selection.links, b->selection.links);
+    EXPECT_EQ(a->selection.cost, b->selection.cost);
+    for (std::size_t i = 0; i < a->outcomes.size(); ++i) {
+        EXPECT_EQ(a->outcomes[i].payment, b->outcomes[i].payment);
+        EXPECT_EQ(a->outcomes[i].selected_links, b->outcomes[i].selected_links);
+    }
+}
+
+TEST_P(AuctionDeterminism, FastAcceptImpliesExactAcceptForLoad) {
+    // The kFast load oracle is greedy routing, which is a feasibility
+    // *certificate*: anything it accepts, the exact oracle accepts.
+    test::RandomSmallInstance inst(GetParam() * 7 + 1);
+    OracleOptions fast;
+    fast.fidelity = OracleFidelity::kFast;
+    const AcceptabilityOracle fast_oracle(inst.graph, inst.tm, ConstraintKind::kLoad, fast);
+    const AcceptabilityOracle exact_oracle(inst.graph, inst.tm, ConstraintKind::kLoad);
+
+    util::Rng rng(GetParam() * 31 + 5);
+    const OfferPool pool = inst.pool();
+    for (int probe = 0; probe < 30; ++probe) {
+        std::vector<net::LinkId> subset;
+        for (const net::LinkId l : pool.offered_links()) {
+            if (rng.bernoulli(0.7)) subset.push_back(l);
+        }
+        const net::Subgraph sg(inst.graph, subset);
+        if (fast_oracle.accepts(sg)) {
+            EXPECT_TRUE(exact_oracle.accepts(sg));
+        }
+    }
+}
+
+TEST_P(AuctionDeterminism, FastAcceptImpliesExactAcceptForPerPair) {
+    // Same certificate property for the per-pair constraint: the kFast
+    // check runs the same greedy router the exact semantics accept as
+    // sufficient proof.
+    test::RandomSmallInstance inst(GetParam() * 13 + 3);
+    OracleOptions fast;
+    fast.fidelity = OracleFidelity::kFast;
+    const AcceptabilityOracle fast_oracle(inst.graph, inst.tm,
+                                          ConstraintKind::kPerPairFailure, fast);
+    const AcceptabilityOracle exact_oracle(inst.graph, inst.tm,
+                                           ConstraintKind::kPerPairFailure);
+    util::Rng rng(GetParam() * 17 + 2);
+    const OfferPool pool = inst.pool();
+    for (int probe = 0; probe < 20; ++probe) {
+        std::vector<net::LinkId> subset;
+        for (const net::LinkId l : pool.offered_links()) {
+            if (rng.bernoulli(0.8)) subset.push_back(l);
+        }
+        const net::Subgraph sg(inst.graph, subset);
+        if (fast_oracle.accepts(sg)) {
+            EXPECT_TRUE(exact_oracle.accepts(sg));
+        }
+    }
+}
+
+TEST_P(AuctionDeterminism, PipelineDeterministicFromSeeds) {
+    // The full generated pipeline (topology -> pricing -> auction) is a
+    // pure function of its seeds.
+    auto build = [&] {
+        topo::BpGeneratorOptions bopt;
+        bopt.bp_count = 6;
+        bopt.min_cities = 6;
+        bopt.max_cities = 12;
+        bopt.seed = GetParam();
+        topo::PocTopologyOptions popt;
+        popt.min_colocated_bps = 3;
+        auto topology = topo::build_poc_topology(topo::generate_bp_networks(bopt), popt);
+        market::VirtualLinkOptions vopt;
+        vopt.attach_count = std::min<std::size_t>(3, topology.router_city.size());
+        auto pool = make_offer_pool(topology, {}, vopt);
+        topo::GravityOptions gopt;
+        gopt.total_gbps = 300.0;
+        auto tm = topo::aggregate_top_n(topo::gravity_traffic(topology, gopt), 15);
+        OracleOptions oopt;
+        oopt.fidelity = OracleFidelity::kFast;
+        const AcceptabilityOracle oracle(pool.graph(), tm, ConstraintKind::kLoad, oopt);
+        auto result = run_auction(pool, oracle);
+        return result ? result->total_outlay : util::Money{};
+    };
+    EXPECT_EQ(build(), build());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuctionDeterminism, ::testing::Values(201, 202, 203, 204, 205));
+
+}  // namespace
+}  // namespace poc::market

@@ -1,0 +1,113 @@
+#include "market/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers/graphs.hpp"
+
+namespace poc::market {
+namespace {
+
+TEST(Oracle, LoadConstraintMatchesRoutability) {
+    net::Graph g = test::triangle();
+    const AcceptabilityOracle ok(g, {{net::NodeId{0u}, net::NodeId{2u}, 10.0}},
+                                 ConstraintKind::kLoad);
+    EXPECT_TRUE(ok.accepts(net::Subgraph(g)));
+    const AcceptabilityOracle too_much(g, {{net::NodeId{0u}, net::NodeId{2u}, 30.0}},
+                                       ConstraintKind::kLoad);
+    EXPECT_FALSE(too_much.accepts(net::Subgraph(g)));
+}
+
+TEST(Oracle, SingleFailureNeedsRedundancy) {
+    net::Graph ring = test::ring(4, 10.0);
+    const AcceptabilityOracle o(ring, {{net::NodeId{0u}, net::NodeId{2u}, 3.0}},
+                                ConstraintKind::kSingleFailure);
+    EXPECT_TRUE(o.accepts(net::Subgraph(ring)));
+
+    net::Graph chain = test::chain(3, 10.0);
+    const AcceptabilityOracle o2(chain, {{net::NodeId{0u}, net::NodeId{2u}, 3.0}},
+                                 ConstraintKind::kSingleFailure);
+    EXPECT_FALSE(o2.accepts(net::Subgraph(chain)));
+}
+
+TEST(Oracle, PerPairFailureNeedsBackupCapacity) {
+    net::Graph g = test::triangle();
+    const AcceptabilityOracle light(g, {{net::NodeId{0u}, net::NodeId{2u}, 4.0}},
+                                    ConstraintKind::kPerPairFailure);
+    EXPECT_TRUE(light.accepts(net::Subgraph(g)));
+    const AcceptabilityOracle heavy(g, {{net::NodeId{0u}, net::NodeId{2u}, 6.0}},
+                                    ConstraintKind::kPerPairFailure);
+    EXPECT_FALSE(heavy.accepts(net::Subgraph(g)));
+}
+
+TEST(Oracle, FastModeAgreesOnClearCases) {
+    net::Graph ring = test::ring(5, 10.0);
+    const net::TrafficMatrix tm{{net::NodeId{0u}, net::NodeId{2u}, 3.0}};
+    for (const ConstraintKind kind :
+         {ConstraintKind::kLoad, ConstraintKind::kSingleFailure,
+          ConstraintKind::kPerPairFailure}) {
+        OracleOptions fast;
+        fast.fidelity = OracleFidelity::kFast;
+        const AcceptabilityOracle f(ring, tm, kind, fast);
+        const AcceptabilityOracle e(ring, tm, kind);
+        EXPECT_TRUE(f.accepts(net::Subgraph(ring))) << constraint_name(kind);
+        EXPECT_TRUE(e.accepts(net::Subgraph(ring))) << constraint_name(kind);
+    }
+}
+
+TEST(Oracle, FastSingleFailureRejectsBridges) {
+    net::Graph chain = test::chain(3, 100.0);
+    OracleOptions fast;
+    fast.fidelity = OracleFidelity::kFast;
+    const AcceptabilityOracle o(chain, {{net::NodeId{0u}, net::NodeId{2u}, 1.0}},
+                                ConstraintKind::kSingleFailure, fast);
+    EXPECT_FALSE(o.accepts(net::Subgraph(chain)));
+}
+
+TEST(Oracle, FastSingleFailureDerateBites) {
+    // Demand fits at 100% but not at the 65% derate.
+    net::Graph ring = test::ring(4, 10.0);
+    OracleOptions fast;
+    fast.fidelity = OracleFidelity::kFast;
+    fast.fast_failure_derate = 0.65;
+    // 0->2 max flow is 20; derated 13. Demand 15 fails fast mode.
+    const AcceptabilityOracle o(ring, {{net::NodeId{0u}, net::NodeId{2u}, 15.0}},
+                                ConstraintKind::kSingleFailure, fast);
+    EXPECT_FALSE(o.accepts(net::Subgraph(ring)));
+}
+
+TEST(Oracle, CountsQueries) {
+    net::Graph g = test::triangle();
+    const AcceptabilityOracle o(g, {{net::NodeId{0u}, net::NodeId{2u}, 1.0}},
+                                ConstraintKind::kLoad);
+    EXPECT_EQ(o.query_count(), 0u);
+    o.accepts(net::Subgraph(g));
+    o.accepts(net::Subgraph(g));
+    EXPECT_EQ(o.query_count(), 2u);
+}
+
+TEST(Oracle, ConstraintNamesStable) {
+    EXPECT_STREQ(constraint_name(ConstraintKind::kLoad), "#1 load");
+    EXPECT_STREQ(constraint_name(ConstraintKind::kSingleFailure), "#2 single-failure");
+    EXPECT_STREQ(constraint_name(ConstraintKind::kPerPairFailure), "#3 per-pair-failure");
+}
+
+TEST(Oracle, MonotoneOnNestedSubsets) {
+    // Removing links never turns an unacceptable set acceptable (spot
+    // check on a ring with the exact oracle).
+    net::Graph ring = test::ring(5, 10.0);
+    const net::TrafficMatrix tm{{net::NodeId{0u}, net::NodeId{2u}, 4.0}};
+    const AcceptabilityOracle o(ring, tm, ConstraintKind::kLoad);
+    net::Subgraph full(ring);
+    ASSERT_TRUE(o.accepts(full));
+    net::Subgraph cut = full;
+    cut.set_active(net::LinkId{0u}, false);
+    cut.set_active(net::LinkId{1u}, false);
+    if (!o.accepts(cut)) {
+        net::Subgraph smaller = cut;
+        smaller.set_active(net::LinkId{2u}, false);
+        EXPECT_FALSE(o.accepts(smaller));
+    }
+}
+
+}  // namespace
+}  // namespace poc::market

@@ -1,0 +1,164 @@
+#include "market/vcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers/market.hpp"
+
+namespace poc::market {
+namespace {
+
+using util::Money;
+using util::operator""_usd;
+
+AuctionOptions exact_options() {
+    AuctionOptions opt;
+    opt.exact = true;
+    return opt;
+}
+
+TEST(Vcg, SecondPriceOnParallelLinks) {
+    // Demand 8 fits one link. Winner: A ($100). Without A the optimum
+    // is B ($150), so A's Clarke payment is 100 + (150 - 100) = 150:
+    // the classic second-price outcome.
+    test::ParallelLinksFixture fx;
+    const OfferPool pool = fx.pool();
+    const AcceptabilityOracle oracle(fx.graph, fx.demand(8.0), ConstraintKind::kLoad);
+    const auto result = run_auction(pool, oracle, exact_options());
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->selection.cost, 100_usd);
+
+    const BpOutcome& a = result->outcome(BpId{0u});
+    EXPECT_EQ(a.bid_cost, 100_usd);
+    EXPECT_EQ(a.payment, 150_usd);
+    EXPECT_NEAR(a.pob, 0.5, 1e-9);
+}
+
+TEST(Vcg, LosersGetNothing) {
+    test::ParallelLinksFixture fx;
+    const OfferPool pool = fx.pool();
+    const AcceptabilityOracle oracle(fx.graph, fx.demand(8.0), ConstraintKind::kLoad);
+    const auto result = run_auction(pool, oracle, exact_options());
+    ASSERT_TRUE(result.has_value());
+    for (const BpId loser : {BpId{1u}, BpId{2u}}) {
+        const BpOutcome& out = result->outcome(loser);
+        EXPECT_TRUE(out.selected_links.empty());
+        EXPECT_EQ(out.payment, Money{});
+        EXPECT_EQ(out.bid_cost, Money{});
+        EXPECT_DOUBLE_EQ(out.pob, 0.0);
+    }
+}
+
+TEST(Vcg, TwoWinnersEachPaidTheirExternality) {
+    // Demand 15 needs two links: A+B win ($250). Without A: B+C = $400
+    // -> P_A = 100 + (400-250) = 250. Without B: A+C = $350 ->
+    // P_B = 150 + (350-250) = 250. (Symmetric marginal contribution.)
+    test::ParallelLinksFixture fx;
+    const OfferPool pool = fx.pool();
+    const AcceptabilityOracle oracle(fx.graph, fx.demand(15.0), ConstraintKind::kLoad);
+    const auto result = run_auction(pool, oracle, exact_options());
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->selection.cost, 250_usd);
+    EXPECT_EQ(result->outcome(BpId{0u}).payment, 250_usd);
+    EXPECT_EQ(result->outcome(BpId{1u}).payment, 250_usd);
+    EXPECT_EQ(result->outcome(BpId{2u}).payment, Money{});
+    EXPECT_EQ(result->total_outlay, 500_usd);
+}
+
+TEST(Vcg, IndividualRationality) {
+    test::ParallelLinksFixture fx;
+    const OfferPool pool = fx.pool();
+    const AcceptabilityOracle oracle(fx.graph, fx.demand(15.0), ConstraintKind::kLoad);
+    const auto result = run_auction(pool, oracle, exact_options());
+    ASSERT_TRUE(result.has_value());
+    for (const BpOutcome& out : result->outcomes) {
+        EXPECT_GE(out.payment, out.bid_cost);
+        EXPECT_GE(out.pob, 0.0);
+    }
+}
+
+TEST(Vcg, PivotUndefinedWhenBpIsEssential) {
+    // Demand 25 needs all three links: removing any BP is infeasible.
+    test::ParallelLinksFixture fx;
+    const OfferPool pool = fx.pool();
+    const AcceptabilityOracle oracle(fx.graph, fx.demand(25.0), ConstraintKind::kLoad);
+    const auto result = run_auction(pool, oracle, exact_options());
+    ASSERT_TRUE(result.has_value());
+    for (const BpOutcome& out : result->outcomes) {
+        EXPECT_FALSE(out.pivot_defined);
+        EXPECT_EQ(out.payment, out.bid_cost);  // falls back to declared cost
+    }
+}
+
+TEST(Vcg, InfeasibleAuctionReturnsNullopt) {
+    test::ParallelLinksFixture fx;
+    const OfferPool pool = fx.pool();
+    const AcceptabilityOracle oracle(fx.graph, fx.demand(100.0), ConstraintKind::kLoad);
+    EXPECT_FALSE(run_auction(pool, oracle, exact_options()).has_value());
+}
+
+TEST(Vcg, VirtualLinksBoundPayments) {
+    // Same parallel-links setup plus a $400 virtual link. A's payment is
+    // bounded by the virtual alternative: without A, optimum = B ($150),
+    // unchanged; but with only A and the virtual link offered, removing
+    // A reprices to $400.
+    net::Graph g;
+    const auto a = g.add_node();
+    const auto b = g.add_node();
+    const auto l0 = g.add_link(a, b, 10.0, 1.0);
+    const auto lv = g.add_link(a, b, 10.0, 1.0);
+    BpBid bid(BpId{0u}, "A");
+    bid.offer(l0, 100_usd);
+    VirtualLinkContract contract;
+    contract.add(lv, 400_usd);
+    const OfferPool pool({bid}, contract, g);
+    const AcceptabilityOracle oracle(g, {{a, b, 8.0}}, ConstraintKind::kLoad);
+    const auto result = run_auction(pool, oracle, exact_options());
+    ASSERT_TRUE(result.has_value());
+    const BpOutcome& out = result->outcome(BpId{0u});
+    EXPECT_TRUE(out.pivot_defined);
+    EXPECT_EQ(out.payment, 400_usd);  // capped by the fallback contract
+    EXPECT_EQ(result->virtual_cost, Money{});  // virtual link not selected
+}
+
+TEST(Vcg, SelectedVirtualLinksCostedSeparately) {
+    net::Graph g;
+    const auto a = g.add_node();
+    const auto b = g.add_node();
+    const auto l0 = g.add_link(a, b, 10.0, 1.0);
+    const auto lv = g.add_link(a, b, 10.0, 1.0);
+    BpBid bid(BpId{0u}, "A");
+    bid.offer(l0, 100_usd);
+    VirtualLinkContract contract;
+    contract.add(lv, 400_usd);
+    const OfferPool pool({bid}, contract, g);
+    // Demand 15 needs both links.
+    const AcceptabilityOracle oracle(g, {{a, b, 15.0}}, ConstraintKind::kLoad);
+    const auto result = run_auction(pool, oracle, exact_options());
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->virtual_cost, 400_usd);
+    // A is essential (pivot undefined): paid its bid; outlay = 100+400.
+    EXPECT_EQ(result->total_outlay, 500_usd);
+}
+
+TEST(Vcg, HeuristicAgreesWithExactOnEasyInstance) {
+    test::ParallelLinksFixture fx;
+    const OfferPool pool = fx.pool();
+    const AcceptabilityOracle oracle(fx.graph, fx.demand(8.0), ConstraintKind::kLoad);
+    const auto exact = run_auction(pool, oracle, exact_options());
+    const auto heur = run_auction(pool, oracle, {});
+    ASSERT_TRUE(exact && heur);
+    EXPECT_EQ(exact->selection.cost, heur->selection.cost);
+    EXPECT_EQ(exact->outcome(BpId{0u}).payment, heur->outcome(BpId{0u}).payment);
+}
+
+TEST(Vcg, OutcomeLookupRejectsUnknown) {
+    test::ParallelLinksFixture fx;
+    const OfferPool pool = fx.pool();
+    const AcceptabilityOracle oracle(fx.graph, fx.demand(8.0), ConstraintKind::kLoad);
+    const auto result = run_auction(pool, oracle, exact_options());
+    ASSERT_TRUE(result.has_value());
+    EXPECT_THROW(result->outcome(BpId{9u}), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::market

@@ -1,0 +1,144 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "helpers/graphs.hpp"
+#include "util/contracts.hpp"
+
+namespace poc::net {
+namespace {
+
+TEST(Graph, AddNodesAndLabels) {
+    Graph g;
+    const NodeId a = g.add_node("alpha");
+    const NodeId b = g.add_node();
+    EXPECT_EQ(g.node_count(), 2u);
+    EXPECT_EQ(g.node_label(a), "alpha");
+    EXPECT_EQ(g.node_label(b), "");
+}
+
+TEST(Graph, AddNodesBulkReturnsFirstId) {
+    Graph g;
+    g.add_node("first");
+    const NodeId start = g.add_nodes(5);
+    EXPECT_EQ(start.index(), 1u);
+    EXPECT_EQ(g.node_count(), 6u);
+}
+
+TEST(Graph, AddLinkStoresAttributes) {
+    Graph g = test::triangle();
+    const Link& l = g.link(LinkId{2u});
+    EXPECT_EQ(l.a, NodeId{0u});
+    EXPECT_EQ(l.b, NodeId{2u});
+    EXPECT_DOUBLE_EQ(l.capacity_gbps, 5.0);
+    EXPECT_DOUBLE_EQ(l.length_km, 3.0);
+}
+
+TEST(Graph, LinkOtherEndpoint) {
+    Graph g = test::triangle();
+    const Link& l = g.link(LinkId{0u});
+    EXPECT_EQ(l.other(NodeId{0u}), NodeId{1u});
+    EXPECT_EQ(l.other(NodeId{1u}), NodeId{0u});
+    EXPECT_THROW(l.other(NodeId{2u}), util::ContractViolation);
+}
+
+TEST(Graph, RejectsSelfLoopAndBadCapacity) {
+    Graph g;
+    const NodeId a = g.add_node();
+    const NodeId b = g.add_node();
+    EXPECT_THROW(g.add_link(a, a, 1.0, 1.0), util::ContractViolation);
+    EXPECT_THROW(g.add_link(a, b, 0.0, 1.0), util::ContractViolation);
+    EXPECT_THROW(g.add_link(a, b, 1.0, -1.0), util::ContractViolation);
+}
+
+TEST(Graph, RejectsUnknownEndpoints) {
+    Graph g;
+    const NodeId a = g.add_node();
+    EXPECT_THROW(g.add_link(a, NodeId{5u}, 1.0, 1.0), util::ContractViolation);
+}
+
+TEST(Graph, ParallelLinksAllowed) {
+    Graph g;
+    const NodeId a = g.add_node();
+    const NodeId b = g.add_node();
+    g.add_link(a, b, 1.0, 1.0);
+    g.add_link(a, b, 2.0, 2.0);
+    EXPECT_EQ(g.link_count(), 2u);
+    EXPECT_EQ(g.incident(a).size(), 2u);
+}
+
+TEST(Graph, IncidentListsAllTouchingLinks) {
+    Graph g = test::triangle();
+    const auto inc1 = g.incident(NodeId{1u});
+    EXPECT_EQ(inc1.size(), 2u);
+    // Links 0 (0-1) and 1 (1-2).
+    std::vector<LinkId> ids(inc1.begin(), inc1.end());
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids[0], LinkId{0u});
+    EXPECT_EQ(ids[1], LinkId{1u});
+}
+
+TEST(Graph, IncidentValidAfterIncrementalInsertion) {
+    Graph g;
+    const NodeId a = g.add_node();
+    const NodeId b = g.add_node();
+    g.add_link(a, b, 1.0, 1.0);
+    EXPECT_EQ(g.incident(a).size(), 1u);  // builds adjacency
+    const NodeId c = g.add_node();
+    g.add_link(b, c, 1.0, 1.0);  // invalidates and rebuilds lazily
+    EXPECT_EQ(g.incident(b).size(), 2u);
+}
+
+TEST(Graph, AllLinksInInsertionOrder) {
+    Graph g = test::triangle();
+    const auto links = g.all_links();
+    ASSERT_EQ(links.size(), 3u);
+    EXPECT_EQ(links[0], LinkId{0u});
+    EXPECT_EQ(links[2], LinkId{2u});
+}
+
+TEST(Subgraph, FullViewActivatesEverything) {
+    Graph g = test::triangle();
+    Subgraph sg(g);
+    EXPECT_EQ(sg.active_count(), 3u);
+    EXPECT_TRUE(sg.is_active(LinkId{0u}));
+}
+
+TEST(Subgraph, RestrictedViewActivatesSubset) {
+    Graph g = test::triangle();
+    Subgraph sg(g, {LinkId{1u}});
+    EXPECT_EQ(sg.active_count(), 1u);
+    EXPECT_FALSE(sg.is_active(LinkId{0u}));
+    EXPECT_TRUE(sg.is_active(LinkId{1u}));
+}
+
+TEST(Subgraph, ToggleMaintainsCount) {
+    Graph g = test::triangle();
+    Subgraph sg(g);
+    sg.set_active(LinkId{0u}, false);
+    EXPECT_EQ(sg.active_count(), 2u);
+    sg.set_active(LinkId{0u}, false);  // idempotent
+    EXPECT_EQ(sg.active_count(), 2u);
+    sg.set_active(LinkId{0u}, true);
+    EXPECT_EQ(sg.active_count(), 3u);
+}
+
+TEST(Subgraph, ActiveLinksSortedById) {
+    Graph g = test::triangle();
+    Subgraph sg(g, {LinkId{2u}, LinkId{0u}});
+    const auto links = sg.active_links();
+    ASSERT_EQ(links.size(), 2u);
+    EXPECT_EQ(links[0], LinkId{0u});
+    EXPECT_EQ(links[1], LinkId{2u});
+}
+
+TEST(TrafficMatrix, TotalDemandSums) {
+    TrafficMatrix tm{{NodeId{0u}, NodeId{1u}, 2.5}, {NodeId{1u}, NodeId{0u}, 1.5}};
+    EXPECT_DOUBLE_EQ(total_demand(tm), 4.0);
+    EXPECT_DOUBLE_EQ(total_demand({}), 0.0);
+}
+
+}  // namespace
+}  // namespace poc::net

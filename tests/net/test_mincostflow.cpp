@@ -1,0 +1,108 @@
+#include "net/mincostflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers/graphs.hpp"
+#include "net/shortest_path.hpp"
+
+namespace poc::net {
+namespace {
+
+TEST(MinCostFlow, RoutesAlongCheapPathFirst) {
+    Graph g = test::triangle();
+    Subgraph sg(g);
+    // 0->2: via 1 costs 2/unit (cap 10), direct costs 3/unit (cap 5).
+    const auto r = min_cost_flow(sg, NodeId{0u}, NodeId{2u}, 4.0, weight_by_length(g));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(r->routed, 4.0, 1e-9);
+    EXPECT_NEAR(r->cost, 8.0, 1e-9);  // all on the cheap path
+}
+
+TEST(MinCostFlow, SpillsToExpensivePathWhenSaturated) {
+    Graph g = test::triangle();
+    Subgraph sg(g);
+    const auto r = min_cost_flow(sg, NodeId{0u}, NodeId{2u}, 12.0, weight_by_length(g));
+    ASSERT_TRUE(r.has_value());
+    // 10 units at cost 2, 2 units at cost 3.
+    EXPECT_NEAR(r->cost, 20.0 + 6.0, 1e-9);
+}
+
+TEST(MinCostFlow, InfeasibleWhenDemandExceedsCut) {
+    Graph g = test::triangle();
+    Subgraph sg(g);
+    EXPECT_FALSE(min_cost_flow(sg, NodeId{0u}, NodeId{2u}, 16.0, weight_by_length(g)));
+}
+
+TEST(MinCostFlow, ZeroAmountTrivial) {
+    Graph g = test::triangle();
+    Subgraph sg(g);
+    const auto r = min_cost_flow(sg, NodeId{0u}, NodeId{2u}, 0.0, weight_by_length(g));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(r->routed, 0.0);
+    EXPECT_DOUBLE_EQ(r->cost, 0.0);
+    EXPECT_TRUE(r->flows.empty());
+}
+
+TEST(MinCostFlow, FlowConservation) {
+    util::Rng rng(31);
+    Graph g = test::random_connected(rng, 9, 10);
+    Subgraph sg(g);
+    const auto r = min_cost_flow(sg, NodeId{0u}, NodeId{8u}, 3.0, weight_by_length(g));
+    ASSERT_TRUE(r.has_value());
+    std::vector<double> net_out(g.node_count(), 0.0);
+    for (const LinkFlow& f : r->flows) {
+        const Link& l = g.link(f.link);
+        net_out[l.a.index()] += f.flow;
+        net_out[l.b.index()] -= f.flow;
+    }
+    EXPECT_NEAR(net_out[0], 3.0, 1e-6);
+    EXPECT_NEAR(net_out[8], -3.0, 1e-6);
+    for (std::size_t v = 1; v < 8; ++v) EXPECT_NEAR(net_out[v], 0.0, 1e-6);
+}
+
+TEST(MinCostFlow, CostMatchesShortestPathForSmallAmounts) {
+    util::Rng rng(37);
+    for (int trial = 0; trial < 5; ++trial) {
+        Graph g = test::random_connected(rng, 10, 12);
+        Subgraph sg(g);
+        const auto w = weight_by_length(g);
+        const auto sp = shortest_path(sg, NodeId{0u}, NodeId{9u}, w);
+        ASSERT_TRUE(sp.has_value());
+        // Tiny amount: everything goes down the single shortest path.
+        const auto r = min_cost_flow(sg, NodeId{0u}, NodeId{9u}, 1e-3, w);
+        ASSERT_TRUE(r.has_value());
+        EXPECT_NEAR(r->cost, sp->weight * 1e-3, 1e-9);
+    }
+}
+
+TEST(MinCostFlow, RespectsCapacities) {
+    util::Rng rng(41);
+    Graph g = test::random_connected(rng, 8, 10);
+    Subgraph sg(g);
+    const auto r = min_cost_flow(sg, NodeId{0u}, NodeId{7u}, 5.0, weight_by_length(g));
+    if (!r) return;  // random instance too tight: nothing to verify
+    for (const LinkFlow& f : r->flows) {
+        EXPECT_LE(std::abs(f.flow), g.link(f.link).capacity_gbps + 1e-9);
+    }
+}
+
+TEST(MinCostFlow, RejectsNegativeCost) {
+    Graph g = test::chain(2);
+    Subgraph sg(g);
+    EXPECT_THROW(min_cost_flow(sg, NodeId{0u}, NodeId{1u}, 1.0, [](LinkId) { return -1.0; }),
+                 util::ContractViolation);
+}
+
+TEST(MinCostFlow, InactiveLinksExcluded) {
+    Graph g = test::triangle();
+    Subgraph sg(g);
+    sg.set_active(LinkId{0u}, false);
+    const auto r = min_cost_flow(sg, NodeId{0u}, NodeId{2u}, 1.0, weight_by_length(g));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(r->cost, 3.0, 1e-9);  // forced onto the direct link
+}
+
+}  // namespace
+}  // namespace poc::net

@@ -1,0 +1,95 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace poc::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+    Simulator s;
+    std::vector<int> order;
+    s.schedule_at(2.0, [&](Simulator&) { order.push_back(2); });
+    s.schedule_at(1.0, [&](Simulator&) { order.push_back(1); });
+    s.schedule_at(3.0, [&](Simulator&) { order.push_back(3); });
+    EXPECT_EQ(s.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        s.schedule_at(1.0, [&order, i](Simulator&) { order.push_back(i); });
+    }
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+    Simulator s;
+    double seen = -1.0;
+    s.schedule_at(4.5, [&](Simulator& sim) { seen = sim.now(); });
+    s.run();
+    EXPECT_DOUBLE_EQ(seen, 4.5);
+    EXPECT_DOUBLE_EQ(s.now(), 4.5);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+    Simulator s;
+    std::vector<double> times;
+    s.schedule_at(2.0, [&](Simulator& sim) {
+        sim.schedule_in(1.5, [&](Simulator& inner) { times.push_back(inner.now()); });
+    });
+    s.run();
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_DOUBLE_EQ(times[0], 3.5);
+}
+
+TEST(EventQueue, UntilBoundary) {
+    Simulator s;
+    int ran = 0;
+    s.schedule_at(1.0, [&](Simulator&) { ++ran; });
+    s.schedule_at(2.0, [&](Simulator&) { ++ran; });
+    s.schedule_at(3.0, [&](Simulator&) { ++ran; });
+    EXPECT_EQ(s.run(2.0), 2u);  // events at exactly `until` run
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(s.pending(), 1u);
+    s.run();
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(EventQueue, StopHaltsImmediately) {
+    Simulator s;
+    int ran = 0;
+    s.schedule_at(1.0, [&](Simulator& sim) {
+        ++ran;
+        sim.stop();
+    });
+    s.schedule_at(2.0, [&](Simulator&) { ++ran; });
+    s.run();
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+    Simulator s;
+    s.schedule_at(5.0, [](Simulator& sim) {
+        EXPECT_THROW(sim.schedule_at(1.0, [](Simulator&) {}), util::ContractViolation);
+    });
+    s.run();
+    EXPECT_THROW(s.schedule_in(-1.0, [](Simulator&) {}), util::ContractViolation);
+}
+
+TEST(EventQueue, EventsCanCascade) {
+    Simulator s;
+    int depth = 0;
+    EventHandler recurse = [&](Simulator& sim) {
+        if (++depth < 5) sim.schedule_in(1.0, [&](Simulator& inner) { recurse(inner); });
+    };
+    s.schedule_at(0.0, recurse);
+    EXPECT_EQ(s.run(), 5u);
+    EXPECT_DOUBLE_EQ(s.now(), 4.0);
+}
+
+}  // namespace
+}  // namespace poc::sim

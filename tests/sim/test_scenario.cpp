@@ -1,0 +1,119 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers/market.hpp"
+
+namespace poc::sim {
+namespace {
+
+struct ScenarioFixture {
+    test::ParallelLinksFixture links;
+    market::OfferPool pool;
+    net::TrafficMatrix tm;
+
+    ScenarioFixture() : pool(links.pool()), tm(links.demand(8.0)) {}
+
+    ScenarioOptions options(std::size_t epochs) const {
+        ScenarioOptions opt;
+        opt.epochs = epochs;
+        opt.request.auction.exact = true;
+        return opt;
+    }
+};
+
+TEST(Scenario, RunsRequestedEpochs) {
+    ScenarioFixture fx;
+    const auto outcomes = run_scenario(fx.pool, fx.tm, {}, fx.options(3));
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (const EpochOutcome& o : outcomes) {
+        EXPECT_TRUE(o.provisioned);
+        EXPECT_EQ(o.selected_links, 1u);  // cheapest link suffices
+        EXPECT_NEAR(o.total_demand_gbps, 8.0, 1e-9);
+    }
+}
+
+TEST(Scenario, DemandGrowthForcesMoreLinks) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(1);
+    events[0].kind = ScenarioEvent::Kind::kDemandGrowth;
+    events[0].epoch = 1;
+    events[0].factor = 1.8;  // 8 -> 14.4: needs two links
+    const auto outcomes = run_scenario(fx.pool, fx.tm, events, fx.options(2));
+    EXPECT_EQ(outcomes[0].selected_links, 1u);
+    EXPECT_EQ(outcomes[1].selected_links, 2u);
+    EXPECT_GT(outcomes[1].outlay, outcomes[0].outlay);
+    ASSERT_EQ(outcomes[1].applied_events.size(), 1u);
+}
+
+TEST(Scenario, BpRecallShrinksOffers) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(1);
+    events[0].kind = ScenarioEvent::Kind::kBpRecall;
+    events[0].epoch = 1;
+    events[0].bp = 0;          // BP A recalls...
+    events[0].fraction = 1.0;  // ...all of its links
+    const auto outcomes = run_scenario(fx.pool, fx.tm, events, fx.options(2));
+    EXPECT_EQ(outcomes[0].offered_links, 3u);
+    EXPECT_EQ(outcomes[1].offered_links, 2u);
+    // Auction now settles on BP B at higher cost.
+    EXPECT_GT(outcomes[1].outlay, outcomes[0].outlay);
+}
+
+TEST(Scenario, PriceShiftChangesOutlay) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(1);
+    events[0].kind = ScenarioEvent::Kind::kPriceShift;
+    events[0].epoch = 1;
+    events[0].bp = 1;        // runner-up B doubles its prices
+    events[0].factor = 2.0;  // second-price payment to A rises
+    const auto outcomes = run_scenario(fx.pool, fx.tm, events, fx.options(2));
+    ASSERT_TRUE(outcomes[1].provisioned);
+    EXPECT_GT(outcomes[1].outlay, outcomes[0].outlay);
+}
+
+TEST(Scenario, LinkFailureTriggersReprovisioning) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(1);
+    events[0].kind = ScenarioEvent::Kind::kLinkFailure;
+    events[0].epoch = 1;
+    events[0].count = 1;  // the in-service (cheapest) link fails
+    const auto outcomes = run_scenario(fx.pool, fx.tm, events, fx.options(2));
+    ASSERT_TRUE(outcomes[1].provisioned);
+    EXPECT_EQ(outcomes[1].offered_links, 2u);
+    EXPECT_GT(outcomes[1].outlay, outcomes[0].outlay);
+}
+
+TEST(Scenario, InfeasibleEpochMarked) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(1);
+    events[0].kind = ScenarioEvent::Kind::kDemandGrowth;
+    events[0].epoch = 1;
+    events[0].factor = 10.0;  // 80 Gbps > 30 total capacity
+    const auto outcomes = run_scenario(fx.pool, fx.tm, events, fx.options(3));
+    EXPECT_TRUE(outcomes[0].provisioned);
+    EXPECT_FALSE(outcomes[1].provisioned);
+    EXPECT_FALSE(outcomes[2].provisioned);  // growth persists
+}
+
+TEST(Scenario, FlowReportsAttached) {
+    ScenarioFixture fx;
+    const auto outcomes = run_scenario(fx.pool, fx.tm, {}, fx.options(1));
+    EXPECT_TRUE(outcomes[0].flows.fully_routed);
+    EXPECT_NEAR(outcomes[0].flows.total_routed_gbps, 8.0, 1e-6);
+}
+
+TEST(Scenario, MeanPobReflectsSecondPrice) {
+    ScenarioFixture fx;
+    const auto outcomes = run_scenario(fx.pool, fx.tm, {}, fx.options(1));
+    // A bids 100, paid 150: PoB = 0.5, single winner.
+    EXPECT_NEAR(outcomes[0].mean_pob, 0.5, 1e-9);
+}
+
+TEST(Scenario, RejectsZeroEpochs) {
+    ScenarioFixture fx;
+    EXPECT_THROW(run_scenario(fx.pool, fx.tm, {}, fx.options(0)), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::sim

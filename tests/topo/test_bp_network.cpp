@@ -1,0 +1,134 @@
+#include "topo/bp_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/connectivity.hpp"
+#include "util/contracts.hpp"
+
+namespace poc::topo {
+namespace {
+
+BpGeneratorOptions small_options(std::uint64_t seed = 1) {
+    BpGeneratorOptions opt;
+    opt.bp_count = 6;
+    opt.min_cities = 5;
+    opt.max_cities = 12;
+    opt.seed = seed;
+    return opt;
+}
+
+TEST(BpGenerator, ProducesRequestedCount) {
+    const auto bps = generate_bp_networks(small_options());
+    EXPECT_EQ(bps.size(), 6u);
+}
+
+TEST(BpGenerator, DeterministicInSeed) {
+    const auto a = generate_bp_networks(small_options(42));
+    const auto b = generate_bp_networks(small_options(42));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cities, b[i].cities);
+        EXPECT_EQ(a[i].physical.link_count(), b[i].physical.link_count());
+    }
+}
+
+TEST(BpGenerator, DifferentSeedsDiffer) {
+    const auto a = generate_bp_networks(small_options(1));
+    const auto b = generate_bp_networks(small_options(2));
+    bool any_different = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        any_different |= a[i].cities != b[i].cities;
+    }
+    EXPECT_TRUE(any_different);
+}
+
+TEST(BpGenerator, EveryNetworkConnected) {
+    for (const auto& bp : generate_bp_networks(small_options(3))) {
+        const net::Subgraph sg(bp.physical);
+        EXPECT_TRUE(net::spanning_connected(sg)) << bp.name;
+        EXPECT_EQ(net::connected_components(sg).count, 1u) << bp.name;
+    }
+}
+
+TEST(BpGenerator, CityCountsWithinRange) {
+    const auto opt = small_options(4);
+    for (const auto& bp : generate_bp_networks(opt)) {
+        EXPECT_GE(bp.cities.size(), opt.min_cities);
+        EXPECT_LE(bp.cities.size(), opt.max_cities);
+        EXPECT_EQ(bp.cities.size(), bp.physical.node_count());
+    }
+}
+
+TEST(BpGenerator, CitiesDistinctAndSorted) {
+    for (const auto& bp : generate_bp_networks(small_options(5))) {
+        std::set<std::size_t> unique(bp.cities.begin(), bp.cities.end());
+        EXPECT_EQ(unique.size(), bp.cities.size());
+        EXPECT_TRUE(std::is_sorted(bp.cities.begin(), bp.cities.end()));
+    }
+}
+
+TEST(BpGenerator, SizesRampDownward) {
+    // BP1 (index 0) should generally be the largest.
+    const auto bps = generate_bp_networks(small_options(6));
+    EXPECT_GE(bps.front().cities.size(), bps.back().cities.size());
+}
+
+TEST(BpGenerator, LinkAttributesSane) {
+    for (const auto& bp : generate_bp_networks(small_options(7))) {
+        for (const net::LinkId l : bp.physical.all_links()) {
+            const net::Link& link = bp.physical.link(l);
+            EXPECT_GT(link.capacity_gbps, 0.0);
+            EXPECT_GE(link.length_km, 0.0);
+            EXPECT_LT(link.length_km, 21'000.0);  // below half circumference
+        }
+    }
+}
+
+TEST(BpGenerator, RejectsBadOptions) {
+    BpGeneratorOptions opt = small_options();
+    opt.min_cities = 1;  // need >= 2
+    EXPECT_THROW(generate_bp_networks(opt), util::ContractViolation);
+    opt = small_options();
+    opt.max_cities = 10'000;  // beyond gazetteer
+    EXPECT_THROW(generate_bp_networks(opt), util::ContractViolation);
+    opt = small_options();
+    opt.capacity_choices_gbps.clear();
+    EXPECT_THROW(generate_bp_networks(opt), util::ContractViolation);
+}
+
+TEST(BpPresence, CountsPerCity) {
+    const auto bps = generate_bp_networks(small_options(8));
+    const auto presence = bp_presence_by_city(bps, world_cities().size());
+    std::size_t total = 0;
+    for (const std::size_t p : presence) total += p;
+    std::size_t expected = 0;
+    for (const auto& bp : bps) expected += bp.cities.size();
+    EXPECT_EQ(total, expected);
+}
+
+TEST(BpPresence, PopulationBiasFavorsHubs) {
+    // With enough BPs, the biggest metros should attract presence.
+    BpGeneratorOptions opt;
+    opt.bp_count = 20;
+    opt.min_cities = 12;
+    opt.max_cities = 30;
+    opt.seed = 9;
+    const auto bps = generate_bp_networks(opt);
+    const auto presence = bp_presence_by_city(bps, world_cities().size());
+    // Tokyo (largest) should host clearly more BPs than the median city.
+    std::size_t tokyo_idx = 0;
+    for (std::size_t i = 0; i < world_cities().size(); ++i) {
+        if (world_cities()[i].name == "Tokyo") tokyo_idx = i;
+    }
+    std::size_t ge_four = 0;
+    for (const std::size_t p : presence) {
+        if (p >= 4) ++ge_four;
+    }
+    EXPECT_GE(presence[tokyo_idx], 4u);
+    EXPECT_GE(ge_four, 10u);  // enough colocation sites for POC routers
+}
+
+}  // namespace
+}  // namespace poc::topo

@@ -1,0 +1,70 @@
+#include "topo/geo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace poc::topo {
+namespace {
+
+TEST(Haversine, ZeroForSamePoint) {
+    const GeoPoint p{40.0, -74.0};
+    EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, Symmetric) {
+    const GeoPoint a{40.71, -74.01};
+    const GeoPoint b{51.51, -0.13};
+    EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, NewYorkToLondonApprox) {
+    const GeoPoint ny{40.71, -74.01};
+    const GeoPoint lon{51.51, -0.13};
+    const double d = haversine_km(ny, lon);
+    EXPECT_NEAR(d, 5570.0, 60.0);  // great-circle ~5570 km
+}
+
+TEST(Haversine, EquatorQuarterTurn) {
+    const GeoPoint a{0.0, 0.0};
+    const GeoPoint b{0.0, 90.0};
+    EXPECT_NEAR(haversine_km(a, b), 6371.0 * 3.14159265 / 2.0, 5.0);
+}
+
+TEST(Haversine, Antipodes) {
+    const GeoPoint a{0.0, 0.0};
+    const GeoPoint b{0.0, 180.0};
+    EXPECT_NEAR(haversine_km(a, b), 6371.0 * 3.14159265, 5.0);
+}
+
+TEST(Haversine, TriangleInequalityOnSamples) {
+    const auto& cities = world_cities();
+    const GeoPoint a = cities[0].location;
+    const GeoPoint b = cities[20].location;
+    const GeoPoint c = cities[40].location;
+    EXPECT_LE(haversine_km(a, c), haversine_km(a, b) + haversine_km(b, c) + 1e-6);
+}
+
+TEST(WorldCities, HasEnoughEntriesForTopologies) {
+    EXPECT_GE(world_cities().size(), 60u);
+}
+
+TEST(WorldCities, NamesUniqueAndDataSane) {
+    std::set<std::string> names;
+    for (const City& c : world_cities()) {
+        EXPECT_TRUE(names.insert(c.name).second) << "duplicate " << c.name;
+        EXPECT_GT(c.population_m, 0.0);
+        EXPECT_GE(c.location.lat_deg, -90.0);
+        EXPECT_LE(c.location.lat_deg, 90.0);
+        EXPECT_GE(c.location.lon_deg, -180.0);
+        EXPECT_LE(c.location.lon_deg, 180.0);
+    }
+}
+
+TEST(WorldCities, StableReference) {
+    // Same vector object across calls (indices are stable ids).
+    EXPECT_EQ(&world_cities(), &world_cities());
+}
+
+}  // namespace
+}  // namespace poc::topo

@@ -1,0 +1,165 @@
+#include "topo/graphml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/connectivity.hpp"
+#include "util/contracts.hpp"
+
+namespace poc::topo {
+namespace {
+
+// A TopologyZoo-style fragment: 4 located nodes (NYC, Chicago, Dallas,
+// San Jose areas), one unlocated placeholder, 4 edges.
+const char* kSample = R"(<?xml version="1.0" encoding="utf-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="Latitude" attr.type="double" for="node" id="d29" />
+  <key attr.name="Longitude" attr.type="double" for="node" id="d32" />
+  <key attr.name="label" attr.type="string" for="node" id="d33" />
+  <key attr.name="Network" attr.type="string" for="graph" id="d5" />
+  <graph edgedefault="undirected">
+    <data key="d5">SampleNet</data>
+    <node id="0">
+      <data key="d33">NewYorkPop</data>
+      <data key="d29">40.7</data>
+      <data key="d32">-74.0</data>
+    </node>
+    <node id="1">
+      <data key="d33">ChicagoPop</data>
+      <data key="d29">41.9</data>
+      <data key="d32">-87.6</data>
+    </node>
+    <node id="2">
+      <data key="d33">DallasPop</data>
+      <data key="d29">32.8</data>
+      <data key="d32">-96.8</data>
+    </node>
+    <node id="3">
+      <data key="d33">SanJosePop</data>
+      <data key="d29">37.3</data>
+      <data key="d32">-121.9</data>
+    </node>
+    <node id="4">
+      <data key="d33">UnknownPop</data>
+    </node>
+    <edge source="0" target="1" />
+    <edge source="1" target="2" />
+    <edge source="2" target="3" />
+    <edge source="0" target="4" />
+  </graph>
+</graphml>
+)";
+
+TEST(GraphmlParser, ReadsNodesEdgesAndGraphName) {
+    const ZooGraph g = parse_graphml(kSample);
+    EXPECT_EQ(g.name, "SampleNet");
+    ASSERT_EQ(g.nodes.size(), 5u);
+    ASSERT_EQ(g.edges.size(), 4u);
+    EXPECT_EQ(g.nodes[0].label, "NewYorkPop");
+    ASSERT_TRUE(g.nodes[0].location.has_value());
+    EXPECT_NEAR(g.nodes[0].location->lat_deg, 40.7, 1e-9);
+    EXPECT_NEAR(g.nodes[0].location->lon_deg, -74.0, 1e-9);
+    EXPECT_FALSE(g.nodes[4].location.has_value());
+}
+
+TEST(GraphmlParser, NodeIndexLookup) {
+    const ZooGraph g = parse_graphml(kSample);
+    ASSERT_TRUE(g.node_index("2").has_value());
+    EXPECT_EQ(*g.node_index("2"), 2u);
+    EXPECT_FALSE(g.node_index("99").has_value());
+}
+
+TEST(GraphmlParser, RejectsEdgeToUnknownNode) {
+    const std::string bad = R"(<graphml><graph>
+        <node id="a" />
+        <edge source="a" target="missing" />
+    </graph></graphml>)";
+    EXPECT_THROW(parse_graphml(bad), util::ContractViolation);
+}
+
+TEST(GraphmlParser, RejectsUnclosedTag) {
+    EXPECT_THROW(parse_graphml("<graphml><node id=\"x\""), util::ContractViolation);
+}
+
+TEST(GraphmlParser, SelfClosingNodesSupported) {
+    const ZooGraph g = parse_graphml(R"(<graphml><graph>
+        <node id="a" /><node id="b" />
+        <edge source="a" target="b" />
+    </graph></graphml>)");
+    EXPECT_EQ(g.nodes.size(), 2u);
+    EXPECT_EQ(g.edges.size(), 1u);
+}
+
+TEST(GraphmlParser, SingleQuotedAttributes) {
+    const ZooGraph g = parse_graphml("<graphml><graph><node id='n1' /></graph></graphml>");
+    ASSERT_EQ(g.nodes.size(), 1u);
+    EXPECT_EQ(g.nodes[0].id, "n1");
+}
+
+TEST(BpFromZoo, MapsToNearestGazetteerCities) {
+    const ZooGraph g = parse_graphml(kSample);
+    const BpNetwork bp = bp_from_zoo(g);
+    EXPECT_EQ(bp.name, "SampleNet");
+    // 4 located nodes near 4 distinct metros.
+    EXPECT_EQ(bp.cities.size(), 4u);
+    const auto& cities = world_cities();
+    bool found_ny = false;
+    for (const std::size_t ci : bp.cities) {
+        if (cities[ci].name == "NewYork") found_ny = true;
+    }
+    EXPECT_TRUE(found_ny);
+}
+
+TEST(BpFromZoo, DropsEdgesWithUnlocatedEndpoints) {
+    const ZooGraph g = parse_graphml(kSample);
+    const BpNetwork bp = bp_from_zoo(g);
+    // Edge 0-4 dropped (node 4 unlocated): 3 physical links remain.
+    EXPECT_EQ(bp.physical.link_count(), 3u);
+}
+
+TEST(BpFromZoo, MergesColocatedNodesAndDropsSelfLoops) {
+    const std::string two_nyc = R"(<graphml>
+      <key attr.name="Latitude" attr.type="double" for="node" id="dlat" />
+      <key attr.name="Longitude" attr.type="double" for="node" id="dlon" />
+      <graph>
+        <node id="a"><data key="dlat">40.70</data><data key="dlon">-74.00</data></node>
+        <node id="b"><data key="dlat">40.75</data><data key="dlon">-73.98</data></node>
+        <node id="c"><data key="dlat">41.88</data><data key="dlon">-87.63</data></node>
+        <edge source="a" target="b" />
+        <edge source="a" target="c" />
+        <edge source="b" target="c" />
+      </graph></graphml>)";
+    const BpNetwork bp = bp_from_zoo(parse_graphml(two_nyc));
+    // a and b merge into NewYork; a-b becomes a self-loop (dropped);
+    // a-c and b-c merge into one NewYork-Chicago circuit.
+    EXPECT_EQ(bp.cities.size(), 2u);
+    EXPECT_EQ(bp.physical.link_count(), 1u);
+}
+
+TEST(BpFromZoo, ImportedNetworkUsableDownstream) {
+    const ZooGraph g = parse_graphml(kSample);
+    const BpNetwork bp = bp_from_zoo(g);
+    const net::Subgraph sg(bp.physical);
+    EXPECT_TRUE(net::spanning_connected(sg));
+    for (const net::LinkId l : bp.physical.all_links()) {
+        EXPECT_GT(bp.physical.link(l).capacity_gbps, 0.0);
+        EXPECT_GT(bp.physical.link(l).length_km, 0.0);
+    }
+}
+
+TEST(BpFromZoo, CapacityOptionHonored) {
+    ZooImportOptions opt;
+    opt.capacity_gbps = 400.0;
+    const BpNetwork bp = bp_from_zoo(parse_graphml(kSample), opt);
+    for (const net::LinkId l : bp.physical.all_links()) {
+        EXPECT_DOUBLE_EQ(bp.physical.link(l).capacity_gbps, 400.0);
+    }
+}
+
+TEST(BpFromZoo, RejectsUnlocatedWhenConfigured) {
+    ZooImportOptions opt;
+    opt.drop_unlocated = false;
+    EXPECT_THROW(bp_from_zoo(parse_graphml(kSample), opt), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::topo

@@ -1,0 +1,128 @@
+#include "topo/poc_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/connectivity.hpp"
+#include "util/contracts.hpp"
+
+namespace poc::topo {
+namespace {
+
+std::vector<BpNetwork> small_bps(std::uint64_t seed = 11) {
+    BpGeneratorOptions opt;
+    opt.bp_count = 8;
+    opt.min_cities = 8;
+    opt.max_cities = 18;
+    opt.seed = seed;
+    return generate_bp_networks(opt);
+}
+
+PocTopologyOptions loose_options() {
+    PocTopologyOptions opt;
+    opt.min_colocated_bps = 3;
+    return opt;
+}
+
+TEST(PocTopology, RoutersOnlyAtColocatedCities) {
+    const auto bps = small_bps();
+    const auto presence = bp_presence_by_city(bps, world_cities().size());
+    const auto topo = build_poc_topology(bps, loose_options());
+    for (const std::size_t city : topo.router_city) {
+        EXPECT_GE(presence[city], 3u);
+    }
+}
+
+TEST(PocTopology, HigherThresholdFewerRouters) {
+    const auto bps = small_bps();
+    PocTopologyOptions lo = loose_options();
+    PocTopologyOptions hi = loose_options();
+    hi.min_colocated_bps = 5;
+    const auto t_lo = build_poc_topology(bps, lo);
+    const auto t_hi = build_poc_topology(bps, hi);
+    EXPECT_GE(t_lo.router_city.size(), t_hi.router_city.size());
+}
+
+TEST(PocTopology, LinkOwnersAligned) {
+    const auto topo = build_poc_topology(small_bps(), loose_options());
+    EXPECT_EQ(topo.link_owner.size(), topo.graph.link_count());
+    for (const std::uint32_t owner : topo.link_owner) {
+        EXPECT_LT(owner, topo.bp_count);
+    }
+}
+
+TEST(PocTopology, SharesSumToOne) {
+    const auto topo = build_poc_topology(small_bps(), loose_options());
+    double total = 0.0;
+    for (std::size_t b = 0; b < topo.bp_count; ++b) {
+        total += topo.share_of(static_cast<std::uint32_t>(b));
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PocTopology, LinksOfMatchesOwnership) {
+    const auto topo = build_poc_topology(small_bps(), loose_options());
+    std::size_t counted = 0;
+    for (std::size_t b = 0; b < topo.bp_count; ++b) {
+        for (const net::LinkId l : topo.links_of(static_cast<std::uint32_t>(b))) {
+            EXPECT_EQ(topo.link_owner[l.index()], b);
+            ++counted;
+        }
+    }
+    EXPECT_EQ(counted, topo.graph.link_count());
+}
+
+TEST(PocTopology, CircuitousnessBoundRespected) {
+    const PocTopologyOptions opt = loose_options();
+    const auto topo = build_poc_topology(small_bps(), opt);
+    const auto& cities = world_cities();
+    for (const net::LinkId l : topo.graph.all_links()) {
+        const net::Link& link = topo.graph.link(l);
+        const double direct =
+            haversine_km(cities[topo.router_city[link.a.index()]].location,
+                         cities[topo.router_city[link.b.index()]].location);
+        EXPECT_LE(link.length_km, opt.max_circuitousness * std::max(direct, 1.0) + 1e-6);
+        EXPECT_LE(link.length_km, opt.max_circuit_km + 1e-6);
+        EXPECT_GT(link.capacity_gbps, 0.0);
+    }
+}
+
+TEST(PocTopology, LogicalLengthAtLeastDirectDistance) {
+    // A realizing path cannot be shorter than the great-circle distance.
+    const auto topo = build_poc_topology(small_bps(), loose_options());
+    const auto& cities = world_cities();
+    for (const net::LinkId l : topo.graph.all_links()) {
+        const net::Link& link = topo.graph.link(l);
+        const double direct =
+            haversine_km(cities[topo.router_city[link.a.index()]].location,
+                         cities[topo.router_city[link.b.index()]].location);
+        EXPECT_GE(link.length_km, direct - 1.0);
+    }
+}
+
+TEST(PocTopology, DefaultScaleApproximatesPaper) {
+    // Full-scale defaults: ~20 BPs, thousands of logical links, shares
+    // spread over roughly an order of magnitude (paper: 2%..12%).
+    const auto bps = generate_bp_networks({});
+    const auto topo = build_poc_topology(bps);
+    EXPECT_GE(topo.graph.link_count(), 2000u);
+    EXPECT_LE(topo.graph.link_count(), 8000u);
+    double max_share = 0.0;
+    for (std::size_t b = 0; b < topo.bp_count; ++b) {
+        max_share = std::max(max_share, topo.share_of(static_cast<std::uint32_t>(b)));
+    }
+    EXPECT_GE(max_share, 0.06);
+    EXPECT_LE(max_share, 0.20);
+}
+
+TEST(PocTopology, GraphIsConnected) {
+    const auto topo = build_poc_topology(small_bps(), loose_options());
+    const net::Subgraph sg(topo.graph);
+    EXPECT_TRUE(net::spanning_connected(sg));
+}
+
+TEST(PocTopology, RejectsEmptyInput) {
+    EXPECT_THROW(build_poc_topology({}, loose_options()), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::topo

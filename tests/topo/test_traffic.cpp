@@ -1,0 +1,130 @@
+#include "topo/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/contracts.hpp"
+
+namespace poc::topo {
+namespace {
+
+PocTopology fixture_topology() {
+    BpGeneratorOptions opt;
+    opt.bp_count = 8;
+    opt.min_cities = 8;
+    opt.max_cities = 18;
+    opt.seed = 13;
+    PocTopologyOptions popt;
+    popt.min_colocated_bps = 3;
+    return build_poc_topology(generate_bp_networks(opt), popt);
+}
+
+TEST(GravityTraffic, TotalMatchesTarget) {
+    const auto topo = fixture_topology();
+    GravityOptions opt;
+    opt.total_gbps = 1234.0;
+    const auto tm = gravity_traffic(topo, opt);
+    EXPECT_NEAR(net::total_demand(tm), 1234.0, 1e-6);
+}
+
+TEST(GravityTraffic, NoSelfDemands) {
+    const auto tm = gravity_traffic(fixture_topology(), {});
+    for (const net::Demand& d : tm) {
+        EXPECT_NE(d.src, d.dst);
+        EXPECT_GT(d.gbps, 0.0);
+    }
+}
+
+TEST(GravityTraffic, FloorSparsifies) {
+    const auto topo = fixture_topology();
+    GravityOptions dense;
+    dense.floor_fraction = 0.0;
+    GravityOptions sparse;
+    sparse.floor_fraction = 0.2;
+    EXPECT_GT(gravity_traffic(topo, dense).size(), gravity_traffic(topo, sparse).size());
+}
+
+TEST(GravityTraffic, LargerMetrosAttractMoreTraffic) {
+    const auto topo = fixture_topology();
+    GravityOptions opt;
+    opt.floor_fraction = 0.0;
+    const auto tm = gravity_traffic(topo, opt);
+    // Sum inbound per router; correlate with population rank loosely:
+    // the max-population router should receive more than the min one.
+    const auto& cities = world_cities();
+    std::vector<double> inbound(topo.router_city.size(), 0.0);
+    for (const net::Demand& d : tm) inbound[d.dst.index()] += d.gbps;
+    std::size_t big = 0;
+    std::size_t small = 0;
+    for (std::size_t i = 0; i < topo.router_city.size(); ++i) {
+        if (cities[topo.router_city[i]].population_m >
+            cities[topo.router_city[big]].population_m) {
+            big = i;
+        }
+        if (cities[topo.router_city[i]].population_m <
+            cities[topo.router_city[small]].population_m) {
+            small = i;
+        }
+    }
+    EXPECT_GT(inbound[big], inbound[small]);
+}
+
+TEST(UniformTraffic, EqualDemandsCoverAllPairs) {
+    const auto topo = fixture_topology();
+    const auto tm = uniform_traffic(topo, 100.0);
+    const std::size_t n = topo.router_city.size();
+    EXPECT_EQ(tm.size(), n * (n - 1));
+    for (const net::Demand& d : tm) EXPECT_NEAR(d.gbps, tm.front().gbps, 1e-12);
+    EXPECT_NEAR(net::total_demand(tm), 100.0, 1e-9);
+}
+
+TEST(HotspotTraffic, TotalPreservedAndHotspotsDominant) {
+    const auto topo = fixture_topology();
+    const auto tm = hotspot_traffic(topo, 500.0, 2, 0.6);
+    EXPECT_NEAR(net::total_demand(tm), 500.0, 1e-6);
+    // The two hotspot routers should source a large share of traffic.
+    std::vector<double> outbound(topo.router_city.size(), 0.0);
+    for (const net::Demand& d : tm) outbound[d.src.index()] += d.gbps;
+    std::vector<double> sorted = outbound;
+    std::sort(sorted.rbegin(), sorted.rend());
+    EXPECT_GT(sorted[0] + sorted[1], 0.35 * 500.0);
+}
+
+TEST(AggregateTopN, KeepsLargestAndPreservesTotal) {
+    const auto topo = fixture_topology();
+    const auto tm = gravity_traffic(topo, {});
+    const auto small = aggregate_top_n(tm, 10);
+    EXPECT_EQ(small.size(), 10u);
+    EXPECT_NEAR(net::total_demand(small), net::total_demand(tm), 1e-6);
+    // The kept demands are the biggest ones (scaled up, so each kept
+    // demand must be at least its original size).
+    for (std::size_t i = 0; i + 1 < small.size(); ++i) {
+        EXPECT_GE(small[i].gbps, small[i + 1].gbps - 1e-9);
+    }
+}
+
+TEST(AggregateTopN, NoopWhenAlreadySmall) {
+    const auto topo = fixture_topology();
+    const auto tm = uniform_traffic(topo, 10.0);
+    const auto same = aggregate_top_n(tm, tm.size() + 5);
+    EXPECT_EQ(same.size(), tm.size());
+}
+
+TEST(ScaleTraffic, MultipliesEveryDemand) {
+    const auto topo = fixture_topology();
+    const auto tm = uniform_traffic(topo, 10.0);
+    const auto doubled = scale_traffic(tm, 2.0);
+    EXPECT_NEAR(net::total_demand(doubled), 20.0, 1e-9);
+    EXPECT_THROW(scale_traffic(tm, -1.0), util::ContractViolation);
+}
+
+TEST(GravityTraffic, RejectsBadOptions) {
+    const auto topo = fixture_topology();
+    GravityOptions opt;
+    opt.total_gbps = 0.0;
+    EXPECT_THROW(gravity_traffic(topo, opt), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::topo

@@ -1,0 +1,45 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace poc::util {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) { EXPECT_NO_THROW(POC_EXPECTS(1 + 1 == 2)); }
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+    EXPECT_THROW(POC_EXPECTS(1 + 1 == 3), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) { EXPECT_THROW(POC_ENSURES(false), ContractViolation); }
+
+TEST(Contracts, AssertThrowsOnFalse) { EXPECT_THROW(POC_ASSERT(false), ContractViolation); }
+
+TEST(Contracts, MessageNamesKindExpressionAndLocation) {
+    try {
+        POC_EXPECTS(2 < 1);
+        FAIL() << "should have thrown";
+    } catch (const ContractViolation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("Precondition"), std::string::npos);
+        EXPECT_NE(what.find("2 < 1"), std::string::npos);
+        EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+    }
+}
+
+TEST(Contracts, ViolationIsLogicError) {
+    EXPECT_THROW(POC_EXPECTS(false), std::logic_error);
+}
+
+TEST(Contracts, ConditionEvaluatedExactlyOnce) {
+    int calls = 0;
+    auto probe = [&] {
+        ++calls;
+        return true;
+    };
+    POC_EXPECTS(probe());
+    EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace poc::util

@@ -1,0 +1,57 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace poc::util {
+namespace {
+
+using AppleId = Id<struct AppleTag>;
+using PearId = Id<struct PearTag>;
+
+TEST(Ids, DefaultIsInvalid) {
+    AppleId id;
+    EXPECT_FALSE(id.valid());
+}
+
+TEST(Ids, ConstructedIsValid) {
+    AppleId id{3u};
+    EXPECT_TRUE(id.valid());
+    EXPECT_EQ(id.value(), 3u);
+    EXPECT_EQ(id.index(), 3u);
+}
+
+TEST(Ids, ComparisonAndOrdering) {
+    EXPECT_EQ(AppleId{1u}, AppleId{1u});
+    EXPECT_NE(AppleId{1u}, AppleId{2u});
+    EXPECT_LT(AppleId{1u}, AppleId{2u});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+    static_assert(!std::is_same_v<AppleId, PearId>);
+    static_assert(!std::is_convertible_v<AppleId, PearId>);
+}
+
+TEST(Ids, Hashable) {
+    std::unordered_set<AppleId> set;
+    set.insert(AppleId{1u});
+    set.insert(AppleId{1u});
+    set.insert(AppleId{2u});
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, StreamsValueOrInvalid) {
+    std::ostringstream os;
+    os << AppleId{5u} << " " << AppleId{};
+    EXPECT_EQ(os.str(), "5 <invalid>");
+}
+
+TEST(Ids, SizeTConstructionTruncatesConsistently) {
+    AppleId id{std::size_t{7}};
+    EXPECT_EQ(id.value(), 7u);
+}
+
+}  // namespace
+}  // namespace poc::util

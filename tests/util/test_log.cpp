@@ -1,0 +1,65 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace poc::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        set_log_sink(&sink_);
+        set_log_level(LogLevel::kDebug);
+    }
+    void TearDown() override {
+        set_log_sink(nullptr);
+        set_log_level(LogLevel::kWarn);
+    }
+    std::ostringstream sink_;
+};
+
+TEST_F(LogTest, WritesAtOrAboveLevel) {
+    set_log_level(LogLevel::kWarn);
+    POC_INFO("hidden");
+    POC_WARN("visible warning");
+    POC_ERROR("visible error");
+    const std::string out = sink_.str();
+    EXPECT_EQ(out.find("hidden"), std::string::npos);
+    EXPECT_NE(out.find("visible warning"), std::string::npos);
+    EXPECT_NE(out.find("visible error"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelTagsAppear) {
+    POC_DEBUG("d-msg");
+    POC_ERROR("e-msg");
+    const std::string out = sink_.str();
+    EXPECT_NE(out.find("[DEBUG]"), std::string::npos);
+    EXPECT_NE(out.find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LogTest, StreamExpressionsCompose) {
+    POC_INFO("x=" << 42 << " y=" << 1.5);
+    EXPECT_NE(sink_.str().find("x=42 y=1.5"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+    set_log_level(LogLevel::kOff);
+    POC_ERROR("nope");
+    EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LogTest, ExpressionNotEvaluatedBelowLevel) {
+    set_log_level(LogLevel::kError);
+    int calls = 0;
+    auto probe = [&] {
+        ++calls;
+        return 1;
+    };
+    POC_DEBUG("value " << probe());
+    EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace poc::util

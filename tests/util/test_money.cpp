@@ -1,0 +1,104 @@
+#include "util/money.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace poc::util {
+namespace {
+
+TEST(Money, DefaultIsZero) {
+    Money m;
+    EXPECT_TRUE(m.is_zero());
+    EXPECT_EQ(m.micros(), 0);
+}
+
+TEST(Money, FromDollarsWhole) {
+    EXPECT_EQ(Money::from_dollars(std::int64_t{3}).micros(), 3'000'000);
+    EXPECT_EQ(Money::from_dollars(std::int64_t{-2}).micros(), -2'000'000);
+}
+
+TEST(Money, FromDollarsDoubleRounds) {
+    EXPECT_EQ(Money::from_dollars(1.0000004).micros(), 1'000'000);
+    EXPECT_EQ(Money::from_dollars(1.0000006).micros(), 1'000'001);
+    EXPECT_EQ(Money::from_dollars(-1.0000006).micros(), -1'000'001);
+}
+
+TEST(Money, FromDollarsRejectsNonFinite) {
+    EXPECT_THROW(Money::from_dollars(std::numeric_limits<double>::infinity()),
+                 ContractViolation);
+    EXPECT_THROW(Money::from_dollars(std::numeric_limits<double>::quiet_NaN()),
+                 ContractViolation);
+}
+
+TEST(Money, ArithmeticIsExact) {
+    const Money a = Money::from_dollars(0.1);
+    const Money b = Money::from_dollars(0.2);
+    EXPECT_EQ((a + b).micros(), 300'000);  // no float drift
+    EXPECT_EQ((b - a).micros(), 100'000);
+    EXPECT_EQ((-a).micros(), -100'000);
+}
+
+TEST(Money, CompoundAssignment) {
+    Money m = 10_usd;
+    m += 5_usd;
+    m -= 3_usd;
+    EXPECT_EQ(m, 12_usd);
+}
+
+TEST(Money, ComparisonOrdering) {
+    EXPECT_LT(1_usd, 2_usd);
+    EXPECT_GT(2_usd, 1_usd);
+    EXPECT_LE(2_usd, 2_usd);
+    EXPECT_EQ(Money::from_dollars(1.5), Money::from_micros(1'500'000));
+}
+
+TEST(Money, ScaledRoundsToNearestMicro) {
+    const Money m = 10_usd;
+    EXPECT_EQ(m.scaled(0.5), 5_usd);
+    EXPECT_EQ(Money::from_micros(3).scaled(0.5).micros(), 2);  // 1.5 rounds away
+    EXPECT_EQ(m.scaled(0.0), Money{});
+}
+
+TEST(Money, RatioComputesDivision) {
+    EXPECT_DOUBLE_EQ(ratio(3_usd, 2_usd), 1.5);
+    EXPECT_THROW(ratio(1_usd, Money{}), ContractViolation);
+}
+
+TEST(Money, StrFormatsWithSeparatorsAndCents) {
+    EXPECT_EQ((1234_usd + Money::from_dollars(0.56)).str(), "$1,234.56");
+    EXPECT_EQ(Money::from_dollars(std::int64_t{1'000'000}).str(), "$1,000,000.00");
+    EXPECT_EQ(Money{}.str(), "$0.00");
+    EXPECT_EQ(Money::from_dollars(0.05).str(), "$0.05");
+}
+
+TEST(Money, StrNegative) {
+    EXPECT_EQ(Money::from_dollars(-1234.5).str(), "-$1,234.50");
+}
+
+TEST(Money, StrRoundsMicrosToCentsWithCarry) {
+    // 999'996 micros = $0.999996 -> rounds to $1.00.
+    EXPECT_EQ(Money::from_micros(999'996).str(), "$1.00");
+}
+
+TEST(Money, StreamOperator) {
+    std::ostringstream os;
+    os << 42_usd;
+    EXPECT_EQ(os.str(), "$42.00");
+}
+
+TEST(Money, DollarsRoundTrip) {
+    const Money m = Money::from_dollars(1234.567891);
+    EXPECT_NEAR(m.dollars(), 1234.567891, 1e-6);
+}
+
+TEST(Money, Predicates) {
+    EXPECT_TRUE(Money::from_dollars(-1.0).is_negative());
+    EXPECT_FALSE(Money{}.is_negative());
+    EXPECT_FALSE(1_usd .is_negative());
+}
+
+}  // namespace
+}  // namespace poc::util

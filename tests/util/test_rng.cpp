@@ -1,0 +1,192 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/contracts.hpp"
+
+namespace poc::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstancesWithSameSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedReproducesStream) {
+    Rng r(7);
+    const auto first = r.next();
+    r.reseed(7);
+    EXPECT_EQ(r.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng r(5);
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 7.5);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 7.5);
+    }
+}
+
+TEST(Rng, UniformMeanCloseToHalf) {
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+    Rng r(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(std::uint64_t{7}));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+    Rng r(19);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniform_int(std::int64_t{-5}, std::int64_t{5});
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformIntRejectsZeroRange) {
+    Rng r(1);
+    EXPECT_THROW(r.uniform_int(std::uint64_t{0}), ContractViolation);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng r(23);
+    const int n = 200'000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+    Rng r(29);
+    const int n = 100'000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+    Rng r(31);
+    const int n = 100'000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+    Rng r(37);
+    for (int i = 0; i < 10'000; ++i) EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, LognormalIsPositive) {
+    Rng r(41);
+    for (int i = 0; i < 1000; ++i) EXPECT_GT(r.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+    Rng r(43);
+    int hits = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) {
+        if (r.bernoulli(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+    Rng r(47);
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+    Rng r(53);
+    const std::vector<double> w{1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 40'000;
+    for (int i = 0; i < n; ++i) ++counts[r.discrete(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, DiscreteRejectsAllZero) {
+    Rng r(1);
+    EXPECT_THROW(r.discrete({0.0, 0.0}), ContractViolation);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+    Rng r(59);
+    const auto picks = r.sample_without_replacement(10, 6);
+    EXPECT_EQ(picks.size(), 6u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 6u);
+    for (const std::size_t p : picks) EXPECT_LT(p, 10u);
+}
+
+TEST(Rng, SampleWholePopulation) {
+    Rng r(61);
+    const auto picks = r.sample_without_replacement(5, 5);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng r(67);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+    Rng parent(71);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent.next() == child.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace poc::util

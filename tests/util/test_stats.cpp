@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace poc::util {
+namespace {
+
+TEST(Accumulator, EmptyRejectsQueries) {
+    Accumulator a;
+    EXPECT_TRUE(a.empty());
+    EXPECT_THROW(a.mean(), ContractViolation);
+    EXPECT_THROW(a.min(), ContractViolation);
+}
+
+TEST(Accumulator, SingleValue) {
+    Accumulator a;
+    a.add(3.5);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(a.min(), 3.5);
+    EXPECT_DOUBLE_EQ(a.max(), 3.5);
+    EXPECT_THROW(a.variance(), ContractViolation);  // needs n >= 2
+}
+
+TEST(Accumulator, KnownMoments) {
+    Accumulator a;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MatchesDirectComputationOnRandomData) {
+    Rng rng(3);
+    Accumulator a;
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(7.0, 3.0);
+        xs.push_back(x);
+        a.add(x);
+    }
+    double mean = 0.0;
+    for (const double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (const double x : xs) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size() - 1);
+    EXPECT_NEAR(a.mean(), mean, 1e-9);
+    EXPECT_NEAR(a.variance(), var, 1e-6);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+    // Quartile of {1,2,3,4}: rank 0.25*3 = 0.75 -> 1 + 0.75*(2-1).
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.25), 1.75);
+}
+
+TEST(Percentile, Extremes) {
+    const std::vector<double> v{5.0, 1.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+    EXPECT_THROW(percentile({}, 0.5), ContractViolation);
+    EXPECT_THROW(percentile({1.0}, 1.5), ContractViolation);
+}
+
+TEST(MeanOf, Computes) { EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 6.0}), 3.0); }
+
+TEST(Histogram, BinsValuesAndTracksOverflow) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);   // underflow
+    h.add(0.0);    // bin 0
+    h.add(1.99);   // bin 0
+    h.add(5.0);    // bin 2
+    h.add(9.999);  // bin 4
+    h.add(10.0);   // overflow (right-open)
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count_in_bin(0), 2u);
+    EXPECT_EQ(h.count_in_bin(2), 1u);
+    EXPECT_EQ(h.count_in_bin(4), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+    EXPECT_THROW(h.bin_lo(5), ContractViolation);
+}
+
+TEST(Histogram, AsciiRenderIncludesCounts) {
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.2);
+    h.add(0.9);
+    const std::string art = h.ascii(10);
+    EXPECT_NE(art.find('#'), std::string::npos);
+    EXPECT_NE(art.find("2"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 3), ContractViolation);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::util

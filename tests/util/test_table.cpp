@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace poc::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+    Table t({"BP", "bid", "PoB"});
+    t.add_row({"BP1", "12.0", "0.09"});
+    t.add_row({"BP2", "7.5", "0.15"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| BP "), std::string::npos);
+    EXPECT_NE(out.find("BP1"), std::string::npos);
+    EXPECT_NE(out.find("0.15"), std::string::npos);
+    // Separator row present.
+    EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, AlignmentPadsCorrectly) {
+    Table t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "23"});
+    const std::string out = t.render();
+    // Numbers right-aligned: " 1 |" has the digit flush right.
+    EXPECT_NE(out.find("|     1 |"), std::string::npos);
+    EXPECT_NE(out.find("| x      |"), std::string::npos);
+}
+
+TEST(Table, CustomAlignment) {
+    Table t({"a", "b"});
+    t.set_alignment({Align::kRight, Align::kLeft});
+    t.add_row({"1", "xx"});
+    t.add_row({"22", "y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("|  1 |"), std::string::npos);
+    EXPECT_NE(out.find("| y  |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+    Table t({"name", "note"});
+    t.add_row({"a,b", "say \"hi\""});
+    const std::string csv = t.render_csv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainValuesUnquoted) {
+    Table t({"x"});
+    t.add_row({"42"});
+    EXPECT_EQ(t.render_csv(), "x\n42\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+    Table t({"a", "b", "c"});
+    EXPECT_EQ(t.column_count(), 3u);
+    EXPECT_EQ(t.row_count(), 0u);
+    t.add_row({"1", "2", "3"});
+    EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Cell, FormatsDoublesAndInts) {
+    EXPECT_EQ(cell(3.14159, 2), "3.14");
+    EXPECT_EQ(cell(std::int64_t{-7}), "-7");
+    EXPECT_EQ(cell(std::size_t{9}), "9");
+}
+
+TEST(Cell, FormatsPercent) {
+    EXPECT_EQ(cell_pct(0.123, 1), "12.3%");
+    EXPECT_EQ(cell_pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace poc::util
