@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cdn"
+  "../bench/ablation_cdn.pdb"
+  "CMakeFiles/ablation_cdn.dir/ablation_cdn.cpp.o"
+  "CMakeFiles/ablation_cdn.dir/ablation_cdn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

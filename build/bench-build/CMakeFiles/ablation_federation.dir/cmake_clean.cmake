@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_federation"
+  "../bench/ablation_federation.pdb"
+  "CMakeFiles/ablation_federation.dir/ablation_federation.cpp.o"
+  "CMakeFiles/ablation_federation.dir/ablation_federation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_windet"
+  "../bench/ablation_windet.pdb"
+  "CMakeFiles/ablation_windet.dir/ablation_windet.cpp.o"
+  "CMakeFiles/ablation_windet.dir/ablation_windet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_windet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_endtoend"
+  "../bench/fig1_endtoend.pdb"
+  "CMakeFiles/fig1_endtoend.dir/fig1_endtoend.cpp.o"
+  "CMakeFiles/fig1_endtoend.dir/fig1_endtoend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

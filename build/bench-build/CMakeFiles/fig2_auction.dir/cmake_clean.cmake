@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_auction"
+  "../bench/fig2_auction.pdb"
+  "CMakeFiles/fig2_auction.dir/fig2_auction.cpp.o"
+  "CMakeFiles/fig2_auction.dir/fig2_auction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

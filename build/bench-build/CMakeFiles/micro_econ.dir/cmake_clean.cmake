@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_econ"
+  "../bench/micro_econ.pdb"
+  "CMakeFiles/micro_econ.dir/micro_econ.cpp.o"
+  "CMakeFiles/micro_econ.dir/micro_econ.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

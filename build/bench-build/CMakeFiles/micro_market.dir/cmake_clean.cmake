@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_market"
+  "../bench/micro_market.pdb"
+  "CMakeFiles/micro_market.dir/micro_market.cpp.o"
+  "CMakeFiles/micro_market.dir/micro_market.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_net"
+  "../bench/micro_net.pdb"
+  "CMakeFiles/micro_net.dir/micro_net.cpp.o"
+  "CMakeFiles/micro_net.dir/micro_net.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_entry_innovation"
+  "../bench/table_entry_innovation.pdb"
+  "CMakeFiles/table_entry_innovation.dir/table_entry_innovation.cpp.o"
+  "CMakeFiles/table_entry_innovation.dir/table_entry_innovation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_entry_innovation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_entry_innovation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_incumbent"
+  "../bench/table_incumbent.pdb"
+  "CMakeFiles/table_incumbent.dir/table_incumbent.cpp.o"
+  "CMakeFiles/table_incumbent.dir/table_incumbent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_incumbent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

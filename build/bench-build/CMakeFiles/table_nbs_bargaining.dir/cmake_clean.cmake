@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_nbs_bargaining"
+  "../bench/table_nbs_bargaining.pdb"
+  "CMakeFiles/table_nbs_bargaining.dir/table_nbs_bargaining.cpp.o"
+  "CMakeFiles/table_nbs_bargaining.dir/table_nbs_bargaining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_nbs_bargaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

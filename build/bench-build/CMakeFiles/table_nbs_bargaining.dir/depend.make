@@ -1,0 +1,2 @@
+# Empty dependencies file for table_nbs_bargaining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_nn_welfare"
+  "../bench/table_nn_welfare.pdb"
+  "CMakeFiles/table_nn_welfare.dir/table_nn_welfare.cpp.o"
+  "CMakeFiles/table_nn_welfare.dir/table_nn_welfare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_nn_welfare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_ur_unilateral"
+  "../bench/table_ur_unilateral.pdb"
+  "CMakeFiles/table_ur_unilateral.dir/table_ur_unilateral.cpp.o"
+  "CMakeFiles/table_ur_unilateral.dir/table_ur_unilateral.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_ur_unilateral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_ur_unilateral.
+# This may be replaced when dependencies are built.

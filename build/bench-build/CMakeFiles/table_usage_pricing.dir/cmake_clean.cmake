@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_usage_pricing"
+  "../bench/table_usage_pricing.pdb"
+  "CMakeFiles/table_usage_pricing.dir/table_usage_pricing.cpp.o"
+  "CMakeFiles/table_usage_pricing.dir/table_usage_pricing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_usage_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_market.dir/bandwidth_market.cpp.o"
+  "CMakeFiles/bandwidth_market.dir/bandwidth_market.cpp.o.d"
+  "bandwidth_market"
+  "bandwidth_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

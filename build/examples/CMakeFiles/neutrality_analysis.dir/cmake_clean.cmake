@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neutrality_analysis.dir/neutrality_analysis.cpp.o"
+  "CMakeFiles/neutrality_analysis.dir/neutrality_analysis.cpp.o.d"
+  "neutrality_analysis"
+  "neutrality_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neutrality_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

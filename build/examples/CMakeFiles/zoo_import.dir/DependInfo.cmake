@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/zoo_import.cpp" "examples/CMakeFiles/zoo_import.dir/zoo_import.cpp.o" "gcc" "examples/CMakeFiles/zoo_import.dir/zoo_import.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/poc_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/poc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/poc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/poc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_import.dir/zoo_import.cpp.o"
+  "CMakeFiles/zoo_import.dir/zoo_import.cpp.o.d"
+  "zoo_import"
+  "zoo_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

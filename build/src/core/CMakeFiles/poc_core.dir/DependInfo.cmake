@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/billing.cpp" "src/core/CMakeFiles/poc_core.dir/billing.cpp.o" "gcc" "src/core/CMakeFiles/poc_core.dir/billing.cpp.o.d"
+  "/root/repo/src/core/cdn.cpp" "src/core/CMakeFiles/poc_core.dir/cdn.cpp.o" "gcc" "src/core/CMakeFiles/poc_core.dir/cdn.cpp.o.d"
+  "/root/repo/src/core/entities.cpp" "src/core/CMakeFiles/poc_core.dir/entities.cpp.o" "gcc" "src/core/CMakeFiles/poc_core.dir/entities.cpp.o.d"
+  "/root/repo/src/core/federation.cpp" "src/core/CMakeFiles/poc_core.dir/federation.cpp.o" "gcc" "src/core/CMakeFiles/poc_core.dir/federation.cpp.o.d"
+  "/root/repo/src/core/flow_sim.cpp" "src/core/CMakeFiles/poc_core.dir/flow_sim.cpp.o" "gcc" "src/core/CMakeFiles/poc_core.dir/flow_sim.cpp.o.d"
+  "/root/repo/src/core/ledger.cpp" "src/core/CMakeFiles/poc_core.dir/ledger.cpp.o" "gcc" "src/core/CMakeFiles/poc_core.dir/ledger.cpp.o.d"
+  "/root/repo/src/core/provisioning.cpp" "src/core/CMakeFiles/poc_core.dir/provisioning.cpp.o" "gcc" "src/core/CMakeFiles/poc_core.dir/provisioning.cpp.o.d"
+  "/root/repo/src/core/qos.cpp" "src/core/CMakeFiles/poc_core.dir/qos.cpp.o" "gcc" "src/core/CMakeFiles/poc_core.dir/qos.cpp.o.d"
+  "/root/repo/src/core/tos.cpp" "src/core/CMakeFiles/poc_core.dir/tos.cpp.o" "gcc" "src/core/CMakeFiles/poc_core.dir/tos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/poc_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/poc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/poc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/poc_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

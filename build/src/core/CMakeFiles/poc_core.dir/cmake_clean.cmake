@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poc_core.dir/billing.cpp.o"
+  "CMakeFiles/poc_core.dir/billing.cpp.o.d"
+  "CMakeFiles/poc_core.dir/cdn.cpp.o"
+  "CMakeFiles/poc_core.dir/cdn.cpp.o.d"
+  "CMakeFiles/poc_core.dir/entities.cpp.o"
+  "CMakeFiles/poc_core.dir/entities.cpp.o.d"
+  "CMakeFiles/poc_core.dir/federation.cpp.o"
+  "CMakeFiles/poc_core.dir/federation.cpp.o.d"
+  "CMakeFiles/poc_core.dir/flow_sim.cpp.o"
+  "CMakeFiles/poc_core.dir/flow_sim.cpp.o.d"
+  "CMakeFiles/poc_core.dir/ledger.cpp.o"
+  "CMakeFiles/poc_core.dir/ledger.cpp.o.d"
+  "CMakeFiles/poc_core.dir/provisioning.cpp.o"
+  "CMakeFiles/poc_core.dir/provisioning.cpp.o.d"
+  "CMakeFiles/poc_core.dir/qos.cpp.o"
+  "CMakeFiles/poc_core.dir/qos.cpp.o.d"
+  "CMakeFiles/poc_core.dir/tos.cpp.o"
+  "CMakeFiles/poc_core.dir/tos.cpp.o.d"
+  "libpoc_core.a"
+  "libpoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

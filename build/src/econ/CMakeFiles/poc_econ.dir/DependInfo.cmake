@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/econ/bargaining.cpp" "src/econ/CMakeFiles/poc_econ.dir/bargaining.cpp.o" "gcc" "src/econ/CMakeFiles/poc_econ.dir/bargaining.cpp.o.d"
+  "/root/repo/src/econ/demand.cpp" "src/econ/CMakeFiles/poc_econ.dir/demand.cpp.o" "gcc" "src/econ/CMakeFiles/poc_econ.dir/demand.cpp.o.d"
+  "/root/repo/src/econ/entry.cpp" "src/econ/CMakeFiles/poc_econ.dir/entry.cpp.o" "gcc" "src/econ/CMakeFiles/poc_econ.dir/entry.cpp.o.d"
+  "/root/repo/src/econ/market_model.cpp" "src/econ/CMakeFiles/poc_econ.dir/market_model.cpp.o" "gcc" "src/econ/CMakeFiles/poc_econ.dir/market_model.cpp.o.d"
+  "/root/repo/src/econ/optimize.cpp" "src/econ/CMakeFiles/poc_econ.dir/optimize.cpp.o" "gcc" "src/econ/CMakeFiles/poc_econ.dir/optimize.cpp.o.d"
+  "/root/repo/src/econ/pricing_models.cpp" "src/econ/CMakeFiles/poc_econ.dir/pricing_models.cpp.o" "gcc" "src/econ/CMakeFiles/poc_econ.dir/pricing_models.cpp.o.d"
+  "/root/repo/src/econ/usage_pricing.cpp" "src/econ/CMakeFiles/poc_econ.dir/usage_pricing.cpp.o" "gcc" "src/econ/CMakeFiles/poc_econ.dir/usage_pricing.cpp.o.d"
+  "/root/repo/src/econ/welfare.cpp" "src/econ/CMakeFiles/poc_econ.dir/welfare.cpp.o" "gcc" "src/econ/CMakeFiles/poc_econ.dir/welfare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/poc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poc_econ.dir/bargaining.cpp.o"
+  "CMakeFiles/poc_econ.dir/bargaining.cpp.o.d"
+  "CMakeFiles/poc_econ.dir/demand.cpp.o"
+  "CMakeFiles/poc_econ.dir/demand.cpp.o.d"
+  "CMakeFiles/poc_econ.dir/entry.cpp.o"
+  "CMakeFiles/poc_econ.dir/entry.cpp.o.d"
+  "CMakeFiles/poc_econ.dir/market_model.cpp.o"
+  "CMakeFiles/poc_econ.dir/market_model.cpp.o.d"
+  "CMakeFiles/poc_econ.dir/optimize.cpp.o"
+  "CMakeFiles/poc_econ.dir/optimize.cpp.o.d"
+  "CMakeFiles/poc_econ.dir/pricing_models.cpp.o"
+  "CMakeFiles/poc_econ.dir/pricing_models.cpp.o.d"
+  "CMakeFiles/poc_econ.dir/usage_pricing.cpp.o"
+  "CMakeFiles/poc_econ.dir/usage_pricing.cpp.o.d"
+  "CMakeFiles/poc_econ.dir/welfare.cpp.o"
+  "CMakeFiles/poc_econ.dir/welfare.cpp.o.d"
+  "libpoc_econ.a"
+  "libpoc_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poc_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpoc_econ.a"
+)

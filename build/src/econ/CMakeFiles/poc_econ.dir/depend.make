@@ -1,0 +1,2 @@
+# Empty dependencies file for poc_econ.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/bid.cpp" "src/market/CMakeFiles/poc_market.dir/bid.cpp.o" "gcc" "src/market/CMakeFiles/poc_market.dir/bid.cpp.o.d"
+  "/root/repo/src/market/constraints.cpp" "src/market/CMakeFiles/poc_market.dir/constraints.cpp.o" "gcc" "src/market/CMakeFiles/poc_market.dir/constraints.cpp.o.d"
+  "/root/repo/src/market/manipulation.cpp" "src/market/CMakeFiles/poc_market.dir/manipulation.cpp.o" "gcc" "src/market/CMakeFiles/poc_market.dir/manipulation.cpp.o.d"
+  "/root/repo/src/market/pricing.cpp" "src/market/CMakeFiles/poc_market.dir/pricing.cpp.o" "gcc" "src/market/CMakeFiles/poc_market.dir/pricing.cpp.o.d"
+  "/root/repo/src/market/vcg.cpp" "src/market/CMakeFiles/poc_market.dir/vcg.cpp.o" "gcc" "src/market/CMakeFiles/poc_market.dir/vcg.cpp.o.d"
+  "/root/repo/src/market/windet.cpp" "src/market/CMakeFiles/poc_market.dir/windet.cpp.o" "gcc" "src/market/CMakeFiles/poc_market.dir/windet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/poc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/poc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/poc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

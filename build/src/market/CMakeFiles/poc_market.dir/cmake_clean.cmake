@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poc_market.dir/bid.cpp.o"
+  "CMakeFiles/poc_market.dir/bid.cpp.o.d"
+  "CMakeFiles/poc_market.dir/constraints.cpp.o"
+  "CMakeFiles/poc_market.dir/constraints.cpp.o.d"
+  "CMakeFiles/poc_market.dir/manipulation.cpp.o"
+  "CMakeFiles/poc_market.dir/manipulation.cpp.o.d"
+  "CMakeFiles/poc_market.dir/pricing.cpp.o"
+  "CMakeFiles/poc_market.dir/pricing.cpp.o.d"
+  "CMakeFiles/poc_market.dir/vcg.cpp.o"
+  "CMakeFiles/poc_market.dir/vcg.cpp.o.d"
+  "CMakeFiles/poc_market.dir/windet.cpp.o"
+  "CMakeFiles/poc_market.dir/windet.cpp.o.d"
+  "libpoc_market.a"
+  "libpoc_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poc_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/connectivity.cpp" "src/net/CMakeFiles/poc_net.dir/connectivity.cpp.o" "gcc" "src/net/CMakeFiles/poc_net.dir/connectivity.cpp.o.d"
+  "/root/repo/src/net/failure.cpp" "src/net/CMakeFiles/poc_net.dir/failure.cpp.o" "gcc" "src/net/CMakeFiles/poc_net.dir/failure.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/poc_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/poc_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/ksp.cpp" "src/net/CMakeFiles/poc_net.dir/ksp.cpp.o" "gcc" "src/net/CMakeFiles/poc_net.dir/ksp.cpp.o.d"
+  "/root/repo/src/net/maxflow.cpp" "src/net/CMakeFiles/poc_net.dir/maxflow.cpp.o" "gcc" "src/net/CMakeFiles/poc_net.dir/maxflow.cpp.o.d"
+  "/root/repo/src/net/mcf.cpp" "src/net/CMakeFiles/poc_net.dir/mcf.cpp.o" "gcc" "src/net/CMakeFiles/poc_net.dir/mcf.cpp.o.d"
+  "/root/repo/src/net/mincostflow.cpp" "src/net/CMakeFiles/poc_net.dir/mincostflow.cpp.o" "gcc" "src/net/CMakeFiles/poc_net.dir/mincostflow.cpp.o.d"
+  "/root/repo/src/net/shortest_path.cpp" "src/net/CMakeFiles/poc_net.dir/shortest_path.cpp.o" "gcc" "src/net/CMakeFiles/poc_net.dir/shortest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/poc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poc_net.dir/connectivity.cpp.o"
+  "CMakeFiles/poc_net.dir/connectivity.cpp.o.d"
+  "CMakeFiles/poc_net.dir/failure.cpp.o"
+  "CMakeFiles/poc_net.dir/failure.cpp.o.d"
+  "CMakeFiles/poc_net.dir/graph.cpp.o"
+  "CMakeFiles/poc_net.dir/graph.cpp.o.d"
+  "CMakeFiles/poc_net.dir/ksp.cpp.o"
+  "CMakeFiles/poc_net.dir/ksp.cpp.o.d"
+  "CMakeFiles/poc_net.dir/maxflow.cpp.o"
+  "CMakeFiles/poc_net.dir/maxflow.cpp.o.d"
+  "CMakeFiles/poc_net.dir/mcf.cpp.o"
+  "CMakeFiles/poc_net.dir/mcf.cpp.o.d"
+  "CMakeFiles/poc_net.dir/mincostflow.cpp.o"
+  "CMakeFiles/poc_net.dir/mincostflow.cpp.o.d"
+  "CMakeFiles/poc_net.dir/shortest_path.cpp.o"
+  "CMakeFiles/poc_net.dir/shortest_path.cpp.o.d"
+  "libpoc_net.a"
+  "libpoc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

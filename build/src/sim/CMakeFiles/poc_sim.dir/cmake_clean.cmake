@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/poc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/poc_sim.dir/scenario.cpp.o"
+  "CMakeFiles/poc_sim.dir/scenario.cpp.o.d"
+  "libpoc_sim.a"
+  "libpoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

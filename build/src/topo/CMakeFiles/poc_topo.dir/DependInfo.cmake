@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/bp_network.cpp" "src/topo/CMakeFiles/poc_topo.dir/bp_network.cpp.o" "gcc" "src/topo/CMakeFiles/poc_topo.dir/bp_network.cpp.o.d"
+  "/root/repo/src/topo/geo.cpp" "src/topo/CMakeFiles/poc_topo.dir/geo.cpp.o" "gcc" "src/topo/CMakeFiles/poc_topo.dir/geo.cpp.o.d"
+  "/root/repo/src/topo/graphml.cpp" "src/topo/CMakeFiles/poc_topo.dir/graphml.cpp.o" "gcc" "src/topo/CMakeFiles/poc_topo.dir/graphml.cpp.o.d"
+  "/root/repo/src/topo/poc_topology.cpp" "src/topo/CMakeFiles/poc_topo.dir/poc_topology.cpp.o" "gcc" "src/topo/CMakeFiles/poc_topo.dir/poc_topology.cpp.o.d"
+  "/root/repo/src/topo/traffic.cpp" "src/topo/CMakeFiles/poc_topo.dir/traffic.cpp.o" "gcc" "src/topo/CMakeFiles/poc_topo.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/poc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/poc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

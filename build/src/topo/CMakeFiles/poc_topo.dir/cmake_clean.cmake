@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poc_topo.dir/bp_network.cpp.o"
+  "CMakeFiles/poc_topo.dir/bp_network.cpp.o.d"
+  "CMakeFiles/poc_topo.dir/geo.cpp.o"
+  "CMakeFiles/poc_topo.dir/geo.cpp.o.d"
+  "CMakeFiles/poc_topo.dir/graphml.cpp.o"
+  "CMakeFiles/poc_topo.dir/graphml.cpp.o.d"
+  "CMakeFiles/poc_topo.dir/poc_topology.cpp.o"
+  "CMakeFiles/poc_topo.dir/poc_topology.cpp.o.d"
+  "CMakeFiles/poc_topo.dir/traffic.cpp.o"
+  "CMakeFiles/poc_topo.dir/traffic.cpp.o.d"
+  "libpoc_topo.a"
+  "libpoc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poc_util.dir/csv_export.cpp.o"
+  "CMakeFiles/poc_util.dir/csv_export.cpp.o.d"
+  "CMakeFiles/poc_util.dir/log.cpp.o"
+  "CMakeFiles/poc_util.dir/log.cpp.o.d"
+  "CMakeFiles/poc_util.dir/money.cpp.o"
+  "CMakeFiles/poc_util.dir/money.cpp.o.d"
+  "CMakeFiles/poc_util.dir/rng.cpp.o"
+  "CMakeFiles/poc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/poc_util.dir/stats.cpp.o"
+  "CMakeFiles/poc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/poc_util.dir/table.cpp.o"
+  "CMakeFiles/poc_util.dir/table.cpp.o.d"
+  "libpoc_util.a"
+  "libpoc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

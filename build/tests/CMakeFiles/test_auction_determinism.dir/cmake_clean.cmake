@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auction_determinism.dir/market/test_auction_determinism.cpp.o"
+  "CMakeFiles/test_auction_determinism.dir/market/test_auction_determinism.cpp.o.d"
+  "test_auction_determinism"
+  "test_auction_determinism.pdb"
+  "test_auction_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auction_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bargaining.dir/econ/test_bargaining.cpp.o"
+  "CMakeFiles/test_bargaining.dir/econ/test_bargaining.cpp.o.d"
+  "test_bargaining"
+  "test_bargaining.pdb"
+  "test_bargaining[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bargaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

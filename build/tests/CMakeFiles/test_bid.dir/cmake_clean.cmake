@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bid.dir/market/test_bid.cpp.o"
+  "CMakeFiles/test_bid.dir/market/test_bid.cpp.o.d"
+  "test_bid"
+  "test_bid.pdb"
+  "test_bid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

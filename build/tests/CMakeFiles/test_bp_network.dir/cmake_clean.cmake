@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bp_network.dir/topo/test_bp_network.cpp.o"
+  "CMakeFiles/test_bp_network.dir/topo/test_bp_network.cpp.o.d"
+  "test_bp_network"
+  "test_bp_network.pdb"
+  "test_bp_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bp_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_export.dir/util/test_csv_export.cpp.o"
+  "CMakeFiles/test_csv_export.dir/util/test_csv_export.cpp.o.d"
+  "test_csv_export"
+  "test_csv_export.pdb"
+  "test_csv_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entities.dir/core/test_entities.cpp.o"
+  "CMakeFiles/test_entities.dir/core/test_entities.cpp.o.d"
+  "test_entities"
+  "test_entities.pdb"
+  "test_entities[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

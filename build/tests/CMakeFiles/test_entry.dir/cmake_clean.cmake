@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entry.dir/econ/test_entry.cpp.o"
+  "CMakeFiles/test_entry.dir/econ/test_entry.cpp.o.d"
+  "test_entry"
+  "test_entry.pdb"
+  "test_entry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig2_pipeline.dir/integration/test_fig2_pipeline.cpp.o"
+  "CMakeFiles/test_fig2_pipeline.dir/integration/test_fig2_pipeline.cpp.o.d"
+  "test_fig2_pipeline"
+  "test_fig2_pipeline.pdb"
+  "test_fig2_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig2_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphml.dir/topo/test_graphml.cpp.o"
+  "CMakeFiles/test_graphml.dir/topo/test_graphml.cpp.o.d"
+  "test_graphml"
+  "test_graphml.pdb"
+  "test_graphml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

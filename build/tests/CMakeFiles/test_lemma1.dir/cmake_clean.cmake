@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lemma1.dir/econ/test_lemma1.cpp.o"
+  "CMakeFiles/test_lemma1.dir/econ/test_lemma1.cpp.o.d"
+  "test_lemma1"
+  "test_lemma1.pdb"
+  "test_lemma1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lemma1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

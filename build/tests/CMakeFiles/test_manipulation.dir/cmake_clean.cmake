@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manipulation.dir/market/test_manipulation.cpp.o"
+  "CMakeFiles/test_manipulation.dir/market/test_manipulation.cpp.o.d"
+  "test_manipulation"
+  "test_manipulation.pdb"
+  "test_manipulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manipulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market_model.dir/econ/test_market_model.cpp.o"
+  "CMakeFiles/test_market_model.dir/econ/test_market_model.cpp.o.d"
+  "test_market_model"
+  "test_market_model.pdb"
+  "test_market_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcf.dir/net/test_mcf.cpp.o"
+  "CMakeFiles/test_mcf.dir/net/test_mcf.cpp.o.d"
+  "test_mcf"
+  "test_mcf.pdb"
+  "test_mcf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_money.dir/util/test_money.cpp.o"
+  "CMakeFiles/test_money.dir/util/test_money.cpp.o.d"
+  "test_money"
+  "test_money.pdb"
+  "test_money[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_money.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poc_topology.dir/topo/test_poc_topology.cpp.o"
+  "CMakeFiles/test_poc_topology.dir/topo/test_poc_topology.cpp.o.d"
+  "test_poc_topology"
+  "test_poc_topology.pdb"
+  "test_poc_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poc_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

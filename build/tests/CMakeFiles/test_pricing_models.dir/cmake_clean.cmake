@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pricing_models.dir/econ/test_pricing_models.cpp.o"
+  "CMakeFiles/test_pricing_models.dir/econ/test_pricing_models.cpp.o.d"
+  "test_pricing_models"
+  "test_pricing_models.pdb"
+  "test_pricing_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pricing_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tos.dir/core/test_tos.cpp.o"
+  "CMakeFiles/test_tos.dir/core/test_tos.cpp.o.d"
+  "test_tos"
+  "test_tos.pdb"
+  "test_tos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usage_pricing.dir/econ/test_usage_pricing.cpp.o"
+  "CMakeFiles/test_usage_pricing.dir/econ/test_usage_pricing.cpp.o.d"
+  "test_usage_pricing"
+  "test_usage_pricing.pdb"
+  "test_usage_pricing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usage_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcg.dir/market/test_vcg.cpp.o"
+  "CMakeFiles/test_vcg.dir/market/test_vcg.cpp.o.d"
+  "test_vcg"
+  "test_vcg.pdb"
+  "test_vcg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

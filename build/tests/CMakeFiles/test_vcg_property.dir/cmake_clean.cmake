@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcg_property.dir/market/test_vcg_property.cpp.o"
+  "CMakeFiles/test_vcg_property.dir/market/test_vcg_property.cpp.o.d"
+  "test_vcg_property"
+  "test_vcg_property.pdb"
+  "test_vcg_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcg_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

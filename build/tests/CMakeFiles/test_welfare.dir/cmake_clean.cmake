@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_welfare.dir/econ/test_welfare.cpp.o"
+  "CMakeFiles/test_welfare.dir/econ/test_welfare.cpp.o.d"
+  "test_welfare"
+  "test_welfare.pdb"
+  "test_welfare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_welfare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

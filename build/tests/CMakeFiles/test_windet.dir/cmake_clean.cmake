@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_windet.dir/market/test_windet.cpp.o"
+  "CMakeFiles/test_windet.dir/market/test_windet.cpp.o.d"
+  "test_windet"
+  "test_windet.pdb"
+  "test_windet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_windet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

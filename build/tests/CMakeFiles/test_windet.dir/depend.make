@@ -1,0 +1,2 @@
+# Empty dependencies file for test_windet.
+# This may be replaced when dependencies are built.
