@@ -1,0 +1,146 @@
+// Chaos ablation: degradation curves under correlated faults, sweeping
+// failure intensity x auction resilience constraint (#1/#2/#3).
+//
+// The paper's implicit operational claim (sections 3.2-3.3) is that
+// stricter acceptability constraints buy measurably better behavior
+// under failure: the auction pre-provisions backup capacity, and the
+// external-ISP virtual links bound the damage as fallback of last
+// resort. This bench makes that claim quantitative. For each intensity
+// we draw ONE correlated fault trace (shared-risk conduit cuts, router
+// outages, BP-wide withdrawals, brownouts) and replay it against
+// backbones provisioned under each constraint, reporting delivered
+// fraction, downtime, off-cycle re-auctions, time-to-restore, and
+// recovery cost.
+//
+// Environment knobs: POC_CHAOS_FULL=1 runs the fig2-scale instance;
+// POC_CHAOS_SEED overrides the topology/fault seed; POC_CHAOS_EPOCHS
+// overrides the horizon (default 6).
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "market/pricing.hpp"
+#include "sim/chaos.hpp"
+#include "topo/traffic.hpp"
+#include "util/csv_export.hpp"
+#include "util/table.hpp"
+
+using namespace poc;
+
+namespace {
+
+struct Config {
+    bool full = false;
+    std::uint64_t seed = 42;
+    std::size_t epochs = 6;
+};
+
+Config read_config() {
+    Config cfg;
+    if (const char* f = std::getenv("POC_CHAOS_FULL"); f != nullptr && f[0] == '1') {
+        cfg.full = true;
+    }
+    if (const char* s = std::getenv("POC_CHAOS_SEED"); s != nullptr) {
+        cfg.seed = static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+    }
+    if (const char* e = std::getenv("POC_CHAOS_EPOCHS"); e != nullptr) {
+        cfg.epochs = static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+    }
+    return cfg;
+}
+
+}  // namespace
+
+int main() {
+    const Config cfg = read_config();
+
+    topo::BpGeneratorOptions bopt;
+    bopt.seed = cfg.seed;
+    topo::PocTopologyOptions popt;
+    topo::GravityOptions gopt;
+    std::size_t top_n = 30;
+    if (cfg.full) {
+        gopt.total_gbps = 5000.0;
+        top_n = 60;
+    } else {
+        bopt.bp_count = 8;
+        bopt.min_cities = 8;
+        bopt.max_cities = 18;
+        popt.min_colocated_bps = 3;
+        gopt.total_gbps = 800.0;
+    }
+
+    auto bps = topo::generate_bp_networks(bopt);
+    auto topology = topo::build_poc_topology(bps, popt);
+    const auto srlgs = sim::shared_risk_groups(topology);
+    const market::OfferPool pool = market::make_offer_pool(topology);
+    const auto tm = topo::aggregate_top_n(topo::gravity_traffic(topology, gopt), top_n);
+
+    std::cout << "=== Chaos ablation: failure intensity x resilience constraint ===\n";
+    std::cout << "POC network: " << topology.router_city.size() << " routers, "
+              << topology.graph.link_count() << " offered links, " << topology.bp_count
+              << " BPs, " << srlgs.size() << " shared-risk groups\n";
+    std::cout << "Traffic: " << tm.size() << " demands, " << net::total_demand(tm)
+              << " Gbps; horizon " << cfg.epochs << " epochs\n\n";
+
+    const double intensities[] = {0.5, 1.0, 2.0, 4.0};
+    const market::ConstraintKind kinds[] = {market::ConstraintKind::kLoad,
+                                            market::ConstraintKind::kSingleFailure,
+                                            market::ConstraintKind::kPerPairFailure};
+
+    util::Table table({"constraint", "intensity", "faults", "mean-deliv", "min-deliv",
+                       "undeliv(gbps-ep)", "reauctions", "restore(ep)", "recovery-cost",
+                       "baseline-outlay", "time(s)"});
+
+    for (const double intensity : intensities) {
+        sim::FaultInjectorOptions iopt;
+        iopt.epochs = cfg.epochs;
+        iopt.intensity = intensity;
+        iopt.seed = cfg.seed;
+        // One trace per intensity, replayed against every constraint:
+        // the comparison is apples-to-apples by construction.
+        const auto trace = sim::draw_fault_trace(pool, srlgs, iopt);
+
+        for (const market::ConstraintKind kind : kinds) {
+            sim::ChaosOptions copt;
+            copt.epochs = cfg.epochs;
+            copt.request.constraint = kind;
+            copt.request.oracle.fidelity = market::OracleFidelity::kFast;
+
+            const auto t0 = std::chrono::steady_clock::now();
+            const sim::ChaosOutcome r = sim::run_chaos(pool, tm, trace, copt);
+            const double seconds =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+            std::vector<std::string> cells{market::constraint_name(kind),
+                                           util::cell(intensity, 1),
+                                           util::cell(trace.size())};
+            if (!r.provisioned) {
+                cells.insert(cells.end(),
+                             {"INFEASIBLE", "-", "-", "-", "-", "-", "-",
+                              util::cell(seconds, 1)});
+            } else {
+                cells.push_back(util::cell(r.mean_delivered_fraction, 4));
+                cells.push_back(util::cell(r.min_delivered_fraction, 4));
+                cells.push_back(util::cell(r.total_undelivered_gbps, 1));
+                cells.push_back(util::cell(r.reauction_count) +
+                                (r.failed_reauctions > 0
+                                     ? "(+" + std::to_string(r.failed_reauctions) + " failed)"
+                                     : ""));
+                cells.push_back(util::cell(r.epochs_to_restore));
+                cells.push_back(r.total_recovery_cost.str());
+                cells.push_back(r.baseline_outlay.str());
+                cells.push_back(util::cell(seconds, 1));
+            }
+            table.add_row(std::move(cells));
+        }
+    }
+
+    std::cout << table.render();
+    util::maybe_export_csv(table, "ablation_chaos");
+    std::cout << "\nReading: at fixed intensity, the delivered-fraction columns should\n"
+                 "improve monotonically from constraint #1 to #3 (the auction's\n"
+                 "pre-provisioned backup capacity absorbing the same fault trace),\n"
+                 "while baseline outlay rises: resilience is bought, not free.\n";
+    return 0;
+}

@@ -26,11 +26,15 @@ namespace poc::net {
 struct ResilienceOptions {
     /// FPTAS precision for feasibility fallback checks.
     double fptas_eps = 0.15;
-    /// For single-link-failure checking: only the links carrying at
-    /// least this fraction of their capacity under the nominal routing
-    /// are re-checked exhaustively (lightly-loaded links trivially
-    /// survive because their traffic fits in neighbors' headroom only if
-    /// re-verified; set to 0 to re-check every active link).
+    /// For single-link-failure checking: a link whose nominal-routing
+    /// load is at most this fraction of its capacity is not individually
+    /// re-checked. The default 0.0 is the safe, exact setting: only
+    /// links carrying (numerically) zero flow are skipped, which is
+    /// sound because the nominal routing itself stays feasible when an
+    /// unloaded link fails. Any positive value is a speed heuristic that
+    /// *assumes* lightly-loaded links' traffic fits in the survivors'
+    /// headroom, so it can accept sets the exhaustive check would
+    /// reject; use it only for coarse search, never final validation.
     double recheck_load_threshold = 0.0;
 };
 

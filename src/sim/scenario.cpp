@@ -25,6 +25,36 @@ std::vector<net::LinkId> recall_links(const market::OfferPool& pool, market::BpI
     return links;
 }
 
+/// Reject malformed events up front (ContractViolation) instead of
+/// letting them silently misbehave mid-scenario.
+void validate_events(const market::OfferPool& pool, const std::vector<ScenarioEvent>& events,
+                     const ScenarioOptions& opt) {
+    const auto has_bp = [&](std::uint32_t bp) {
+        const auto& bids = pool.bids();
+        return std::any_of(bids.begin(), bids.end(), [&](const market::BpBid& b) {
+            return b.bp() == market::BpId{bp};
+        });
+    };
+    for (const ScenarioEvent& ev : events) {
+        POC_EXPECTS(ev.epoch < opt.epochs);
+        switch (ev.kind) {
+            case ScenarioEvent::Kind::kDemandGrowth:
+                POC_EXPECTS(ev.factor > 0.0);
+                break;
+            case ScenarioEvent::Kind::kBpRecall:
+                POC_EXPECTS(ev.fraction >= 0.0 && ev.fraction <= 1.0);
+                POC_EXPECTS(has_bp(ev.bp));
+                break;
+            case ScenarioEvent::Kind::kLinkFailure:
+                break;  // count is clamped to the in-service links
+            case ScenarioEvent::Kind::kPriceShift:
+                POC_EXPECTS(ev.factor > 0.0);
+                POC_EXPECTS(has_bp(ev.bp));
+                break;
+        }
+    }
+}
+
 std::string describe(const ScenarioEvent& ev) {
     switch (ev.kind) {
         case ScenarioEvent::Kind::kDemandGrowth:
@@ -47,6 +77,7 @@ std::vector<EpochOutcome> run_scenario(const market::OfferPool& initial_pool,
                                        const std::vector<ScenarioEvent>& events,
                                        const ScenarioOptions& opt) {
     POC_EXPECTS(opt.epochs >= 1);
+    validate_events(initial_pool, events, opt);
     util::Rng rng(opt.seed);
 
     market::OfferPool pool = initial_pool;

@@ -62,7 +62,10 @@ struct EpochOutcome {
 
 /// Run a scripted scenario. The pool's graph must outlive the call.
 /// Returns one outcome per epoch (epochs after an unprovisionable one
-/// still run; `provisioned` marks failures).
+/// still run; `provisioned` marks failures). Events are validated up
+/// front: an `epoch` at or beyond `opt.epochs`, a `fraction` outside
+/// [0, 1], a non-positive `factor`, or a `bp` with no bid in the pool
+/// throws util::ContractViolation.
 std::vector<EpochOutcome> run_scenario(const market::OfferPool& initial_pool,
                                        const net::TrafficMatrix& initial_tm,
                                        const std::vector<ScenarioEvent>& events,

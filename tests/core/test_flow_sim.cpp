@@ -80,6 +80,19 @@ TEST(FlowSim, EmptyMatrixCleanReport) {
     EXPECT_DOUBLE_EQ(r.max_utilization, 0.0);
 }
 
+TEST(FlowSim, RejectsIsVirtualShorterThanLinkCount) {
+    // The is_virtual vector is indexed by link id; a short vector would
+    // silently misattribute virtual share (or read out of bounds), so
+    // the contract requires empty-or-exact-length.
+    net::Graph g = test::triangle();
+    net::Subgraph sg(g);
+    const net::TrafficMatrix tm{{net::NodeId{0u}, net::NodeId{1u}, 1.0}};
+    std::vector<bool> short_mask(g.link_count() - 1, false);
+    EXPECT_THROW(simulate_flows(sg, tm, short_mask), util::ContractViolation);
+    std::vector<bool> long_mask(g.link_count() + 1, false);
+    EXPECT_THROW(simulate_flows(sg, tm, long_mask), util::ContractViolation);
+}
+
 TEST(FlowSim, LoadsNeverExceedCapacity) {
     util::Rng rng(3);
     net::Graph g = test::random_connected(rng, 8, 8);

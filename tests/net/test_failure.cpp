@@ -79,6 +79,70 @@ TEST(PrimaryPaths, EmptyForZeroOrDisconnected) {
     EXPECT_TRUE(primaries[1].empty());
 }
 
+TEST(PrimaryPaths, DisconnectedByDeactivatedLinkYieldsEmptySet) {
+    // Endpoints connected in the underlying graph but separated in the
+    // subgraph view: the primary-path set must come back empty, not
+    // throw or fall back to inactive links.
+    Graph g = test::chain(3, 10.0);
+    Subgraph sg(g);
+    sg.set_active(LinkId{1u}, false);  // cut 1-2
+    TrafficMatrix tm{{NodeId{0u}, NodeId{2u}, 1.0}, {NodeId{0u}, NodeId{1u}, 1.0}};
+    const auto primaries = primary_paths(sg, tm);
+    ASSERT_EQ(primaries.size(), 2u);
+    EXPECT_TRUE(primaries[0].empty());
+    EXPECT_EQ(primaries[1], (std::vector<LinkId>{LinkId{0u}}));
+}
+
+TEST(SingleFailure, ThresholdHeuristicAgreesWithExhaustiveOnSmallTopologies) {
+    // Regression for the recheck_load_threshold doc/behavior mismatch:
+    // the default 0.0 is exhaustive (only zero-flow links skipped); a
+    // positive threshold is a heuristic. On these small instances the
+    // two must agree - accept and reject cases alike - so a future
+    // change that silently skips loaded links gets caught here.
+    ResilienceOptions exact;        // 0.0 default
+    ResilienceOptions heuristic;
+    heuristic.recheck_load_threshold = 0.25;
+
+    Graph ring5 = test::ring(5, 10.0);
+    Subgraph sr5(ring5);
+    const TrafficMatrix light{{NodeId{0u}, NodeId{2u}, 4.0}};
+    EXPECT_TRUE(satisfies_single_failure(sr5, light, exact));
+    EXPECT_EQ(satisfies_single_failure(sr5, light, exact),
+              satisfies_single_failure(sr5, light, heuristic));
+
+    Graph ring4 = test::ring(4, 10.0);
+    Subgraph sr4(ring4);
+    const TrafficMatrix heavy{{NodeId{0u}, NodeId{1u}, 12.0}};
+    EXPECT_FALSE(satisfies_single_failure(sr4, heavy, exact));
+    EXPECT_EQ(satisfies_single_failure(sr4, heavy, exact),
+              satisfies_single_failure(sr4, heavy, heuristic));
+
+    // Chain with links loaded above the threshold: the skipped-recheck
+    // heuristic still examines them, so both settings reject.
+    Graph chain3 = test::chain(3, 10.0);
+    Subgraph sc3(chain3);
+    const TrafficMatrix mid{{NodeId{0u}, NodeId{2u}, 4.0}};
+    EXPECT_FALSE(satisfies_single_failure(sc3, mid, exact));
+    EXPECT_EQ(satisfies_single_failure(sc3, mid, exact),
+              satisfies_single_failure(sc3, mid, heuristic));
+}
+
+TEST(SingleFailure, ThresholdHeuristicCanAcceptWhatExhaustiveRejects) {
+    // The divergence the header documents: a chain link carrying 10% of
+    // its capacity falls under a 0.25 threshold, is never re-checked,
+    // and the heuristic accepts a set with no backup path at all. This
+    // is WHY 0.0 is the only safe default for final validation; if this
+    // test starts failing the heuristic's semantics changed and the
+    // ResilienceOptions doc must be revisited.
+    Graph chain3 = test::chain(3, 10.0);
+    Subgraph sg(chain3);
+    const TrafficMatrix light{{NodeId{0u}, NodeId{2u}, 1.0}};
+    ResilienceOptions heuristic;
+    heuristic.recheck_load_threshold = 0.25;
+    EXPECT_FALSE(satisfies_single_failure(sg, light));  // exact default
+    EXPECT_TRUE(satisfies_single_failure(sg, light, heuristic));
+}
+
 TEST(PerPairFailure, TriangleReroutesOntoBackup) {
     Graph g = test::triangle();
     Subgraph sg(g);

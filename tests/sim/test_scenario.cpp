@@ -115,5 +115,51 @@ TEST(Scenario, RejectsZeroEpochs) {
     EXPECT_THROW(run_scenario(fx.pool, fx.tm, {}, fx.options(0)), util::ContractViolation);
 }
 
+TEST(Scenario, RejectsEventBeyondHorizon) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(1);
+    events[0].kind = ScenarioEvent::Kind::kDemandGrowth;
+    events[0].epoch = 2;  // horizon is epochs {0, 1}
+    events[0].factor = 1.5;
+    EXPECT_THROW(run_scenario(fx.pool, fx.tm, events, fx.options(2)), util::ContractViolation);
+}
+
+TEST(Scenario, RejectsNonPositiveFactor) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(1);
+    events[0].kind = ScenarioEvent::Kind::kDemandGrowth;
+    events[0].epoch = 1;
+    events[0].factor = 0.0;
+    EXPECT_THROW(run_scenario(fx.pool, fx.tm, events, fx.options(2)), util::ContractViolation);
+    events[0].kind = ScenarioEvent::Kind::kPriceShift;
+    events[0].factor = -2.0;
+    EXPECT_THROW(run_scenario(fx.pool, fx.tm, events, fx.options(2)), util::ContractViolation);
+}
+
+TEST(Scenario, RejectsFractionOutsideUnitInterval) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(1);
+    events[0].kind = ScenarioEvent::Kind::kBpRecall;
+    events[0].epoch = 1;
+    events[0].bp = 0;
+    events[0].fraction = 1.5;
+    EXPECT_THROW(run_scenario(fx.pool, fx.tm, events, fx.options(2)), util::ContractViolation);
+    events[0].fraction = -0.1;
+    EXPECT_THROW(run_scenario(fx.pool, fx.tm, events, fx.options(2)), util::ContractViolation);
+}
+
+TEST(Scenario, RejectsUnknownBp) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(1);
+    events[0].kind = ScenarioEvent::Kind::kBpRecall;
+    events[0].epoch = 1;
+    events[0].bp = 42;  // no such BP in the pool
+    events[0].fraction = 0.5;
+    EXPECT_THROW(run_scenario(fx.pool, fx.tm, events, fx.options(2)), util::ContractViolation);
+    events[0].kind = ScenarioEvent::Kind::kPriceShift;
+    events[0].factor = 2.0;
+    EXPECT_THROW(run_scenario(fx.pool, fx.tm, events, fx.options(2)), util::ContractViolation);
+}
+
 }  // namespace
 }  // namespace poc::sim
