@@ -1,0 +1,76 @@
+#include "market/auction_cache.hpp"
+
+namespace poc::market {
+
+std::size_t AuctionCache::LinkSetHash::operator()(
+    const std::vector<net::LinkId>& key) const noexcept {
+    // FNV-1a over the id values; the key is canonical (ascending ids),
+    // so equal sets hash equally by construction.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const net::LinkId l : key) {
+        h ^= l.value();
+        h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+AuctionCache::Shard& AuctionCache::shard_for(const std::vector<net::LinkId>& key) const {
+    return shards_[LinkSetHash{}(key) % kShards];
+}
+
+std::optional<bool> AuctionCache::find_verdict(const std::vector<net::LinkId>& key) const {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.verdicts.find(key);
+    if (it == shard.verdicts.end()) {
+        verdict_misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    verdict_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void AuctionCache::store_verdict(const std::vector<net::LinkId>& key, bool verdict) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Concurrent re-evaluations of the same set store the same pure
+    // verdict; first writer wins and the others are no-ops.
+    shard.verdicts.emplace(key, verdict);
+}
+
+std::optional<std::optional<Selection>> AuctionCache::find_solve(
+    const std::vector<net::LinkId>& key) const {
+    std::lock_guard<std::mutex> lock(solve_mutex_);
+    const auto it = solves_.find(key);
+    if (it == solves_.end()) {
+        solve_misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    solve_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void AuctionCache::store_solve(const std::vector<net::LinkId>& key,
+                               const std::optional<Selection>& result) {
+    std::lock_guard<std::mutex> lock(solve_mutex_);
+    solves_.emplace(key, result);
+}
+
+AuctionCache::Stats AuctionCache::stats() const {
+    Stats s;
+    s.verdict_hits = verdict_hits_.load(std::memory_order_relaxed);
+    s.verdict_misses = verdict_misses_.load(std::memory_order_relaxed);
+    s.solve_hits = solve_hits_.load(std::memory_order_relaxed);
+    s.solve_misses = solve_misses_.load(std::memory_order_relaxed);
+    return s;
+}
+
+bool CachingOracle::accepts_impl(const net::Subgraph& sg) const {
+    const std::vector<net::LinkId> key = sg.active_links();  // canonical: id order
+    if (const auto cached = cache_->find_verdict(key)) return *cached;
+    const bool verdict = inner_->accepts(sg);
+    cache_->store_verdict(key, verdict);
+    return verdict;
+}
+
+}  // namespace poc::market

@@ -1,0 +1,91 @@
+// Memoization for the auction engine (DESIGN.md §5). Two tables, both
+// keyed by the *canonicalized* link set — link ids in ascending order,
+// which is exactly what Subgraph::active_links() and the OfferPool
+// availability accessors already produce:
+//
+//  * verdict cache - AcceptabilityOracle answers. A verdict is a pure
+//    function of the active set (for a fixed oracle), so a hit is an
+//    exact replay, never an approximation: cached auction paths stay
+//    bit-identical to the serial uncached path.
+//  * solve memo    - whole winner-determination results keyed by the
+//    available set, so a Clarke-pivot re-solve whose availability
+//    coincides with an earlier solve (e.g. a BP that offered nothing)
+//    reuses it outright.
+//
+// Thread-safe: the pivot re-solves of run_auction share one cache
+// across the work-stealing pool. The verdict table is sharded to keep
+// lock contention off the hot path; hit/miss tallies are atomics so the
+// accounting stays exact under concurrency.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "market/windet.hpp"
+
+namespace poc::market {
+
+class AuctionCache {
+public:
+    struct Stats {
+        std::size_t verdict_hits = 0;
+        std::size_t verdict_misses = 0;
+        std::size_t solve_hits = 0;
+        std::size_t solve_misses = 0;
+    };
+
+    /// Cached oracle verdict for the canonical link set, if any.
+    std::optional<bool> find_verdict(const std::vector<net::LinkId>& key) const;
+    void store_verdict(const std::vector<net::LinkId>& key, bool verdict);
+
+    /// Cached winner-determination result for the canonical available
+    /// set. The outer optional distinguishes "not cached" from a cached
+    /// infeasible solve (inner nullopt).
+    std::optional<std::optional<Selection>> find_solve(
+        const std::vector<net::LinkId>& key) const;
+    void store_solve(const std::vector<net::LinkId>& key, const std::optional<Selection>& result);
+
+    Stats stats() const;
+
+private:
+    struct LinkSetHash {
+        std::size_t operator()(const std::vector<net::LinkId>& key) const noexcept;
+    };
+    struct Shard {
+        mutable std::mutex mutex;
+        std::unordered_map<std::vector<net::LinkId>, bool, LinkSetHash> verdicts;
+    };
+    static constexpr std::size_t kShards = 16;
+
+    Shard& shard_for(const std::vector<net::LinkId>& key) const;
+
+    mutable Shard shards_[kShards];
+    mutable std::mutex solve_mutex_;
+    std::unordered_map<std::vector<net::LinkId>, std::optional<Selection>, LinkSetHash> solves_;
+
+    mutable std::atomic<std::size_t> verdict_hits_{0};
+    mutable std::atomic<std::size_t> verdict_misses_{0};
+    mutable std::atomic<std::size_t> solve_hits_{0};
+    mutable std::atomic<std::size_t> solve_misses_{0};
+};
+
+/// Oracle decorator that answers from an AuctionCache and delegates to
+/// the wrapped oracle on a miss. The wrapped oracle's query_count()
+/// keeps counting only real evaluations, which is what
+/// AuctionResult::oracle_queries reports — exact with caching on.
+class CachingOracle final : public Oracle {
+public:
+    CachingOracle(const Oracle& inner, AuctionCache& cache) : inner_(&inner), cache_(&cache) {}
+
+private:
+    bool accepts_impl(const net::Subgraph& sg) const override;
+
+    const Oracle* inner_;
+    AuctionCache* cache_;
+};
+
+}  // namespace poc::market

@@ -147,6 +147,15 @@ std::optional<util::Money> OfferPool::total_cost(const std::vector<net::LinkId>&
     return total;
 }
 
+std::vector<net::LinkId> OfferPool::offered_links_without(BpId bp) const {
+    std::vector<net::LinkId> links;
+    links.reserve(offered_.size());
+    for (const net::LinkId l : offered_) {
+        if (owner(l) != bp) links.push_back(l);
+    }
+    return links;
+}
+
 std::vector<net::LinkId> OfferPool::owned_subset(const std::vector<net::LinkId>& links,
                                                  BpId bp) const {
     std::vector<net::LinkId> out;

@@ -113,6 +113,10 @@ public:
     /// All offered links in id order (a subset of the graph's links).
     const std::vector<net::LinkId>& offered_links() const noexcept { return offered_; }
 
+    /// Offered links not owned by `bp`: the Clarke-pivot availability
+    /// set OL - L_alpha, in id order (the engine's canonical form).
+    std::vector<net::LinkId> offered_links_without(BpId bp) const;
+
     bool is_offered(net::LinkId link) const;
 
     /// Owner of an offered link: the BP id, or an invalid id for

@@ -23,8 +23,7 @@ AcceptabilityOracle::AcceptabilityOracle(const net::Graph& graph, net::TrafficMa
     POC_EXPECTS(opt_.fast_failure_derate > 0.0 && opt_.fast_failure_derate <= 1.0);
 }
 
-bool AcceptabilityOracle::accepts(const net::Subgraph& sg) const {
-    ++opt_.query_count;
+bool AcceptabilityOracle::accepts_impl(const net::Subgraph& sg) const {
     POC_EXPECTS(&sg.graph() == graph_);
     return opt_.fidelity == OracleFidelity::kExact ? accepts_exact(sg) : accepts_fast(sg);
 }

@@ -7,6 +7,7 @@
 // surrogates and validate the final selection exhaustively.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 
 #include "net/failure.hpp"
@@ -43,25 +44,56 @@ struct OracleOptions {
     double fast_failure_derate = 0.65;
     /// FPTAS epsilon for exact-mode fallbacks.
     double fptas_eps = 0.15;
-    /// Count of oracle invocations (diagnostics; mutated by accepts()).
-    mutable std::size_t query_count = 0;
+};
+
+/// The interface the winner-determination search drives: is the active
+/// link set acceptable? `accepts()` funnels every query through an
+/// atomic counter so the `oracle_queries` diagnostic stays exact when
+/// the auction engine fans Clarke-pivot re-solves across a thread pool.
+/// Implementations provide accepts_impl(), which must be a pure
+/// function of the active link set and safe to call concurrently.
+class Oracle {
+public:
+    virtual ~Oracle() = default;
+
+    bool accepts(const net::Subgraph& sg) const {
+        queries_.fetch_add(1, std::memory_order_relaxed);
+        return accepts_impl(sg);
+    }
+
+    /// Total accepts() calls over this oracle's lifetime.
+    std::size_t query_count() const noexcept {
+        return queries_.load(std::memory_order_relaxed);
+    }
+
+protected:
+    Oracle() = default;
+    // Copies carry the count, not the atomic (atomics are not copyable).
+    Oracle(const Oracle& other) noexcept : queries_(other.query_count()) {}
+    Oracle& operator=(const Oracle& other) noexcept {
+        queries_.store(other.query_count(), std::memory_order_relaxed);
+        return *this;
+    }
+
+private:
+    virtual bool accepts_impl(const net::Subgraph& sg) const = 0;
+
+    mutable std::atomic<std::size_t> queries_{0};
 };
 
 /// Stateless functor: does the active link set satisfy the constraint
 /// for the given traffic matrix?
-class AcceptabilityOracle {
+class AcceptabilityOracle final : public Oracle {
 public:
     AcceptabilityOracle(const net::Graph& graph, net::TrafficMatrix tm, ConstraintKind kind,
                         OracleOptions opt = {});
 
-    bool accepts(const net::Subgraph& sg) const;
-
     ConstraintKind kind() const noexcept { return kind_; }
     const net::TrafficMatrix& traffic() const noexcept { return tm_; }
     const net::Graph& graph() const noexcept { return *graph_; }
-    std::size_t query_count() const noexcept { return opt_.query_count; }
 
 private:
+    bool accepts_impl(const net::Subgraph& sg) const override;
     bool accepts_fast(const net::Subgraph& sg) const;
     bool accepts_exact(const net::Subgraph& sg) const;
 

@@ -1,31 +1,92 @@
 #include "market/vcg.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "market/auction_cache.hpp"
+#include "util/thread_pool.hpp"
 
 namespace poc::market {
 
 const BpOutcome& AuctionResult::outcome(BpId bp) const {
-    const auto it = std::find_if(outcomes.begin(), outcomes.end(),
-                                 [bp](const BpOutcome& o) { return o.bp == bp; });
-    POC_EXPECTS(it != outcomes.end());
-    return *it;
+    const auto it = outcome_index.find(bp);
+    POC_EXPECTS(it != outcome_index.end());
+    return outcomes[it->second];
 }
 
 namespace {
 
-std::optional<Selection> solve(const OfferPool& pool, const AcceptabilityOracle& oracle,
+/// One winner-determination solve, optionally memoized. The cache key
+/// is the canonical available set: offered_links() and
+/// offered_links_without() both produce ascending id order.
+std::optional<Selection> solve(const OfferPool& pool, const Oracle& oracle,
                                const std::vector<net::LinkId>& available,
-                               const AuctionOptions& opt) {
-    return opt.exact ? select_links_exact(pool, oracle, available)
-                     : select_links(pool, oracle, available, opt.windet);
+                               const AuctionOptions& opt, AuctionCache* cache) {
+    if (cache) {
+        if (const auto hit = cache->find_solve(available)) return *hit;
+    }
+    auto result = opt.exact ? select_links_exact(pool, oracle, available)
+                            : select_links(pool, oracle, available, opt.windet);
+    if (cache) cache->store_solve(available, result);
+    return result;
+}
+
+/// One BP's Clarke pivot. Reads only shared-const state (pool, oracle,
+/// SL) plus the thread-safe cache, and touches no other BP's outcome —
+/// pivots are independent by construction, so the engine may run them
+/// concurrently and the results cannot depend on scheduling.
+BpOutcome clarke_pivot(const OfferPool& pool, const Oracle& oracle, const Selection& sl,
+                       const BpBid& bid, const AuctionOptions& opt, AuctionCache* cache) {
+    BpOutcome out;
+    out.bp = bid.bp();
+    out.name = bid.name();
+    out.selected_links = pool.owned_subset(sl.links, bid.bp());
+    const auto own_cost = bid.cost(out.selected_links);
+    POC_ASSERT(own_cost.has_value());  // winners are always priced
+    out.bid_cost = *own_cost;
+
+    // Clarke pivot: re-solve with this BP's offers withdrawn.
+    const auto sl_without = solve(pool, oracle, pool.offered_links_without(bid.bp()), opt, cache);
+    if (!sl_without) {
+        // A(OL - L_alpha) empty: the paper's assumption is violated;
+        // the pivot term is undefined. Pay the declared cost and
+        // flag it.
+        out.pivot_defined = false;
+        out.payment = out.bid_cost;
+    } else {
+        out.cost_without = sl_without->cost;
+        // The heuristic solver can return SL_-alpha worse than it
+        // found SL (or, rarely, slightly better); clamp the
+        // externality at zero so payments respect the VCG lower
+        // bound P_alpha >= C_alpha(SL_alpha). With the exact solver
+        // the externality is non-negative by optimality.
+        const util::Money externality = std::max(util::Money{}, sl_without->cost - sl.cost);
+        out.payment = out.bid_cost + externality;
+    }
+    out.pob =
+        out.bid_cost.is_zero() ? 0.0 : util::ratio(out.payment - out.bid_cost, out.bid_cost);
+    return out;
 }
 
 }  // namespace
 
-std::optional<AuctionResult> run_auction(const OfferPool& pool,
-                                         const AcceptabilityOracle& oracle,
+std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& oracle,
                                          const AuctionOptions& opt) {
-    const auto sl = solve(pool, oracle, pool.offered_links(), opt);
+    // The memoization layer is scoped to this auction: verdicts and
+    // solves are pure functions of the link set only for a fixed pool,
+    // oracle, and option set.
+    std::optional<AuctionCache> cache;
+    std::optional<CachingOracle> caching_oracle;
+    const Oracle* engine_oracle = &oracle;
+    if (opt.cache) {
+        cache.emplace();
+        caching_oracle.emplace(oracle, *cache);
+        engine_oracle = &*caching_oracle;
+    }
+    AuctionCache* const cache_ptr = cache ? &*cache : nullptr;
+
+    const auto sl = solve(pool, *engine_oracle, pool.offered_links(), opt, cache_ptr);
     if (!sl) return std::nullopt;
 
     AuctionResult result;
@@ -38,45 +99,46 @@ std::optional<AuctionResult> run_auction(const OfferPool& pool,
     result.virtual_cost = pool.virtual_links().cost(selected_virtual);
     result.total_outlay = result.virtual_cost;
 
-    for (const BpBid& bid : pool.bids()) {
-        BpOutcome out;
-        out.bp = bid.bp();
-        out.name = bid.name();
-        out.selected_links = pool.owned_subset(sl->links, bid.bp());
-        const auto own_cost = bid.cost(out.selected_links);
-        POC_ASSERT(own_cost.has_value());  // winners are always priced
-        out.bid_cost = *own_cost;
+    const std::vector<BpBid>& bids = pool.bids();
+    result.outcomes.resize(bids.size());
+    if (opt.threads > 1 && bids.size() > 1) {
+        // The graph's adjacency index builds lazily on first use; warm
+        // it before concurrent readers race to be that first use.
+        pool.graph().warm_adjacency();
+        std::vector<std::exception_ptr> errors(bids.size());
+        util::ThreadPool threads(opt.threads);
+        threads.parallel_for(bids.size(), [&](std::size_t i) {
+            try {
+                result.outcomes[i] =
+                    clarke_pivot(pool, *engine_oracle, *sl, bids[i], opt, cache_ptr);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+        // Rethrow the first error in bid order, so failures too are
+        // deterministic under concurrency.
+        for (const std::exception_ptr& error : errors) {
+            if (error) std::rethrow_exception(error);
+        }
+    } else {
+        for (std::size_t i = 0; i < bids.size(); ++i) {
+            result.outcomes[i] = clarke_pivot(pool, *engine_oracle, *sl, bids[i], opt, cache_ptr);
+        }
+    }
 
-        // Clarke pivot: re-solve with this BP's offers withdrawn.
-        std::vector<net::LinkId> without;
-        without.reserve(pool.offered_links().size());
-        for (const net::LinkId l : pool.offered_links()) {
-            if (pool.owner(l) != bid.bp()) without.push_back(l);
-        }
-        const auto sl_without = solve(pool, oracle, without, opt);
-        if (!sl_without) {
-            // A(OL - L_alpha) empty: the paper's assumption is violated;
-            // the pivot term is undefined. Pay the declared cost and
-            // flag it.
-            out.pivot_defined = false;
-            out.payment = out.bid_cost;
-        } else {
-            out.cost_without = sl_without->cost;
-            // The heuristic solver can return SL_-alpha worse than it
-            // found SL (or, rarely, slightly better); clamp the
-            // externality at zero so payments respect the VCG lower
-            // bound P_alpha >= C_alpha(SL_alpha). With the exact solver
-            // the externality is non-negative by optimality.
-            const util::Money externality =
-                std::max(util::Money{}, sl_without->cost - sl->cost);
-            out.payment = out.bid_cost + externality;
-        }
-        out.pob = out.bid_cost.is_zero() ? 0.0
-                                         : util::ratio(out.payment - out.bid_cost, out.bid_cost);
-        result.total_outlay += out.payment;
-        result.outcomes.push_back(std::move(out));
+    // Serial assembly in bid order: the totals and the lookup index do
+    // not depend on pivot completion order.
+    result.outcome_index.reserve(result.outcomes.size());
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+        result.total_outlay += result.outcomes[i].payment;
+        result.outcome_index.emplace(result.outcomes[i].bp, i);
     }
     result.oracle_queries = oracle.query_count();
+    if (cache_ptr) {
+        const AuctionCache::Stats stats = cache_ptr->stats();
+        result.oracle_cache_hits = stats.verdict_hits;
+        result.solve_cache_hits = stats.solve_hits;
+    }
     return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "market/windet.hpp"
@@ -47,8 +48,19 @@ struct AuctionResult {
     /// Sum of all P_alpha plus the virtual-link contract cost: the
     /// POC's total monthly outlay, which its LMP charges must recoup.
     util::Money total_outlay;
-    /// Total acceptability-oracle queries (diagnostics).
+    /// Real acceptability-oracle evaluations over the oracle's lifetime
+    /// (diagnostics). Exact under concurrency (atomic counting) and
+    /// with caching on: memoized answers are *not* re-counted here.
     std::size_t oracle_queries = 0;
+    /// Oracle verdicts answered from the memoization layer instead of
+    /// re-evaluated (zero when AuctionOptions::cache is off).
+    std::size_t oracle_cache_hits = 0;
+    /// Whole pivot re-solves reused from the solve memo (zero when
+    /// AuctionOptions::cache is off).
+    std::size_t solve_cache_hits = 0;
+    /// Position of each BP's outcome in `outcomes`; built by
+    /// run_auction so outcome() is an O(1) lookup.
+    std::unordered_map<BpId, std::size_t> outcome_index;
 
     /// Outcome lookup by BP id.
     const BpOutcome& outcome(BpId bp) const;
@@ -59,12 +71,19 @@ struct AuctionOptions {
     /// instances only); the heuristic otherwise.
     bool exact = false;
     WinnerDeterminationOptions windet;
+    /// Worker threads for the per-BP Clarke-pivot re-solves, which are
+    /// independent by construction. 0 or 1 = serial (the reproducible
+    /// default); any value produces bit-identical results.
+    std::size_t threads = 1;
+    /// Memoize oracle verdicts and whole pivot solves within this
+    /// auction (see market/auction_cache.hpp). Results are
+    /// bit-identical to the uncached path; only the work is shared.
+    bool cache = false;
 };
 
 /// Run the full auction. Returns nullopt when OL itself is unacceptable
 /// (no backbone can be provisioned from the offers).
-std::optional<AuctionResult> run_auction(const OfferPool& pool,
-                                         const AcceptabilityOracle& oracle,
+std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& oracle,
                                          const AuctionOptions& opt = {});
 
 }  // namespace poc::market

@@ -31,7 +31,7 @@ std::vector<net::LinkId> removal_order(const OfferPool& pool,
 /// State for the batched reverse deletion: active set + its cost.
 class DeletionPass {
 public:
-    DeletionPass(const OfferPool& pool, const AcceptabilityOracle& oracle, net::Subgraph& sg,
+    DeletionPass(const OfferPool& pool, const Oracle& oracle, net::Subgraph& sg,
                  util::Money current_cost)
         : pool_(pool), oracle_(oracle), sg_(sg), cost_(current_cost) {}
 
@@ -57,14 +57,14 @@ public:
 
 private:
     const OfferPool& pool_;
-    const AcceptabilityOracle& oracle_;
+    const Oracle& oracle_;
     net::Subgraph& sg_;
     util::Money cost_;
 };
 
 }  // namespace
 
-std::optional<Selection> select_links(const OfferPool& pool, const AcceptabilityOracle& oracle,
+std::optional<Selection> select_links(const OfferPool& pool, const Oracle& oracle,
                                       const std::vector<net::LinkId>& available,
                                       const WinnerDeterminationOptions& opt) {
     POC_EXPECTS(opt.batch_size >= 1);
@@ -107,7 +107,7 @@ namespace {
 /// Branch-and-bound engine for the exact solver.
 class ExactSearch {
 public:
-    ExactSearch(const OfferPool& pool, const AcceptabilityOracle& oracle,
+    ExactSearch(const OfferPool& pool, const Oracle& oracle,
                 std::vector<net::LinkId> order)
         : pool_(pool), oracle_(oracle), order_(std::move(order)), sg_(pool.graph(), order_) {}
 
@@ -174,7 +174,7 @@ private:
     }
 
     const OfferPool& pool_;
-    const AcceptabilityOracle& oracle_;
+    const Oracle& oracle_;
     std::vector<net::LinkId> order_;
     net::Subgraph sg_;
     std::vector<net::LinkId> fixed_in_;
@@ -185,7 +185,7 @@ private:
 }  // namespace
 
 std::optional<Selection> select_links_exact(const OfferPool& pool,
-                                            const AcceptabilityOracle& oracle,
+                                            const Oracle& oracle,
                                             const std::vector<net::LinkId>& available) {
     for (const BpBid& bid : pool.bids()) {
         POC_EXPECTS(!bid.has_bundle_overrides());

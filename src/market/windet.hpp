@@ -38,7 +38,7 @@ struct WinnerDeterminationOptions {
 
 /// Heuristic minimum-cost acceptable subset of `available`. Returns
 /// nullopt when even the full available set is unacceptable.
-std::optional<Selection> select_links(const OfferPool& pool, const AcceptabilityOracle& oracle,
+std::optional<Selection> select_links(const OfferPool& pool, const Oracle& oracle,
                                       const std::vector<net::LinkId>& available,
                                       const WinnerDeterminationOptions& opt = {});
 
@@ -46,7 +46,7 @@ std::optional<Selection> select_links(const OfferPool& pool, const Acceptability
 /// bundle overrides in any bid (the cost lower bound assumes additive-
 /// with-tier pricing). Intended for small instances.
 std::optional<Selection> select_links_exact(const OfferPool& pool,
-                                            const AcceptabilityOracle& oracle,
+                                            const Oracle& oracle,
                                             const std::vector<net::LinkId>& available);
 
 }  // namespace poc::market

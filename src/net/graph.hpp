@@ -72,6 +72,12 @@ public:
     /// All link ids, in insertion order.
     std::vector<LinkId> all_links() const;
 
+    /// Build the lazy adjacency index now. It is otherwise built on the
+    /// first incident() call, which is not safe when concurrent readers
+    /// race to be that first call; the parallel auction engine warms it
+    /// before fanning out.
+    void warm_adjacency() const { ensure_adjacency_current(); }
+
 private:
     void ensure_adjacency_current() const;
 

@@ -157,6 +157,11 @@ struct SlaRecord {
 
 struct ChaosOptions {
     std::size_t epochs = 8;
+    /// Initial provisioning request. Off-cycle re-auctions reuse it
+    /// verbatim (minus withdrawn offers), so the auction engine knobs in
+    /// `request.auction` — `exact`, `threads`, `cache` — apply to every
+    /// recovery auction too. Parallel/cached re-auctions are bit-identical
+    /// to serial ones (DESIGN.md §5), so chaos outcomes are unaffected.
     core::ProvisioningRequest request;
     /// Fire an off-cycle re-auction when delivered_fraction drops below
     /// this threshold (default: any loss of delivery triggers one).

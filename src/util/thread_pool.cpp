@@ -1,0 +1,139 @@
+#include "util/thread_pool.hpp"
+
+#include "util/contracts.hpp"
+
+namespace poc::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+    POC_EXPECTS(workers >= 1);
+    queues_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        queues_.push_back(std::make_unique<Queue>());
+    }
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    wait_idle();  // queued work is never dropped
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    POC_EXPECTS(task != nullptr);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+        queues_[q]->tasks.push_back(std::move(task));
+    }
+    // Empty critical section: a worker that found no work either holds
+    // sleep_mutex_ (and will re-scan the queues before sleeping, seeing
+    // this push) or is already waiting (and gets the notify).
+    { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+    wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::take(std::size_t home) {
+    const std::size_t n = queues_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        Queue& q = *queues_[(home + k) % n];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (q.tasks.empty()) continue;
+        std::function<void()> task;
+        if (k == 0) {  // own deque: oldest first
+            task = std::move(q.tasks.front());
+            q.tasks.pop_front();
+        } else {  // steal the newest from the victim
+            task = std::move(q.tasks.back());
+            q.tasks.pop_back();
+        }
+        return task;
+    }
+    return {};
+}
+
+bool ThreadPool::any_queued() {
+    for (const auto& q : queues_) {
+        std::lock_guard<std::mutex> lock(q->mutex);
+        if (!q->tasks.empty()) return true;
+    }
+    return false;
+}
+
+void ThreadPool::finish_one() {
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        idle_cv_.notify_all();
+    }
+}
+
+void ThreadPool::worker_loop(std::size_t home) {
+    for (;;) {
+        if (auto task = take(home)) {
+            task();
+            finish_one();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        if (stop_) return;
+        if (any_queued()) continue;  // raced with a submit; retry take
+        wake_cv_.wait(lock);
+    }
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    idle_cv_.wait(lock, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    // Batch lives on the caller's stack, so the entire completion
+    // handshake stays under batch.mutex: a worker's final decrement and
+    // notify happen inside the lock, and the caller only observes
+    // remaining == 0 under the same lock. Once it does, no worker can
+    // still be touching the batch, making destruction safe.
+    struct Batch {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining;
+    } batch{{}, {}, count};
+
+    for (std::size_t i = 0; i < count; ++i) {
+        submit([&batch, &fn, i] {
+            fn(i);
+            std::lock_guard<std::mutex> lock(batch.mutex);
+            if (--batch.remaining == 0) batch.done.notify_all();
+        });
+    }
+
+    // The caller drains the pool alongside the workers until this
+    // batch's tasks have all finished. It may execute tasks from another
+    // concurrent batch it happens to steal; that is still useful work.
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(batch.mutex);
+            if (batch.remaining == 0) return;
+        }
+        if (auto task = take(0)) {
+            task();
+            finish_one();
+            continue;
+        }
+        // Nothing left to steal: the remaining tasks are running on
+        // workers. Sleep until the last of them signals the batch.
+        std::unique_lock<std::mutex> lock(batch.mutex);
+        batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+        return;
+    }
+}
+
+}  // namespace poc::util

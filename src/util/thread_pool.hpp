@@ -1,0 +1,69 @@
+// A small work-stealing thread pool for embarrassingly parallel
+// batches — in this codebase, the auction engine's independent per-BP
+// Clarke-pivot re-solves (market/vcg.cpp). Design: one deque per worker
+// guarded by its own mutex; submit() round-robins tasks across the
+// deques; a worker pops from the front of its own deque and steals from
+// the back of another's when empty, so uneven task costs rebalance
+// without a single contended queue. parallel_for()'s calling thread
+// joins the stealing loop, so a pool of N workers drains N+1 wide.
+//
+// Tasks must not throw: ferry errors out by hand (run_auction catches
+// into std::exception_ptr slots and rethrows after the join).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace poc::util {
+
+class ThreadPool {
+public:
+    /// Spin up `workers` threads (>= 1).
+    explicit ThreadPool(std::size_t workers);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t worker_count() const noexcept { return queues_.size(); }
+
+    /// Enqueue one task. Thread-safe.
+    void submit(std::function<void()> task);
+
+    /// Block until every task submitted so far has finished.
+    void wait_idle();
+
+    /// Run fn(0), ..., fn(count-1) across the pool and the calling
+    /// thread; returns when all of them have finished.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+private:
+    struct Queue {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    /// Pop a task: front of the `home` deque, else steal from the back
+    /// of the others. Empty function when nothing is queued anywhere.
+    std::function<void()> take(std::size_t home);
+    bool any_queued();
+    void worker_loop(std::size_t home);
+    void finish_one();
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> threads_;
+    std::mutex sleep_mutex_;
+    std::condition_variable wake_cv_;
+    std::condition_variable idle_cv_;
+    std::atomic<std::size_t> pending_{0};  // submitted, not yet finished
+    std::atomic<std::size_t> next_queue_{0};
+    bool stop_ = false;  // guarded by sleep_mutex_
+};
+
+}  // namespace poc::util

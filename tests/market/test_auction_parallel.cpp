@@ -1,0 +1,149 @@
+// The determinism contract of the parallel/cached auction engine
+// (DESIGN.md §5): Clarke pivots are independent and oracle verdicts are
+// pure functions of the link set, so fanning the pivot re-solves across
+// a thread pool and memoizing verdicts/solves must produce the same
+// AuctionResult bit for bit — selection, payments, PoB, outlay — as the
+// serial uncached path, for any thread count.
+#include <gtest/gtest.h>
+
+#include "helpers/market.hpp"
+#include "market/pricing.hpp"
+#include "market/vcg.hpp"
+#include "topo/traffic.hpp"
+
+namespace poc::market {
+namespace {
+
+void expect_identical(const AuctionResult& a, const AuctionResult& b, const char* what) {
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.selection.links, b.selection.links);
+    EXPECT_EQ(a.selection.cost, b.selection.cost);
+    EXPECT_EQ(a.virtual_cost, b.virtual_cost);
+    EXPECT_EQ(a.total_outlay, b.total_outlay);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(a.outcomes[i].bp, b.outcomes[i].bp);
+        EXPECT_EQ(a.outcomes[i].name, b.outcomes[i].name);
+        EXPECT_EQ(a.outcomes[i].selected_links, b.outcomes[i].selected_links);
+        EXPECT_EQ(a.outcomes[i].bid_cost, b.outcomes[i].bid_cost);
+        EXPECT_EQ(a.outcomes[i].cost_without, b.outcomes[i].cost_without);
+        EXPECT_EQ(a.outcomes[i].payment, b.outcomes[i].payment);
+        EXPECT_EQ(a.outcomes[i].pivot_defined, b.outcomes[i].pivot_defined);
+        // pob is the same Money ratio in every mode: bitwise equality.
+        EXPECT_EQ(a.outcomes[i].pob, b.outcomes[i].pob);
+    }
+}
+
+struct EngineConfig {
+    std::size_t threads;
+    bool cache;
+    const char* label;
+};
+
+constexpr EngineConfig kConfigs[] = {
+    {1, true, "serial+cache"},   {2, false, "2 threads"}, {2, true, "2 threads+cache"},
+    {8, false, "8 threads"},     {8, true, "8 threads+cache"},
+};
+
+class ParallelAuctionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelAuctionProperty, RandomPoolsHeuristicSolver) {
+    test::RandomSmallInstance inst(GetParam());
+    const OfferPool pool = inst.pool();
+
+    auto run = [&](const AuctionOptions& opt) {
+        // Fresh oracle per run so lifetime query counts are comparable.
+        const AcceptabilityOracle oracle(inst.graph, inst.tm, ConstraintKind::kLoad);
+        return run_auction(pool, oracle, opt);
+    };
+
+    const auto baseline = run({});
+    for (const EngineConfig& config : kConfigs) {
+        AuctionOptions opt;
+        opt.threads = config.threads;
+        opt.cache = config.cache;
+        const auto result = run(opt);
+        ASSERT_EQ(baseline.has_value(), result.has_value()) << config.label;
+        if (!baseline) continue;
+        expect_identical(*baseline, *result, config.label);
+        if (!config.cache) {
+            // Uncached runs perform the identical query sequence, just
+            // possibly reordered across threads: same total count.
+            EXPECT_EQ(result->oracle_queries, baseline->oracle_queries) << config.label;
+            EXPECT_EQ(result->oracle_cache_hits, 0u) << config.label;
+        } else {
+            // Each heuristic solve re-verifies its final selection
+            // (select_links' postcondition), which is always a repeat
+            // of an earlier verdict: at least that much must hit.
+            EXPECT_GE(result->oracle_cache_hits, 1u) << config.label;
+            EXPECT_LE(result->oracle_queries, baseline->oracle_queries) << config.label;
+        }
+    }
+}
+
+TEST_P(ParallelAuctionProperty, RandomPoolsExactSolver) {
+    test::RandomSmallInstance inst(GetParam() * 3 + 1);
+    const OfferPool pool = inst.pool();
+
+    auto run = [&](const AuctionOptions& opt) {
+        const AcceptabilityOracle oracle(inst.graph, inst.tm, ConstraintKind::kLoad);
+        return run_auction(pool, oracle, opt);
+    };
+
+    AuctionOptions serial;
+    serial.exact = true;
+    const auto baseline = run(serial);
+    for (const EngineConfig& config : kConfigs) {
+        AuctionOptions opt;
+        opt.exact = true;
+        opt.threads = config.threads;
+        opt.cache = config.cache;
+        const auto result = run(opt);
+        ASSERT_EQ(baseline.has_value(), result.has_value()) << config.label;
+        if (baseline) expect_identical(*baseline, *result, config.label);
+    }
+}
+
+TEST_P(ParallelAuctionProperty, GeneratedTopologyFastOracle) {
+    // Figure-2-shaped instance: generated BP topologies, gravity
+    // traffic, the fast oracle — the scale the parallel engine exists
+    // for, shrunk to test size.
+    topo::BpGeneratorOptions bopt;
+    bopt.bp_count = 6;
+    bopt.min_cities = 6;
+    bopt.max_cities = 12;
+    bopt.seed = GetParam();
+    topo::PocTopologyOptions popt;
+    popt.min_colocated_bps = 3;
+    auto topology = topo::build_poc_topology(topo::generate_bp_networks(bopt), popt);
+    market::VirtualLinkOptions vopt;
+    vopt.attach_count = std::min<std::size_t>(3, topology.router_city.size());
+    const auto pool = make_offer_pool(topology, {}, vopt);
+    topo::GravityOptions gopt;
+    gopt.total_gbps = 300.0;
+    const auto tm = topo::aggregate_top_n(topo::gravity_traffic(topology, gopt), 15);
+
+    OracleOptions oopt;
+    oopt.fidelity = OracleFidelity::kFast;
+    auto run = [&](const AuctionOptions& opt) {
+        const AcceptabilityOracle oracle(pool.graph(), tm, ConstraintKind::kLoad, oopt);
+        return run_auction(pool, oracle, opt);
+    };
+
+    const auto baseline = run({});
+    for (const EngineConfig& config : kConfigs) {
+        AuctionOptions opt;
+        opt.threads = config.threads;
+        opt.cache = config.cache;
+        const auto result = run(opt);
+        ASSERT_EQ(baseline.has_value(), result.has_value()) << config.label;
+        if (baseline) expect_identical(*baseline, *result, config.label);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelAuctionProperty,
+                         ::testing::Values(401, 402, 403, 404, 405, 406));
+
+}  // namespace
+}  // namespace poc::market

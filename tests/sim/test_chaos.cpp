@@ -257,6 +257,43 @@ TEST(Chaos, RejectsMalformedFaults) {
     EXPECT_THROW(run_chaos(pool, fx.tm, bad_link, opt), util::ContractViolation);
 }
 
+TEST(Chaos, ParallelCachedReauctionsMatchSerial) {
+    // Off-cycle re-auctions inherit the engine knobs from
+    // ChaosOptions::request.auction; the parallel/cached engine is
+    // bit-identical to serial, so the whole chaos trajectory — SLA
+    // series, outlays, recovery accounting — must match exactly.
+    ChaosFixture fx(/*with_virtual=*/true);
+    const auto pool = fx.pool();
+    FaultInjectorOptions iopt;
+    iopt.epochs = 6;
+    iopt.intensity = 1.5;
+    iopt.seed = 23;
+    const auto trace = draw_fault_trace(pool, shared_risk_groups(fx.graph), iopt);
+
+    ChaosOptions serial = fx.options(market::ConstraintKind::kPerPairFailure, 6);
+    ChaosOptions engine = serial;
+    engine.request.auction.threads = 8;
+    engine.request.auction.cache = true;
+
+    const ChaosOutcome base = run_chaos(pool, fx.tm, trace, serial);
+    const ChaosOutcome r = run_chaos(pool, fx.tm, trace, engine);
+    ASSERT_EQ(base.provisioned, r.provisioned);
+    ASSERT_EQ(base.sla.size(), r.sla.size());
+    for (std::size_t i = 0; i < base.sla.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(base.sla[i].delivered_fraction, r.sla[i].delivered_fraction);
+        EXPECT_EQ(base.sla[i].outlay, r.sla[i].outlay);
+        EXPECT_EQ(base.sla[i].emergency_virtual_cost, r.sla[i].emergency_virtual_cost);
+        EXPECT_EQ(base.sla[i].reauction_triggered, r.sla[i].reauction_triggered);
+        EXPECT_EQ(base.sla[i].degraded_mode, r.sla[i].degraded_mode);
+    }
+    EXPECT_EQ(base.reauction_count, r.reauction_count);
+    EXPECT_EQ(base.failed_reauctions, r.failed_reauctions);
+    EXPECT_EQ(base.epochs_to_restore, r.epochs_to_restore);
+    EXPECT_EQ(base.baseline_outlay, r.baseline_outlay);
+    EXPECT_EQ(base.total_recovery_cost, r.total_recovery_cost);
+}
+
 TEST(Chaos, InfeasibleInitialAuctionReported) {
     ChaosFixture fx;
     const auto pool = fx.pool();

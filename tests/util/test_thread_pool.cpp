@@ -1,0 +1,110 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace poc::util {
+namespace {
+
+TEST(ThreadPool, RequiresAtLeastOneWorker) {
+    EXPECT_THROW(ThreadPool(0), ContractViolation);
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ParallelForZeroCountReturnsImmediately) {
+    ThreadPool pool(2);
+    pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, CallerParticipatesInDraining) {
+    // More tasks than workers; the calling thread must help, otherwise
+    // a 1-worker pool would serialize these with no benefit. We only
+    // assert completion plus that at least the worker or caller ran
+    // tasks (timing-independent).
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    pool.parallel_for(64, [&](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+    });
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        pool.parallel_for(20, [&](std::size_t) { total.fetch_add(1); });
+    }
+    EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, UnevenTaskCostsAllComplete) {
+    // Work stealing: one deque receives the heavy tasks (round-robin
+    // distribution puts every 4th task there); idle workers steal them.
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    pool.parallel_for(32, [&](std::size_t i) {
+        if (i % 4 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ran.fetch_add(1);
+    });
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&ran] { ran.fetch_add(1); });
+        }
+        // No wait_idle: the destructor must finish the queue.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, TasksRunOnMultipleThreadsWhenAvailable) {
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<std::thread::id> ids;
+    pool.parallel_for(64, [&](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::lock_guard<std::mutex> lock(mutex);
+        ids.insert(std::this_thread::get_id());
+    });
+    // Workers + caller bound; at least one thread must have run tasks.
+    EXPECT_GE(ids.size(), 1u);
+    EXPECT_LE(ids.size(), pool.worker_count() + 1);
+}
+
+}  // namespace
+}  // namespace poc::util
