@@ -1,0 +1,228 @@
+// Overhead budget for the src/obs observability layer (DESIGN.md §5a).
+//
+// Two sections:
+//
+//  1. Op costs: ns per counter add / gauge add / histogram record /
+//     span, uncontended (one thread) and contended (4 threads hammering
+//     the *same* metric names — the sharded-counter worst case).
+//  2. Auction overhead: wall time of an instrumented
+//     `market::run_auction` on a mid-size topology instance. Run the
+//     POC_OBS_DISABLED build of this binary first, then pass its
+//     auction ms as argv[2] to the instrumented build; the JSON then
+//     records the instrumented-vs-disabled delta that the acceptance
+//     budget (<= 5%) is judged against.
+//
+// Usage: micro_obs [out.json] [baseline_auction_ms]
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "market/pricing.hpp"
+#include "market/vcg.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+#include "topo/traffic.hpp"
+
+using namespace poc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point t0, Clock::time_point t1) {
+    return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+/// Time `ops` iterations of `body` and return ns/op (best of reps).
+template <typename Fn>
+double time_op(std::size_t ops, int reps, Fn&& body) {
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < ops; ++i) body(i);
+        const auto t1 = Clock::now();
+        const double ns = elapsed_ns(t0, t1) / static_cast<double>(ops);
+        if (rep == 0 || ns < best) best = ns;
+    }
+    return best;
+}
+
+/// Same body run from `threads` threads concurrently against shared
+/// metric state; returns aggregate ns per op (wall time * threads /
+/// total ops, i.e. cost as seen by one op when everyone contends).
+template <typename Fn>
+double time_op_contended(std::size_t threads, std::size_t ops_per_thread, Fn&& body) {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    const auto t0 = Clock::now();
+    for (std::size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&body, ops_per_thread] {
+            for (std::size_t i = 0; i < ops_per_thread; ++i) body(i);
+        });
+    }
+    for (auto& th : pool) th.join();
+    const auto t1 = Clock::now();
+    return elapsed_ns(t0, t1) * static_cast<double>(threads) /
+           static_cast<double>(threads * ops_per_thread);
+}
+
+struct OpRow {
+    std::string op;
+    double uncontended_ns = 0.0;
+    double contended_ns = 0.0;
+};
+
+/// Mid-size auction instance (micro_auction's topology shape).
+struct Instance {
+    market::OfferPool pool;
+    net::TrafficMatrix tm;
+    market::OracleOptions oopt;
+};
+
+Instance auction_instance() {
+    topo::BpGeneratorOptions bopt;
+    bopt.bp_count = 8;
+    bopt.min_cities = 6;
+    bopt.max_cities = 12;
+    bopt.seed = 7002;
+    topo::PocTopologyOptions popt;
+    popt.min_colocated_bps = 3;
+    static std::deque<topo::PocTopology> topologies;
+    topologies.push_back(topo::build_poc_topology(topo::generate_bp_networks(bopt), popt));
+    topo::PocTopology& topology = topologies.back();
+    market::VirtualLinkOptions vopt;
+    vopt.attach_count = std::min<std::size_t>(3, topology.router_city.size());
+    auto pool = market::make_offer_pool(topology, {}, vopt);
+    topo::GravityOptions gopt;
+    gopt.total_gbps = 300.0;
+    auto tm = topo::aggregate_top_n(topo::gravity_traffic(topology, gopt), 20);
+    Instance inst{std::move(pool), std::move(tm), {}};
+    inst.oopt.fidelity = market::OracleFidelity::kFast;
+    return inst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
+    const double baseline_ms = argc > 2 ? std::atof(argv[2]) : 0.0;
+
+    constexpr std::size_t kOps = 2'000'000;
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kOpsPerThread = 500'000;
+    constexpr int kReps = 3;
+
+    std::vector<OpRow> ops;
+
+    // Counter add: the hot-path primitive every instrumented layer uses.
+    {
+        OpRow row{"counter_add", 0.0, 0.0};
+        row.uncontended_ns =
+            time_op(kOps, kReps, [](std::size_t) { POC_OBS_INC("bench.obs.counter"); });
+        row.contended_ns = time_op_contended(
+            kThreads, kOpsPerThread, [](std::size_t) { POC_OBS_INC("bench.obs.counter_c"); });
+        ops.push_back(row);
+    }
+    // Gauge add (queue-depth style).
+    {
+        OpRow row{"gauge_add", 0.0, 0.0};
+        row.uncontended_ns =
+            time_op(kOps, kReps, [](std::size_t) { POC_OBS_GAUGE_ADD("bench.obs.gauge", 1); });
+        row.contended_ns = time_op_contended(
+            kThreads, kOpsPerThread, [](std::size_t) { POC_OBS_GAUGE_ADD("bench.obs.gauge_c", 1); });
+        ops.push_back(row);
+    }
+    // Histogram record (latency-sample style).
+    {
+        OpRow row{"histogram_record", 0.0, 0.0};
+        row.uncontended_ns = time_op(kOps, kReps, [](std::size_t i) {
+            POC_OBS_HISTOGRAM("bench.obs.hist", 0.0, 100.0, 50,
+                              static_cast<double>(i % 100));
+        });
+        row.contended_ns = time_op_contended(kThreads, kOpsPerThread, [](std::size_t i) {
+            POC_OBS_HISTOGRAM("bench.obs.hist_c", 0.0, 100.0, 50,
+                              static_cast<double>(i % 100));
+        });
+        ops.push_back(row);
+    }
+    // Span: two clock reads plus a ring-buffer write on destruction.
+    // Fewer ops: each one buffers a record (ring overwrites keep memory
+    // bounded, but the per-op cost includes the ring mutex).
+    {
+        constexpr std::size_t kSpanOps = 200'000;
+        constexpr std::size_t kSpanOpsPerThread = 50'000;
+        OpRow row{"span", 0.0, 0.0};
+        row.uncontended_ns =
+            time_op(kSpanOps, kReps, [](std::size_t) { POC_OBS_SPAN("bench.obs.span"); });
+        row.contended_ns = time_op_contended(kThreads, kSpanOpsPerThread,
+                                             [](std::size_t) { POC_OBS_SPAN("bench.obs.span_c"); });
+        ops.push_back(row);
+#if POC_OBS_ENABLED
+        obs::traces().drain();  // discard bench spans
+#endif
+    }
+
+    for (const OpRow& r : ops) {
+        std::cout << r.op << "  uncontended=" << r.uncontended_ns
+                  << " ns/op  contended(" << kThreads << "t)=" << r.contended_ns << " ns/op\n";
+    }
+
+    // Auction overhead section.
+    Instance inst = auction_instance();
+    market::AuctionOptions aopt;
+    double auction_ms = 0.0;
+    constexpr int kAuctionReps = 5;
+    for (int rep = 0; rep < kAuctionReps; ++rep) {
+        const market::AcceptabilityOracle oracle(inst.pool.graph(), inst.tm,
+                                                 market::ConstraintKind::kLoad, inst.oopt);
+        const auto t0 = Clock::now();
+        const auto result = market::run_auction(inst.pool, oracle, aopt);
+        const auto t1 = Clock::now();
+        if (!result) {
+            std::cerr << "auction instance infeasible\n";
+            return 1;
+        }
+        const double ms = elapsed_ns(t0, t1) / 1e6;
+        if (rep == 0 || ms < auction_ms) auction_ms = ms;
+    }
+    const double overhead_pct =
+        baseline_ms > 0.0 ? (auction_ms - baseline_ms) / baseline_ms * 100.0 : 0.0;
+
+    std::cout << "auction (obs " << (POC_OBS_ENABLED ? "enabled" : "disabled")
+              << "): " << auction_ms << " ms";
+    if (baseline_ms > 0.0) {
+        std::cout << "  baseline=" << baseline_ms << " ms  overhead=" << overhead_pct << "%";
+    }
+    std::cout << "\n";
+
+    std::ofstream out(out_path);
+    out << "{\n  \"bench\": \"micro_obs\",\n"
+        << "  \"obs_enabled\": " << (POC_OBS_ENABLED ? "true" : "false") << ",\n"
+        << "  \"hardware_threads\": "
+        << std::max<unsigned>(1, std::thread::hardware_concurrency()) << ",\n"
+        << "  \"contended_threads\": " << kThreads << ",\n"
+        << "  \"reps\": " << kReps << ",\n"
+        << "  \"note\": \"ns/op best of reps; contended = 4 threads on the same metric; "
+           "auction overhead compares this build to the POC_OBS_DISABLED baseline passed "
+           "as argv[2]\",\n"
+        << "  \"ops\": [\n";
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const OpRow& r = ops[i];
+        out << "    {\"op\": \"" << r.op << "\", \"uncontended_ns\": " << r.uncontended_ns
+            << ", \"contended_ns\": " << r.contended_ns << "}"
+            << (i + 1 < ops.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"auction\": {\"instance\": \"topo-8bp\", \"reps\": " << kAuctionReps
+        << ", \"ms\": " << auction_ms << ", \"baseline_disabled_ms\": " << baseline_ms
+        << ", \"overhead_pct\": " << overhead_pct << "}\n"
+        << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}

@@ -5,9 +5,16 @@
 // price shift. Prints per-epoch market telemetry.
 //
 //   ./build/examples/bandwidth_market
+//
+// Set POC_OBS_SNAPSHOT=<path-prefix> to also dump the run's obs
+// snapshot: <prefix>.json (counters, gauges, histograms, spans) plus
+// the metrics table on stdout. See DESIGN.md §5a.
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "market/pricing.hpp"
+#include "obs/snapshot.hpp"
 #include "sim/scenario.hpp"
 #include "topo/traffic.hpp"
 #include "util/table.hpp"
@@ -87,5 +94,19 @@ int main() {
                  "outlay; failures and the rival price hike (epoch 3) raise it further,\n"
                  "but the external-ISP virtual links cap how far payments can climb\n"
                  "(section 3.3's bound on manipulation and scarcity).\n";
+
+#if POC_OBS_ENABLED
+    // Observability snapshot of everything the run just did: auction
+    // pivots and cache hits, flow admissions, ledger settlement.
+    const obs::Snapshot snap = obs::Snapshot::capture(/*drain_spans=*/true);
+    std::cout << "\n=== Observability snapshot (src/obs) ===\n"
+              << snap.metrics_table().render();
+    if (const char* prefix = std::getenv("POC_OBS_SNAPSHOT"); prefix != nullptr) {
+        const std::string path = std::string(prefix) + ".json";
+        std::ofstream out(path);
+        out << snap.json();
+        std::cout << "wrote obs snapshot to " << path << "\n";
+    }
+#endif
     return 0;
 }

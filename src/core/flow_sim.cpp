@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/shortest_path.hpp"
+#include "obs/trace.hpp"
 
 namespace poc::core {
 
@@ -11,6 +12,8 @@ FlowReport simulate_flows(const net::Subgraph& backbone, const net::TrafficMatri
     const net::Graph& g = backbone.graph();
     POC_EXPECTS(is_virtual.empty() || is_virtual.size() == g.link_count());
 
+    POC_OBS_SPAN("core.simulate_flows");
+    POC_OBS_INC("core.flows.runs");
     FlowReport report;
     report.total_offered_gbps = net::total_demand(tm);
     report.link_load_gbps.assign(g.link_count(), 0.0);
@@ -41,6 +44,7 @@ FlowReport simulate_flows(const net::Subgraph& backbone, const net::TrafficMatri
     double virtual_gbps_km = 0.0;
     double total_gbps_km = 0.0;
 
+    std::size_t admitted = 0;  // demands with any routed volume
     for (std::size_t j = 0; j < tm.size(); ++j) {
         double routed_j = 0.0;
         for (const auto& [path, rate] : routing->routes[j]) {
@@ -57,11 +61,18 @@ FlowReport simulate_flows(const net::Subgraph& backbone, const net::TrafficMatri
         }
         report.total_routed_gbps += routed_j;
         if (routed_j > 0.0) {
+            ++admitted;
             if (const auto sp = net::shortest_path(backbone, tm[j].src, tm[j].dst, by_len)) {
                 weighted_shortest_km += routed_j * sp->weight;
             }
         }
     }
+    // Flow-admission telemetry: how many demands got any capacity, and
+    // whether the whole matrix was carried.
+    POC_OBS_COUNT("core.flows.demands_offered", tm.size());
+    POC_OBS_COUNT("core.flows.demands_admitted", admitted);
+    if (report.fully_routed) POC_OBS_INC("core.flows.fully_routed");
+    POC_OBS_HISTOGRAM("core.flows.routed_gbps", 0.0, 10000.0, 50, report.total_routed_gbps);
 
     double util_sum = 0.0;
     std::size_t loaded = 0;

@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace poc::core {
@@ -50,6 +51,11 @@ void Ledger::record(Party from, Party to, TransferKind kind, util::Money amount,
     POC_EXPECTS(!amount.is_negative());
     POC_EXPECTS(!(from == to));
     if (amount.is_zero()) return;
+    // Settlement telemetry: every recorded transfer and the exact
+    // micro-dollar volume (Money is integer micros, so the counter sum
+    // is lossless).
+    POC_OBS_INC("core.ledger.transfers");
+    POC_OBS_COUNT("core.ledger.settled_microusd", amount.micros());
     transfers_.push_back(Transfer{from, to, kind, amount, std::move(memo)});
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "market/auction_cache.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace poc::market {
@@ -38,6 +39,11 @@ std::optional<Selection> solve(const OfferPool& pool, const Oracle& oracle,
 /// concurrently and the results cannot depend on scheduling.
 BpOutcome clarke_pivot(const OfferPool& pool, const Oracle& oracle, const Selection& sl,
                        const BpBid& bid, const AuctionOptions& opt, AuctionCache* cache) {
+    // Telemetry only (obs is a pure side channel): per-pivot latency
+    // histogram plus a span in the epoch timeline.
+    POC_OBS_SPAN("market.auction.pivot");
+    POC_OBS_TIMER_MS("market.auction.pivot_ms", 0.0, 500.0, 50);
+    POC_OBS_INC("market.auction.pivots");
     BpOutcome out;
     out.bp = bid.bp();
     out.name = bid.name();
@@ -73,6 +79,9 @@ BpOutcome clarke_pivot(const OfferPool& pool, const Oracle& oracle, const Select
 
 std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& oracle,
                                          const AuctionOptions& opt) {
+    POC_OBS_SPAN("market.run_auction");
+    POC_OBS_INC("market.auction.runs");
+    const std::size_t queries_before = oracle.query_count();
     // The memoization layer is scoped to this auction: verdicts and
     // solves are pure functions of the link set only for a fixed pool,
     // oracle, and option set.
@@ -87,7 +96,11 @@ std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& or
     AuctionCache* const cache_ptr = cache ? &*cache : nullptr;
 
     const auto sl = solve(pool, *engine_oracle, pool.offered_links(), opt, cache_ptr);
-    if (!sl) return std::nullopt;
+    if (!sl) {
+        POC_OBS_INC("market.auction.infeasible");
+        POC_OBS_COUNT("market.auction.oracle_queries", oracle.query_count() - queries_before);
+        return std::nullopt;
+    }
 
     AuctionResult result;
     result.selection = *sl;
@@ -138,7 +151,13 @@ std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& or
         const AuctionCache::Stats stats = cache_ptr->stats();
         result.oracle_cache_hits = stats.verdict_hits;
         result.solve_cache_hits = stats.solve_hits;
+        POC_OBS_COUNT("market.auction.oracle_cache_hits", stats.verdict_hits);
+        POC_OBS_COUNT("market.auction.solve_cache_hits", stats.solve_hits);
     }
+    // Real oracle evaluations attributable to this auction (exact: the
+    // atomic lifetime count is differenced around the run).
+    POC_OBS_COUNT("market.auction.oracle_queries", oracle.query_count() - queries_before);
+    POC_OBS_COUNT("market.auction.outlay_microusd", result.total_outlay.micros());
     return result;
 }
 

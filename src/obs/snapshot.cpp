@@ -1,0 +1,169 @@
+#include "obs/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv_export.hpp"
+
+namespace poc::obs {
+
+namespace {
+
+/// JSON string escaping for metric names (dot-separated ASCII in
+/// practice; escape defensively anyway).
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string num(double v) {
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+}
+
+}  // namespace
+
+Snapshot Snapshot::capture(bool drain_spans) {
+    Snapshot snap;
+    MetricsRegistry& reg = registry();
+    snap.counters = reg.counter_samples();
+    snap.gauges = reg.gauge_samples();
+    snap.histograms = reg.histogram_samples();
+    snap.spans_dropped = traces().dropped();
+    if (drain_spans) {
+        for (const SpanRecord& rec : traces().drain()) {
+            snap.spans.push_back(
+                {std::string(rec.name), rec.thread, rec.start_ns, rec.dur_ns});
+        }
+    }
+    return snap;
+}
+
+Snapshot Snapshot::delta_since(const Snapshot& base) const {
+    Snapshot out = *this;
+    for (CounterSample& c : out.counters) {
+        c.value -= base.counter_or(c.name, 0);
+    }
+    for (HistogramSample& h : out.histograms) {
+        const HistogramSample* b = base.histogram(h.name);
+        if (b == nullptr || b->counts.size() != h.counts.size()) continue;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) h.counts[i] -= b->counts[i];
+        h.underflow -= b->underflow;
+        h.overflow -= b->overflow;
+        h.total -= b->total;
+        h.sum -= b->sum;
+    }
+    out.spans_dropped -= base.spans_dropped;
+    return out;
+}
+
+std::uint64_t Snapshot::counter_or(const std::string& name, std::uint64_t fallback) const {
+    // Counters are in name order (registry iterates a std::map).
+    const auto it = std::lower_bound(
+        counters.begin(), counters.end(), name,
+        [](const CounterSample& c, const std::string& n) { return c.name < n; });
+    if (it != counters.end() && it->name == name) return it->value;
+    return fallback;
+}
+
+const HistogramSample* Snapshot::histogram(const std::string& name) const {
+    const auto it = std::lower_bound(
+        histograms.begin(), histograms.end(), name,
+        [](const HistogramSample& h, const std::string& n) { return h.name < n; });
+    if (it != histograms.end() && it->name == name) return &*it;
+    return nullptr;
+}
+
+std::string Snapshot::json() const {
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(counters[i].name)
+            << "\": " << counters[i].value;
+    }
+    out << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(gauges[i].name)
+            << "\": " << gauges[i].value;
+    }
+    out << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const HistogramSample& h = histograms[i];
+        out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(h.name) << "\": {\"lo\": "
+            << num(h.lo) << ", \"hi\": " << num(h.hi) << ", \"total\": " << h.total
+            << ", \"sum\": " << num(h.sum) << ", \"underflow\": " << h.underflow
+            << ", \"overflow\": " << h.overflow << ", \"counts\": [";
+        for (std::size_t b = 0; b < h.counts.size(); ++b) {
+            out << (b == 0 ? "" : ", ") << h.counts[b];
+        }
+        out << "]}";
+    }
+    out << (histograms.empty() ? "" : "\n  ") << "},\n  \"spans_dropped\": " << spans_dropped
+        << ",\n  \"spans\": [";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const SpanSample& s = spans[i];
+        out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << json_escape(s.name)
+            << "\", \"thread\": " << s.thread << ", \"start_ns\": " << s.start_ns
+            << ", \"dur_ns\": " << s.dur_ns << "}";
+    }
+    out << (spans.empty() ? "" : "\n  ") << "]\n}\n";
+    return out.str();
+}
+
+util::Table Snapshot::metrics_table() const {
+    util::Table table(
+        {"kind", "name", "value", "count", "sum", "mean", "underflow", "overflow"});
+    for (const CounterSample& c : counters) {
+        table.add_row({"counter", c.name, std::to_string(c.value), "", "", "", "", ""});
+    }
+    for (const GaugeSample& g : gauges) {
+        table.add_row({"gauge", g.name, std::to_string(g.value), "", "", "", "", ""});
+    }
+    for (const HistogramSample& h : histograms) {
+        const double mean = h.total > 0 ? h.sum / static_cast<double>(h.total) : 0.0;
+        table.add_row({"histogram", h.name, "", std::to_string(h.total), util::cell(h.sum, 3),
+                       util::cell(mean, 3), std::to_string(h.underflow),
+                       std::to_string(h.overflow)});
+    }
+    return table;
+}
+
+util::Table Snapshot::spans_table() const {
+    util::Table table({"name", "thread", "start_ms", "dur_ms"});
+    for (const SpanSample& s : spans) {
+        table.add_row({s.name, std::to_string(s.thread),
+                       util::cell(static_cast<double>(s.start_ns) * 1e-6, 3),
+                       util::cell(static_cast<double>(s.dur_ns) * 1e-6, 3)});
+    }
+    return table;
+}
+
+std::optional<std::string> Snapshot::export_csv(const std::string& name) const {
+    const auto path = util::maybe_export_csv(metrics_table(), name);
+    if (path && !spans.empty()) {
+        util::maybe_export_csv(spans_table(), name + "_spans");
+    }
+    return path;
+}
+
+}  // namespace poc::obs

@@ -1,0 +1,73 @@
+// Epoch snapshot exporter for the observability layer (DESIGN.md §5a):
+// capture the full metric namespace (and optionally the span timeline)
+// at a point in time, diff snapshots across epochs, and emit JSON or
+// CSV — the CSV path reuses util::Table / util::maybe_export_csv so
+// benches can attach telemetry next to their existing CSV artifacts
+// under the same POC_CSV_DIR contract.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace poc::obs {
+
+/// A drained span with the name copied out of the ring, so snapshots
+/// are self-contained values (SpanRecord stores a borrowed pointer).
+struct SpanSample {
+    std::string name;
+    std::uint32_t thread = 0;
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+};
+
+/// Point-in-time view of the registry. Counters and histograms are
+/// cumulative since process start (or the last registry reset);
+/// delta_since() turns two cumulative snapshots into a per-epoch view.
+struct Snapshot {
+    std::vector<CounterSample> counters;      // name order
+    std::vector<GaugeSample> gauges;          // name order
+    std::vector<HistogramSample> histograms;  // name order
+    std::vector<SpanSample> spans;            // start-time order
+    std::uint64_t spans_dropped = 0;          // ring overwrites (cumulative)
+
+    /// Capture the registry. With drain_spans the span rings are
+    /// drained into `spans` (draining consumes the records: spans
+    /// appear in exactly one snapshot).
+    static Snapshot capture(bool drain_spans = false);
+
+    /// This snapshot minus `base`: counter values and histogram
+    /// counts/sums subtract (a metric absent from `base` keeps its full
+    /// value); gauges are levels and keep the current value; spans are
+    /// already per-drain and pass through unchanged.
+    Snapshot delta_since(const Snapshot& base) const;
+
+    /// Counter value by name; `fallback` when absent.
+    std::uint64_t counter_or(const std::string& name, std::uint64_t fallback = 0) const;
+    /// Histogram sample by name; nullptr when absent.
+    const HistogramSample* histogram(const std::string& name) const;
+
+    /// The whole snapshot as a JSON object (stable key order).
+    std::string json() const;
+
+    /// All metrics as one table: kind, name, value, count, sum, mean,
+    /// underflow, overflow (histogram columns empty for counters and
+    /// gauges). Feed to util::maybe_export_csv or render directly.
+    util::Table metrics_table() const;
+
+    /// The span timeline as a table: name, thread, start_ms, dur_ms.
+    util::Table spans_table() const;
+
+    /// Export metrics_table() (and spans_table() when spans were
+    /// captured) via util::maybe_export_csv as <name>.csv and
+    /// <name>_spans.csv. Returns the metrics CSV path, or nullopt when
+    /// POC_CSV_DIR is unset.
+    std::optional<std::string> export_csv(const std::string& name) const;
+};
+
+}  // namespace poc::obs

@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "topo/geo.hpp"
 #include "util/rng.hpp"
@@ -179,6 +180,7 @@ std::vector<Fault> draw_fault_trace(const market::OfferPool& pool,
                              factor, "brownout " + what});
         }
     }
+    POC_OBS_COUNT("sim.chaos.faults_injected", trace.size());
     return trace;
 }
 
@@ -264,6 +266,11 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
     // constraint has become infeasible, optionally fall back to plain
     // load feasibility instead of staying dark.
     auto reauction = [&](std::size_t epoch) {
+        // Telemetry: recovery latency (wall clock of the whole
+        // off-cycle re-auction, including pool rebuild) plus outcome
+        // counters. Pure side channel — results are unchanged.
+        POC_OBS_SPAN("sim.chaos.reauction");
+        POC_OBS_TIMER_MS("sim.chaos.reauction_ms", 0.0, 2000.0, 50);
         std::vector<char> down;
         std::vector<double> factor;
         fault_state(epoch, down, factor);
@@ -294,9 +301,12 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
         }
         if (!backbone) {
             ++out.failed_reauctions;
+            POC_OBS_INC("sim.chaos.failed_reauctions");
             return;
         }
         ++out.reauction_count;
+        POC_OBS_INC("sim.chaos.reauctions");
+        if (degraded_mode) POC_OBS_INC("sim.chaos.relaxed_reauctions");
         st.backbone = std::move(*backbone);
         st.outlay = st.backbone.monthly_outlay();
         st.degraded_mode = degraded_mode;
@@ -371,7 +381,28 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
                 rec.reauction_triggered = true;
                 sim.schedule_in(0.5, [&, epoch](Simulator&) { reauction(epoch); });
             }
+
+            // Per-epoch SLA accounting through the metrics layer (the
+            // same quantities as the SlaRecord, so snapshot deltas can
+            // stand in for hand-rolled counters downstream).
+            POC_OBS_INC("sim.chaos.epochs");
+            POC_OBS_COUNT("sim.chaos.faults_active", rec.faults_active);
+            POC_OBS_COUNT("sim.chaos.links_down", rec.links_down);
+            POC_OBS_COUNT("sim.chaos.links_degraded", rec.links_degraded);
+            if (rec.delivered_fraction < opt.reauction_threshold) {
+                POC_OBS_INC("sim.chaos.sla_violations");
+            }
+            if (rec.delivered_fraction < 1.0 - 1e-6) POC_OBS_INC("sim.chaos.degraded_epochs");
+            if (rec.degraded_mode) POC_OBS_INC("sim.chaos.relaxed_mode_epochs");
+            POC_OBS_COUNT("sim.chaos.emergency_virtual_microusd",
+                          rec.emergency_virtual_cost.micros());
+            POC_OBS_HISTOGRAM("sim.chaos.delivered_fraction", 0.0, 1.0 + 1e-9, 20,
+                              rec.delivered_fraction);
+            POC_OBS_HISTOGRAM("sim.chaos.undelivered_gbps", 0.0, 1000.0, 50,
+                              rec.undelivered_gbps);
+
             out.sla.push_back(rec);
+            if (opt.on_epoch) opt.on_epoch(out.sla.back());
         });
     }
     simulator.run();

@@ -29,6 +29,7 @@
 //    epochs.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -173,6 +174,12 @@ struct ChaosOptions {
     /// constraint, retry with plain load feasibility (constraint #1)
     /// rather than staying dark: graceful degradation over purity.
     bool allow_constraint_relaxation = true;
+    /// Called right after each epoch's SLA record is measured (before
+    /// any off-cycle re-auction scheduled by that epoch runs). Benches
+    /// use it to capture per-epoch obs snapshots; a recovery re-auction
+    /// triggered by epoch e therefore lands in epoch e+1's snapshot
+    /// delta. Must not mutate chaos state.
+    std::function<void(const SlaRecord&)> on_epoch;
 };
 
 /// Full-run outcome: the SLA time series plus aggregates.

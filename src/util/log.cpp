@@ -1,22 +1,36 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <mutex>
+
 namespace poc::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::ostream* g_sink = nullptr;
+// Guards g_sink and the actual stream write; keeps concurrent messages
+// from interleaving mid-line.
+std::mutex& sink_mutex() {
+    static std::mutex m;
+    return m;
+}
 }  // namespace
 
-LogLevel log_level() noexcept { return g_level; }
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-void set_log_sink(std::ostream* sink) noexcept { g_sink = sink; }
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+void set_log_sink(std::ostream* sink) noexcept {
+    std::lock_guard<std::mutex> lock(sink_mutex());
+    g_sink = sink;
+}
 
 namespace detail {
 
 void log_write(LogLevel level, const std::string& message) {
     static const char* const kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
-    std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
     const auto idx = static_cast<std::size_t>(level);
+    std::lock_guard<std::mutex> lock(sink_mutex());
+    std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
     out << "[" << (idx < 4 ? kNames[idx] : "?????") << "] " << message << "\n";
 }
 

@@ -1,7 +1,9 @@
 // Minimal leveled logging. The library itself logs nothing by default;
-// harnesses and examples opt in by raising the level. Not thread-safe by
-// design: all simulations in this project are single-threaded and
-// deterministic.
+// harnesses and examples opt in by raising the level. Thread-safe: the
+// level is atomic and each sink write happens under a global mutex, so
+// messages from concurrent auction workers never interleave mid-line.
+// Level/sink changes are racy only in ordering (a message in flight may
+// use either value), which is fine for configuration done at startup.
 #pragma once
 
 #include <iostream>

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace poc::util {
@@ -28,6 +29,8 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
     POC_EXPECTS(task != nullptr);
+    POC_OBS_INC("util.pool.tasks_submitted");
+    POC_OBS_GAUGE_ADD("util.pool.queue_depth", 1);
     pending_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
     {
@@ -54,7 +57,9 @@ std::function<void()> ThreadPool::take(std::size_t home) {
         } else {  // steal the newest from the victim
             task = std::move(q.tasks.back());
             q.tasks.pop_back();
+            POC_OBS_INC("util.pool.steals");
         }
+        POC_OBS_GAUGE_SUB("util.pool.queue_depth", 1);
         return task;
     }
     return {};
@@ -69,6 +74,7 @@ bool ThreadPool::any_queued() {
 }
 
 void ThreadPool::finish_one() {
+    POC_OBS_INC("util.pool.tasks_executed");
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(sleep_mutex_);
         idle_cv_.notify_all();

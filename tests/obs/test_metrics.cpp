@@ -1,0 +1,190 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace poc::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsAreExactOnceQuiesced) {
+    // Sharding trades read-time aggregation for wait-free writes; the
+    // sum must still be exact after writers join.
+    Counter c;
+    constexpr std::size_t kThreads = 8;
+    constexpr std::uint64_t kPerThread = 10000;
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&c] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+        });
+    }
+    for (auto& th : pool) th.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAddSub) {
+    Gauge g;
+    EXPECT_EQ(g.value(), 0);
+    g.set(5);
+    g.add(3);
+    g.sub(10);
+    EXPECT_EQ(g.value(), -2);  // gauges are signed levels
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsHistogram, BucketSemanticsMatchUtilHistogram) {
+    Histogram h(0.0, 10.0, 5);
+    h.record(-1.0);   // underflow
+    h.record(0.0);    // bin 0 (left-closed)
+    h.record(1.99);   // bin 0
+    h.record(5.0);    // bin 2
+    h.record(9.999);  // bin 4
+    h.record(10.0);   // overflow (right-open)
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count_in_bin(0), 2u);
+    EXPECT_EQ(h.count_in_bin(2), 1u);
+    EXPECT_EQ(h.count_in_bin(4), 1u);
+    EXPECT_NEAR(h.sum(), -1.0 + 0.0 + 1.99 + 5.0 + 9.999 + 10.0, 2e-3);  // 1e-3 fixed point
+    EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+}
+
+TEST(ObsHistogram, NegativeValuesAndNegativeRange) {
+    Histogram h(-10.0, 0.0, 5);
+    h.record(-10.0);  // bin 0
+    h.record(-0.5);   // bin 4
+    h.record(0.0);    // overflow
+    EXPECT_EQ(h.count_in_bin(0), 1u);
+    EXPECT_EQ(h.count_in_bin(4), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_NEAR(h.sum(), -10.5, 2e-3);
+}
+
+TEST(ObsHistogram, ResetZeroesEverything) {
+    Histogram h(0.0, 1.0, 2);
+    h.record(0.25);
+    h.record(5.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.count_in_bin(0), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsHistogram, RejectsBadConstruction) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 3), util::ContractViolation);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), util::ContractViolation);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsAreExact) {
+    Histogram h(0.0, 100.0, 10);
+    constexpr std::size_t kThreads = 4;
+    constexpr std::uint64_t kPerThread = 5000;
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&h, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                h.record(static_cast<double>((t * 10 + i) % 100));
+            }
+        });
+    }
+    for (auto& th : pool) th.join();
+    EXPECT_EQ(h.total(), kThreads * kPerThread);
+    std::uint64_t binned = h.underflow() + h.overflow();
+    for (std::size_t b = 0; b < h.bin_count(); ++b) binned += h.count_in_bin(b);
+    EXPECT_EQ(binned, h.total());
+}
+
+TEST(Registry, LookupOrCreateReturnsStableIdentity) {
+    MetricsRegistry reg;
+    Counter& a = reg.counter("x.count");
+    a.add(7);
+    EXPECT_EQ(&reg.counter("x.count"), &a);  // same object on re-lookup
+    EXPECT_EQ(reg.counter("x.count").value(), 7u);
+    Histogram& h = reg.histogram("x.hist", 0.0, 1.0, 4);
+    EXPECT_EQ(&reg.histogram("x.hist", 0.0, 1.0, 4), &h);
+}
+
+TEST(Registry, HistogramSchemaMismatchIsAContractViolation) {
+    MetricsRegistry reg;
+    reg.histogram("h", 0.0, 1.0, 4);
+    EXPECT_THROW(reg.histogram("h", 0.0, 2.0, 4), util::ContractViolation);
+    EXPECT_THROW(reg.histogram("h", 0.0, 1.0, 8), util::ContractViolation);
+}
+
+TEST(Registry, SamplesAreNameOrdered) {
+    MetricsRegistry reg;
+    reg.counter("z.last").add(1);
+    reg.counter("a.first").add(2);
+    reg.counter("m.mid").add(3);
+    const auto samples = reg.counter_samples();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].name, "a.first");
+    EXPECT_EQ(samples[1].name, "m.mid");
+    EXPECT_EQ(samples[2].name, "z.last");
+    EXPECT_EQ(samples[0].value, 2u);
+}
+
+TEST(Registry, ResetZeroesButKeepsNames) {
+    MetricsRegistry reg;
+    reg.counter("c").add(5);
+    reg.gauge("g").set(9);
+    reg.histogram("h", 0.0, 1.0, 2).record(0.5);
+    reg.reset();
+    EXPECT_EQ(reg.counter("c").value(), 0u);
+    EXPECT_EQ(reg.gauge("g").value(), 0);
+    EXPECT_EQ(reg.histogram("h", 0.0, 1.0, 2).total(), 0u);
+    EXPECT_EQ(reg.counter_samples().size(), 1u);  // name survives
+}
+
+#if POC_OBS_ENABLED
+TEST(Macros, RecordIntoTheGlobalRegistry) {
+    const std::uint64_t before = registry().counter("test.macro.count").value();
+    POC_OBS_COUNT("test.macro.count", 2);
+    POC_OBS_INC("test.macro.count");
+    EXPECT_EQ(registry().counter("test.macro.count").value(), before + 3);
+
+    POC_OBS_GAUGE_SET("test.macro.gauge", 10);
+    POC_OBS_GAUGE_ADD("test.macro.gauge", 5);
+    POC_OBS_GAUGE_SUB("test.macro.gauge", 1);
+    EXPECT_EQ(registry().gauge("test.macro.gauge").value(), 14);
+
+    const std::uint64_t htotal = registry().histogram("test.macro.hist", 0.0, 10.0, 5).total();
+    POC_OBS_HISTOGRAM("test.macro.hist", 0.0, 10.0, 5, 3.0);
+    EXPECT_EQ(registry().histogram("test.macro.hist", 0.0, 10.0, 5).total(), htotal + 1);
+}
+#else
+TEST(Macros, CompileToNothingWhenDisabled) {
+    // Arguments must not be evaluated in the disabled build.
+    int calls = 0;
+    auto probe = [&calls] {
+        ++calls;
+        return 1;
+    };
+    POC_OBS_COUNT("test.macro.disabled", probe());
+    POC_OBS_GAUGE_SET("test.macro.disabled", probe());
+    POC_OBS_HISTOGRAM("test.macro.disabled", 0.0, 1.0, 2, probe());
+    EXPECT_EQ(calls, 0);
+    EXPECT_TRUE(registry().counter_samples().empty() ||
+                registry().counter("test.macro.disabled").value() == 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace poc::obs

@@ -1,0 +1,167 @@
+#include "obs/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/contracts.hpp"
+
+namespace poc::obs {
+namespace {
+
+// All tests go through the process-wide registry (snapshots capture it
+// by design), so they assert on deltas and unique names rather than
+// absolute registry contents — robust whether tests share a process or
+// run one-per-invocation under ctest.
+
+TEST(Snapshot, CapturesRegisteredMetrics) {
+    registry().counter("snap.cap.counter").add(5);
+    registry().gauge("snap.cap.gauge").set(-3);
+    registry().histogram("snap.cap.hist", 0.0, 10.0, 5).record(2.0);
+
+    const Snapshot snap = Snapshot::capture();
+    EXPECT_GE(snap.counter_or("snap.cap.counter"), 5u);
+    const HistogramSample* h = snap.histogram("snap.cap.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->lo, 0.0);
+    EXPECT_EQ(h->hi, 10.0);
+    ASSERT_EQ(h->counts.size(), 5u);
+    EXPECT_GE(h->total, 1u);
+    bool gauge_found = false;
+    for (const GaugeSample& g : snap.gauges) {
+        if (g.name == "snap.cap.gauge") {
+            gauge_found = true;
+            EXPECT_EQ(g.value, -3);
+        }
+    }
+    EXPECT_TRUE(gauge_found);
+}
+
+TEST(Snapshot, SamplesAreNameOrdered) {
+    registry().counter("snap.order.b").add(1);
+    registry().counter("snap.order.a").add(1);
+    const Snapshot snap = Snapshot::capture();
+    for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+        EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+    }
+}
+
+TEST(Snapshot, DeltaSubtractsCountersAndHistograms) {
+    Counter& c = registry().counter("snap.delta.counter");
+    Histogram& h = registry().histogram("snap.delta.hist", 0.0, 10.0, 2);
+    c.add(10);
+    h.record(1.0);
+    const Snapshot base = Snapshot::capture();
+
+    c.add(7);
+    h.record(6.0);
+    h.record(20.0);  // overflow
+    const Snapshot now = Snapshot::capture();
+    const Snapshot d = now.delta_since(base);
+
+    EXPECT_EQ(d.counter_or("snap.delta.counter"), 7u);
+    const HistogramSample* hd = d.histogram("snap.delta.hist");
+    ASSERT_NE(hd, nullptr);
+    EXPECT_EQ(hd->total, 2u);
+    EXPECT_EQ(hd->overflow, 1u);
+    EXPECT_EQ(hd->counts[1], 1u);  // the 6.0 sample
+    EXPECT_EQ(hd->counts[0], 0u);
+    EXPECT_NEAR(hd->sum, 26.0, 2e-3);
+}
+
+TEST(Snapshot, DeltaKeepsMetricsAbsentFromBase) {
+    const Snapshot base = Snapshot::capture();
+    registry().counter("snap.delta.fresh").add(3);
+    const Snapshot d = Snapshot::capture().delta_since(base);
+    EXPECT_EQ(d.counter_or("snap.delta.fresh"), 3u);
+}
+
+TEST(Snapshot, CounterOrFallsBack) {
+    const Snapshot snap = Snapshot::capture();
+    EXPECT_EQ(snap.counter_or("snap.never.registered", 99), 99u);
+    EXPECT_EQ(snap.histogram("snap.never.registered"), nullptr);
+}
+
+TEST(Snapshot, JsonContainsMetricsAndBalancedBraces) {
+    registry().counter("snap.json.counter").add(1);
+    registry().histogram("snap.json.hist", 0.0, 1.0, 2).record(0.5);
+    const std::string j = Snapshot::capture().json();
+    EXPECT_NE(j.find("\"snap.json.counter\""), std::string::npos);
+    EXPECT_NE(j.find("\"snap.json.hist\""), std::string::npos);
+    EXPECT_NE(j.find("\"counters\""), std::string::npos);
+    EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+    long depth = 0;
+    for (const char ch : j) {
+        if (ch == '{' || ch == '[') ++depth;
+        if (ch == '}' || ch == ']') --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Snapshot, MetricsTableHasOneRowPerMetric) {
+    registry().counter("snap.table.counter").add(2);
+    registry().gauge("snap.table.gauge").set(1);
+    const Snapshot snap = Snapshot::capture();
+    const util::Table t = snap.metrics_table();
+    const std::string rendered = t.render();
+    EXPECT_NE(rendered.find("snap.table.counter"), std::string::npos);
+    EXPECT_NE(rendered.find("snap.table.gauge"), std::string::npos);
+    EXPECT_NE(rendered.find("kind"), std::string::npos);
+}
+
+class SnapshotCsvTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() / "poc_obs_csv_test";
+        std::filesystem::create_directories(dir_);
+        setenv("POC_CSV_DIR", dir_.c_str(), 1);
+    }
+    void TearDown() override {
+        unsetenv("POC_CSV_DIR");
+        std::filesystem::remove_all(dir_);
+    }
+    std::filesystem::path dir_;
+};
+
+TEST_F(SnapshotCsvTest, ExportsMetricsCsv) {
+    registry().counter("snap.csv.counter").add(4);
+    const Snapshot snap = Snapshot::capture();
+    const auto path = snap.export_csv("obs_test");
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(*path, (dir_ / "obs_test.csv").string());
+    std::ifstream in(*path);
+    std::string all((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("snap.csv.counter"), std::string::npos);
+}
+
+TEST_F(SnapshotCsvTest, NoCsvDirMeansNoExport) {
+    unsetenv("POC_CSV_DIR");
+    EXPECT_FALSE(Snapshot::capture().export_csv("obs_test").has_value());
+}
+
+#if POC_OBS_ENABLED
+TEST(Snapshot, DrainSpansCapturesAndConsumesTimeline) {
+    traces().drain();  // start clean
+    {
+        POC_OBS_SPAN("snap.span.one");
+    }
+    const Snapshot snap = Snapshot::capture(/*drain_spans=*/true);
+    bool found = false;
+    for (const SpanSample& s : snap.spans) {
+        if (s.name == "snap.span.one") found = true;
+    }
+    EXPECT_TRUE(found);
+    // Draining consumed the records: the next capture sees none.
+    const Snapshot again = Snapshot::capture(/*drain_spans=*/true);
+    EXPECT_TRUE(again.spans.empty());
+
+    const std::string rendered = snap.spans_table().render();
+    EXPECT_NE(rendered.find("snap.span.one"), std::string::npos);
+}
+#endif
+
+}  // namespace
+}  // namespace poc::obs

@@ -1,0 +1,154 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace poc::obs {
+namespace {
+
+TEST(TraceRegistry, DrainIsEmptyWhenNothingRecorded) {
+    TraceRegistry reg;
+    EXPECT_TRUE(reg.drain().empty());
+    EXPECT_EQ(reg.dropped(), 0u);
+}
+
+#if POC_OBS_ENABLED
+
+TEST(TraceRegistry, RecordsDrainOldestFirstAndClear) {
+    // Local registries must only be written from threads that are
+    // joined before the registry dies (see the lifetime contract in
+    // trace.hpp), hence the wrapper threads throughout this file.
+    TraceRegistry reg;
+    std::thread([&reg] {
+        reg.record("a", 100, 5);
+        reg.record("b", 50, 5);
+        reg.record("c", 200, 5);
+    }).join();
+    const auto timeline = reg.drain();
+    ASSERT_EQ(timeline.size(), 3u);
+    // Sorted by start time regardless of record order.
+    EXPECT_STREQ(timeline[0].name, "b");
+    EXPECT_STREQ(timeline[1].name, "a");
+    EXPECT_STREQ(timeline[2].name, "c");
+    EXPECT_TRUE(reg.drain().empty());  // drain consumes
+}
+
+TEST(TraceRegistry, TieBreaksByThreadThenName) {
+    TraceRegistry reg;
+    std::thread([&reg] {
+        reg.record("z", 100, 1);
+        reg.record("a", 100, 1);
+    }).join();
+    const auto timeline = reg.drain();
+    ASSERT_EQ(timeline.size(), 2u);
+    EXPECT_STREQ(timeline[0].name, "a");
+    EXPECT_STREQ(timeline[1].name, "z");
+}
+
+TEST(TraceRegistry, RingOverwritesOldestAndCountsDrops) {
+    TraceRegistry reg;
+    const std::size_t n = TraceRegistry::kRingCapacity + 10;
+    std::thread([&reg, n] {
+        for (std::size_t i = 0; i < n; ++i) reg.record("s", i, 1);
+    }).join();
+    EXPECT_EQ(reg.dropped(), 10u);
+    const auto timeline = reg.drain();
+    ASSERT_EQ(timeline.size(), TraceRegistry::kRingCapacity);
+    // The survivors are the newest kRingCapacity records, oldest first.
+    EXPECT_EQ(timeline.front().start_ns, 10u);
+    EXPECT_EQ(timeline.back().start_ns, n - 1);
+}
+
+TEST(TraceRegistry, RingsAreReusedAcrossThreadChurn) {
+    // Sequential short-lived threads must not grow the registry: each
+    // exiting thread hands its ring back for the next one.
+    TraceRegistry reg;
+    for (int round = 0; round < 5; ++round) {
+        std::thread([&reg] { reg.record("churn", 1, 1); }).join();
+        reg.drain();
+    }
+    EXPECT_LE(reg.ring_count(), 2u);  // main thread may also own one
+}
+
+TEST(TraceRegistry, ConcurrentWritersAllLand) {
+    TraceRegistry reg;
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kPerThread = 100;  // well under ring capacity
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&reg] {
+            for (std::size_t i = 0; i < kPerThread; ++i) reg.record("w", i, 1);
+        });
+    }
+    for (auto& th : pool) th.join();
+    EXPECT_EQ(reg.drain().size(), kThreads * kPerThread);
+    EXPECT_EQ(reg.dropped(), 0u);
+}
+
+TEST(Span, EmitsOneRecordWithPlausibleTiming) {
+    traces().drain();  // discard other tests' spans
+    const std::uint64_t before = now_ns();
+    {
+        POC_OBS_SPAN("test.span");
+    }
+    const std::uint64_t after = now_ns();
+    const auto timeline = traces().drain();
+    ASSERT_EQ(timeline.size(), 1u);
+    EXPECT_STREQ(timeline[0].name, "test.span");
+    EXPECT_GE(timeline[0].start_ns, before);
+    EXPECT_LE(timeline[0].start_ns + timeline[0].dur_ns, after);
+}
+
+TEST(Span, NestedSpansBothRecord) {
+    traces().drain();
+    {
+        POC_OBS_SPAN("outer");
+        {
+            POC_OBS_SPAN("inner");
+        }
+    }
+    const auto timeline = traces().drain();
+    ASSERT_EQ(timeline.size(), 2u);
+    // Outer starts first; both present.
+    EXPECT_STREQ(timeline[0].name, "outer");
+    EXPECT_STREQ(timeline[1].name, "inner");
+}
+
+TEST(ScopedTimer, RecordsIntoHistogram) {
+    Histogram h(0.0, 1000.0, 10);
+    {
+        ScopedTimerMs timer(h);
+    }
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(TimerMacro, RecordsIntoNamedHistogram) {
+    const std::uint64_t before =
+        registry().histogram("test.timer_ms", 0.0, 1000.0, 10).total();
+    {
+        POC_OBS_TIMER_MS("test.timer_ms", 0.0, 1000.0, 10);
+    }
+    EXPECT_EQ(registry().histogram("test.timer_ms", 0.0, 1000.0, 10).total(), before + 1);
+}
+
+#else  // POC_OBS_DISABLED
+
+TEST(TraceRegistry, RecordIsANoOpWhenDisabled) {
+    TraceRegistry reg;
+    reg.record("x", 1, 1);
+    EXPECT_TRUE(reg.drain().empty());
+}
+
+TEST(SpanMacro, CompilesToNothingWhenDisabled) {
+    POC_OBS_SPAN("gone");
+    POC_OBS_TIMER_MS("gone", 0.0, 1.0, 2);
+    EXPECT_TRUE(traces().drain().empty());
+}
+
+#endif  // POC_OBS_ENABLED
+
+}  // namespace
+}  // namespace poc::obs

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 namespace poc::util {
 namespace {
@@ -59,6 +61,36 @@ TEST_F(LogTest, ExpressionNotEvaluatedBelowLevel) {
     };
     POC_DEBUG("value " << probe());
     EXPECT_EQ(calls, 0);
+}
+
+TEST_F(LogTest, ConcurrentWritersNeverInterleaveWithinALine) {
+    // Sink writes are mutex-guarded: every emitted line must be exactly
+    // one writer's complete message, never a mid-line interleaving.
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 200;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                POC_INFO("thread-" << t << " msg-" << i << " tail");
+            }
+        });
+    }
+    for (auto& w : writers) w.join();
+
+    std::istringstream lines(sink_.str());
+    std::string line;
+    int count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        // A whole line: level tag, exactly one thread-N token, terminal
+        // "tail". Interleaving would corrupt this shape.
+        ASSERT_GE(line.size(), std::string("[INFO ] thread-0 msg-0 tail").size()) << line;
+        EXPECT_EQ(line.rfind("[INFO ] thread-", 0), 0u) << line;
+        EXPECT_EQ(line.find("thread-", 16), std::string::npos) << line;
+        EXPECT_EQ(line.substr(line.size() - 5), " tail") << line;
+    }
+    EXPECT_EQ(count, kThreads * kPerThread);
 }
 
 }  // namespace

@@ -35,6 +35,29 @@ TEST(Accumulator, KnownMoments) {
     EXPECT_DOUBLE_EQ(a.sum(), 40.0);
 }
 
+TEST(Accumulator, NegativeValues) {
+    // min/max tracking must not assume observations are positive (the
+    // members initialize to 0.0, so an all-negative stream is the trap).
+    Accumulator a;
+    for (const double x : {-5.0, -1.0, -3.0}) a.add(x);
+    EXPECT_DOUBLE_EQ(a.mean(), -3.0);
+    EXPECT_DOUBLE_EQ(a.min(), -5.0);
+    EXPECT_DOUBLE_EQ(a.max(), -1.0);
+    EXPECT_DOUBLE_EQ(a.sum(), -9.0);
+    EXPECT_NEAR(a.variance(), 4.0, 1e-12);
+}
+
+TEST(Accumulator, MixedSignValuesCancelInSumButNotVariance) {
+    Accumulator a;
+    a.add(-2.0);
+    a.add(2.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+    EXPECT_NEAR(a.variance(), 8.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), -2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 2.0);
+}
+
 TEST(Accumulator, MatchesDirectComputationOnRandomData) {
     Rng rng(3);
     Accumulator a;
@@ -112,6 +135,40 @@ TEST(Histogram, AsciiRenderIncludesCounts) {
 TEST(Histogram, RejectsBadConstruction) {
     EXPECT_THROW(Histogram(1.0, 1.0, 3), ContractViolation);
     EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Histogram, EmptyIsQueryableAndRenders) {
+    Histogram h(0.0, 10.0, 4);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (std::size_t b = 0; b < h.bin_count(); ++b) EXPECT_EQ(h.count_in_bin(b), 0u);
+    EXPECT_FALSE(h.ascii().empty());  // renders without samples
+}
+
+TEST(Histogram, SingleSample) {
+    Histogram h(0.0, 10.0, 4);
+    h.add(2.5);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.count_in_bin(1), 1u);
+    EXPECT_EQ(h.underflow() + h.overflow(), 0u);
+}
+
+TEST(Histogram, NegativeRange) {
+    // Ranges entirely below zero must bin correctly (the bin index
+    // computation divides by the width of a negative-origin range).
+    Histogram h(-10.0, 0.0, 5);  // [-10, 0), bins of width 2
+    h.add(-10.0);  // bin 0 (left-closed)
+    h.add(-9.5);   // bin 0
+    h.add(-0.01);  // bin 4
+    h.add(0.0);    // overflow (hi is right-open)
+    h.add(-11.0);  // underflow
+    EXPECT_EQ(h.count_in_bin(0), 2u);
+    EXPECT_EQ(h.count_in_bin(4), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), -10.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(4), 0.0);
 }
 
 }  // namespace
