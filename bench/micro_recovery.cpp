@@ -1,0 +1,245 @@
+// Durability budget for the epoch runtime (DESIGN.md §4b): times the
+// per-epoch pipeline with the write-ahead journal off vs on, replays a
+// completed journal to measure recovery latency, verifies that the
+// journaled run and the replayed run are bit-identical to the plain
+// run, and emits BENCH_recovery.json (+ a CSV of the rows) for
+// regression tracking.
+//
+// The acceptance budget is journal overhead <= 5% of epoch wall time:
+// clearing dominates an epoch by orders of magnitude, so the handful
+// of checksummed appends per epoch should be noise.
+#include <chrono>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "market/pricing.hpp"
+#include "sim/runtime.hpp"
+#include "topo/traffic.hpp"
+#include "util/journal.hpp"
+
+using namespace poc;
+
+namespace {
+
+struct Instance {
+    std::string label;
+    std::size_t bp_count = 0;
+    market::OfferPool pool;
+    net::TrafficMatrix tm;
+};
+
+/// Generated-topology instance (the Figure-2 pipeline shape at bench
+/// scale), fast oracle, heuristic solver — same recipe as
+/// micro_auction so the two benches are comparable.
+Instance topology_instance(std::size_t bp_count, std::size_t max_cities, std::uint64_t seed) {
+    topo::BpGeneratorOptions bopt;
+    bopt.bp_count = bp_count;
+    bopt.min_cities = 6;
+    bopt.max_cities = max_cities;
+    bopt.seed = seed;
+    topo::PocTopologyOptions popt;
+    popt.min_colocated_bps = 3;
+    // The OfferPool references the topology's graph, so the topology
+    // must outlive the Instance: park it at a stable address.
+    static std::deque<topo::PocTopology> topologies;
+    topologies.push_back(topo::build_poc_topology(topo::generate_bp_networks(bopt), popt));
+    topo::PocTopology& topology = topologies.back();
+    market::VirtualLinkOptions vopt;
+    vopt.attach_count = std::min<std::size_t>(3, topology.router_city.size());
+    auto pool = market::make_offer_pool(topology, {}, vopt);
+    topo::GravityOptions gopt;
+    gopt.total_gbps = 300.0;
+    auto tm = topo::aggregate_top_n(topo::gravity_traffic(topology, gopt), 20);
+
+    std::ostringstream label;
+    label << "topo-" << bp_count << "bp";
+    return Instance{label.str(), bp_count, std::move(pool), std::move(tm)};
+}
+
+/// Bit-identity key: epoch records + ledger + RNG position + every
+/// auction's economic bytes (work-accounting diagnostics scrubbed, as
+/// in tests/sim/test_runtime.cpp).
+std::string outcome_key(const sim::RuntimeOutcome& out) {
+    util::BinaryWriter w;
+    w.u64(out.epochs.size());
+    for (const sim::EpochRecord& r : out.epochs) {
+        w.u64(r.epoch);
+        w.boolean(r.provisioned);
+        w.boolean(r.degraded_mode);
+        w.f64(r.demand_factor);
+        w.f64(r.delivered_fraction);
+        w.f64(r.max_utilization);
+        w.i64(r.outlay.micros());
+        w.u64(r.retry_attempts);
+    }
+    out.ledger.serialize(w);
+    for (const std::uint64_t word : out.final_rng.s) w.u64(word);
+    for (const auto& a : out.auctions) {
+        w.boolean(a.has_value());
+        if (a) {
+            market::AuctionResult scrubbed = *a;
+            scrubbed.oracle_queries = 0;
+            scrubbed.oracle_cache_hits = 0;
+            scrubbed.solve_cache_hits = 0;
+            market::write_auction_result(w, scrubbed);
+        }
+    }
+    return w.bytes();
+}
+
+struct Row {
+    std::string instance;
+    std::size_t bp_count = 0;
+    std::size_t offered_links = 0;
+    std::size_t epochs = 0;
+    double plain_ms = 0.0;      // journal off
+    double journaled_ms = 0.0;  // journal on, fresh journal
+    double overhead_pct = 0.0;
+    double replay_wall_ms = 0.0;  // full run() over a completed journal
+    double replay_ms = 0.0;       // runtime's own replay timer
+    std::size_t journal_bytes = 0;
+    std::size_t replayed_records = 0;
+    bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_recovery.json";
+    const std::string csv_path = argc > 2 ? argv[2] : "BENCH_recovery.csv";
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "poc_micro_recovery";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    constexpr int kReps = 5;
+    constexpr std::size_t kEpochs = 6;
+
+    // Instances where an epoch does paper-scale clearing work (tens of
+    // offered links); sub-millisecond toy epochs would measure stream
+    // flush latency, not the journal's share of a real epoch.
+    std::vector<Instance> instances;
+    instances.push_back(topology_instance(8, 12, 7002));
+    instances.push_back(topology_instance(10, 14, 7003));
+    instances.push_back(topology_instance(12, 16, 7004));
+
+    std::vector<Row> rows;
+    bool all_identical = true;
+    bool within_budget = true;
+
+    for (const Instance& inst : instances) {
+        sim::RuntimeOptions opt;
+        opt.epochs = kEpochs;
+        opt.seed = 2020;
+        opt.request.constraint = market::ConstraintKind::kLoad;
+        opt.request.oracle.fidelity = market::OracleFidelity::kFast;
+
+        const auto one_run = [&](const sim::RuntimeOptions& o) {
+            if (!o.journal_path.empty()) std::filesystem::remove(o.journal_path);
+            const auto t0 = std::chrono::steady_clock::now();
+            sim::RuntimeOutcome out = sim::EpochRuntime(inst.pool, inst.tm, o).run();
+            const auto t1 = std::chrono::steady_clock::now();
+            return std::pair<sim::RuntimeOutcome, double>(
+                std::move(out), std::chrono::duration<double, std::milli>(t1 - t0).count());
+        };
+
+        Row row;
+        row.instance = inst.label;
+        row.bp_count = inst.bp_count;
+        row.offered_links = inst.pool.offered_links().size();
+        row.epochs = kEpochs;
+
+        sim::RuntimeOptions jopt = opt;
+        jopt.journal_path = (dir / (inst.label + ".wal")).string();
+
+        // One untimed warmup (allocator + oracle caches), then
+        // interleaved plain/journaled reps so clock drift and cache
+        // state hit both modes equally; keep best-of for each.
+        (void)one_run(opt);
+        std::optional<sim::RuntimeOutcome> plain_out;
+        std::optional<sim::RuntimeOutcome> journaled_out;
+        for (int rep = 0; rep < kReps; ++rep) {
+            auto [p, p_ms] = one_run(opt);
+            if (rep == 0 || p_ms < row.plain_ms) row.plain_ms = p_ms;
+            plain_out = std::move(p);
+            auto [j, j_ms] = one_run(jopt);
+            if (rep == 0 || j_ms < row.journaled_ms) row.journaled_ms = j_ms;
+            journaled_out = std::move(j);
+        }
+        const sim::RuntimeOutcome& plain = *plain_out;
+        const sim::RuntimeOutcome& journaled = *journaled_out;
+        row.overhead_pct =
+            row.plain_ms > 0.0 ? 100.0 * (row.journaled_ms - row.plain_ms) / row.plain_ms : 0.0;
+        row.journal_bytes =
+            static_cast<std::size_t>(std::filesystem::file_size(jopt.journal_path));
+
+        // Recovery latency: re-running over the completed journal is
+        // pure replay — no clearing, no flow sim, just record decode.
+        const auto t0 = std::chrono::steady_clock::now();
+        const sim::RuntimeOutcome replayed = sim::EpochRuntime(inst.pool, inst.tm, jopt).run();
+        const auto t1 = std::chrono::steady_clock::now();
+        row.replay_wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+        row.replay_ms = replayed.replay_ms;
+        row.replayed_records = replayed.replayed_records;
+
+        const std::string want = outcome_key(plain);
+        row.identical = outcome_key(journaled) == want && outcome_key(replayed) == want &&
+                        replayed.replayed_epochs == kEpochs && replayed.retry.calls == 0;
+        all_identical = all_identical && row.identical;
+        // Negative overhead is timing noise; only a positive overrun
+        // can bust the budget.
+        within_budget = within_budget && row.overhead_pct <= 5.0;
+        rows.push_back(row);
+
+        std::cout << row.instance << "  links=" << row.offered_links << "  plain "
+                  << row.plain_ms << " ms  journaled " << row.journaled_ms << " ms  ("
+                  << row.overhead_pct << "% overhead)  replay " << row.replay_wall_ms
+                  << " ms  wal=" << row.journal_bytes << " B  "
+                  << (row.identical ? "bit-identical" : "MISMATCH") << "\n";
+    }
+
+    std::ofstream out(out_path);
+    out << "{\n  \"bench\": \"micro_recovery\",\n"
+        << "  \"reps\": " << kReps << ",\n"
+        << "  \"epochs_per_run\": " << kEpochs << ",\n"
+        << "  \"all_runs_bit_identical\": " << (all_identical ? "true" : "false") << ",\n"
+        << "  \"journal_overhead_within_5pct\": " << (within_budget ? "true" : "false")
+        << ",\n"
+        << "  \"note\": \"ms is best of reps; overhead_pct compares a journaled run against "
+           "the same run with durability off; replay_* re-runs over the completed journal "
+           "(no re-clearing)\",\n"
+        << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        out << "    {\"instance\": \"" << r.instance << "\", \"bp_count\": " << r.bp_count
+            << ", \"offered_links\": " << r.offered_links << ", \"epochs\": " << r.epochs
+            << ", \"plain_ms\": " << r.plain_ms << ", \"journaled_ms\": " << r.journaled_ms
+            << ", \"overhead_pct\": " << r.overhead_pct
+            << ", \"replay_wall_ms\": " << r.replay_wall_ms << ", \"replay_ms\": " << r.replay_ms
+            << ", \"journal_bytes\": " << r.journal_bytes
+            << ", \"replayed_records\": " << r.replayed_records
+            << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+
+    std::ofstream csv(csv_path);
+    csv << "instance,bp_count,offered_links,epochs,plain_ms,journaled_ms,overhead_pct,"
+           "replay_wall_ms,replay_ms,journal_bytes,replayed_records,identical\n";
+    for (const Row& r : rows) {
+        csv << r.instance << ',' << r.bp_count << ',' << r.offered_links << ',' << r.epochs
+            << ',' << r.plain_ms << ',' << r.journaled_ms << ',' << r.overhead_pct << ','
+            << r.replay_wall_ms << ',' << r.replay_ms << ',' << r.journal_bytes << ','
+            << r.replayed_records << ',' << (r.identical ? "true" : "false") << "\n";
+    }
+
+    std::filesystem::remove_all(dir);
+    std::cout << "\nwrote " << out_path << " and " << csv_path << "\n";
+    return all_identical ? 0 : 1;
+}

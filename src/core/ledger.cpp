@@ -60,10 +60,12 @@ void Ledger::record(Party from, Party to, TransferKind kind, util::Money amount,
 }
 
 util::Money Ledger::balance(Party party) const {
+    // Accumulate with overflow checking: a settlement path that sums
+    // near-int64 amounts must fail loudly, never wrap (util::money).
     util::Money net{};
     for (const Transfer& t : transfers_) {
-        if (t.to == party) net += t.amount;
-        if (t.from == party) net -= t.amount;
+        if (t.to == party) net = util::Money::checked_sum(net, t.amount);
+        if (t.from == party) net = util::Money::checked_sum(net, -t.amount);
     }
     return net;
 }
@@ -71,7 +73,7 @@ util::Money Ledger::balance(Party party) const {
 util::Money Ledger::total(TransferKind kind) const {
     util::Money sum{};
     for (const Transfer& t : transfers_) {
-        if (t.kind == kind) sum += t.amount;
+        if (t.kind == kind) sum = util::Money::checked_sum(sum, t.amount);
     }
     return sum;
 }
@@ -109,6 +111,43 @@ std::string Ledger::statement() const {
         os << "  " << transfer_label(k) << ": " << total(k) << "\n";
     }
     return os.str();
+}
+
+void write_transfer(util::BinaryWriter& w, const Transfer& t) {
+    w.u8(static_cast<std::uint8_t>(t.from.kind));
+    w.u32(t.from.index);
+    w.u8(static_cast<std::uint8_t>(t.to.kind));
+    w.u32(t.to.index);
+    w.u8(static_cast<std::uint8_t>(t.kind));
+    w.i64(t.amount.micros());
+    w.str(t.memo);
+}
+
+Transfer read_transfer(util::BinaryReader& r) {
+    Transfer t;
+    t.from.kind = static_cast<PartyKind>(r.u8());
+    t.from.index = r.u32();
+    t.to.kind = static_cast<PartyKind>(r.u8());
+    t.to.index = r.u32();
+    t.kind = static_cast<TransferKind>(r.u8());
+    t.amount = util::Money::from_micros(r.i64());
+    t.memo = r.str();
+    return t;
+}
+
+void Ledger::serialize(util::BinaryWriter& w) const {
+    w.u64(transfers_.size());
+    for (const Transfer& t : transfers_) write_transfer(w, t);
+}
+
+Ledger Ledger::deserialize(util::BinaryReader& r) {
+    Ledger ledger;
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Transfer t = read_transfer(r);
+        ledger.record(t.from, t.to, t.kind, t.amount, std::move(t.memo));
+    }
+    return ledger;
 }
 
 }  // namespace poc::core

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "util/journal.hpp"
 #include "util/money.hpp"
 
 namespace poc::core {
@@ -60,7 +61,14 @@ struct Transfer {
     TransferKind kind{};
     util::Money amount;
     std::string memo;
+
+    friend bool operator==(const Transfer&, const Transfer&) = default;
 };
+
+/// Binary (de)serialization of one transfer, for the durable epoch
+/// runtime's write-ahead journal. Byte-exact round trip.
+void write_transfer(util::BinaryWriter& w, const Transfer& t);
+Transfer read_transfer(util::BinaryReader& r);
 
 /// Append-only ledger with exact integer accounting.
 class Ledger {
@@ -87,6 +95,12 @@ public:
 
     /// Human-readable statement (per party, then per category).
     std::string statement() const;
+
+    /// Serialize every transfer in append order (journal snapshot).
+    void serialize(util::BinaryWriter& w) const;
+    /// Rebuild a ledger from serialize()'s bytes: replaying the
+    /// transfers through record() reproduces the exact same state.
+    static Ledger deserialize(util::BinaryReader& r);
 
 private:
     std::vector<Transfer> transfers_;

@@ -9,9 +9,11 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 
 #include "net/failure.hpp"
 #include "net/graph.hpp"
+#include "util/retry.hpp"
 
 namespace poc::market {
 
@@ -101,6 +103,41 @@ private:
     net::TrafficMatrix tm_;
     ConstraintKind kind_;
     OracleOptions opt_;
+};
+
+/// Decorator that makes any oracle *fallible*: before each query it
+/// invokes an optional fault hook — which may throw
+/// util::TransientError to model a failed or degraded upstream — and
+/// polls an optional cooperative deadline (util::Deadline), so a slow
+/// oracle aborts with DeadlineExceeded at its next query boundary
+/// instead of stalling the auction. The durable epoch runtime
+/// (sim/runtime.hpp) wraps its clearing oracle in this to give the
+/// retry/breaker layer something to catch; with no hook and no
+/// deadline set it is a transparent pass-through.
+///
+/// Thread-safety: set_deadline() must be called only while no auction
+/// is in flight (the runtime sets it around each run_auction call);
+/// the fault hook must itself be safe to invoke from pivot worker
+/// threads when AuctionOptions::threads > 1.
+class FallibleOracle final : public Oracle {
+public:
+    using FaultHook = std::function<void()>;
+
+    explicit FallibleOracle(const Oracle& inner, FaultHook fault = {})
+        : inner_(&inner), fault_(std::move(fault)) {}
+
+    void set_deadline(const util::Deadline* deadline) noexcept { deadline_ = deadline; }
+
+private:
+    bool accepts_impl(const net::Subgraph& sg) const override {
+        if (fault_) fault_();
+        if (deadline_ != nullptr) deadline_->check();
+        return inner_->accepts(sg);
+    }
+
+    const Oracle* inner_;
+    FaultHook fault_;
+    const util::Deadline* deadline_ = nullptr;
 };
 
 }  // namespace poc::market

@@ -161,4 +161,71 @@ std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& or
     return result;
 }
 
+namespace {
+
+void write_links(util::BinaryWriter& w, const std::vector<net::LinkId>& links) {
+    w.u64(links.size());
+    for (const net::LinkId l : links) w.u32(l.value());
+}
+
+std::vector<net::LinkId> read_links(util::BinaryReader& r) {
+    const std::uint64_t n = r.u64();
+    std::vector<net::LinkId> links;
+    links.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) links.push_back(net::LinkId{r.u32()});
+    return links;
+}
+
+}  // namespace
+
+void write_auction_result(util::BinaryWriter& w, const AuctionResult& result) {
+    write_links(w, result.selection.links);
+    w.i64(result.selection.cost.micros());
+    w.i64(result.virtual_cost.micros());
+    w.u64(result.outcomes.size());
+    for (const BpOutcome& o : result.outcomes) {
+        w.u32(o.bp.value());
+        w.str(o.name);
+        write_links(w, o.selected_links);
+        w.i64(o.bid_cost.micros());
+        w.i64(o.cost_without.micros());
+        w.i64(o.payment.micros());
+        w.f64(o.pob);
+        w.boolean(o.pivot_defined);
+    }
+    w.i64(result.total_outlay.micros());
+    w.u64(result.oracle_queries);
+    w.u64(result.oracle_cache_hits);
+    w.u64(result.solve_cache_hits);
+}
+
+AuctionResult read_auction_result(util::BinaryReader& r) {
+    AuctionResult result;
+    result.selection.links = read_links(r);
+    result.selection.cost = util::Money::from_micros(r.i64());
+    result.virtual_cost = util::Money::from_micros(r.i64());
+    const std::uint64_t n = r.u64();
+    result.outcomes.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        BpOutcome& o = result.outcomes[i];
+        o.bp = BpId{r.u32()};
+        o.name = r.str();
+        o.selected_links = read_links(r);
+        o.bid_cost = util::Money::from_micros(r.i64());
+        o.cost_without = util::Money::from_micros(r.i64());
+        o.payment = util::Money::from_micros(r.i64());
+        o.pob = r.f64();
+        o.pivot_defined = r.boolean();
+    }
+    result.total_outlay = util::Money::from_micros(r.i64());
+    result.oracle_queries = r.u64();
+    result.oracle_cache_hits = r.u64();
+    result.solve_cache_hits = r.u64();
+    result.outcome_index.reserve(result.outcomes.size());
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+        result.outcome_index.emplace(result.outcomes[i].bp, i);
+    }
+    return result;
+}
+
 }  // namespace poc::market

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "market/windet.hpp"
+#include "util/journal.hpp"
 
 namespace poc::market {
 
@@ -85,5 +86,12 @@ struct AuctionOptions {
 /// (no backbone can be provisioned from the offers).
 std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& oracle,
                                          const AuctionOptions& opt = {});
+
+/// Binary (de)serialization of a full AuctionResult for the durable
+/// epoch runtime's write-ahead journal: byte-exact round trip of every
+/// field (the O(1) outcome_index is rebuilt on read, exactly as
+/// run_auction builds it).
+void write_auction_result(util::BinaryWriter& w, const AuctionResult& result);
+AuctionResult read_auction_result(util::BinaryReader& r);
 
 }  // namespace poc::market

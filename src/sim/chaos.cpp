@@ -83,6 +83,8 @@ const char* fault_kind_name(FaultKind kind) {
         case FaultKind::kRouterOutage: return "router-outage";
         case FaultKind::kBpOutage: return "bp-outage";
         case FaultKind::kBrownout: return "brownout";
+        case FaultKind::kCrash: return "crash";
+        case FaultKind::kOracleDegraded: return "oracle-degraded";
     }
     return "?";
 }
@@ -179,6 +181,23 @@ std::vector<Fault> draw_fault_trace(const market::OfferPool& pool,
             trace.push_back({FaultKind::kBrownout, epoch, draw_repair(), std::move(links),
                              factor, "brownout " + what});
         }
+        // Control-plane faults, consumed by the durable epoch runtime
+        // (sim/runtime.hpp). Guarded so a zero rate draws nothing from
+        // the RNG and existing data-plane traces stay bit-identical.
+        if (opt.crash_rate > 0.0) {
+            for (std::size_t i = draw_count(opt.crash_rate); i > 0; --i) {
+                const auto stage = static_cast<std::uint32_t>(rng.uniform_int(std::uint64_t{4}));
+                trace.push_back({FaultKind::kCrash, epoch, 1, {}, 0.0,
+                                 "process crash mid-epoch (stage " + std::to_string(stage) + ")",
+                                 stage});
+            }
+        }
+        if (opt.oracle_degraded_rate > 0.0) {
+            for (std::size_t i = draw_count(opt.oracle_degraded_rate); i > 0; --i) {
+                trace.push_back({FaultKind::kOracleDegraded, epoch, draw_repair(), {}, 0.0,
+                                 "acceptability oracle degraded"});
+            }
+        }
     }
     POC_OBS_COUNT("sim.chaos.faults_injected", trace.size());
     return trace;
@@ -248,6 +267,9 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
         std::size_t active = 0;
         for (const Fault& f : trace) {
             if (!f.active_at(epoch)) continue;
+            // Control-plane faults affect the epoch runtime, not the
+            // provisioned data plane this engine degrades.
+            if (f.kind == FaultKind::kCrash || f.kind == FaultKind::kOracleDegraded) continue;
             ++active;
             for (const net::LinkId l : f.links) {
                 if (is_virtual[l.index()]) continue;  // contracted fallback is reliable

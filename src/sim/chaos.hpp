@@ -69,6 +69,14 @@ enum class FaultKind {
     kBpOutage,
     /// Partial capacity degradation on a link or group (brownout).
     kBrownout,
+    /// The POC control-plane process is killed mid-epoch (at the
+    /// pipeline stage in Fault::crash_stage). Consumed by the durable
+    /// epoch runtime (sim/runtime.hpp); run_chaos ignores it.
+    kCrash,
+    /// The acceptability oracle is slow or failing while the fault is
+    /// active: every oracle query raises util::TransientError, so the
+    /// runtime's retry/breaker layer absorbs it. run_chaos ignores it.
+    kOracleDegraded,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -86,6 +94,9 @@ struct Fault {
     std::vector<net::LinkId> links;
     double capacity_factor = 0.0;
     std::string description;
+    /// For kCrash only: the pipeline stage index (sim::Stage) the
+    /// process dies in; ignored by every other kind.
+    std::uint32_t crash_stage = 0;
 
     bool active_at(std::size_t epoch) const {
         return epoch >= start_epoch && epoch < start_epoch + repair_epochs;
@@ -106,6 +117,11 @@ struct FaultInjectorOptions {
     double router_outage_rate = 0.1;
     double bp_outage_rate = 0.05;
     double brownout_rate = 0.4;
+    /// Control-plane fault rates (kCrash / kOracleDegraded), consumed
+    /// by the durable epoch runtime. Default 0 so existing data-plane
+    /// traces — and their RNG streams — are unchanged.
+    double crash_rate = 0.0;
+    double oracle_degraded_rate = 0.0;
     /// Brownout surviving-capacity factor is drawn uniformly from
     /// [brownout_floor, brownout_ceil].
     double brownout_floor = 0.2;

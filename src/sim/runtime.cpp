@@ -1,0 +1,583 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/flow_sim.hpp"
+#include "obs/trace.hpp"
+#include "util/journal.hpp"
+
+namespace poc::sim {
+
+const char* stage_name(Stage stage) {
+    switch (stage) {
+        case Stage::kAuction: return "auction";
+        case Stage::kProvisioning: return "provisioning";
+        case Stage::kFlowSim: return "flow-sim";
+        case Stage::kSettlement: return "settlement";
+    }
+    return "?";
+}
+
+CrashInjected::CrashInjected(std::size_t epoch, Stage stage, HookPoint point)
+    : std::runtime_error("crash injected at epoch " + std::to_string(epoch) + ", stage " +
+                         stage_name(stage)),
+      epoch_(epoch),
+      stage_(stage),
+      point_(point) {}
+
+namespace {
+
+// Journal record types (kRec* values are part of the on-disk format;
+// never renumber).
+constexpr std::uint16_t kRecEpochBegin = 1;
+constexpr std::uint16_t kRecAuction = 2;
+constexpr std::uint16_t kRecProvision = 3;
+constexpr std::uint16_t kRecFlows = 4;
+constexpr std::uint16_t kRecSettlement = 5;
+constexpr std::uint16_t kRecEpochEnd = 6;
+
+void write_rng_state(util::BinaryWriter& w, const util::RngState& st) {
+    for (const std::uint64_t s : st.s) w.u64(s);
+    w.boolean(st.have_spare_normal);
+    w.f64(st.spare_normal);
+}
+
+util::RngState read_rng_state(util::BinaryReader& r) {
+    util::RngState st;
+    for (std::uint64_t& s : st.s) s = r.u64();
+    st.have_spare_normal = r.boolean();
+    st.spare_normal = r.f64();
+    return st;
+}
+
+void write_links(util::BinaryWriter& w, const std::vector<net::LinkId>& links) {
+    w.u64(links.size());
+    for (const net::LinkId l : links) w.u32(l.value());
+}
+
+std::vector<net::LinkId> read_links(util::BinaryReader& r) {
+    const std::uint64_t n = r.u64();
+    std::vector<net::LinkId> links;
+    links.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) links.push_back(net::LinkId{r.u32()});
+    return links;
+}
+
+void write_epoch_record(util::BinaryWriter& w, const EpochRecord& rec) {
+    w.u64(rec.epoch);
+    w.boolean(rec.provisioned);
+    w.boolean(rec.degraded_mode);
+    w.boolean(rec.breaker_open);
+    w.f64(rec.demand_factor);
+    w.f64(rec.demand_gbps);
+    w.f64(rec.delivered_fraction);
+    w.f64(rec.max_utilization);
+    w.f64(rec.stretch);
+    w.i64(rec.outlay.micros());
+    w.u64(rec.retry_attempts);
+}
+
+EpochRecord read_epoch_record(util::BinaryReader& r) {
+    EpochRecord rec;
+    rec.epoch = r.u64();
+    rec.provisioned = r.boolean();
+    rec.degraded_mode = r.boolean();
+    rec.breaker_open = r.boolean();
+    rec.demand_factor = r.f64();
+    rec.demand_gbps = r.f64();
+    rec.delivered_fraction = r.f64();
+    rec.max_utilization = r.f64();
+    rec.stretch = r.f64();
+    rec.outlay = util::Money::from_micros(r.i64());
+    rec.retry_attempts = r.u64();
+    return rec;
+}
+
+/// Bit-pattern of a double, for exact fingerprint comparison.
+std::uint64_t f64_bits(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::char_traits<char>::copy(reinterpret_cast<char*>(&bits),
+                                 reinterpret_cast<const char*>(&v), sizeof bits);
+    return bits;
+}
+
+/// Restores the fallible oracle's deadline pointer on every exit path
+/// of a clearing attempt (including TransientError unwinds), so a
+/// dead Deadline is never left dangling into the next attempt.
+class DeadlineScope {
+public:
+    DeadlineScope(market::FallibleOracle& oracle, const util::Deadline& deadline) noexcept
+        : oracle_(oracle) {
+        oracle_.set_deadline(&deadline);
+    }
+    ~DeadlineScope() { oracle_.set_deadline(nullptr); }
+    DeadlineScope(const DeadlineScope&) = delete;
+    DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+private:
+    market::FallibleOracle& oracle_;
+};
+
+/// In-flight epoch: which stages have durable records, and the
+/// reconstructed results of the ones that do.
+struct PendingEpoch {
+    std::size_t epoch = 0;
+    double demand_factor = 1.0;
+    bool have_begin = false;
+    bool have_auction = false;
+    bool have_provision = false;
+    bool have_flows = false;
+    bool have_settlement = false;
+
+    std::optional<market::AuctionResult> auction;
+    bool degraded = false;
+    bool breaker_open = false;
+    std::uint64_t attempts = 0;
+    std::vector<net::LinkId> selected;
+
+    double offered_gbps = 0.0;
+    double routed_gbps = 0.0;
+    double max_utilization = 0.0;
+    double stretch = 1.0;
+};
+
+}  // namespace
+
+struct EpochRuntime::Impl {
+    const market::OfferPool& pool;
+    const net::TrafficMatrix& tm;
+    RuntimeOptions opt;
+
+    util::Rng rng;
+    util::Retrier retrier;
+    util::Journal journal;
+    RuntimeOutcome outcome;
+    PendingEpoch pending;
+    bool has_pending = false;
+
+    Impl(const market::OfferPool& pool_, const net::TrafficMatrix& tm_, RuntimeOptions opt_)
+        : pool(pool_),
+          tm(tm_),
+          opt(std::move(opt_)),
+          rng(opt.seed),
+          retrier(opt.retry, opt.breaker) {
+        POC_EXPECTS(opt.epochs >= 1);
+        POC_EXPECTS(opt.demand_jitter >= 0.0 && opt.demand_jitter < 1.0);
+    }
+
+    /// Configuration fingerprint stored in the journal header. Engine
+    /// knobs that cannot change results (threads, cache) are excluded
+    /// on purpose: a run may resume under a different engine config
+    /// and still be bit-identical (DESIGN.md §5).
+    std::string meta_fingerprint() const {
+        util::BinaryWriter w;
+        w.str("poc-runtime-v1");
+        w.u64(opt.epochs);
+        w.u64(opt.seed);
+        w.u64(f64_bits(opt.demand_jitter));
+        w.u8(static_cast<std::uint8_t>(opt.request.constraint));
+        w.boolean(opt.request.auction.exact);
+        w.u64(pool.offered_links().size());
+        w.u64(tm.size());
+        w.u64(f64_bits(net::total_demand(tm)));
+        return w.bytes();
+    }
+
+    void hook(std::size_t epoch, Stage stage, HookPoint point) {
+        if (opt.stage_hook) opt.stage_hook(epoch, stage, point);
+    }
+
+    void append(std::uint16_t type, const util::BinaryWriter& w) {
+        journal.append(type, w.bytes());
+    }
+
+    net::TrafficMatrix scaled_tm(double factor) const {
+        net::TrafficMatrix scaled = tm;
+        for (net::Demand& d : scaled) d.gbps *= factor;
+        return scaled;
+    }
+
+    /// Apply one journal record to the reconstructed state. Records
+    /// arrive in append order; the journal layer has already verified
+    /// their checksums.
+    void replay_record(const util::JournalRecord& rec) {
+        util::BinaryReader r(rec.payload);
+        switch (rec.type) {
+            case kRecEpochBegin: {
+                pending = PendingEpoch{};
+                pending.epoch = r.u64();
+                pending.demand_factor = r.f64();
+                rng.set_state(read_rng_state(r));
+                pending.have_begin = true;
+                has_pending = true;
+                break;
+            }
+            case kRecAuction: {
+                POC_EXPECTS(has_pending && r.u64() == pending.epoch);
+                if (r.boolean()) pending.auction = market::read_auction_result(r);
+                pending.degraded = r.boolean();
+                pending.breaker_open = r.boolean();
+                pending.attempts = r.u64();
+                pending.have_auction = true;
+                break;
+            }
+            case kRecProvision: {
+                POC_EXPECTS(has_pending && r.u64() == pending.epoch);
+                pending.selected = read_links(r);
+                pending.have_provision = true;
+                break;
+            }
+            case kRecFlows: {
+                POC_EXPECTS(has_pending && r.u64() == pending.epoch);
+                pending.offered_gbps = r.f64();
+                pending.routed_gbps = r.f64();
+                pending.max_utilization = r.f64();
+                pending.stretch = r.f64();
+                pending.have_flows = true;
+                break;
+            }
+            case kRecSettlement: {
+                POC_EXPECTS(has_pending && r.u64() == pending.epoch);
+                const std::uint64_t n = r.u64();
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    const core::Transfer t = core::read_transfer(r);
+                    outcome.ledger.record(t.from, t.to, t.kind, t.amount, t.memo);
+                }
+                pending.have_settlement = true;
+                break;
+            }
+            case kRecEpochEnd: {
+                POC_EXPECTS(has_pending);
+                EpochRecord done = read_epoch_record(r);
+                POC_EXPECTS(done.epoch == pending.epoch);
+                rng.set_state(read_rng_state(r));
+                if (done.breaker_open) ++outcome.breaker_open_epochs;
+                outcome.epochs.push_back(done);
+                outcome.auctions.push_back(std::move(pending.auction));
+                has_pending = false;
+                ++outcome.replayed_epochs;
+                break;
+            }
+            default:
+                throw util::JournalError("unknown journal record type " +
+                                         std::to_string(rec.type));
+        }
+        POC_EXPECTS(r.exhausted());
+    }
+
+    /// Open or create the journal and replay its valid prefix.
+    void recover() {
+        const std::string meta = meta_fingerprint();
+        util::Journal::ScanResult scan;
+        bool opened = false;
+        try {
+            journal = util::Journal::open(opt.journal_path, scan);
+            opened = true;
+        } catch (const util::JournalError&) {
+            // Missing or header-corrupt journal: start fresh. A corrupt
+            // *record* never lands here (open() truncates those).
+        }
+        if (!opened) {
+            journal = util::Journal::create(opt.journal_path, meta);
+            return;
+        }
+        if (scan.meta != meta) {
+            throw util::JournalError(
+                "journal at " + opt.journal_path +
+                " was written by a different run configuration; refusing to replay");
+        }
+        outcome.tail_truncated = scan.tail_truncated;
+        const auto start = std::chrono::steady_clock::now();
+        for (const util::JournalRecord& rec : scan.records) {
+            replay_record(rec);
+            ++outcome.replayed_records;
+        }
+        const auto dur = std::chrono::steady_clock::now() - start;
+        outcome.replay_ms =
+            std::chrono::duration<double, std::milli>(dur).count();
+        POC_OBS_HISTOGRAM("sim.runtime.replay_ms", 0.0, 1000.0, 50, outcome.replay_ms);
+        POC_OBS_COUNT("sim.runtime.replayed_records", outcome.replayed_records);
+    }
+
+    /// The auction stage's computation: clear under the retry/breaker
+    /// budget; degrade to the relaxed constraint when the primary path
+    /// is exhausted or fast-failed.
+    void clear_epoch(std::size_t epoch, const net::TrafficMatrix& epoch_tm) {
+        pending.breaker_open = retrier.breaker_state() == util::BreakerState::kOpen;
+        const std::uint64_t attempts_before = retrier.stats().attempts;
+
+        const market::AcceptabilityOracle base(pool.graph(), epoch_tm, opt.request.constraint,
+                                               opt.request.oracle);
+        market::FallibleOracle::FaultHook fault;
+        if (opt.oracle_fault) {
+            fault = [this, epoch] { opt.oracle_fault(epoch); };
+        }
+        market::FallibleOracle guarded(base, std::move(fault));
+
+        bool primary_failed = false;
+        try {
+            pending.auction = retrier.call([&](const util::Deadline& deadline) {
+                const DeadlineScope scope(guarded, deadline);
+                return market::run_auction(pool, guarded, opt.request.auction);
+            });
+        } catch (const util::BreakerOpen&) {
+            primary_failed = true;
+        } catch (const util::RetryExhausted&) {
+            primary_failed = true;
+        }
+
+        if (primary_failed && opt.allow_constraint_relaxation) {
+            // Graceful degradation (same contract as chaos recovery):
+            // re-clear under plain load feasibility with a fresh,
+            // healthy oracle — the sick dependency is bypassed, not
+            // hammered.
+            const market::AcceptabilityOracle relaxed(pool.graph(), epoch_tm,
+                                                      market::ConstraintKind::kLoad,
+                                                      opt.request.oracle);
+            pending.auction = market::run_auction(pool, relaxed, opt.request.auction);
+            pending.degraded = pending.auction.has_value();
+            if (pending.degraded) POC_OBS_INC("sim.runtime.degraded_epochs");
+        }
+        pending.attempts = retrier.stats().attempts - attempts_before;
+        POC_OBS_COUNT("sim.runtime.retry_attempts", pending.attempts);
+        if (pending.breaker_open) {
+            ++outcome.breaker_open_epochs;
+            POC_OBS_INC("sim.runtime.breaker_open_epochs");
+        }
+    }
+
+    /// The settlement stage's computation: record this epoch's money
+    /// flows (section 3.2's structure, break-even by construction) and
+    /// return them for journaling.
+    std::vector<core::Transfer> settle_epoch(std::size_t epoch) {
+        const std::size_t before = outcome.ledger.transfers().size();
+        if (pending.auction) {
+            const market::AuctionResult& a = *pending.auction;
+            const core::Party poc{core::PartyKind::kPoc, 0};
+            const std::string tag = "epoch " + std::to_string(epoch);
+            for (const market::BpOutcome& o : a.outcomes) {
+                outcome.ledger.record(poc, {core::PartyKind::kBandwidthProvider, o.bp.value()},
+                                      core::TransferKind::kLinkLease, o.payment,
+                                      tag + " lease: " + o.name);
+            }
+            outcome.ledger.record(poc, {core::PartyKind::kExternalIsp, 0},
+                                  core::TransferKind::kIspContract, a.virtual_cost,
+                                  tag + " virtual-link contracts");
+            // Cost recovery: the access side covers the outlay exactly
+            // (the nonprofit's zero-margin target).
+            outcome.ledger.record({core::PartyKind::kLmp, 0}, poc,
+                                  core::TransferKind::kPocAccess, a.total_outlay,
+                                  tag + " access cost recovery");
+        }
+        return {outcome.ledger.transfers().begin() +
+                    static_cast<std::ptrdiff_t>(before),
+                outcome.ledger.transfers().end()};
+    }
+
+    void run_epoch(std::size_t epoch) {
+        POC_OBS_SPAN("sim.runtime.epoch");
+        if (!has_pending) {
+            pending = PendingEpoch{};
+            pending.epoch = epoch;
+            has_pending = true;
+        }
+        POC_EXPECTS(pending.epoch == epoch);
+
+        if (!pending.have_begin) {
+            // Always consume one uniform draw, even with zero jitter:
+            // the RNG stream position is part of the durable state and
+            // every epoch must advance (and journal) it.
+            pending.demand_factor =
+                rng.uniform(1.0 - opt.demand_jitter, 1.0 + opt.demand_jitter);
+            util::BinaryWriter w;
+            w.u64(epoch);
+            w.f64(pending.demand_factor);
+            write_rng_state(w, rng.state());
+            append(kRecEpochBegin, w);
+            pending.have_begin = true;
+        }
+        const net::TrafficMatrix epoch_tm = scaled_tm(pending.demand_factor);
+
+        if (!pending.have_auction) {
+            hook(epoch, Stage::kAuction, HookPoint::kBefore);
+            clear_epoch(epoch, epoch_tm);
+            hook(epoch, Stage::kAuction, HookPoint::kMid);
+            util::BinaryWriter w;
+            w.u64(epoch);
+            w.boolean(pending.auction.has_value());
+            if (pending.auction) market::write_auction_result(w, *pending.auction);
+            w.boolean(pending.degraded);
+            w.boolean(pending.breaker_open);
+            w.u64(pending.attempts);
+            append(kRecAuction, w);
+            pending.have_auction = true;
+            hook(epoch, Stage::kAuction, HookPoint::kAfter);
+        }
+
+        if (!pending.have_provision) {
+            hook(epoch, Stage::kProvisioning, HookPoint::kBefore);
+            pending.selected =
+                pending.auction ? pending.auction->selection.links : std::vector<net::LinkId>{};
+            hook(epoch, Stage::kProvisioning, HookPoint::kMid);
+            util::BinaryWriter w;
+            w.u64(epoch);
+            write_links(w, pending.selected);
+            append(kRecProvision, w);
+            pending.have_provision = true;
+            hook(epoch, Stage::kProvisioning, HookPoint::kAfter);
+        }
+
+        if (!pending.have_flows) {
+            hook(epoch, Stage::kFlowSim, HookPoint::kBefore);
+            if (pending.auction) {
+                std::vector<bool> is_virtual(pool.graph().link_count(), false);
+                for (const net::LinkId l : pool.virtual_links().links()) {
+                    is_virtual[l.index()] = true;
+                }
+                const net::Subgraph backbone(pool.graph(), pending.selected);
+                const core::FlowReport flows =
+                    core::simulate_flows(backbone, epoch_tm, is_virtual);
+                pending.offered_gbps = flows.total_offered_gbps;
+                pending.routed_gbps = flows.total_routed_gbps;
+                pending.max_utilization = flows.max_utilization;
+                pending.stretch = flows.stretch;
+            } else {
+                pending.offered_gbps = net::total_demand(epoch_tm);
+            }
+            hook(epoch, Stage::kFlowSim, HookPoint::kMid);
+            util::BinaryWriter w;
+            w.u64(epoch);
+            w.f64(pending.offered_gbps);
+            w.f64(pending.routed_gbps);
+            w.f64(pending.max_utilization);
+            w.f64(pending.stretch);
+            append(kRecFlows, w);
+            pending.have_flows = true;
+            hook(epoch, Stage::kFlowSim, HookPoint::kAfter);
+        }
+
+        if (!pending.have_settlement) {
+            hook(epoch, Stage::kSettlement, HookPoint::kBefore);
+            const std::vector<core::Transfer> transfers = settle_epoch(epoch);
+            hook(epoch, Stage::kSettlement, HookPoint::kMid);
+            util::BinaryWriter w;
+            w.u64(epoch);
+            w.u64(transfers.size());
+            for (const core::Transfer& t : transfers) core::write_transfer(w, t);
+            append(kRecSettlement, w);
+            pending.have_settlement = true;
+            hook(epoch, Stage::kSettlement, HookPoint::kAfter);
+        }
+
+        EpochRecord rec;
+        rec.epoch = epoch;
+        rec.provisioned = pending.auction.has_value();
+        rec.degraded_mode = pending.degraded;
+        rec.breaker_open = pending.breaker_open;
+        rec.demand_factor = pending.demand_factor;
+        rec.demand_gbps = pending.offered_gbps;
+        rec.delivered_fraction =
+            pending.offered_gbps > 0.0
+                ? std::min(pending.routed_gbps, pending.offered_gbps) / pending.offered_gbps
+                : 0.0;
+        rec.max_utilization = pending.max_utilization;
+        rec.stretch = pending.stretch;
+        rec.outlay = pending.auction ? pending.auction->total_outlay : util::Money{};
+        rec.retry_attempts = pending.attempts;
+
+        util::BinaryWriter w;
+        write_epoch_record(w, rec);
+        write_rng_state(w, rng.state());
+        append(kRecEpochEnd, w);
+
+        outcome.epochs.push_back(rec);
+        outcome.auctions.push_back(std::move(pending.auction));
+        has_pending = false;
+        POC_OBS_INC("sim.runtime.epochs");
+    }
+
+    RuntimeOutcome run() {
+        POC_OBS_SPAN("sim.runtime.run");
+        if (!opt.journal_path.empty()) recover();
+        // After replay, any in-flight epoch is exactly the next one:
+        // run_epoch() resumes it from its first incomplete stage.
+        while (outcome.epochs.size() < opt.epochs) run_epoch(outcome.epochs.size());
+        outcome.final_rng = rng.state();
+        outcome.retry = retrier.stats();
+        return std::move(outcome);
+    }
+};
+
+EpochRuntime::EpochRuntime(const market::OfferPool& pool, const net::TrafficMatrix& tm,
+                           RuntimeOptions opt)
+    : impl_(std::make_unique<Impl>(pool, tm, std::move(opt))) {}
+
+EpochRuntime::~EpochRuntime() = default;
+
+RuntimeOutcome EpochRuntime::run() { return impl_->run(); }
+
+RuntimeOutcome run_with_recovery(const market::OfferPool& pool, const net::TrafficMatrix& tm,
+                                 const RuntimeOptions& opt, const std::vector<Fault>& trace) {
+    POC_EXPECTS(!opt.journal_path.empty());
+
+    struct CrashPoint {
+        std::size_t epoch;
+        Stage stage;
+        bool fired = false;
+    };
+    auto crashes = std::make_shared<std::vector<CrashPoint>>();
+    struct Window {
+        std::size_t start;
+        std::size_t end;
+    };
+    std::vector<Window> degraded_windows;
+    for (const Fault& f : trace) {
+        if (f.kind == FaultKind::kCrash) {
+            POC_EXPECTS(f.crash_stage < kStageCount);
+            crashes->push_back({f.start_epoch, static_cast<Stage>(f.crash_stage), false});
+        } else if (f.kind == FaultKind::kOracleDegraded) {
+            degraded_windows.push_back({f.start_epoch, f.start_epoch + f.repair_epochs});
+        }
+    }
+
+    RuntimeOptions supervised = opt;
+    supervised.stage_hook = [user = opt.stage_hook, crashes](std::size_t epoch, Stage stage,
+                                                             HookPoint point) {
+        if (user) user(epoch, stage, point);
+        if (point != HookPoint::kMid) return;
+        for (CrashPoint& c : *crashes) {
+            if (!c.fired && c.epoch == epoch && c.stage == stage) {
+                // Each scheduled crash kills the process exactly once;
+                // the restarted process survives the same point.
+                c.fired = true;
+                throw CrashInjected(epoch, stage, point);
+            }
+        }
+    };
+    supervised.oracle_fault = [user = opt.oracle_fault,
+                               windows = std::move(degraded_windows)](std::size_t epoch) {
+        if (user) user(epoch);
+        for (const Window& w : windows) {
+            if (epoch >= w.start && epoch < w.end) {
+                throw util::TransientError("oracle degraded by chaos fault (epoch " +
+                                           std::to_string(epoch) + ")");
+            }
+        }
+    };
+
+    for (;;) {
+        try {
+            return EpochRuntime(pool, tm, supervised).run();
+        } catch (const CrashInjected&) {
+            POC_OBS_INC("sim.runtime.crashes");
+            // "Restart the process": loop around and recover from the
+            // journal with a fresh runtime (fresh breaker, fresh RNG
+            // object — all durable state comes from the journal).
+        }
+    }
+}
+
+}  // namespace poc::sim

@@ -1,0 +1,190 @@
+// Durable epoch runtime: the POC's per-epoch operational pipeline
+// (auction -> provisioning -> flow sim -> settlement) made crash-safe
+// and deadline-budgeted.
+//
+// Durability model (DESIGN.md §4b). Each epoch runs as four explicit,
+// restartable stages. As each stage completes, a typed record with its
+// full result is appended to a checksummed write-ahead journal
+// (util/journal.hpp). A process killed at any stage boundary — or
+// mid-stage, after computing a result but before journaling it — is
+// restarted by re-running EpochRuntime::run() against the same journal
+// path: replay reconstructs the ledger, every auction outcome, and the
+// RNG stream position from the journal's valid prefix, truncates any
+// torn tail, and resumes from the first stage whose record is missing.
+// The recovered run is *bit-identical* to an uninterrupted one: same
+// ledger balances, same AuctionResult bytes, same RNG state.
+//
+// Deadline/retry model. The winner-determination oracle is wrapped in
+// market::FallibleOracle and every clearing attempt runs under
+// util::Retrier: a per-call deadline budget, jittered exponential
+// backoff between attempts, and a circuit breaker across epochs. When
+// retries are exhausted (or the breaker fast-fails the epoch), the
+// runtime degrades gracefully: it re-clears under the relaxed plain
+// load-feasibility constraint with a fresh healthy oracle, flags the
+// epoch `degraded_mode`, and keeps serving rather than staying dark —
+// the same degradation contract as the chaos engine (sim/chaos.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/ledger.hpp"
+#include "core/provisioning.hpp"
+#include "sim/chaos.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
+
+namespace poc::sim {
+
+/// The four restartable stages of one epoch, in pipeline order.
+enum class Stage : std::uint8_t {
+    kAuction = 0,
+    kProvisioning = 1,
+    kFlowSim = 2,
+    kSettlement = 3,
+};
+
+inline constexpr std::size_t kStageCount = 4;
+
+const char* stage_name(Stage stage);
+
+/// Where within a stage a hook fires. kMid fires after the stage's
+/// result is computed but *before* its journal record is appended —
+/// a crash there models the worst case: work done, nothing durable.
+enum class HookPoint : std::uint8_t { kBefore, kMid, kAfter };
+
+/// Thrown by crash-injection hooks to model the process dying. The
+/// runtime never catches it; a supervisor (run_with_recovery, or a
+/// test harness) does, then constructs a fresh EpochRuntime against
+/// the same journal to model the restart.
+class CrashInjected final : public std::runtime_error {
+public:
+    CrashInjected(std::size_t epoch, Stage stage, HookPoint point);
+
+    std::size_t epoch() const noexcept { return epoch_; }
+    Stage stage() const noexcept { return stage_; }
+    HookPoint point() const noexcept { return point_; }
+
+private:
+    std::size_t epoch_;
+    Stage stage_;
+    HookPoint point_;
+};
+
+/// One epoch's summary row (the runtime's SLA record).
+struct EpochRecord {
+    std::size_t epoch = 0;
+    /// A backbone was provisioned this epoch (auction feasible, on
+    /// either the primary or the degraded path).
+    bool provisioned = false;
+    /// The primary clearing path failed (retries exhausted or breaker
+    /// open) and this epoch's backbone came from the relaxed
+    /// load-feasibility re-clear.
+    bool degraded_mode = false;
+    /// The breaker was open when this epoch tried to clear.
+    bool breaker_open = false;
+    /// This epoch's demand multiplier (drawn from the runtime RNG).
+    double demand_factor = 1.0;
+    double demand_gbps = 0.0;
+    /// routed / offered demand; 0 when unprovisioned.
+    double delivered_fraction = 0.0;
+    double max_utilization = 0.0;
+    double stretch = 1.0;
+    /// This epoch's monthly outlay (zero when unprovisioned).
+    util::Money outlay;
+    /// Oracle-clearing attempts this epoch (1 = first try succeeded).
+    std::uint64_t retry_attempts = 0;
+
+    friend bool operator==(const EpochRecord&, const EpochRecord&) = default;
+};
+
+struct RuntimeOptions {
+    std::size_t epochs = 4;
+    /// Constraint, oracle fidelity, and auction engine knobs; reused
+    /// verbatim every epoch.
+    core::ProvisioningRequest request;
+    /// Each epoch scales the traffic matrix by a factor drawn uniformly
+    /// from [1 - jitter, 1 + jitter]. The draw happens even at 0 so the
+    /// RNG stream position is exercised (and journaled) every epoch.
+    double demand_jitter = 0.05;
+    std::uint64_t seed = 2020;
+    /// Write-ahead journal path. Empty = durability off (no journal
+    /// I/O; the run is still deterministic).
+    std::string journal_path;
+    /// Retry/backoff budget for each epoch's clearing call and the
+    /// breaker that persists across epochs within one process.
+    util::RetryPolicy retry;
+    util::BreakerPolicy breaker;
+    /// Degrade to the relaxed load-feasibility re-clear when the
+    /// primary path is exhausted; false = the epoch goes unprovisioned.
+    bool allow_constraint_relaxation = true;
+    /// Test/chaos hook fired at every stage boundary (kBefore/kAfter)
+    /// and mid-stage (kMid). May throw CrashInjected.
+    std::function<void(std::size_t, Stage, HookPoint)> stage_hook;
+    /// Per-epoch oracle fault hook, invoked on every oracle query of
+    /// that epoch's primary clearing path. May throw
+    /// util::TransientError (degraded oracle) or sleep (slow oracle).
+    /// Must be thread-safe when request.auction.threads > 1.
+    std::function<void(std::size_t)> oracle_fault;
+};
+
+struct RuntimeOutcome {
+    std::vector<EpochRecord> epochs;
+    /// Per-epoch auction outcomes (nullopt = unprovisioned epoch).
+    std::vector<std::optional<market::AuctionResult>> auctions;
+    core::Ledger ledger;
+    /// RNG stream position after the final epoch (replay must land on
+    /// the exact same state).
+    util::RngState final_rng;
+    /// Recovery diagnostics for this run() call.
+    std::size_t replayed_epochs = 0;
+    std::size_t replayed_records = 0;
+    bool tail_truncated = false;
+    double replay_ms = 0.0;
+    /// Epochs that found the breaker open on arrival.
+    std::size_t breaker_open_epochs = 0;
+    util::RetryStats retry;
+};
+
+/// The runtime. One instance = one process lifetime: the retry breaker
+/// persists across its epochs and resets on construction (a restarted
+/// process starts with a closed breaker). The pool and traffic matrix
+/// must outlive run().
+class EpochRuntime {
+public:
+    EpochRuntime(const market::OfferPool& pool, const net::TrafficMatrix& tm,
+                 RuntimeOptions opt);
+    ~EpochRuntime();
+
+    EpochRuntime(const EpochRuntime&) = delete;
+    EpochRuntime& operator=(const EpochRuntime&) = delete;
+
+    /// Run (or resume) the epoch loop to completion. With a journal
+    /// path set, opens/creates the journal, replays its valid prefix,
+    /// and resumes from the first incomplete stage. Throws
+    /// util::JournalError when the journal belongs to a different
+    /// scenario (meta fingerprint mismatch); propagates CrashInjected
+    /// from stage hooks.
+    RuntimeOutcome run();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Supervisor loop: converts a chaos fault trace's control-plane
+/// faults (kCrash, kOracleDegraded) into runtime hooks, then runs
+/// EpochRuntime under a restart-on-crash loop until it completes.
+/// Each kCrash fault kills the process once (at the faulted epoch and
+/// stage, mid-stage); each kOracleDegraded fault makes every oracle
+/// query of its active epochs throw util::TransientError. Requires a
+/// journal path (recovery without durability would replay nothing).
+RuntimeOutcome run_with_recovery(const market::OfferPool& pool, const net::TrafficMatrix& tm,
+                                 const RuntimeOptions& opt, const std::vector<Fault>& trace);
+
+}  // namespace poc::sim

@@ -57,12 +57,32 @@ std::optional<Tag> next_tag(const std::string& text, std::size_t from) {
     const std::size_t lt = text.find('<', from);
     if (lt == std::string::npos) return std::nullopt;
     const std::size_t gt = text.find('>', lt + 1);
-    POC_EXPECTS(gt != std::string::npos);  // unclosed tag
+    if (gt == std::string::npos) {
+        throw GraphmlParseError("unclosed tag (truncated input?)", lt);
+    }
     Tag t;
     t.body = text.substr(lt + 1, gt - lt - 1);
     t.begin = lt;
     t.end = gt + 1;
     return t;
+}
+
+/// Parse a full numeric value (strtod with no trailing garbage).
+double parse_coordinate(const std::string& value, const char* what, std::size_t offset) {
+    const char* begin = value.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    const char* tail = end;
+    while (tail != nullptr && *tail != '\0' &&
+           std::isspace(static_cast<unsigned char>(*tail))) {
+        ++tail;
+    }
+    if (end == begin || tail == nullptr || *tail != '\0' || !std::isfinite(v)) {
+        throw GraphmlParseError(std::string(what) + " value is not a finite number: '" +
+                                    value + "'",
+                                offset);
+    }
+    return v;
 }
 
 }  // namespace
@@ -92,6 +112,9 @@ ZooGraph parse_graphml(const std::string& text) {
     // Pass 2: graph/node/edge elements with their <data> children.
     enum class Scope { kNone, kNode, kEdge, kGraph };
     Scope scope = Scope::kNone;
+    std::set<std::string> node_ids;
+    std::set<std::string> edge_ids;
+    std::vector<std::size_t> edge_offsets;  // for post-pass diagnostics
     ZooNode current_node;
     // Plain flags instead of std::optional<double>: GCC 12's
     // -Wmaybe-uninitialized false-positives on the optional pattern.
@@ -110,7 +133,10 @@ ZooGraph parse_graphml(const std::string& text) {
         }
         if (tag->is("node") && !tag->closing()) {
             const auto id = attribute(tag->body, "id");
-            POC_EXPECTS(id.has_value());
+            if (!id) throw GraphmlParseError("node element missing id attribute", tag->begin);
+            if (!node_ids.insert(*id).second) {
+                throw GraphmlParseError("duplicate node id '" + *id + "'", tag->begin);
+            }
             current_node = ZooNode{};
             current_node.id = *id;
             have_lat = have_lon = false;
@@ -130,8 +156,16 @@ ZooGraph parse_graphml(const std::string& text) {
         if (tag->is("edge") && !tag->closing()) {
             const auto source = attribute(tag->body, "source");
             const auto target = attribute(tag->body, "target");
-            POC_EXPECTS(source.has_value() && target.has_value());
-            graph.edges.push_back(ZooEdge{*source, *target});
+            if (!source || !target) {
+                throw GraphmlParseError("edge element missing source/target attribute",
+                                        tag->begin);
+            }
+            auto id = attribute(tag->body, "id").value_or("");
+            if (!id.empty() && !edge_ids.insert(id).second) {
+                throw GraphmlParseError("duplicate edge id '" + id + "'", tag->begin);
+            }
+            graph.edges.push_back(ZooEdge{*source, *target, std::move(id)});
+            edge_offsets.push_back(tag->begin);
             if (!tag->self_closing()) scope = Scope::kEdge;
             continue;
         }
@@ -145,16 +179,18 @@ ZooGraph parse_graphml(const std::string& text) {
             const auto named = key_name.find(*key);
             if (named == key_name.end()) continue;
             const std::size_t close = text.find("</data>", content_begin);
-            POC_EXPECTS(close != std::string::npos);
+            if (close == std::string::npos) {
+                throw GraphmlParseError("unclosed <data> element", tag->begin);
+            }
             const std::string value = text.substr(content_begin, close - content_begin);
             pos = close + 7;
             if (scope == Scope::kNode) {
                 if (named->second == "Latitude") {
-                    cur_lat = std::strtod(value.c_str(), nullptr);
+                    cur_lat = parse_coordinate(value, "Latitude", content_begin);
                     have_lat = true;
                 }
                 if (named->second == "Longitude") {
-                    cur_lon = std::strtod(value.c_str(), nullptr);
+                    cur_lon = parse_coordinate(value, "Longitude", content_begin);
                     have_lon = true;
                 }
                 if (named->second == "label") current_node.label = value;
@@ -167,10 +203,16 @@ ZooGraph parse_graphml(const std::string& text) {
         }
     }
 
-    // Validate edge endpoints.
-    for (const ZooEdge& e : graph.edges) {
-        POC_EXPECTS(graph.node_index(e.source).has_value());
-        POC_EXPECTS(graph.node_index(e.target).has_value());
+    // Validate edge endpoints (a post-pass: GraphML allows an edge to
+    // reference a node declared later in the file).
+    for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+        const ZooEdge& e = graph.edges[i];
+        for (const std::string& endpoint : {e.source, e.target}) {
+            if (!graph.node_index(endpoint)) {
+                throw GraphmlParseError("edge references unknown node '" + endpoint + "'",
+                                        edge_offsets[i]);
+            }
+        }
     }
     return graph;
 }

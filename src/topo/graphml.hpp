@@ -11,13 +11,35 @@
 // XML parser.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "topo/bp_network.hpp"
+#include "util/contracts.hpp"
 
 namespace poc::topo {
+
+/// Structured parse failure: what went wrong and where (byte offset
+/// into the input text). Subclasses util::ContractViolation so callers
+/// that treat malformed topology input as a precondition violation
+/// keep working; new callers can catch this type for diagnostics.
+class GraphmlParseError final : public util::ContractViolation {
+public:
+    GraphmlParseError(std::string message, std::size_t offset)
+        : util::ContractViolation("GraphML parse error at byte " + std::to_string(offset) +
+                                  ": " + message),
+          message_(std::move(message)),
+          offset_(offset) {}
+
+    const std::string& message() const noexcept { return message_; }
+    std::size_t offset() const noexcept { return offset_; }
+
+private:
+    std::string message_;
+    std::size_t offset_;
+};
 
 /// A parsed GraphML node.
 struct ZooNode {
@@ -31,6 +53,9 @@ struct ZooNode {
 struct ZooEdge {
     std::string source;  // node ids
     std::string target;
+    /// GraphML edge id attribute, if present (duplicate non-empty ids
+    /// are rejected at parse time).
+    std::string id;
 };
 
 /// One parsed topology file.
@@ -43,8 +68,11 @@ struct ZooGraph {
     std::optional<std::size_t> node_index(const std::string& id) const;
 };
 
-/// Parse GraphML text. Throws util::ContractViolation on malformed
-/// input (unclosed tags, edges referencing unknown nodes).
+/// Parse GraphML text. Throws GraphmlParseError (a
+/// util::ContractViolation) on malformed input: truncated/unclosed
+/// tags, unclosed <data> elements, nodes without ids, duplicate node
+/// or edge ids, edges missing endpoints or referencing unknown nodes,
+/// and non-numeric coordinate values.
 ZooGraph parse_graphml(const std::string& text);
 
 struct ZooImportOptions {

@@ -15,6 +15,11 @@ public:
     ContractViolation(const char* kind, const char* expr, const char* file, int line)
         : std::logic_error(std::string(kind) + " violated: `" + expr + "` at " + file + ":" +
                            std::to_string(line)) {}
+
+protected:
+    /// For domain-specific subclasses (e.g. parse errors) that carry
+    /// their own structured message.
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
 };
 
 namespace detail {

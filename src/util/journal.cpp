@@ -1,0 +1,158 @@
+#include "util/journal.hpp"
+
+#include <array>
+#include <filesystem>
+
+#include "obs/metrics.hpp"
+
+namespace poc::util {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'O', 'C', 'W', 'A', 'L', '0', '1'};
+constexpr std::size_t kHeaderFixed = sizeof(kMagic) + sizeof(std::uint32_t);
+constexpr std::size_t kFrameFixed =
+    sizeof(std::uint16_t) + sizeof(std::uint32_t) + sizeof(std::uint32_t);
+/// Upper bound on one record's payload; a length field beyond this is
+/// treated as tail corruption rather than attempted as an allocation.
+constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::uint32_t crc32_update(std::uint32_t crc, const char* data, std::size_t n) {
+    const auto& table = crc_table();
+    for (std::size_t i = 0; i < n; ++i) {
+        crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^ (crc >> 8);
+    }
+    return crc;
+}
+
+/// CRC over the record frame contents: the 2-byte type followed by the
+/// payload, so a flipped type byte fails verification too.
+std::uint32_t frame_crc(std::uint16_t type, std::string_view payload) {
+    std::uint32_t crc = 0xFFFFFFFFu;
+    const char type_bytes[2] = {static_cast<char>(type & 0xFF),
+                                static_cast<char>((type >> 8) & 0xFF)};
+    crc = crc32_update(crc, type_bytes, 2);
+    crc = crc32_update(crc, payload.data(), payload.size());
+    return crc ^ 0xFFFFFFFFu;
+}
+
+template <typename T>
+T load(const std::string& bytes, std::size_t at) {
+    T v;
+    std::char_traits<char>::copy(reinterpret_cast<char*>(&v), bytes.data() + at, sizeof(T));
+    return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+    return crc32_update(0xFFFFFFFFu, bytes.data(), bytes.size()) ^ 0xFFFFFFFFu;
+}
+
+Journal Journal::create(const std::string& path, std::string_view meta) {
+    Journal j;
+    j.path_ = path;
+    j.out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!j.out_) throw JournalError("cannot create journal at " + path);
+
+    BinaryWriter header;
+    for (const char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
+    header.u32(static_cast<std::uint32_t>(meta.size()));
+    j.out_.write(header.bytes().data(), static_cast<std::streamsize>(header.bytes().size()));
+    j.out_.write(meta.data(), static_cast<std::streamsize>(meta.size()));
+    const std::uint32_t crc = crc32(meta);
+    j.out_.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    j.out_.flush();
+    if (!j.out_) throw JournalError("journal header write failed at " + path);
+    j.size_bytes_ = kHeaderFixed + meta.size() + sizeof crc;
+    return j;
+}
+
+Journal Journal::open(const std::string& path, ScanResult& scan) {
+    scan = ScanResult{};
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) throw JournalError("cannot open journal at " + path);
+        bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+
+    // Header: magic + meta (its own CRC). A bad header means we cannot
+    // trust anything in the file — refuse rather than guess.
+    if (bytes.size() < kHeaderFixed ||
+        bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+        throw JournalError("journal at " + path + " has a bad or missing header");
+    }
+    const auto meta_len = load<std::uint32_t>(bytes, sizeof(kMagic));
+    const std::size_t meta_end = kHeaderFixed + meta_len + sizeof(std::uint32_t);
+    if (meta_len > kMaxPayload || meta_end > bytes.size()) {
+        throw JournalError("journal at " + path + " has a truncated metadata block");
+    }
+    scan.meta = bytes.substr(kHeaderFixed, meta_len);
+    if (load<std::uint32_t>(bytes, kHeaderFixed + meta_len) != crc32(scan.meta)) {
+        throw JournalError("journal at " + path + " has corrupt metadata");
+    }
+
+    // Record scan: stop at the first torn or checksum-failing frame and
+    // truncate the file back to the last good record.
+    std::size_t pos = meta_end;
+    std::size_t valid_end = meta_end;
+    while (pos + kFrameFixed <= bytes.size()) {
+        const auto type = load<std::uint16_t>(bytes, pos);
+        const auto len = load<std::uint32_t>(bytes, pos + sizeof(std::uint16_t));
+        const auto crc =
+            load<std::uint32_t>(bytes, pos + sizeof(std::uint16_t) + sizeof(std::uint32_t));
+        if (len > kMaxPayload || pos + kFrameFixed + len > bytes.size()) break;  // torn
+        const std::string_view payload(bytes.data() + pos + kFrameFixed, len);
+        if (frame_crc(type, payload) != crc) break;  // corrupt
+        scan.records.push_back(JournalRecord{type, std::string(payload)});
+        pos += kFrameFixed + len;
+        valid_end = pos;
+    }
+    if (valid_end < bytes.size()) {
+        scan.tail_truncated = true;
+        scan.dropped_bytes = bytes.size() - valid_end;
+        std::filesystem::resize_file(path, valid_end);
+        POC_OBS_INC("util.journal.truncated_tails");
+        POC_OBS_COUNT("util.journal.dropped_bytes", scan.dropped_bytes);
+    }
+
+    Journal j;
+    j.path_ = path;
+    j.out_.open(path, std::ios::binary | std::ios::app);
+    if (!j.out_) throw JournalError("cannot reopen journal for append at " + path);
+    j.size_bytes_ = valid_end;
+    return j;
+}
+
+void Journal::append(std::uint16_t type, std::string_view payload) {
+    if (!out_.is_open()) return;  // detached journal: durability disabled
+    BinaryWriter frame;
+    frame.u16(type);
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    frame.u32(frame_crc(type, payload));
+    out_.write(frame.bytes().data(), static_cast<std::streamsize>(frame.bytes().size()));
+    out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out_.flush();
+    if (!out_) throw JournalError("journal append failed at " + path_);
+    size_bytes_ += kFrameFixed + payload.size();
+    POC_OBS_INC("util.journal.appends");
+    POC_OBS_COUNT("util.journal.bytes", kFrameFixed + payload.size());
+}
+
+}  // namespace poc::util

@@ -1,0 +1,166 @@
+// Checksummed write-ahead journal for the durable epoch runtime
+// (DESIGN.md §4b): an append-only log of typed binary records with a
+// CRC32 frame per record, so a process killed mid-write leaves at worst
+// a torn tail that the next open detects, truncates, and reports —
+// never a silently-replayed corrupt record.
+//
+// File layout (native byte order; the journal is a local recovery
+// artifact, not a wire format):
+//
+//   header:  magic "POCWAL01" | u32 meta_len | meta bytes | u32 crc32(meta)
+//   record:  u16 type | u32 payload_len | u32 crc32(type || payload) | payload
+//
+// The metadata string fingerprints the run configuration (seed, epoch
+// count, pool shape); open() surfaces it so the runtime can refuse to
+// replay a journal written by a different configuration.
+//
+// BinaryWriter/BinaryReader are the serialization substrate shared by
+// every journaled type (core::Ledger transfers, market::AuctionResult,
+// util::RngState). Readers throw JournalError on truncation instead of
+// reading garbage.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace poc::util {
+
+/// Thrown on malformed journal bytes: truncated payloads, bad magic,
+/// or metadata that does not match the resuming configuration.
+class JournalError : public std::runtime_error {
+public:
+    explicit JournalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only binary serializer (little-endian on every platform we
+/// build for; the journal never crosses machines).
+class BinaryWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void u16(std::uint16_t v) { raw(&v, sizeof v); }
+    void u32(std::uint32_t v) { raw(&v, sizeof v); }
+    void u64(std::uint64_t v) { raw(&v, sizeof v); }
+    void i64(std::int64_t v) { raw(&v, sizeof v); }
+    void f64(double v) { raw(&v, sizeof v); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+    /// Length-prefixed byte string.
+    void str(std::string_view s) {
+        u64(s.size());
+        buf_.append(s.data(), s.size());
+    }
+
+    const std::string& bytes() const noexcept { return buf_; }
+    void clear() noexcept { buf_.clear(); }
+
+private:
+    void raw(const void* p, std::size_t n) {
+        buf_.append(static_cast<const char*>(p), n);
+    }
+    std::string buf_;
+};
+
+/// Bounds-checked reader over a serialized payload. Every accessor
+/// throws JournalError when the buffer is exhausted early (a torn or
+/// corrupt record must never yield garbage values).
+class BinaryReader {
+public:
+    explicit BinaryReader(std::string_view bytes) : buf_(bytes) {}
+
+    std::uint8_t u8() {
+        need(1);
+        return static_cast<std::uint8_t>(buf_[pos_++]);
+    }
+    std::uint16_t u16() { return read<std::uint16_t>(); }
+    std::uint32_t u32() { return read<std::uint32_t>(); }
+    std::uint64_t u64() { return read<std::uint64_t>(); }
+    std::int64_t i64() { return read<std::int64_t>(); }
+    double f64() { return read<double>(); }
+    bool boolean() { return u8() != 0; }
+    std::string str() {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string out(buf_.substr(pos_, n));
+        pos_ += n;
+        return out;
+    }
+
+    std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+    bool exhausted() const noexcept { return pos_ == buf_.size(); }
+
+private:
+    template <typename T>
+    T read() {
+        need(sizeof(T));
+        T v;
+        std::char_traits<char>::copy(reinterpret_cast<char*>(&v), buf_.data() + pos_,
+                                     sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+    void need(std::uint64_t n) const {
+        if (n > buf_.size() - pos_) {
+            throw JournalError("journal payload truncated: need " + std::to_string(n) +
+                               " bytes, have " + std::to_string(buf_.size() - pos_));
+        }
+    }
+
+    std::string_view buf_;
+    std::size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte string.
+std::uint32_t crc32(std::string_view bytes);
+
+struct JournalRecord {
+    std::uint16_t type = 0;
+    std::string payload;
+};
+
+/// The file-backed journal itself. `create` starts a fresh log;
+/// `open` scans an existing one, validates every record checksum,
+/// truncates any torn/corrupt tail in place, and leaves the file
+/// positioned for append so recovery can continue the same log.
+class Journal {
+public:
+    struct ScanResult {
+        std::string meta;
+        std::vector<JournalRecord> records;
+        /// True when a torn or checksum-failing tail was detected (and
+        /// physically truncated away).
+        bool tail_truncated = false;
+        std::uint64_t dropped_bytes = 0;
+    };
+
+    Journal() = default;
+    Journal(Journal&&) = default;
+    Journal& operator=(Journal&&) = default;
+
+    /// Create (or truncate) the journal at `path` with the given
+    /// configuration fingerprint. Throws JournalError on I/O failure.
+    static Journal create(const std::string& path, std::string_view meta);
+
+    /// Open an existing journal: validate the header, scan the valid
+    /// record prefix, truncate the file to it, and report what was
+    /// read. Throws JournalError when the header itself is unreadable.
+    static Journal open(const std::string& path, ScanResult& scan);
+
+    /// Append one record and flush it to the OS. The record is durable
+    /// (from this process's perspective) once append returns.
+    void append(std::uint16_t type, std::string_view payload);
+
+    bool attached() const noexcept { return out_.is_open(); }
+    const std::string& path() const noexcept { return path_; }
+    /// Bytes written to the file so far (header + records).
+    std::uint64_t size_bytes() const noexcept { return size_bytes_; }
+
+private:
+    std::string path_;
+    std::ofstream out_;
+    std::uint64_t size_bytes_ = 0;
+};
+
+}  // namespace poc::util

@@ -12,6 +12,7 @@
 #include <compare>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "util/contracts.hpp"
@@ -61,6 +62,24 @@ public:
 
     friend constexpr Money operator+(Money a, Money b) noexcept { return a += b; }
     friend constexpr Money operator-(Money a, Money b) noexcept { return a -= b; }
+
+    /// Overflow-checked addition: nullopt when the exact sum does not
+    /// fit in the int64 micro-dollar representation. Settlement paths
+    /// that accumulate many transfers use this instead of operator+ so
+    /// a ledger total can never silently wrap.
+    static constexpr std::optional<Money> checked_add(Money a, Money b) noexcept {
+        std::int64_t sum = 0;
+        if (__builtin_add_overflow(a.micros_, b.micros_, &sum)) return std::nullopt;
+        return from_micros(sum);
+    }
+
+    /// checked_add that throws ContractViolation on overflow — the
+    /// accumulate-or-die form the ledger uses.
+    static constexpr Money checked_sum(Money a, Money b) {
+        const auto sum = checked_add(a, b);
+        POC_EXPECTS(sum.has_value());  // Money accumulation overflowed int64 micros
+        return *sum;
+    }
 
     /// Scale by a dimensionless factor, rounding to nearest micro-dollar.
     Money scaled(double factor) const;

@@ -1,0 +1,112 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace poc::util {
+
+const char* breaker_state_name(BreakerState state) {
+    switch (state) {
+        case BreakerState::kClosed: return "closed";
+        case BreakerState::kOpen: return "open";
+        case BreakerState::kHalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+namespace {
+
+double steady_now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+Retrier::Retrier(RetryPolicy policy, BreakerPolicy breaker, Clock clock, Sleep sleep)
+    : policy_(policy),
+      breaker_(breaker),
+      clock_(clock ? std::move(clock) : Clock(&steady_now_ms)),
+      sleep_(std::move(sleep)),  // empty = virtual backoff (stats only)
+      jitter_(policy.jitter_seed) {
+    POC_EXPECTS(policy_.max_attempts >= 1);
+    POC_EXPECTS(policy_.deadline_ms > 0.0);
+    POC_EXPECTS(policy_.base_backoff_ms >= 0.0);
+    POC_EXPECTS(policy_.backoff_multiplier >= 1.0);
+    POC_EXPECTS(policy_.max_backoff_ms >= policy_.base_backoff_ms);
+    POC_EXPECTS(policy_.jitter_fraction >= 0.0 && policy_.jitter_fraction < 1.0);
+    POC_EXPECTS(breaker_.failure_threshold >= 1);
+    POC_EXPECTS(breaker_.cooldown_ms >= 0.0);
+}
+
+BreakerState Retrier::breaker_state() const {
+    if (state_ == BreakerState::kOpen && clock_() >= open_until_ms_) {
+        return BreakerState::kHalfOpen;
+    }
+    return state_;
+}
+
+void Retrier::reset_breaker() noexcept {
+    state_ = BreakerState::kClosed;
+    consecutive_exhausted_ = 0;
+    probing_ = false;
+}
+
+bool Retrier::admit() {
+    switch (state_) {
+        case BreakerState::kClosed:
+            return true;
+        case BreakerState::kOpen:
+            if (clock_() >= open_until_ms_) {
+                state_ = BreakerState::kHalfOpen;
+                probing_ = true;
+                return true;  // one probe through
+            }
+            ++stats_.breaker_fast_fails;
+            POC_OBS_INC("util.retry.breaker_fast_fails");
+            return false;
+        case BreakerState::kHalfOpen:
+            return true;
+    }
+    return true;
+}
+
+void Retrier::on_success() noexcept {
+    consecutive_exhausted_ = 0;
+    probing_ = false;
+    state_ = BreakerState::kClosed;
+}
+
+void Retrier::on_exhausted() {
+    ++stats_.exhausted;
+    ++consecutive_exhausted_;
+    POC_OBS_INC("util.retry.exhausted_calls");
+    // A failed half-open probe re-opens immediately; otherwise open
+    // once the consecutive-failure threshold is reached.
+    if (probing_ || consecutive_exhausted_ >= breaker_.failure_threshold) {
+        if (state_ != BreakerState::kOpen || probing_) {
+            ++stats_.breaker_opens;
+            POC_OBS_INC("util.retry.breaker_opens");
+        }
+        state_ = BreakerState::kOpen;
+        open_until_ms_ = clock_() + breaker_.cooldown_ms;
+        probing_ = false;
+    }
+}
+
+void Retrier::backoff(std::size_t attempt) {
+    double b = policy_.base_backoff_ms;
+    for (std::size_t k = 1; k < attempt; ++k) b *= policy_.backoff_multiplier;
+    b = std::min(b, policy_.max_backoff_ms);
+    if (policy_.jitter_fraction > 0.0) {
+        b *= jitter_.uniform(1.0 - policy_.jitter_fraction, 1.0 + policy_.jitter_fraction);
+    }
+    stats_.backoff_ms_total += b;
+    POC_OBS_COUNT("util.retry.backoff_ms", static_cast<std::uint64_t>(b));
+    if (sleep_) sleep_(b);
+}
+
+}  // namespace poc::util

@@ -1,0 +1,219 @@
+// Deadline-budgeted retry with jittered exponential backoff and a
+// circuit breaker (DESIGN.md §4b): the wrapper the durable epoch
+// runtime puts around the fallible parts of market clearing (the
+// acceptability oracle and the pivot solver).
+//
+// Failure model: the wrapped callable signals a retryable failure by
+// throwing TransientError (DeadlineExceeded is the cooperative-timeout
+// subclass thrown by Deadline::check()). Each attempt gets a per-call
+// deadline; the callable is expected to poll the Deadline it receives
+// at natural cancellation points (the oracle checks once per
+// acceptability query). Attempts that return but overran their budget
+// count as timeouts too, so a slow-but-successful dependency still
+// registers as unhealthy.
+//
+// The breaker counts *calls* whose retry budget was exhausted, not
+// individual attempts. After `failure_threshold` consecutive exhausted
+// calls it opens: further calls fail fast with BreakerOpen (no load on
+// the sick dependency) until `cooldown_ms` passes, then one half-open
+// probe is admitted; a successful probe closes the breaker, a failed
+// one re-opens it.
+//
+// Time is injectable: `Clock` returns monotonic milliseconds and
+// `Sleep` pauses between attempts. The defaults use the steady clock
+// and a *virtual* (no-op) sleep — simulations account for backoff in
+// stats without wall-clock stalls; callers that want real pacing pass
+// a real sleeper, and tests pass a fake clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace poc::util {
+
+/// A failure worth retrying (scripted oracle faults, lost upstreams).
+class TransientError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Cooperative per-attempt timeout, thrown by Deadline::check().
+class DeadlineExceeded : public TransientError {
+public:
+    DeadlineExceeded() : TransientError("deadline exceeded") {}
+};
+
+/// Every attempt of one call failed (or timed out).
+class RetryExhausted : public std::runtime_error {
+public:
+    explicit RetryExhausted(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The circuit breaker is open: the call was rejected without running.
+class BreakerOpen : public std::runtime_error {
+public:
+    BreakerOpen() : std::runtime_error("circuit breaker open") {}
+};
+
+struct RetryPolicy {
+    /// Attempts per call() before giving up (>= 1).
+    std::size_t max_attempts = 3;
+    /// Per-attempt budget in clock milliseconds.
+    double deadline_ms = 60'000.0;
+    /// Backoff before retry k (1-based): base * multiplier^(k-1),
+    /// capped at max_backoff_ms, scaled by uniform jitter in
+    /// [1 - jitter_fraction, 1 + jitter_fraction).
+    double base_backoff_ms = 10.0;
+    double backoff_multiplier = 2.0;
+    double max_backoff_ms = 1'000.0;
+    double jitter_fraction = 0.2;
+    /// Seed of the (deterministic) jitter stream.
+    std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+};
+
+struct BreakerPolicy {
+    /// Consecutive exhausted calls that open the breaker (>= 1).
+    std::size_t failure_threshold = 3;
+    /// Open -> half-open after this much clock time.
+    double cooldown_ms = 5'000.0;
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* breaker_state_name(BreakerState state);
+
+struct RetryStats {
+    std::uint64_t calls = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t successes = 0;
+    /// Failed attempts (timeouts included).
+    std::uint64_t failures = 0;
+    /// Attempts that exceeded their deadline (thrown or post-hoc).
+    std::uint64_t timeouts = 0;
+    /// Calls whose whole attempt budget was consumed.
+    std::uint64_t exhausted = 0;
+    std::uint64_t breaker_opens = 0;
+    /// Calls rejected while the breaker was open.
+    std::uint64_t breaker_fast_fails = 0;
+    /// Total (possibly virtual) backoff accumulated between attempts.
+    double backoff_ms_total = 0.0;
+
+    friend bool operator==(const RetryStats&, const RetryStats&) = default;
+};
+
+/// The per-attempt deadline handed to the wrapped callable. check() is
+/// the cooperative cancellation point; it is safe to call from pivot
+/// worker threads as long as the clock itself is thread-safe (the
+/// default steady clock is).
+class Deadline {
+public:
+    Deadline(double expires_at_ms, const std::function<double()>* clock) noexcept
+        : expires_at_ms_(expires_at_ms), clock_(clock) {}
+
+    double expires_at_ms() const noexcept { return expires_at_ms_; }
+    bool expired() const { return (*clock_)() > expires_at_ms_; }
+    /// Throws DeadlineExceeded once the budget is gone.
+    void check() const {
+        if (expired()) throw DeadlineExceeded{};
+    }
+
+private:
+    double expires_at_ms_;
+    const std::function<double()>* clock_;
+};
+
+/// Retry + breaker engine. Not thread-safe: one Retrier per control
+/// loop (the epoch runtime owns one for the whole run, so breaker
+/// state persists across epochs).
+class Retrier {
+public:
+    using Clock = std::function<double()>;      // monotonic milliseconds
+    using Sleep = std::function<void(double)>;  // pause between attempts
+
+    explicit Retrier(RetryPolicy policy = {}, BreakerPolicy breaker = {}, Clock clock = {},
+                     Sleep sleep = {});
+
+    /// Run `fn(deadline)` under the retry policy. Returns fn's result
+    /// on the first successful attempt; throws BreakerOpen when the
+    /// breaker rejects the call, RetryExhausted when every attempt
+    /// failed, and propagates non-transient exceptions immediately.
+    template <typename F>
+    auto call(F&& fn) -> std::invoke_result_t<F&, const Deadline&> {
+        ++stats_.calls;
+        if (!admit()) throw BreakerOpen{};
+        std::string last_error = "no attempts made";
+        for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+            ++stats_.attempts;
+            const double start = clock_();
+            const Deadline deadline(start + policy_.deadline_ms, &clock_);
+            bool failed = false;
+            try {
+                auto result = fn(deadline);
+                if (clock_() - start > policy_.deadline_ms) {
+                    // Completed, but over budget: a slow dependency is
+                    // a sick dependency.
+                    ++stats_.timeouts;
+                    ++stats_.failures;
+                    last_error = "attempt completed past its deadline";
+                    failed = true;
+                } else {
+                    ++stats_.successes;
+                    on_success();
+                    return result;
+                }
+            } catch (const DeadlineExceeded& e) {
+                ++stats_.timeouts;
+                ++stats_.failures;
+                last_error = e.what();
+                failed = true;
+            } catch (const TransientError& e) {
+                ++stats_.failures;
+                last_error = e.what();
+                failed = true;
+            }
+            POC_ASSERT(failed);
+            if (attempt < policy_.max_attempts) backoff(attempt);
+        }
+        on_exhausted();
+        throw RetryExhausted("retries exhausted after " +
+                             std::to_string(policy_.max_attempts) +
+                             " attempts; last error: " + last_error);
+    }
+
+    const RetryStats& stats() const noexcept { return stats_; }
+    const RetryPolicy& policy() const noexcept { return policy_; }
+
+    /// Current breaker state; evaluates cooldown passage (an open
+    /// breaker whose cooldown has elapsed reports half-open).
+    BreakerState breaker_state() const;
+
+    /// Force the breaker closed (administrative reset).
+    void reset_breaker() noexcept;
+
+private:
+    /// Admission check; transitions open -> half-open after cooldown.
+    bool admit();
+    void on_success() noexcept;
+    void on_exhausted();
+    void backoff(std::size_t attempt);
+
+    RetryPolicy policy_;
+    BreakerPolicy breaker_;
+    Clock clock_;
+    Sleep sleep_;
+    Rng jitter_;
+    RetryStats stats_;
+
+    BreakerState state_ = BreakerState::kClosed;
+    std::size_t consecutive_exhausted_ = 0;
+    double open_until_ms_ = 0.0;
+    bool probing_ = false;  // a half-open probe is in flight
+};
+
+}  // namespace poc::util

@@ -13,6 +13,18 @@
 
 namespace poc::util {
 
+/// Complete serializable state of an Rng: the 256-bit xoshiro state
+/// plus the Box-Muller spare, so a restored stream resumes at exactly
+/// the same position (including a pending second normal deviate). Used
+/// by the durable epoch runtime's write-ahead journal.
+struct RngState {
+    std::array<std::uint64_t, 4> s{};
+    bool have_spare_normal = false;
+    double spare_normal = 0.0;
+
+    friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 /// splitmix64: tiny, high-quality 64-bit mixer. Used to expand a single
 /// user seed into the 256-bit xoshiro state.
 class SplitMix64 {
@@ -116,6 +128,19 @@ public:
 
     /// Sample k distinct indices from [0, n) without replacement.
     std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+    /// Snapshot the full generator state (stream position included).
+    RngState state() const noexcept {
+        return RngState{state_, have_spare_normal_, spare_normal_};
+    }
+
+    /// Restore a snapshot taken with state(): the stream continues
+    /// bit-identically from the captured position.
+    void set_state(const RngState& st) noexcept {
+        state_ = st.s;
+        have_spare_normal_ = st.have_spare_normal;
+        spare_normal_ = st.spare_normal;
+    }
 
     /// A decorrelated child stream (for per-entity randomness that is
     /// stable under changes elsewhere in the program).

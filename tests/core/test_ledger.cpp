@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/contracts.hpp"
 
 namespace poc::core {
@@ -86,6 +88,23 @@ TEST(Ledger, MemoPreserved) {
     ledger.record(kLmp0, kPoc, TransferKind::kPocAccess, 10_usd, "march invoice");
     ASSERT_EQ(ledger.transfers().size(), 1u);
     EXPECT_EQ(ledger.transfers()[0].memo, "march invoice");
+}
+
+TEST(Ledger, BalanceAccumulationOverflowFailsLoudly) {
+    // Balances accumulate through Money::checked_sum: two near-max
+    // transfers to one party must raise ContractViolation instead of
+    // wrapping to a silently-wrong (negative) balance.
+    Ledger ledger;
+    const Money huge =
+        Money::from_micros(std::numeric_limits<std::int64_t>::max() / 2 + 1);
+    ledger.record(kLmp0, kPoc, TransferKind::kPocAccess, huge, "near-max 1");
+    ledger.record(kLmp0, kPoc, TransferKind::kPocAccess, huge, "near-max 2");
+    EXPECT_THROW(ledger.balance(kPoc), util::ContractViolation);
+    EXPECT_THROW(ledger.total(TransferKind::kPocAccess), util::ContractViolation);
+    // A single huge transfer is still representable and exact.
+    Ledger single;
+    single.record(kLmp0, kPoc, TransferKind::kPocAccess, huge);
+    EXPECT_EQ(single.balance(kPoc), huge);
 }
 
 TEST(Ledger, ExactIntegerAccounting) {

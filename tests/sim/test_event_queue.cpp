@@ -91,5 +91,79 @@ TEST(EventQueue, EventsCanCascade) {
     EXPECT_DOUBLE_EQ(s.now(), 4.0);
 }
 
+// Tie-breaking determinism: the durable runtime replays journals under
+// the assumption that equal-timestamp events run in exact scheduling
+// order, including events enqueued for the *current* time from inside a
+// running handler. Pin both properties.
+
+TEST(EventQueue, HandlersSchedulingAtCurrentTimeRunAfterAllEarlierPeers) {
+    Simulator s;
+    std::vector<int> order;
+    // Three peers at t=1; the first enqueues a same-time event, which
+    // must run after ALL already-queued t=1 events (it has a later seq).
+    s.schedule_at(1.0, [&](Simulator& sim) {
+        order.push_back(0);
+        sim.schedule_in(0.0, [&](Simulator&) { order.push_back(3); });
+    });
+    s.schedule_at(1.0, [&](Simulator&) { order.push_back(1); });
+    s.schedule_at(1.0, [&](Simulator&) { order.push_back(2); });
+    EXPECT_EQ(s.run(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_DOUBLE_EQ(s.now(), 1.0);
+}
+
+TEST(EventQueue, EqualTimeOrderIsGlobalSequenceNotPerTimestamp) {
+    // Interleave registrations across two timestamps; within each
+    // timestamp the execution order must match registration order, no
+    // matter how the registrations were interleaved.
+    Simulator s;
+    std::vector<int> order;
+    s.schedule_at(2.0, [&](Simulator&) { order.push_back(20); });
+    s.schedule_at(1.0, [&](Simulator&) { order.push_back(10); });
+    s.schedule_at(2.0, [&](Simulator&) { order.push_back(21); });
+    s.schedule_at(1.0, [&](Simulator&) { order.push_back(11); });
+    s.schedule_at(2.0, [&](Simulator&) { order.push_back(22); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21, 22}));
+}
+
+TEST(EventQueue, ManyEqualTimeEventsReplayIdenticallyAcrossRuns) {
+    // Property-style check: two simulators given the same schedule of
+    // 256 events — all at one of two timestamps, some self-cascading —
+    // must execute in exactly the same order.
+    const auto build_and_run = [] {
+        Simulator s;
+        std::vector<int> order;
+        for (int i = 0; i < 256; ++i) {
+            const double t = (i % 3 == 0) ? 1.0 : 2.0;
+            s.schedule_at(t, [&order, i](Simulator& sim) {
+                order.push_back(i);
+                if (i % 16 == 0) {
+                    sim.schedule_in(0.0, [&order, i](Simulator&) {
+                        order.push_back(1000 + i);
+                    });
+                }
+            });
+        }
+        s.run();
+        return order;
+    };
+    const std::vector<int> first = build_and_run();
+    const std::vector<int> second = build_and_run();
+    ASSERT_EQ(first.size(), 256u + 16u);
+    EXPECT_EQ(first, second);
+    // Within each timestamp, base events appear in schedule order.
+    std::vector<int> base;
+    for (const int v : first) {
+        if (v < 1000) base.push_back(v);
+    }
+    std::vector<int> expected;
+    for (int i = 0; i < 256; i += 3) expected.push_back(i);          // t = 1.0
+    for (int i = 0; i < 256; ++i) {
+        if (i % 3 != 0) expected.push_back(i);                       // t = 2.0
+    }
+    EXPECT_EQ(base, expected);
+}
+
 }  // namespace
 }  // namespace poc::sim

@@ -95,6 +95,121 @@ TEST(GraphmlParser, SingleQuotedAttributes) {
     EXPECT_EQ(g.nodes[0].id, "n1");
 }
 
+// Malformed-input hardening: every corruption is rejected with a
+// structured GraphmlParseError (message + byte offset), never a crash
+// or a silently-wrong graph.
+
+TEST(GraphmlParser, TruncatedFileReportsOffset) {
+    const std::string truncated = "<graphml><graph><node id=\"a\" /><edge source=\"a";
+    try {
+        parse_graphml(truncated);
+        FAIL() << "expected GraphmlParseError";
+    } catch (const GraphmlParseError& e) {
+        EXPECT_NE(e.message().find("unclosed tag"), std::string::npos) << e.what();
+        EXPECT_EQ(e.offset(), truncated.find("<edge"));
+    }
+}
+
+TEST(GraphmlParser, RejectsNodeWithoutId) {
+    EXPECT_THROW(parse_graphml("<graphml><graph><node /></graph></graphml>"),
+                 GraphmlParseError);
+}
+
+TEST(GraphmlParser, RejectsDuplicateNodeIds) {
+    const std::string dup = R"(<graphml><graph>
+        <node id="a" /><node id="b" /><node id="a" />
+    </graph></graphml>)";
+    try {
+        parse_graphml(dup);
+        FAIL() << "expected GraphmlParseError";
+    } catch (const GraphmlParseError& e) {
+        EXPECT_NE(e.message().find("duplicate node id 'a'"), std::string::npos) << e.what();
+    }
+}
+
+TEST(GraphmlParser, RejectsEdgeMissingEndpointAttribute) {
+    EXPECT_THROW(parse_graphml(R"(<graphml><graph>
+        <node id="a" /><edge source="a" />
+    </graph></graphml>)"),
+                 GraphmlParseError);
+    EXPECT_THROW(parse_graphml(R"(<graphml><graph>
+        <node id="a" /><edge target="a" />
+    </graph></graphml>)"),
+                 GraphmlParseError);
+}
+
+TEST(GraphmlParser, RejectsDuplicateEdgeIds) {
+    EXPECT_THROW(parse_graphml(R"(<graphml><graph>
+        <node id="a" /><node id="b" />
+        <edge id="e0" source="a" target="b" />
+        <edge id="e0" source="b" target="a" />
+    </graph></graphml>)"),
+                 GraphmlParseError);
+    // Absent/empty ids never collide (TopologyZoo edges carry none).
+    const ZooGraph ok = parse_graphml(R"(<graphml><graph>
+        <node id="a" /><node id="b" />
+        <edge source="a" target="b" />
+        <edge source="b" target="a" />
+    </graph></graphml>)");
+    EXPECT_EQ(ok.edges.size(), 2u);
+}
+
+TEST(GraphmlParser, EdgeIdsAreParsed) {
+    const ZooGraph g = parse_graphml(R"(<graphml><graph>
+        <node id="a" /><node id="b" />
+        <edge id="e7" source="a" target="b" />
+    </graph></graphml>)");
+    ASSERT_EQ(g.edges.size(), 1u);
+    EXPECT_EQ(g.edges[0].id, "e7");
+}
+
+TEST(GraphmlParser, RejectsUnclosedDataElement) {
+    EXPECT_THROW(parse_graphml(R"(<graphml>
+        <key attr.name="Latitude" id="dlat" />
+        <graph><node id="a"><data key="dlat">40.7</node></graph></graphml>)"),
+                 GraphmlParseError);
+}
+
+TEST(GraphmlParser, RejectsNonNumericCoordinates) {
+    const std::string bad_lat = R"(<graphml>
+        <key attr.name="Latitude" id="dlat" />
+        <key attr.name="Longitude" id="dlon" />
+        <graph><node id="a">
+          <data key="dlat">forty point seven</data>
+          <data key="dlon">-74.0</data>
+        </node></graph></graphml>)";
+    try {
+        parse_graphml(bad_lat);
+        FAIL() << "expected GraphmlParseError";
+    } catch (const GraphmlParseError& e) {
+        EXPECT_NE(e.message().find("Latitude"), std::string::npos) << e.what();
+    }
+    // Trailing garbage after the number is rejected too.
+    EXPECT_THROW(parse_graphml(R"(<graphml>
+        <key attr.name="Longitude" id="dlon" />
+        <graph><node id="a"><data key="dlon">-74.0abc</data></node></graph></graphml>)"),
+                 GraphmlParseError);
+    // Whitespace around the number is fine (Zoo files have it).
+    const ZooGraph ok = parse_graphml(R"(<graphml>
+        <key attr.name="Latitude" id="dlat" />
+        <key attr.name="Longitude" id="dlon" />
+        <graph><node id="a">
+          <data key="dlat">40.7 </data>
+          <data key="dlon">-74.0</data>
+        </node></graph></graphml>)");
+    ASSERT_TRUE(ok.nodes[0].location.has_value());
+}
+
+TEST(GraphmlParser, ForwardEdgeReferencesAreLegal) {
+    // GraphML allows an edge to cite a node declared later.
+    const ZooGraph g = parse_graphml(R"(<graphml><graph>
+        <node id="a" />
+        <edge source="a" target="b" />
+        <node id="b" />
+    </graph></graphml>)");
+    EXPECT_EQ(g.edges.size(), 1u);
+}
+
 TEST(BpFromZoo, MapsToNearestGazetteerCities) {
     const ZooGraph g = parse_graphml(kSample);
     const BpNetwork bp = bp_from_zoo(g);

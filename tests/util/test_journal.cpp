@@ -1,0 +1,213 @@
+// Write-ahead journal: framing, checksums, torn-tail truncation, and
+// the binary (de)serialization substrate.
+#include "util/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+namespace poc::util {
+namespace {
+
+class JournalTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        // Per-test directory: ctest runs each case as its own process,
+        // so a shared fixed path would let concurrent cases clobber
+        // each other's files via remove_all.
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::filesystem::temp_directory_path() /
+               ("poc_journal_test_" + std::string(info->name()));
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+    /// Raw file bytes (for corruption surgery).
+    static std::string slurp(const std::string& p) {
+        std::ifstream in(p, std::ios::binary);
+        return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+    }
+    static void spit(const std::string& p, const std::string& bytes) {
+        std::ofstream out(p, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST(BinaryRoundTrip, AllScalarTypes) {
+    BinaryWriter w;
+    w.u8(0xAB);
+    w.u16(0xBEEF);
+    w.u32(0xDEADBEEFu);
+    w.u64(0x0123456789ABCDEFull);
+    w.i64(-42);
+    w.f64(3.141592653589793);
+    w.boolean(true);
+    w.boolean(false);
+    w.str("hello\0world");  // literal truncates at NUL; checks prefix form
+    w.str(std::string("bin\0ary", 7));
+
+    BinaryReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u16(), 0xBEEF);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.f64(), 3.141592653589793);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.str(), std::string("bin\0ary", 7));
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BinaryRoundTrip, ReaderThrowsOnUnderrun) {
+    BinaryWriter w;
+    w.u32(7);
+    BinaryReader r(w.bytes());
+    EXPECT_THROW(r.u64(), JournalError);
+    // A length-prefixed string whose length exceeds the buffer must
+    // throw, not allocate garbage.
+    BinaryWriter w2;
+    w2.u64(1'000'000);
+    BinaryReader r2(w2.bytes());
+    EXPECT_THROW(r2.str(), JournalError);
+}
+
+TEST(Crc32, KnownVectors) {
+    // IEEE 802.3 reference values.
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+}
+
+TEST_F(JournalTest, CreateAppendOpenRoundTrip) {
+    const std::string p = path("wal");
+    {
+        Journal j = Journal::create(p, "meta-v1");
+        j.append(1, "first");
+        j.append(2, std::string("second\0payload", 14));
+        j.append(3, "");  // empty payloads are legal
+    }
+    Journal::ScanResult scan;
+    Journal j = Journal::open(p, scan);
+    EXPECT_EQ(scan.meta, "meta-v1");
+    EXPECT_FALSE(scan.tail_truncated);
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.records[0].type, 1);
+    EXPECT_EQ(scan.records[0].payload, "first");
+    EXPECT_EQ(scan.records[1].type, 2);
+    EXPECT_EQ(scan.records[1].payload, std::string("second\0payload", 14));
+    EXPECT_EQ(scan.records[2].type, 3);
+    EXPECT_EQ(scan.records[2].payload, "");
+
+    // The reopened journal appends to the same log.
+    j.append(4, "resumed");
+    Journal::ScanResult scan2;
+    Journal::open(p, scan2);
+    ASSERT_EQ(scan2.records.size(), 4u);
+    EXPECT_EQ(scan2.records[3].payload, "resumed");
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedNotReplayed) {
+    const std::string p = path("wal");
+    {
+        Journal j = Journal::create(p, "m");
+        j.append(1, "alpha");
+        j.append(2, "beta");
+    }
+    const std::string intact = slurp(p);
+    // Simulate a crash mid-append: a record frame whose payload never
+    // made it to disk.
+    BinaryWriter torn;
+    torn.u16(3);
+    torn.u32(100);  // claims 100 payload bytes...
+    torn.u32(0);
+    spit(p, intact + torn.bytes() + "only-a-few");  // ...delivers 10
+
+    Journal::ScanResult scan;
+    Journal::open(p, scan);
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_TRUE(scan.tail_truncated);
+    EXPECT_GT(scan.dropped_bytes, 0u);
+    // The truncation is physical: a second open sees a clean log.
+    EXPECT_EQ(slurp(p), intact);
+    Journal::ScanResult scan2;
+    Journal::open(p, scan2);
+    EXPECT_FALSE(scan2.tail_truncated);
+    ASSERT_EQ(scan2.records.size(), 2u);
+}
+
+TEST_F(JournalTest, CorruptTailChecksumIsDetectedAndDropped) {
+    const std::string p = path("wal");
+    {
+        Journal j = Journal::create(p, "m");
+        j.append(1, "alpha");
+        j.append(2, "beta");
+    }
+    std::string bytes = slurp(p);
+    bytes.back() = static_cast<char>(bytes.back() ^ 0x5A);  // flip a payload bit
+    spit(p, bytes);
+
+    Journal::ScanResult scan;
+    Journal::open(p, scan);
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].payload, "alpha");
+    EXPECT_TRUE(scan.tail_truncated);
+}
+
+TEST_F(JournalTest, AppendAfterTruncationContinuesCleanly) {
+    const std::string p = path("wal");
+    {
+        Journal j = Journal::create(p, "m");
+        j.append(1, "alpha");
+    }
+    spit(p, slurp(p) + "garbage-tail");
+    Journal::ScanResult scan;
+    Journal j = Journal::open(p, scan);
+    EXPECT_TRUE(scan.tail_truncated);
+    j.append(2, "beta");
+    Journal::ScanResult scan2;
+    Journal::open(p, scan2);
+    ASSERT_EQ(scan2.records.size(), 2u);
+    EXPECT_EQ(scan2.records[1].payload, "beta");
+    EXPECT_FALSE(scan2.tail_truncated);
+}
+
+TEST_F(JournalTest, BadMagicOrMetaChecksumThrows) {
+    const std::string p = path("wal");
+    { Journal::create(p, "meta"); }
+    std::string bytes = slurp(p);
+    {
+        std::string evil = bytes;
+        evil[0] = 'X';
+        spit(p, evil);
+        Journal::ScanResult scan;
+        EXPECT_THROW(Journal::open(p, scan), JournalError);
+    }
+    {
+        std::string evil = bytes;
+        evil[bytes.size() - 1] = static_cast<char>(evil[bytes.size() - 1] ^ 0xFF);
+        spit(p, evil);  // meta crc no longer matches
+        Journal::ScanResult scan;
+        EXPECT_THROW(Journal::open(p, scan), JournalError);
+    }
+    Journal::ScanResult scan;
+    EXPECT_THROW(Journal::open(path("missing"), scan), JournalError);
+}
+
+TEST_F(JournalTest, DetachedJournalIsANoOp) {
+    Journal j;
+    EXPECT_FALSE(j.attached());
+    j.append(1, "dropped");  // must not crash or write anywhere
+    EXPECT_EQ(j.size_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace poc::util

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "util/contracts.hpp"
@@ -98,6 +99,54 @@ TEST(Money, Predicates) {
     EXPECT_TRUE(Money::from_dollars(-1.0).is_negative());
     EXPECT_FALSE(Money{}.is_negative());
     EXPECT_FALSE(1_usd .is_negative());
+}
+
+// Overflow safety: ledger accumulation goes through checked_add /
+// checked_sum, which must detect int64 wrap instead of producing a
+// silently-wrong balance.
+
+TEST(Money, CheckedAddDetectsPositiveOverflow) {
+    const Money max = Money::from_micros(std::numeric_limits<std::int64_t>::max());
+    EXPECT_FALSE(Money::checked_add(max, Money::from_micros(1)).has_value());
+    EXPECT_FALSE(Money::checked_add(max, max).has_value());
+    // Exactly at the boundary is fine.
+    const auto at_max = Money::checked_add(Money::from_micros(
+                                               std::numeric_limits<std::int64_t>::max() - 1),
+                                           Money::from_micros(1));
+    ASSERT_TRUE(at_max.has_value());
+    EXPECT_EQ(at_max->micros(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Money, CheckedAddDetectsNegativeOverflow) {
+    const Money min = Money::from_micros(std::numeric_limits<std::int64_t>::min());
+    EXPECT_FALSE(Money::checked_add(min, Money::from_micros(-1)).has_value());
+    EXPECT_FALSE(Money::checked_add(min, min).has_value());
+    const auto at_min = Money::checked_add(Money::from_micros(
+                                               std::numeric_limits<std::int64_t>::min() + 1),
+                                           Money::from_micros(-1));
+    ASSERT_TRUE(at_min.has_value());
+    EXPECT_EQ(at_min->micros(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Money, CheckedAddMatchesPlainAdditionInRange) {
+    const Money a = Money::from_dollars(123.456789);
+    const Money b = Money::from_dollars(-987.654321);
+    const auto sum = Money::checked_add(a, b);
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, a + b);
+    // Opposite-sign extremes can never overflow.
+    const Money max = Money::from_micros(std::numeric_limits<std::int64_t>::max());
+    const Money min = Money::from_micros(std::numeric_limits<std::int64_t>::min());
+    ASSERT_TRUE(Money::checked_add(max, min).has_value());
+    EXPECT_EQ(Money::checked_add(max, min)->micros(), -1);
+}
+
+TEST(Money, CheckedSumThrowsOnOverflow) {
+    const Money max = Money::from_micros(std::numeric_limits<std::int64_t>::max());
+    EXPECT_THROW(Money::checked_sum(max, 1_usd), ContractViolation);
+    EXPECT_THROW(Money::checked_sum(-max, Money::from_dollars(std::int64_t{-2})),
+                 ContractViolation);
+    EXPECT_EQ(Money::checked_sum(2_usd, 3_usd), 5_usd);
 }
 
 }  // namespace

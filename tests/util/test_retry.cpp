@@ -1,0 +1,213 @@
+// Retry/backoff/breaker engine: deterministic fake-clock tests pinning
+// the failure model the durable epoch runtime depends on.
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace poc::util {
+namespace {
+
+/// Injectable monotonic clock; advance() models time passing.
+struct FakeClock {
+    double now_ms = 0.0;
+    Retrier::Clock fn() {
+        return [this] { return now_ms; };
+    }
+};
+
+RetryPolicy quick_policy(std::size_t attempts = 3) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    p.deadline_ms = 100.0;
+    p.base_backoff_ms = 10.0;
+    p.backoff_multiplier = 2.0;
+    p.max_backoff_ms = 40.0;
+    p.jitter_fraction = 0.0;  // exact backoff values in tests
+    return p;
+}
+
+TEST(Retry, FirstAttemptSuccessTouchesNothing) {
+    FakeClock clock;
+    Retrier r(quick_policy(), {}, clock.fn());
+    const int out = r.call([](const Deadline&) { return 41 + 1; });
+    EXPECT_EQ(out, 42);
+    EXPECT_EQ(r.stats().calls, 1u);
+    EXPECT_EQ(r.stats().attempts, 1u);
+    EXPECT_EQ(r.stats().successes, 1u);
+    EXPECT_EQ(r.stats().failures, 0u);
+    EXPECT_EQ(r.breaker_state(), BreakerState::kClosed);
+}
+
+TEST(Retry, TransientFailuresAreRetriedThenSucceed) {
+    FakeClock clock;
+    Retrier r(quick_policy(3), {}, clock.fn());
+    int tries = 0;
+    const int out = r.call([&](const Deadline&) {
+        if (++tries < 3) throw TransientError("flaky");
+        return tries;
+    });
+    EXPECT_EQ(out, 3);
+    EXPECT_EQ(r.stats().attempts, 3u);
+    EXPECT_EQ(r.stats().failures, 2u);
+    EXPECT_EQ(r.stats().successes, 1u);
+    // Exact backoff (jitter off): 10 then 20 ms, virtual (no clock
+    // movement, but accounted).
+    EXPECT_DOUBLE_EQ(r.stats().backoff_ms_total, 30.0);
+}
+
+TEST(Retry, ExhaustionThrowsAndCounts) {
+    FakeClock clock;
+    Retrier r(quick_policy(2), {}, clock.fn());
+    EXPECT_THROW(r.call([](const Deadline&) -> int { throw TransientError("down"); }),
+                 RetryExhausted);
+    EXPECT_EQ(r.stats().attempts, 2u);
+    EXPECT_EQ(r.stats().exhausted, 1u);
+    EXPECT_EQ(r.stats().successes, 0u);
+}
+
+TEST(Retry, NonTransientExceptionsPropagateImmediately) {
+    FakeClock clock;
+    Retrier r(quick_policy(3), {}, clock.fn());
+    EXPECT_THROW(r.call([](const Deadline&) -> int { throw std::logic_error("bug"); }),
+                 std::logic_error);
+    EXPECT_EQ(r.stats().attempts, 1u);
+    EXPECT_EQ(r.stats().exhausted, 0u);
+}
+
+TEST(Retry, CooperativeDeadlineCheckAborts) {
+    FakeClock clock;
+    Retrier r(quick_policy(2), {}, clock.fn());
+    EXPECT_THROW(r.call([&](const Deadline& d) -> int {
+        clock.now_ms += 200.0;  // blow the 100 ms budget
+        d.check();
+        ADD_FAILURE() << "check() must throw past the deadline";
+        return 0;
+    }),
+                 RetryExhausted);
+    EXPECT_EQ(r.stats().timeouts, 2u);
+}
+
+TEST(Retry, SlowSuccessCountsAsTimeout) {
+    FakeClock clock;
+    Retrier r(quick_policy(2), {}, clock.fn());
+    int runs = 0;
+    const int out = r.call([&](const Deadline&) {
+        ++runs;
+        // First attempt overruns its budget without ever polling;
+        // second is quick.
+        if (runs == 1) clock.now_ms += 150.0;
+        return runs;
+    });
+    EXPECT_EQ(out, 2);
+    EXPECT_EQ(r.stats().timeouts, 1u);
+    EXPECT_EQ(r.stats().failures, 1u);
+    EXPECT_EQ(r.stats().successes, 1u);
+}
+
+TEST(Retry, BackoffIsCappedAndJitterIsDeterministic) {
+    RetryPolicy p = quick_policy(4);
+    p.jitter_fraction = 0.2;
+    FakeClock clock;
+    std::vector<double> slept;
+    Retrier a(p, {}, clock.fn(), [&](double ms) { slept.push_back(ms); });
+    EXPECT_THROW(a.call([](const Deadline&) -> int { throw TransientError("x"); }),
+                 RetryExhausted);
+    ASSERT_EQ(slept.size(), 3u);
+    // Base 10, 20, 40(capped); jitter multiplies by [0.8, 1.2).
+    EXPECT_GE(slept[0], 8.0);
+    EXPECT_LT(slept[0], 12.0);
+    EXPECT_GE(slept[2], 32.0);
+    EXPECT_LT(slept[2], 48.0);
+
+    // Same seed => bit-identical jitter sequence.
+    FakeClock clock2;
+    std::vector<double> slept2;
+    Retrier b(p, {}, clock2.fn(), [&](double ms) { slept2.push_back(ms); });
+    EXPECT_THROW(b.call([](const Deadline&) -> int { throw TransientError("x"); }),
+                 RetryExhausted);
+    EXPECT_EQ(slept, slept2);
+}
+
+TEST(Breaker, OpensAfterConsecutiveExhaustedCallsAndFastFails) {
+    FakeClock clock;
+    BreakerPolicy bp{2, 1000.0};
+    Retrier r(quick_policy(1), bp, clock.fn());
+    auto fail = [](const Deadline&) -> int { throw TransientError("down"); };
+
+    EXPECT_THROW(r.call(fail), RetryExhausted);
+    EXPECT_EQ(r.breaker_state(), BreakerState::kClosed);
+    EXPECT_THROW(r.call(fail), RetryExhausted);
+    EXPECT_EQ(r.breaker_state(), BreakerState::kOpen);
+    EXPECT_EQ(r.stats().breaker_opens, 1u);
+
+    // Fast-fail: the callable must not even run.
+    bool ran = false;
+    EXPECT_THROW(r.call([&](const Deadline&) -> int {
+        ran = true;
+        return 0;
+    }),
+                 BreakerOpen);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(r.stats().breaker_fast_fails, 1u);
+}
+
+TEST(Breaker, HalfOpenProbeClosesOnSuccess) {
+    FakeClock clock;
+    Retrier r(quick_policy(1), {1, 500.0}, clock.fn());
+    EXPECT_THROW(r.call([](const Deadline&) -> int { throw TransientError("x"); }),
+                 RetryExhausted);
+    EXPECT_EQ(r.breaker_state(), BreakerState::kOpen);
+
+    clock.now_ms += 600.0;  // past cooldown
+    EXPECT_EQ(r.breaker_state(), BreakerState::kHalfOpen);
+    EXPECT_EQ(r.call([](const Deadline&) { return 7; }), 7);
+    EXPECT_EQ(r.breaker_state(), BreakerState::kClosed);
+}
+
+TEST(Breaker, HalfOpenProbeFailureReopens) {
+    FakeClock clock;
+    Retrier r(quick_policy(1), {1, 500.0}, clock.fn());
+    auto fail = [](const Deadline&) -> int { throw TransientError("x"); };
+    EXPECT_THROW(r.call(fail), RetryExhausted);
+    clock.now_ms += 600.0;
+    EXPECT_THROW(r.call(fail), RetryExhausted);  // the probe itself fails
+    EXPECT_EQ(r.breaker_state(), BreakerState::kOpen);
+    EXPECT_EQ(r.stats().breaker_opens, 2u);
+    // Still fast-failing before the new cooldown elapses.
+    EXPECT_THROW(r.call([](const Deadline&) { return 0; }), BreakerOpen);
+}
+
+TEST(Breaker, SuccessResetsConsecutiveCount) {
+    FakeClock clock;
+    Retrier r(quick_policy(1), {2, 1000.0}, clock.fn());
+    auto fail = [](const Deadline&) -> int { throw TransientError("x"); };
+    EXPECT_THROW(r.call(fail), RetryExhausted);
+    EXPECT_EQ(r.call([](const Deadline&) { return 1; }), 1);  // streak broken
+    EXPECT_THROW(r.call(fail), RetryExhausted);
+    EXPECT_EQ(r.breaker_state(), BreakerState::kClosed) << "2 non-consecutive failures";
+}
+
+TEST(Breaker, AdministrativeReset) {
+    FakeClock clock;
+    Retrier r(quick_policy(1), {1, 1e9}, clock.fn());
+    EXPECT_THROW(r.call([](const Deadline&) -> int { throw TransientError("x"); }),
+                 RetryExhausted);
+    EXPECT_EQ(r.breaker_state(), BreakerState::kOpen);
+    r.reset_breaker();
+    EXPECT_EQ(r.breaker_state(), BreakerState::kClosed);
+    EXPECT_EQ(r.call([](const Deadline&) { return 3; }), 3);
+}
+
+TEST(Retry, PolicyValidation) {
+    EXPECT_THROW(Retrier(RetryPolicy{.max_attempts = 0}), ContractViolation);
+    RetryPolicy bad;
+    bad.jitter_fraction = 1.5;
+    EXPECT_THROW((Retrier(bad)), ContractViolation);
+    BreakerPolicy bad_breaker{0, 10.0};
+    EXPECT_THROW((Retrier(RetryPolicy{}, bad_breaker)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::util
