@@ -1,115 +1,233 @@
-// Microbenchmarks for the network substrate: the primitives the
-// acceptability oracle A(OL) calls in its inner loop.
-#include <benchmark/benchmark.h>
+// Perf baseline for the data-plane fast path (DESIGN.md §6): sweeps
+// graph size × demand count × routing mode (serial per-demand SSSP /
+// batched per-source fast path / fast path + tree cache / fast path +
+// parallel fan-out), times primary-path resolution for the whole
+// traffic matrix, verifies every mode produces bit-identical paths,
+// and emits BENCH_net.json for regression tracking.
+//
+// The headline win is algorithmic, not parallel: a matrix with D
+// demands but S << D distinct sources needs S SSSP runs, not D, and
+// the reusable workspace drops the per-run tree allocation. Those two
+// effects hold on one core, so the fastpath rows beat serial even on a
+// single-thread CI runner; the parallel rows additionally need
+// std::thread::hardware_concurrency() > 1 to stretch further. The JSON
+// records the machine's thread count so 1-core results read honestly.
+//
+// Usage: micro_net [--smoke] [OUT.json]
+//   --smoke: small instances, 1 rep — the CI tier-1 smoke mode.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "net/failure.hpp"
-#include "net/ksp.hpp"
-#include "net/maxflow.hpp"
-#include "net/mcf.hpp"
-#include "net/shortest_path.hpp"
+#include "net/path_cache.hpp"
+#include "net/sssp.hpp"
 #include "util/rng.hpp"
 
 using namespace poc;
 
 namespace {
 
-/// Random connected graph with n nodes and ~3n links.
-net::Graph make_graph(std::size_t n, std::uint64_t seed = 9) {
-    util::Rng rng(seed);
+struct Instance {
+    std::string label;
+    std::size_t nodes = 0;
+    std::size_t demand_count = 0;
     net::Graph g;
-    g.add_nodes(n);
+    net::TrafficMatrix tm;
+    std::size_t distinct_sources = 0;
+};
+
+/// Random connected graph with n nodes and ~3n links, plus `demands`
+/// random positive demands. Sources draw uniformly from all n nodes,
+/// so distinct_sources saturates near min(n, demands) — the realistic
+/// shape where grouping pays (demands >> sources).
+Instance make_instance(std::size_t n, std::size_t demands, std::uint64_t seed) {
+    util::Rng rng(seed);
+    Instance inst;
+    inst.nodes = n;
+    inst.demand_count = demands;
+    inst.g.add_nodes(n);
     for (std::size_t i = 0; i + 1 < n; ++i) {
-        g.add_link(net::NodeId{i}, net::NodeId{i + 1}, rng.uniform(50.0, 400.0),
-                   rng.uniform(100.0, 2000.0));
+        inst.g.add_link(net::NodeId{i}, net::NodeId{i + 1}, rng.uniform(50.0, 400.0),
+                        rng.uniform(100.0, 2000.0));
     }
     for (std::size_t e = 0; e < 2 * n; ++e) {
         const auto a = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{n}));
         auto b = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{n}));
         if (a == b) b = (b + 1) % n;
-        g.add_link(net::NodeId{a}, net::NodeId{b}, rng.uniform(50.0, 400.0),
-                   rng.uniform(100.0, 2000.0));
+        inst.g.add_link(net::NodeId{a}, net::NodeId{b}, rng.uniform(50.0, 400.0),
+                        rng.uniform(100.0, 2000.0));
     }
-    return g;
-}
-
-net::TrafficMatrix make_tm(std::size_t n, std::size_t demands, std::uint64_t seed = 33) {
-    util::Rng rng(seed);
-    net::TrafficMatrix tm;
     for (std::size_t d = 0; d < demands; ++d) {
         const auto s = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{n}));
         auto t = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{n}));
         if (s == t) t = (t + 1) % n;
-        tm.push_back({net::NodeId{s}, net::NodeId{t}, rng.uniform(5.0, 40.0)});
+        inst.tm.push_back({net::NodeId{s}, net::NodeId{t}, rng.uniform(0.5, 5.0)});
     }
-    return tm;
+    inst.distinct_sources = net::distinct_sources(inst.tm).size();
+    std::ostringstream label;
+    label << "n" << n << "-d" << demands;
+    inst.label = label.str();
+    return inst;
 }
 
-void BM_Dijkstra(benchmark::State& state) {
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const net::Graph g = make_graph(n);
-    const net::Subgraph sg(g);
-    const auto w = net::weight_by_length(g);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(net::dijkstra(sg, net::NodeId{0u}, w));
+/// The serial reference: one full Dijkstra per demand through the
+/// tree-allocating convenience API — exactly what the routing call
+/// sites did before the fast path existed.
+std::vector<std::vector<net::LinkId>> serial_primary_paths(const net::Subgraph& sg,
+                                                           const net::TrafficMatrix& tm) {
+    const net::LinkWeight w = net::weight_by_length(sg.graph());
+    std::vector<std::vector<net::LinkId>> out(tm.size());
+    for (std::size_t j = 0; j < tm.size(); ++j) {
+        if (tm[j].gbps <= 0.0) continue;
+        if (auto wp = net::shortest_path(sg, tm[j].src, tm[j].dst, w)) {
+            out[j] = std::move(wp->links);
+        }
     }
-    state.SetComplexityN(state.range(0));
+    return out;
 }
-BENCHMARK(BM_Dijkstra)->Arg(50)->Arg(200)->Arg(800)->Complexity();
 
-void BM_YenKsp(benchmark::State& state) {
-    const net::Graph g = make_graph(120);
-    const net::Subgraph sg(g);
-    const auto w = net::weight_by_length(g);
-    const auto k = static_cast<std::size_t>(state.range(0));
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            net::yen_k_shortest(sg, net::NodeId{0u}, net::NodeId{60u}, w, k));
-    }
-}
-BENCHMARK(BM_YenKsp)->Arg(2)->Arg(4)->Arg(8);
+struct Mode {
+    const char* name;
+    std::size_t threads;
+    bool cache;
+};
 
-void BM_MaxFlow(benchmark::State& state) {
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const net::Graph g = make_graph(n);
-    const net::Subgraph sg(g);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(net::max_flow(sg, net::NodeId{0u}, net::NodeId{n - 1}));
-    }
-}
-BENCHMARK(BM_MaxFlow)->Arg(50)->Arg(200);
-
-void BM_GreedyRouting(benchmark::State& state) {
-    const std::size_t n = 80;
-    const net::Graph g = make_graph(n);
-    const net::Subgraph sg(g);
-    const auto tm = make_tm(n, static_cast<std::size_t>(state.range(0)));
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(net::greedy_path_routing(sg, tm));
-    }
-}
-BENCHMARK(BM_GreedyRouting)->Arg(10)->Arg(40)->Arg(120);
-
-void BM_ConcurrentFlowFptas(benchmark::State& state) {
-    const std::size_t n = 60;
-    const net::Graph g = make_graph(n);
-    const net::Subgraph sg(g);
-    const auto tm = make_tm(n, 15);
-    const double eps = static_cast<double>(state.range(0)) / 100.0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(net::max_concurrent_flow(sg, tm, eps));
-    }
-}
-BENCHMARK(BM_ConcurrentFlowFptas)->Arg(30)->Arg(15);
-
-void BM_SingleFailureCheck(benchmark::State& state) {
-    const std::size_t n = 40;
-    const net::Graph g = make_graph(n);
-    const net::Subgraph sg(g);
-    const auto tm = make_tm(n, 10);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(net::satisfies_single_failure(sg, tm));
-    }
-}
-BENCHMARK(BM_SingleFailureCheck);
+struct Row {
+    std::string instance;
+    std::size_t nodes = 0;
+    std::size_t links = 0;
+    std::size_t demands = 0;
+    std::size_t distinct_sources = 0;
+    std::string mode;
+    std::size_t threads = 1;
+    bool cache = false;
+    double ms = 0.0;
+    double speedup_vs_serial = 1.0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+};
 
 }  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string out_path = "BENCH_net.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            out_path = argv[i];
+        }
+    }
+    const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const std::size_t par = std::max<std::size_t>(2, hw);
+    const Mode modes[] = {
+        {"serial", 1, false},
+        {"fastpath", 1, false},
+        {"fastpath+cache", 1, true},
+        {"fastpath+parallel", par, false},
+    };
+    const int reps = smoke ? 1 : 3;
+
+    std::vector<Instance> instances;
+    instances.push_back(make_instance(10, 100, 8101));
+    instances.push_back(make_instance(50, 500, 8102));
+    if (!smoke) {
+        instances.push_back(make_instance(200, 2000, 8103));
+        instances.push_back(make_instance(500, 10000, 8104));
+    }
+
+    std::vector<Row> rows;
+    bool all_identical = true;
+
+    for (const Instance& inst : instances) {
+        const net::Subgraph sg(inst.g);
+        std::vector<std::vector<net::LinkId>> reference;
+        double serial_ms = 0.0;
+        for (const Mode& mode : modes) {
+            // One cache per (instance, mode) row, kept warm across
+            // reps: the best-of-reps time for the cached row measures
+            // the steady state a scenario epoch loop sees, where the
+            // previous epoch already populated the trees.
+            net::PathCache cache;
+            net::SsspBatchOptions bopt;
+            bopt.metric = net::SsspMetric::kLength;
+            bopt.threads = mode.threads;
+            bopt.cache = mode.cache ? &cache : nullptr;
+            const bool is_serial = std::strcmp(mode.name, "serial") == 0;
+
+            double best_ms = 0.0;
+            std::vector<std::vector<net::LinkId>> paths;
+            for (int rep = 0; rep < reps; ++rep) {
+                const auto t0 = std::chrono::steady_clock::now();
+                paths = is_serial ? serial_primary_paths(sg, inst.tm)
+                                  : net::batched_primary_paths(sg, inst.tm, bopt);
+                const auto t1 = std::chrono::steady_clock::now();
+                const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+                if (rep == 0 || ms < best_ms) best_ms = ms;
+            }
+            if (is_serial) {
+                reference = paths;
+                serial_ms = best_ms;
+            } else if (paths != reference) {
+                std::cerr << inst.label << "/" << mode.name << ": paths differ from serial\n";
+                all_identical = false;
+            }
+
+            Row row;
+            row.instance = inst.label;
+            row.nodes = inst.nodes;
+            row.links = inst.g.link_count();
+            row.demands = inst.demand_count;
+            row.distinct_sources = inst.distinct_sources;
+            row.mode = mode.name;
+            row.threads = mode.threads;
+            row.cache = mode.cache;
+            row.ms = best_ms;
+            row.speedup_vs_serial = best_ms > 0.0 ? serial_ms / best_ms : 1.0;
+            row.cache_hits = cache.stats().hits;
+            row.cache_misses = cache.stats().misses;
+            rows.push_back(row);
+
+            std::cout << inst.label << "  links=" << row.links << "  sources="
+                      << row.distinct_sources << "  " << mode.name << "  " << best_ms
+                      << " ms  x" << row.speedup_vs_serial;
+            if (mode.cache) {
+                std::cout << "  hits=" << row.cache_hits << "  misses=" << row.cache_misses;
+            }
+            std::cout << "\n";
+        }
+    }
+    if (!all_identical) return 1;
+
+    std::ofstream out(out_path);
+    out << "{\n  \"bench\": \"micro_net\",\n"
+        << "  \"hardware_threads\": " << hw << ",\n"
+        << "  \"parallel_threads\": " << par << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"all_modes_identical_to_serial\": " << (all_identical ? "true" : "false") << ",\n"
+        << "  \"note\": \"ms is best of reps, resolving one primary path per demand; fastpath "
+           "speedup comes from one SSSP per distinct source (machine-independent), parallel "
+           "rows additionally need hardware_threads > 1\",\n"
+        << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        out << "    {\"instance\": \"" << r.instance << "\", \"nodes\": " << r.nodes
+            << ", \"links\": " << r.links << ", \"demands\": " << r.demands
+            << ", \"distinct_sources\": " << r.distinct_sources << ", \"mode\": \"" << r.mode
+            << "\", \"threads\": " << r.threads << ", \"cache\": " << (r.cache ? "true" : "false")
+            << ", \"ms\": " << r.ms << ", \"speedup_vs_serial\": " << r.speedup_vs_serial
+            << ", \"cache_hits\": " << r.cache_hits << ", \"cache_misses\": " << r.cache_misses
+            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << out_path << "\n";
+    return 0;
+}

@@ -9,11 +9,13 @@
 // Set POC_OBS_SNAPSHOT=<path-prefix> to also dump the run's obs
 // snapshot: <prefix>.json (counters, gauges, histograms, spans) plus
 // the metrics table on stdout. See DESIGN.md §5a.
+#include <array>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 #include "market/pricing.hpp"
+#include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 #include "sim/scenario.hpp"
 #include "topo/traffic.hpp"
@@ -73,7 +75,34 @@ int main() {
     sopt.request.oracle = oopt;
     sopt.request.constraint = market::ConstraintKind::kLoad;
 
+#if POC_OBS_ENABLED
+    // Per-epoch data-plane telemetry: the scenario shares one
+    // net::PathCache across its auctions and flow sims
+    // (ScenarioOptions::use_path_cache), so the SSSP/path-cache counter
+    // deltas show how much routing work each epoch reused vs recomputed.
+    // Lifetime totals land in the obs snapshot below.
+    auto net_counters = [] {
+        obs::MetricsRegistry& reg = obs::registry();
+        return std::array<std::uint64_t, 4>{
+            reg.counter("net.sssp.runs").value(),
+            reg.counter("net.path_cache.hits").value(),
+            reg.counter("net.path_cache.misses").value(),
+            reg.counter("net.path_cache.evictions").value(),
+        };
+    };
+    auto last = net_counters();
+    sopt.on_epoch = [&](const sim::EpochOutcome& o) {
+        const auto now = net_counters();
+        std::cout << "epoch " << o.epoch << " data plane: sssp_runs=" << now[0] - last[0]
+                  << "  path_cache hits=" << now[1] - last[1]
+                  << " misses=" << now[2] - last[2] << " evictions=" << now[3] - last[3]
+                  << "\n";
+        last = now;
+    };
+#endif
+
     const auto outcomes = sim::run_scenario(pool, tm, events, sopt);
+    std::cout << "\n";
 
     util::Table table({"epoch", "events", "offered", "selected", "demand Gbps",
                        "outlay", "mean PoB", "max util", "virt share"});

@@ -1,14 +1,15 @@
 #include "core/flow_sim.hpp"
 
 #include <algorithm>
+#include <limits>
 
-#include "net/shortest_path.hpp"
+#include "net/sssp.hpp"
 #include "obs/trace.hpp"
 
 namespace poc::core {
 
 FlowReport simulate_flows(const net::Subgraph& backbone, const net::TrafficMatrix& tm,
-                          const std::vector<bool>& is_virtual) {
+                          const std::vector<bool>& is_virtual, const FlowSimOptions& opt) {
     const net::Graph& g = backbone.graph();
     POC_EXPECTS(is_virtual.empty() || is_virtual.size() == g.link_count());
 
@@ -38,7 +39,17 @@ FlowReport simulate_flows(const net::Subgraph& backbone, const net::TrafficMatri
         report.fully_routed = true;
     }
 
-    const net::LinkWeight by_len = net::weight_by_length(g);
+    // Shortest-possible distance per demand for the stretch metric:
+    // one SSSP per distinct source (optionally cached / parallel)
+    // instead of one per demand. The accumulation below stays in j
+    // order, so the sum is bit-identical to per-demand shortest_path
+    // calls.
+    net::SsspBatchOptions batch_opt;
+    batch_opt.metric = net::SsspMetric::kLength;
+    batch_opt.threads = opt.sssp_threads;
+    batch_opt.cache = opt.path_cache;
+    const std::vector<double> shortest_km = net::batched_demand_distances(backbone, tm, batch_opt);
+
     double weighted_km = 0.0;
     double weighted_shortest_km = 0.0;
     double virtual_gbps_km = 0.0;
@@ -62,8 +73,8 @@ FlowReport simulate_flows(const net::Subgraph& backbone, const net::TrafficMatri
         report.total_routed_gbps += routed_j;
         if (routed_j > 0.0) {
             ++admitted;
-            if (const auto sp = net::shortest_path(backbone, tm[j].src, tm[j].dst, by_len)) {
-                weighted_shortest_km += routed_j * sp->weight;
+            if (shortest_km[j] < std::numeric_limits<double>::infinity()) {
+                weighted_shortest_km += routed_j * shortest_km[j];
             }
         }
     }

@@ -8,8 +8,20 @@
 #include <vector>
 
 #include "net/mcf.hpp"
+#include "net/path_cache.hpp"
 
 namespace poc::core {
+
+/// Data-plane fast-path knobs (DESIGN.md §6). The defaults reproduce
+/// the plain serial behavior; every setting is bit-identical to it.
+struct FlowSimOptions {
+    /// Shared shortest-path-tree cache for the stretch metric's
+    /// per-demand shortest-distance pass (one tree per distinct demand
+    /// source). Null computes the trees locally.
+    net::PathCache* path_cache = nullptr;
+    /// Threads for the per-source SSSP fan-out (1 = serial).
+    std::size_t sssp_threads = 1;
+};
 
 struct FlowReport {
     double total_offered_gbps = 0.0;
@@ -35,6 +47,7 @@ struct FlowReport {
 /// Route `tm` over the backbone and measure. `is_virtual` flags links
 /// that are external-ISP virtual links (may be empty if none).
 FlowReport simulate_flows(const net::Subgraph& backbone, const net::TrafficMatrix& tm,
-                          const std::vector<bool>& is_virtual = {});
+                          const std::vector<bool>& is_virtual = {},
+                          const FlowSimOptions& opt = {});
 
 }  // namespace poc::core

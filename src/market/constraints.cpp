@@ -31,6 +31,7 @@ bool AcceptabilityOracle::accepts_impl(const net::Subgraph& sg) const {
 bool AcceptabilityOracle::accepts_exact(const net::Subgraph& sg) const {
     net::ResilienceOptions ropt;
     ropt.fptas_eps = opt_.fptas_eps;
+    ropt.path_cache = opt_.path_cache;
     switch (kind_) {
         case ConstraintKind::kLoad:
             return net::satisfies_load(sg, tm_, opt_.fptas_eps);
@@ -61,7 +62,7 @@ bool AcceptabilityOracle::accepts_fast(const net::Subgraph& sg) const {
             return net::greedy_path_routing(sg, tm_, gopt).has_value();
         }
         case ConstraintKind::kPerPairFailure: {
-            const auto primaries = net::primary_paths(sg, tm_);
+            const auto primaries = net::primary_paths(sg, tm_, opt_.path_cache);
             if (!net::greedy_path_routing(sg, tm_).has_value()) return false;
             net::GreedyRoutingOptions gopt;
             gopt.exclusions = &primaries;

@@ -46,6 +46,13 @@ struct OracleOptions {
     double fast_failure_derate = 0.65;
     /// FPTAS epsilon for exact-mode fallbacks.
     double fptas_eps = 0.15;
+    /// Optional shared shortest-path-tree cache (net/path_cache.hpp)
+    /// for the per-pair constraint's primary-path computation. Clarke
+    /// pivots evaluate near-identical masks, so one cache across an
+    /// auction turns most of those SSSPs into lookups. Must outlive
+    /// the oracle; thread-safe; null disables caching. Results are
+    /// identical either way.
+    net::PathCache* path_cache = nullptr;
 };
 
 /// The interface the winner-determination search drives: is the active

@@ -77,6 +77,10 @@ BpOutcome clarke_pivot(const OfferPool& pool, const Oracle& oracle, const Select
 
 }  // namespace
 
+bool parallel_pivots_engaged(const AuctionOptions& opt, std::size_t pivot_count) {
+    return opt.threads > 1 && pivot_count > 1 && pivot_count >= opt.parallel_min_pivots;
+}
+
 std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& oracle,
                                          const AuctionOptions& opt) {
     POC_OBS_SPAN("market.run_auction");
@@ -114,7 +118,7 @@ std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& or
 
     const std::vector<BpBid>& bids = pool.bids();
     result.outcomes.resize(bids.size());
-    if (opt.threads > 1 && bids.size() > 1) {
+    if (parallel_pivots_engaged(opt, bids.size())) {
         // The graph's adjacency index builds lazily on first use; warm
         // it before concurrent readers race to be that first use.
         pool.graph().warm_adjacency();

@@ -76,6 +76,13 @@ struct AuctionOptions {
     /// independent by construction. 0 or 1 = serial (the reproducible
     /// default); any value produces bit-identical results.
     std::size_t threads = 1;
+    /// Minimum number of pivot re-solves (= bids) before the thread
+    /// pool is engaged at all. Below it the auction runs serially even
+    /// with threads > 1: pool spin-up/teardown costs more than a
+    /// handful of pivots (the BENCH_auction.json small-instance rows
+    /// sat at 0.75-0.99x serial before this gate). Identical results
+    /// on both sides of the cutover.
+    std::size_t parallel_min_pivots = 8;
     /// Memoize oracle verdicts and whole pivot solves within this
     /// auction (see market/auction_cache.hpp). Results are
     /// bit-identical to the uncached path; only the work is shared.
@@ -86,6 +93,10 @@ struct AuctionOptions {
 /// (no backbone can be provisioned from the offers).
 std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& oracle,
                                          const AuctionOptions& opt = {});
+
+/// Whether run_auction would fan `pivot_count` Clarke pivots across a
+/// pool under `opt` (exposed so tests can pin the cutover exactly).
+bool parallel_pivots_engaged(const AuctionOptions& opt, std::size_t pivot_count);
 
 /// Binary (de)serialization of a full AuctionResult for the durable
 /// epoch runtime's write-ahead journal: byte-exact round trip of every

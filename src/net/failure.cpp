@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/connectivity.hpp"
+#include "net/sssp.hpp"
 
 namespace poc::net {
 
@@ -43,22 +44,18 @@ bool satisfies_single_failure(const Subgraph& sg, const TrafficMatrix& tm,
     return true;
 }
 
-std::vector<std::vector<LinkId>> primary_paths(const Subgraph& sg, const TrafficMatrix& tm) {
-    std::vector<std::vector<LinkId>> primaries(tm.size());
-    const LinkWeight w = weight_by_length(sg.graph());
-    for (std::size_t j = 0; j < tm.size(); ++j) {
-        if (tm[j].gbps <= 0.0) continue;
-        if (const auto sp = shortest_path(sg, tm[j].src, tm[j].dst, w)) {
-            primaries[j] = sp->links;
-        }
-    }
-    return primaries;
+std::vector<std::vector<LinkId>> primary_paths(const Subgraph& sg, const TrafficMatrix& tm,
+                                               PathCache* cache) {
+    SsspBatchOptions opt;
+    opt.metric = SsspMetric::kLength;
+    opt.cache = cache;
+    return batched_primary_paths(sg, tm, opt);
 }
 
 bool satisfies_per_pair_failure(const Subgraph& sg, const TrafficMatrix& tm,
                                 const ResilienceOptions& opt) {
     if (!satisfies_load(sg, tm, opt.fptas_eps)) return false;
-    const CommodityExclusions primaries = primary_paths(sg, tm);
+    const CommodityExclusions primaries = primary_paths(sg, tm, opt.path_cache);
     // Every demand must still be routable (simultaneously) while its own
     // primary path's links are excluded for it.
     return is_routable(sg, tm, opt.fptas_eps, &primaries);

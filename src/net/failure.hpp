@@ -20,6 +20,7 @@
 
 #include "net/graph.hpp"
 #include "net/mcf.hpp"
+#include "net/path_cache.hpp"
 
 namespace poc::net {
 
@@ -36,6 +37,11 @@ struct ResilienceOptions {
     /// headroom, so it can accept sets the exhaustive check would
     /// reject; use it only for coarse search, never final validation.
     double recheck_load_threshold = 0.0;
+    /// Optional shared tree cache for the per-pair model's primary-path
+    /// computation (keyed on the subgraph mask, so near-identical pivot
+    /// masks reuse each other's trees). Null: no caching. Either way
+    /// the result is identical.
+    PathCache* path_cache = nullptr;
 };
 
 /// Constraint #1: the matrix is routable on the active links.
@@ -54,6 +60,7 @@ bool satisfies_per_pair_failure(const Subgraph& sg, const TrafficMatrix& tm,
 /// The primary (shortest-by-length) path link set per demand, used by
 /// the per-pair failure model. Demands with disconnected endpoints get
 /// an empty set.
-std::vector<std::vector<LinkId>> primary_paths(const Subgraph& sg, const TrafficMatrix& tm);
+std::vector<std::vector<LinkId>> primary_paths(const Subgraph& sg, const TrafficMatrix& tm,
+                                               PathCache* cache = nullptr);
 
 }  // namespace poc::net

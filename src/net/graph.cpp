@@ -63,7 +63,9 @@ void Graph::ensure_adjacency_current() const {
 }
 
 Subgraph::Subgraph(const Graph& graph)
-    : graph_(&graph), mask_(graph.link_count(), 1), active_count_(graph.link_count()) {}
+    : graph_(&graph), mask_(graph.link_count(), 1), active_count_(graph.link_count()) {
+    for (std::size_t i = 0; i < mask_.size(); ++i) fingerprint_ ^= link_fingerprint(i);
+}
 
 Subgraph::Subgraph(const Graph& graph, const std::vector<LinkId>& active)
     : graph_(&graph), mask_(graph.link_count(), 0) {

@@ -113,10 +113,28 @@ public:
         if (mask_[id.index()] != now) {
             mask_[id.index()] = now;
             active_count_ += active ? 1 : static_cast<std::size_t>(-1);
+            fingerprint_ ^= link_fingerprint(id.index());
         }
     }
 
     std::size_t active_count() const noexcept { return active_count_; }
+
+    /// Order-independent hash of the active-link set, maintained
+    /// incrementally (XOR of a per-link mix), so two views over the same
+    /// graph have equal fingerprints iff — up to 64-bit collisions —
+    /// their active sets are equal, no matter in which order the masks
+    /// were built. net::PathCache keys routing state on this; see
+    /// DESIGN.md §6 for the collision model.
+    std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+    /// The fingerprint contribution of one link (splitmix64 of its
+    /// index), exposed so tests can state collision expectations.
+    static std::uint64_t link_fingerprint(std::size_t link_index) noexcept {
+        std::uint64_t z = link_index + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
 
     /// Active links in id order.
     std::vector<LinkId> active_links() const;
@@ -127,6 +145,7 @@ private:
     const Graph* graph_;
     std::vector<char> mask_;
     std::size_t active_count_ = 0;
+    std::uint64_t fingerprint_ = 0;
 };
 
 /// A directional traffic demand between two routers.

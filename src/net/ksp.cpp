@@ -18,12 +18,19 @@ double path_weight(const std::vector<LinkId>& links, const LinkWeight& weight) {
 
 std::vector<WeightedPath> yen_k_shortest(const Subgraph& sg, NodeId src, NodeId dst,
                                          const LinkWeight& weight, std::size_t k) {
+    SsspWorkspace ws;
+    return yen_k_shortest(sg, src, dst, weight, k, ws);
+}
+
+std::vector<WeightedPath> yen_k_shortest(const Subgraph& sg, NodeId src, NodeId dst,
+                                         const LinkWeight& weight, std::size_t k,
+                                         SsspWorkspace& ws) {
     POC_EXPECTS(k >= 1);
     POC_EXPECTS(src != dst);
     const Graph& g = sg.graph();
 
     std::vector<WeightedPath> result;
-    auto first = shortest_path(sg, src, dst, weight);
+    auto first = shortest_path(sg, src, dst, weight, ws);
     if (!first) return result;
     result.push_back(std::move(*first));
 
@@ -71,7 +78,7 @@ std::vector<WeightedPath> yen_k_shortest(const Subgraph& sg, NodeId src, NodeId 
                 }
             }
 
-            if (auto spur = shortest_path(work, spur_node, dst, weight)) {
+            if (auto spur = shortest_path(work, spur_node, dst, weight, ws)) {
                 WeightedPath total;
                 total.links = root;
                 total.links.insert(total.links.end(), spur->links.begin(), spur->links.end());

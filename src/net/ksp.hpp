@@ -17,4 +17,11 @@ namespace poc::net {
 std::vector<WeightedPath> yen_k_shortest(const Subgraph& sg, NodeId src, NodeId dst,
                                          const LinkWeight& weight, std::size_t k);
 
+/// yen_k_shortest with every internal SSSP run through a reusable
+/// workspace. Identical results; the per-spur tree allocations of the
+/// convenience overload disappear.
+std::vector<WeightedPath> yen_k_shortest(const Subgraph& sg, NodeId src, NodeId dst,
+                                         const LinkWeight& weight, std::size_t k,
+                                         SsspWorkspace& ws);
+
 }  // namespace poc::net

@@ -45,6 +45,22 @@ std::optional<CommodityRouting> greedy_path_routing(const Subgraph& sg, const Tr
     CommodityRouting routing;
     routing.routes.resize(tm.size());
 
+    // The "usable" view — active links with residual capacity — is
+    // maintained incrementally across demands instead of being rebuilt
+    // from scratch per demand: residual only ever decreases, so the
+    // exhausted set grows monotonically and a link deactivated here
+    // stays deactivated. This is exactly the set the per-demand rebuild
+    // would produce, just without the O(L) sweep. Per-demand exclusions
+    // are toggled off around the search and restored via an undo list
+    // (an excluded link's residual cannot change while it is excluded,
+    // so restoring to active is always correct).
+    Subgraph usable = sg;
+    for (const LinkId lid : sg.active_links()) {
+        if (residual[lid.index()] <= kEps) usable.set_active(lid, false);
+    }
+    std::vector<LinkId> excluded_undo;
+    SsspWorkspace ws;
+
     for (const std::size_t di : order) {
         const Demand& d = tm[di];
         if (d.gbps <= kEps) continue;
@@ -62,18 +78,20 @@ std::optional<CommodityRouting> greedy_path_routing(const Subgraph& sg, const Tr
             return (base + 1.0) * (1.0 + 4.0 * frac * frac);
         };
 
-        // Restrict search to links with usable residual, minus this
-        // commodity's forbidden links.
-        Subgraph usable = sg;
-        for (const LinkId lid : sg.active_links()) {
-            if (residual[lid.index()] <= kEps) usable.set_active(lid, false);
-        }
+        excluded_undo.clear();
         if (opt.exclusions != nullptr) {
-            for (const LinkId lid : (*opt.exclusions)[di]) usable.set_active(lid, false);
+            for (const LinkId lid : (*opt.exclusions)[di]) {
+                if (usable.is_active(lid)) {
+                    usable.set_active(lid, false);
+                    excluded_undo.push_back(lid);
+                }
+            }
         }
 
-        auto candidates = yen_k_shortest(usable, d.src, d.dst, congestion_weight, opt.k_paths);
+        auto candidates =
+            yen_k_shortest(usable, d.src, d.dst, congestion_weight, opt.k_paths, ws);
         double remaining = d.gbps;
+        bool fits = true;
         for (const WeightedPath& wp : candidates) {
             if (remaining <= kEps) break;
             double bottleneck = remaining;
@@ -81,11 +99,17 @@ std::optional<CommodityRouting> greedy_path_routing(const Subgraph& sg, const Tr
                 bottleneck = std::min(bottleneck, residual[l.index()]);
             }
             if (bottleneck <= kEps) continue;
-            for (const LinkId l : wp.links) residual[l.index()] -= bottleneck;
+            for (const LinkId l : wp.links) {
+                residual[l.index()] -= bottleneck;
+                if (residual[l.index()] <= kEps) usable.set_active(l, false);
+            }
             routing.routes[di].emplace_back(wp.links, bottleneck);
             remaining -= bottleneck;
         }
-        if (remaining > 1e-9 * std::max(1.0, d.gbps)) return std::nullopt;
+        if (remaining > 1e-9 * std::max(1.0, d.gbps)) fits = false;
+
+        for (const LinkId lid : excluded_undo) usable.set_active(lid, true);
+        if (!fits) return std::nullopt;
     }
     return routing;
 }
@@ -136,12 +160,23 @@ ConcurrentFlowResult max_concurrent_flow(const Subgraph& sg, const TrafficMatrix
         return exclusions != nullptr ? views[j] : sg;
     };
 
-    // Quick reachability/zero-demand screening.
+    // Quick reachability/zero-demand screening. Reachability under the
+    // unit metric only depends on the source and the view, so with no
+    // exclusions (all views alias sg) one SSSP per distinct source
+    // answers every demand from it; the workspace keeps the tree of
+    // the most recent source, and demands arrive grouped only by
+    // chance, so we re-run when the source (or view) changes.
+    SsspWorkspace ws;
+    NodeId screened_source{};
     for (std::size_t j = 0; j < tm.size(); ++j) {
         const Demand& d = tm[j];
         POC_EXPECTS(d.gbps >= 0.0);
         if (d.gbps <= kEps) continue;
-        if (!shortest_path(view_of(j), d.src, d.dst, weight_unit())) {
+        if (exclusions != nullptr || d.src != screened_source) {
+            dijkstra_metric_into(view_of(j), d.src, SsspMetric::kUnit, ws);
+            screened_source = d.src;
+        }
+        if (!ws.reachable(d.dst)) {
             out.lambda = 0.0;  // some demand cannot be routed at all
             return out;
         }
@@ -154,7 +189,7 @@ ConcurrentFlowResult max_concurrent_flow(const Subgraph& sg, const TrafficMatrix
             if (d.gbps <= kEps) continue;
             double to_route = d.gbps;
             while (to_route > kEps && current_dual < 1.0) {
-                const auto sp = shortest_path(view_of(j), d.src, d.dst, len_weight);
+                auto sp = shortest_path(view_of(j), d.src, d.dst, len_weight, ws);
                 POC_ASSERT(sp.has_value());
                 double bottleneck = to_route;
                 for (const LinkId l : sp->links) {
@@ -171,7 +206,7 @@ ConcurrentFlowResult max_concurrent_flow(const Subgraph& sg, const TrafficMatrix
                 }
                 routed[j] += bottleneck;
                 to_route -= bottleneck;
-                out.routing.routes[j].emplace_back(sp->links, bottleneck);
+                out.routing.routes[j].emplace_back(std::move(sp->links), bottleneck);
             }
         }
     }

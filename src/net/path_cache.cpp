@@ -1,0 +1,82 @@
+#include "net/path_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace poc::net {
+
+std::shared_ptr<const ShortestPathTree> PathCache::tree(const Subgraph& sg, NodeId source,
+                                                        SsspMetric metric) {
+    POC_EXPECTS(source.index() < sg.graph().node_count());
+    const Key key{sg.fingerprint(), source.value(), static_cast<std::uint8_t>(metric)};
+    Shard& shard = shard_for(key);
+    const std::uint64_t now = epoch_.load(std::memory_order_relaxed);
+
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            it->second.last_used_epoch = now;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            POC_OBS_INC("net.path_cache.hits");
+            return it->second.tree;
+        }
+    }
+
+    // Miss: compute outside the shard lock so concurrent lookups on
+    // other keys (and even this one) are never serialized behind an
+    // SSSP. A racing miss computes the identical tree; first insert
+    // wins and both callers get equivalent results.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    POC_OBS_INC("net.path_cache.misses");
+    thread_local SsspWorkspace ws;
+    dijkstra_metric_into(sg, source, metric, ws);
+    auto computed = std::make_shared<const ShortestPathTree>(ws.to_tree());
+
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.map.try_emplace(key);
+    if (inserted) it->second.tree = std::move(computed);
+    it->second.last_used_epoch = now;
+    return it->second.tree;
+}
+
+void PathCache::advance_epoch() {
+    const std::uint64_t now = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t evicted = 0;
+    for (Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (auto it = shard.map.begin(); it != shard.map.end();) {
+            // Strict: an entry last used in epoch now-1 survives a
+            // max_age of 1 (it has gone unused for zero full epochs at
+            // the moment the boundary is crossed).
+            if (it->second.last_used_epoch + max_age_ < now) {
+                it = shard.map.erase(it);
+                ++evicted;
+            } else {
+                ++it;
+            }
+        }
+    }
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    POC_OBS_COUNT("net.path_cache.evictions", evicted);
+}
+
+void PathCache::clear() {
+    for (Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.map.clear();
+    }
+}
+
+PathCache::Stats PathCache::stats() const {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        s.entries += shard.map.size();
+    }
+    return s;
+}
+
+}  // namespace poc::net

@@ -1,0 +1,113 @@
+// Epoch-keyed shortest-path-tree cache (DESIGN.md §6). The auction's
+// Clarke pivots and the chaos re-auction path evaluate many subgraphs
+// that differ by a handful of links; their SSSP trees are identical
+// whenever the active-link set and the source coincide. PathCache keys
+// a computed ShortestPathTree on (source, Subgraph::fingerprint(),
+// metric) so that routing state is reused across those near-identical
+// masks instead of recomputed.
+//
+// Contract: one cache serves one topology family — Graphs whose link
+// id space and link lengths (the routing weight) are fixed. Capacity
+// changes are fine (capacity is not a routing input for the cached
+// metrics); the chaos engine's scaled_copy graphs therefore share a
+// cache safely. Reusing a cache across graphs with different lengths
+// or link numbering would alias keys; callers own that invariant.
+//
+// Thread safety: fully thread-safe via sharded mutexes (the same
+// pattern as market::AuctionCache). Concurrent misses on one key may
+// compute the tree twice; both computations are deterministic and
+// identical, the first insert wins, so results never depend on timing.
+//
+// Invalidation is epoch-based, not size-based: advance_epoch() (called
+// once per simulation epoch) drops every entry that was not touched
+// within `max_age` epochs, so the footprint tracks the working set of
+// the current epoch's masks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/shortest_path.hpp"
+
+namespace poc::net {
+
+class PathCache {
+public:
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+    };
+
+    /// `max_age`: number of consecutive epochs an entry may go unused
+    /// before advance_epoch() evicts it. 1 keeps only the previous
+    /// epoch's working set alive.
+    explicit PathCache(std::uint64_t max_age = 1) : max_age_(max_age == 0 ? 1 : max_age) {}
+
+    PathCache(const PathCache&) = delete;
+    PathCache& operator=(const PathCache&) = delete;
+
+    /// The SSSP tree for (sg's active set, source, metric): cached, or
+    /// computed now and cached. The metric is one of the built-in
+    /// weights (SsspMetric), so a key can never be paired with the
+    /// wrong weight function.
+    std::shared_ptr<const ShortestPathTree> tree(const Subgraph& sg, NodeId source,
+                                                 SsspMetric metric);
+
+    /// Advance the epoch clock and evict entries unused for `max_age`
+    /// epochs. Call between epochs, not concurrently with tree().
+    void advance_epoch();
+
+    void clear();
+
+    std::uint64_t epoch() const noexcept { return epoch_.load(std::memory_order_relaxed); }
+
+    Stats stats() const;
+
+private:
+    struct Key {
+        std::uint64_t fingerprint = 0;
+        NodeId::underlying_type source = 0;
+        std::uint8_t metric = 0;
+
+        bool operator==(const Key&) const = default;
+    };
+
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const noexcept {
+            std::uint64_t h = k.fingerprint;
+            h ^= (std::uint64_t{k.source} << 8 | k.metric) + 0x9e3779b97f4a7c15ULL +
+                 (h << 6) + (h >> 2);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    struct Entry {
+        std::shared_ptr<const ShortestPathTree> tree;
+        std::uint64_t last_used_epoch = 0;
+    };
+
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard {
+        mutable std::mutex mutex;
+        std::unordered_map<Key, Entry, KeyHash> map;
+    };
+
+    Shard& shard_for(const Key& k) {
+        return shards_[KeyHash{}(k) % kShards];
+    }
+
+    std::uint64_t max_age_;
+    Shard shards_[kShards];
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace poc::net

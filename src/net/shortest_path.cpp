@@ -1,7 +1,8 @@
 #include "net/shortest_path.hpp"
 
 #include <algorithm>
-#include <queue>
+
+#include "obs/metrics.hpp"
 
 namespace poc::net {
 
@@ -39,43 +40,173 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// weight_by_length with the std::function indirection stripped: the
+/// batched fast path calls the weight once per scanned edge, and a
+/// direct load is measurably cheaper than a type-erased call.
+struct LengthWeight {
+    const Graph* g;
+    double operator()(LinkId id) const { return g->link(id).length_km; }
+};
+
+struct UnitWeight {
+    double operator()(LinkId) const { return 1.0; }
+};
+
 }  // namespace
 
-ShortestPathTree dijkstra(const Subgraph& sg, NodeId source, const LinkWeight& weight) {
+void SsspWorkspace::prepare(std::size_t node_count) {
+    if (dist_.size() != node_count) {
+        dist_.assign(node_count, 0.0);
+        parent_.assign(node_count, LinkId{});
+        pred_.assign(node_count, NodeId{});
+        stamp_.assign(node_count, 0);
+        generation_ = 0;
+    }
+    if (++generation_ == 0) {
+        // Stamp wraparound after 2^32 runs: every stored stamp is stale
+        // by construction, so reset them all once and restart at 1.
+        std::fill(stamp_.begin(), stamp_.end(), 0);
+        generation_ = 1;
+    }
+    heap_.clear();
+}
+
+void SsspWorkspace::heap_push(HeapItem item) {
+    heap_.push_back(item);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t p = (i - 1) / 4;
+        if (!heap_less(heap_[i], heap_[p])) break;
+        std::swap(heap_[i], heap_[p]);
+        i = p;
+    }
+}
+
+SsspWorkspace::HeapItem SsspWorkspace::heap_pop() {
+    POC_ASSERT(!heap_.empty());
+    const HeapItem top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (heap_less(heap_[c], heap_[best])) best = c;
+        }
+        if (!heap_less(heap_[best], heap_[i])) break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+    return top;
+}
+
+void SsspWorkspace::append_path_to(NodeId target, std::vector<LinkId>& out) const {
+    POC_EXPECTS(target.index() < dist_.size());
+    POC_EXPECTS(reachable(target));
+    out.clear();
+    NodeId v = target;
+    while (v != source_) {
+        const LinkId pl = parent_[v.index()];
+        POC_ASSERT(pl.valid());
+        out.push_back(pl);
+        v = pred_[v.index()];
+    }
+    std::reverse(out.begin(), out.end());
+}
+
+ShortestPathTree SsspWorkspace::to_tree() const {
+    ShortestPathTree tree;
+    tree.source = source_;
+    const std::size_t n = dist_.size();
+    tree.dist.assign(n, kInf);
+    tree.parent_link.assign(n, LinkId{});
+    tree.pred_node_.assign(n, NodeId{});
+    for (std::size_t i = 0; i < n; ++i) {
+        if (stamp_[i] == generation_) {
+            tree.dist[i] = dist_[i];
+            tree.parent_link[i] = parent_[i];
+            tree.pred_node_[i] = pred_[i];
+        }
+    }
+    return tree;
+}
+
+namespace detail {
+
+// The whole fast path rests on this being bit-identical to the seed
+// priority_queue implementation. The argument: a node is pushed only on
+// a strict distance decrease, so all heap entries carry distinct
+// distances per node, so every (dist, node) key in the heap is unique;
+// a min-heap over a set of unique keys pops a uniquely determined
+// sequence regardless of arity or internal layout. Identical pop order
+// means identical relaxation order, and the arithmetic (nd = d + w) is
+// unchanged, so dist/parent/pred match the seed bit for bit.
+template <class Weight>
+void run_dijkstra(const Subgraph& sg, NodeId source, Weight&& weight, SsspWorkspace& ws) {
     const Graph& g = sg.graph();
     POC_EXPECTS(source.index() < g.node_count());
+    POC_OBS_INC("net.sssp.runs");
 
-    ShortestPathTree tree;
-    tree.source = source;
-    tree.dist.assign(g.node_count(), kInf);
-    tree.parent_link.assign(g.node_count(), LinkId{});
-    tree.pred_node_.assign(g.node_count(), NodeId{});
-    tree.dist[source.index()] = 0.0;
+    ws.prepare(g.node_count());
+    ws.source_ = source;
+    ws.stamp_[source.index()] = ws.generation_;
+    ws.dist_[source.index()] = 0.0;
+    ws.parent_[source.index()] = LinkId{};
+    ws.pred_[source.index()] = NodeId{};
+    ws.heap_push({0.0, source.value()});
 
-    using Item = std::pair<double, NodeId::underlying_type>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-    heap.emplace(0.0, source.value());
-
-    while (!heap.empty()) {
-        const auto [d, u_raw] = heap.top();
-        heap.pop();
+    while (!ws.heap_.empty()) {
+        const auto [d, u_raw] = ws.heap_pop();
         const NodeId u{u_raw};
-        if (d > tree.dist[u.index()]) continue;  // stale entry
+        if (d > ws.dist_[u.index()]) continue;  // stale entry (u is always stamped)
         for (const LinkId lid : g.incident(u)) {
             if (!sg.is_active(lid)) continue;
             const double w = weight(lid);
             POC_EXPECTS(w >= 0.0);
             const NodeId v = g.link(lid).other(u);
             const double nd = d + w;
-            if (nd < tree.dist[v.index()]) {
-                tree.dist[v.index()] = nd;
-                tree.parent_link[v.index()] = lid;
-                tree.pred_node_[v.index()] = u;
-                heap.emplace(nd, v.value());
+            const bool seen = ws.stamp_[v.index()] == ws.generation_;
+            if (!seen || nd < ws.dist_[v.index()]) {
+                ws.stamp_[v.index()] = ws.generation_;
+                ws.dist_[v.index()] = nd;
+                ws.parent_[v.index()] = lid;
+                ws.pred_[v.index()] = u;
+                ws.heap_push({nd, v.value()});
             }
         }
     }
-    return tree;
+}
+
+template void run_dijkstra<const LinkWeight&>(const Subgraph&, NodeId, const LinkWeight&,
+                                              SsspWorkspace&);
+
+}  // namespace detail
+
+ShortestPathTree dijkstra(const Subgraph& sg, NodeId source, const LinkWeight& weight) {
+    SsspWorkspace ws;
+    detail::run_dijkstra(sg, source, weight, ws);
+    return ws.to_tree();
+}
+
+void dijkstra_into(const Subgraph& sg, NodeId source, const LinkWeight& weight,
+                   SsspWorkspace& ws) {
+    detail::run_dijkstra(sg, source, weight, ws);
+}
+
+void dijkstra_metric_into(const Subgraph& sg, NodeId source, SsspMetric metric,
+                          SsspWorkspace& ws) {
+    switch (metric) {
+        case SsspMetric::kLength:
+            detail::run_dijkstra(sg, source, LengthWeight{&sg.graph()}, ws);
+            break;
+        case SsspMetric::kUnit:
+            detail::run_dijkstra(sg, source, UnitWeight{}, ws);
+            break;
+    }
 }
 
 std::optional<ShortestPathTree> bellman_ford(const Subgraph& sg, NodeId source,
@@ -118,11 +249,17 @@ std::optional<ShortestPathTree> bellman_ford(const Subgraph& sg, NodeId source,
 
 std::optional<WeightedPath> shortest_path(const Subgraph& sg, NodeId src, NodeId dst,
                                           const LinkWeight& weight) {
-    const ShortestPathTree tree = dijkstra(sg, src, weight);
-    if (!tree.reachable(dst)) return std::nullopt;
+    SsspWorkspace ws;
+    return shortest_path(sg, src, dst, weight, ws);
+}
+
+std::optional<WeightedPath> shortest_path(const Subgraph& sg, NodeId src, NodeId dst,
+                                          const LinkWeight& weight, SsspWorkspace& ws) {
+    detail::run_dijkstra(sg, src, weight, ws);
+    if (!ws.reachable(dst)) return std::nullopt;
     WeightedPath wp;
-    wp.links = tree.path_to(dst);
-    wp.weight = tree.dist[dst.index()];
+    ws.append_path_to(dst, wp.links);
+    wp.weight = ws.dist(dst);
     return wp;
 }
 

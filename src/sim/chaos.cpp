@@ -240,8 +240,20 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
     std::vector<bool> is_virtual(n_links, false);
     for (const net::LinkId l : base_pool.virtual_links().links()) is_virtual[l.index()] = true;
 
+    // One tree cache for the whole run (see ChaosOptions::use_path_cache):
+    // the initial auction, every re-auction pivot, and every epoch's
+    // flow simulation share it; advance_epoch() below keeps only the
+    // recent working set alive.
+    net::PathCache path_cache;
+    core::ProvisioningRequest request = opt.request;
+    core::FlowSimOptions flow_opt;
+    if (opt.use_path_cache) {
+        request.oracle.path_cache = &path_cache;
+        flow_opt.path_cache = &path_cache;
+    }
+
     ChaosOutcome out;
-    auto initial = core::provision(base_pool, tm, opt.request);
+    auto initial = core::provision(base_pool, tm, request);
     if (!initial) return out;  // provisioned stays false
     out.provisioned = true;
     out.baseline_outlay = initial->monthly_outlay();
@@ -313,10 +325,10 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
         const market::OfferPool& pool = st.pools.back();
 
         bool degraded_mode = false;
-        auto backbone = core::provision(pool, tm, opt.request);
+        auto backbone = core::provision(pool, tm, request);
         if (!backbone && opt.allow_constraint_relaxation &&
-            opt.request.constraint != market::ConstraintKind::kLoad) {
-            core::ProvisioningRequest relaxed = opt.request;
+            request.constraint != market::ConstraintKind::kLoad) {
+            core::ProvisioningRequest relaxed = request;
             relaxed.constraint = market::ConstraintKind::kLoad;
             backbone = core::provision(pool, tm, relaxed);
             degraded_mode = backbone.has_value();
@@ -340,6 +352,8 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
     Simulator simulator;
     for (std::size_t epoch = 0; epoch < opt.epochs; ++epoch) {
         simulator.schedule_at(static_cast<double>(epoch), [&, epoch](Simulator& sim) {
+            // New epoch: age out cached trees no recent mask used.
+            path_cache.advance_epoch();
             std::vector<char> down;
             std::vector<double> factor;
             SlaRecord rec;
@@ -376,7 +390,7 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
             }
 
             const net::Subgraph sg(*epoch_graph, operating);
-            const core::FlowReport flows = core::simulate_flows(sg, tm, is_virtual);
+            const core::FlowReport flows = core::simulate_flows(sg, tm, is_virtual, flow_opt);
 
             rec.offered_gbps = flows.total_offered_gbps;
             rec.delivered_gbps = std::min(flows.total_routed_gbps, flows.total_offered_gbps);

@@ -196,6 +196,14 @@ struct ChaosOptions {
     /// triggered by epoch e therefore lands in epoch e+1's snapshot
     /// delta. Must not mutate chaos state.
     std::function<void(const SlaRecord&)> on_epoch;
+    /// Share one net::PathCache across the run: oracle primary-path
+    /// SSSPs (initial auction, pivots, re-auctions) and the flow
+    /// simulator's stretch pass reuse trees across the near-identical
+    /// masks they evaluate, with epoch-based invalidation. Safe across
+    /// the engine's brownout graph copies (capacity scaling preserves
+    /// lengths and link ids — the cache-key contract). Off = recompute
+    /// everything; outcomes are bit-identical either way.
+    bool use_path_cache = true;
 };
 
 /// Full-run outcome: the SLA time series plus aggregates.

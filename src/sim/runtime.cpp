@@ -157,6 +157,9 @@ struct EpochRuntime::Impl {
     RuntimeOutcome outcome;
     PendingEpoch pending;
     bool has_pending = false;
+    /// Shared across every epoch's oracle queries and flow sims (see
+    /// RuntimeOptions::use_path_cache); epoch-invalidated in run_epoch.
+    net::PathCache path_cache;
 
     Impl(const market::OfferPool& pool_, const net::TrafficMatrix& tm_, RuntimeOptions opt_)
         : pool(pool_),
@@ -309,8 +312,10 @@ struct EpochRuntime::Impl {
         pending.breaker_open = retrier.breaker_state() == util::BreakerState::kOpen;
         const std::uint64_t attempts_before = retrier.stats().attempts;
 
+        market::OracleOptions oracle_opt = opt.request.oracle;
+        if (opt.use_path_cache) oracle_opt.path_cache = &path_cache;
         const market::AcceptabilityOracle base(pool.graph(), epoch_tm, opt.request.constraint,
-                                               opt.request.oracle);
+                                               oracle_opt);
         market::FallibleOracle::FaultHook fault;
         if (opt.oracle_fault) {
             fault = [this, epoch] { opt.oracle_fault(epoch); };
@@ -336,7 +341,7 @@ struct EpochRuntime::Impl {
             // hammered.
             const market::AcceptabilityOracle relaxed(pool.graph(), epoch_tm,
                                                       market::ConstraintKind::kLoad,
-                                                      opt.request.oracle);
+                                                      oracle_opt);
             pending.auction = market::run_auction(pool, relaxed, opt.request.auction);
             pending.degraded = pending.auction.has_value();
             if (pending.degraded) POC_OBS_INC("sim.runtime.degraded_epochs");
@@ -379,6 +384,7 @@ struct EpochRuntime::Impl {
 
     void run_epoch(std::size_t epoch) {
         POC_OBS_SPAN("sim.runtime.epoch");
+        path_cache.advance_epoch();
         if (!has_pending) {
             pending = PendingEpoch{};
             pending.epoch = epoch;
@@ -438,8 +444,10 @@ struct EpochRuntime::Impl {
                     is_virtual[l.index()] = true;
                 }
                 const net::Subgraph backbone(pool.graph(), pending.selected);
+                core::FlowSimOptions flow_opt;
+                if (opt.use_path_cache) flow_opt.path_cache = &path_cache;
                 const core::FlowReport flows =
-                    core::simulate_flows(backbone, epoch_tm, is_virtual);
+                    core::simulate_flows(backbone, epoch_tm, is_virtual, flow_opt);
                 pending.offered_gbps = flows.total_offered_gbps;
                 pending.routed_gbps = flows.total_routed_gbps;
                 pending.max_utilization = flows.max_utilization;

@@ -131,6 +131,12 @@ struct RuntimeOptions {
     /// util::TransientError (degraded oracle) or sleep (slow oracle).
     /// Must be thread-safe when request.auction.threads > 1.
     std::function<void(std::size_t)> oracle_fault;
+    /// Share one epoch-invalidated net::PathCache across the run's
+    /// clearing oracles and flow simulations. An engine knob like
+    /// `threads`/`cache`: excluded from the journal's configuration
+    /// fingerprint because results are bit-identical either way, so a
+    /// journaled run may resume with it flipped.
+    bool use_path_cache = true;
 };
 
 struct RuntimeOutcome {

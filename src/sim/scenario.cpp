@@ -84,12 +84,25 @@ std::vector<EpochOutcome> run_scenario(const market::OfferPool& initial_pool,
     net::TrafficMatrix tm = initial_tm;
     std::vector<EpochOutcome> outcomes;
 
+    // Shared tree cache across epochs (see ScenarioOptions): the pools
+    // built by with_withheld_links / with_scaled_bid keep the same
+    // Graph, so the cache-key contract (fixed link ids and lengths)
+    // holds for the whole scenario.
+    net::PathCache path_cache;
+    core::ProvisioningRequest request = opt.request;
+    core::FlowSimOptions flow_opt;
+    if (opt.use_path_cache) {
+        request.oracle.path_cache = &path_cache;
+        flow_opt.path_cache = &path_cache;
+    }
+
     // Links failed so far (withheld from every future pool).
     std::optional<core::ProvisionedBackbone> last_backbone;
 
     Simulator simulator;
     for (std::size_t epoch = 0; epoch < opt.epochs; ++epoch) {
         simulator.schedule_at(static_cast<double>(epoch), [&, epoch](Simulator&) {
+            path_cache.advance_epoch();
             EpochOutcome out;
             out.epoch = epoch;
 
@@ -137,7 +150,7 @@ std::vector<EpochOutcome> run_scenario(const market::OfferPool& initial_pool,
             out.offered_links = pool.offered_links().size();
             out.total_demand_gbps = net::total_demand(tm);
 
-            auto backbone = core::provision(pool, tm, opt.request);
+            auto backbone = core::provision(pool, tm, request);
             if (backbone) {
                 out.provisioned = true;
                 out.outlay = backbone->monthly_outlay();
@@ -157,10 +170,11 @@ std::vector<EpochOutcome> run_scenario(const market::OfferPool& initial_pool,
                 for (const net::LinkId l : pool.virtual_links().links()) {
                     is_virtual[l.index()] = true;
                 }
-                out.flows = core::simulate_flows(backbone->selected, tm, is_virtual);
+                out.flows = core::simulate_flows(backbone->selected, tm, is_virtual, flow_opt);
                 last_backbone = std::move(backbone);
             }
             outcomes.push_back(std::move(out));
+            if (opt.on_epoch) opt.on_epoch(outcomes.back());
         });
     }
     simulator.run();

@@ -6,6 +6,7 @@
 // per-BP price shifts.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,12 +41,6 @@ struct ScenarioEvent {
     std::size_t count = 0;
 };
 
-struct ScenarioOptions {
-    std::size_t epochs = 4;
-    core::ProvisioningRequest request;
-    std::uint64_t seed = 99;
-};
-
 /// Per-epoch measurements.
 struct EpochOutcome {
     std::size_t epoch = 0;
@@ -58,6 +53,20 @@ struct EpochOutcome {
     double mean_pob = 0.0;
     core::FlowReport flows;
     std::vector<std::string> applied_events;
+};
+
+struct ScenarioOptions {
+    std::size_t epochs = 4;
+    core::ProvisioningRequest request;
+    std::uint64_t seed = 99;
+    /// Share one net::PathCache across the scenario's auctions and flow
+    /// simulations (epoch-invalidated), exactly as the chaos engine
+    /// does. Outcomes are bit-identical with it on or off.
+    bool use_path_cache = true;
+    /// Called after each epoch's outcome is measured (examples use it
+    /// to dump per-epoch observability snapshots). Must not mutate
+    /// scenario state.
+    std::function<void(const EpochOutcome&)> on_epoch;
 };
 
 /// Run a scripted scenario. The pool's graph must outlive the call.

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "helpers/graphs.hpp"
+#include "net/path_cache.hpp"
+#include "util/rng.hpp"
 
 namespace poc::core {
 namespace {
@@ -106,6 +110,98 @@ TEST(FlowSim, LoadsNeverExceedCapacity) {
         EXPECT_LE(r.link_load_gbps[l.index()], g.link(l).capacity_gbps * (1.0 + 1e-6));
     }
     EXPECT_LE(r.max_utilization, 1.0 + 1e-6);
+}
+
+TEST(FlowSim, ConcurrentFlowFallbackCapsOverRoutedDemands) {
+    // Six parallel links of capacity 2: the demand of 9 fits the
+    // subgraph (12 gbps total) but not greedy's k=4 candidate paths
+    // (4 x 2 = 8 < 9), so simulate_flows must take the
+    // max_concurrent_flow fallback. That routing carries
+    // lambda * volume per demand with lambda > 1 here, i.e. it
+    // over-routes — the report must cap each demand at its offered
+    // volume.
+    net::Graph g;
+    const auto s = g.add_node("s");
+    const auto t = g.add_node("t");
+    for (int i = 0; i < 6; ++i) g.add_link(s, t, 2.0, 1.0);
+    net::Subgraph sg(g);
+    const net::TrafficMatrix tm{{s, t, 9.0}};
+
+    // Precondition for the test to mean anything: greedy really fails
+    // and the concurrent flow really over-provisions.
+    ASSERT_FALSE(net::greedy_path_routing(sg, tm).has_value());
+    const auto cf = net::max_concurrent_flow(sg, tm, 0.1);
+    ASSERT_GE(cf.lambda, 1.0);
+    double uncapped = 0.0;
+    for (const auto& [path, rate] : cf.routing.routes[0]) uncapped += rate;
+    ASSERT_GT(uncapped, 9.0);
+
+    const FlowReport r = simulate_flows(sg, tm);
+    EXPECT_TRUE(r.fully_routed);
+    // Capped exactly at the offered volume, never over-reported.
+    EXPECT_NEAR(r.total_routed_gbps, 9.0, 1e-9);
+    EXPECT_LE(r.total_routed_gbps, r.total_offered_gbps + 1e-12);
+    double load_sum = 0.0;
+    for (const net::LinkId l : g.all_links()) {
+        EXPECT_LE(r.link_load_gbps[l.index()], g.link(l).capacity_gbps * (1.0 + 1e-6));
+        load_sum += r.link_load_gbps[l.index()];
+    }
+    EXPECT_NEAR(load_sum, 9.0, 1e-9);  // single-hop paths
+}
+
+TEST(FlowSim, ConcurrentFlowFallbackReportsPartialRouting) {
+    // Infeasible for both oracles: the fallback's lambda < 1 routing is
+    // reported as-is (no capping needed, fully_routed false).
+    net::Graph g = test::chain(2, 10.0);
+    net::Subgraph sg(g);
+    const net::TrafficMatrix tm{{net::NodeId{0u}, net::NodeId{1u}, 25.0}};
+    ASSERT_FALSE(net::greedy_path_routing(sg, tm).has_value());
+    const FlowReport r = simulate_flows(sg, tm);
+    EXPECT_FALSE(r.fully_routed);
+    EXPECT_GT(r.total_routed_gbps, 0.0);
+    EXPECT_LE(r.total_routed_gbps, 10.0 + 1e-6);
+}
+
+TEST(FlowSim, FastPathOptionsAreBitIdentical) {
+    util::Rng rng(5);
+    net::Graph g = test::random_connected(rng, 16, 10);
+    net::Subgraph sg(g);
+    net::TrafficMatrix tm;
+    for (std::size_t i = 0; i < 24; ++i) {
+        const auto a = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{16}));
+        auto b = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{16}));
+        if (b == a) b = (b + 1) % 16;
+        tm.push_back({net::NodeId{a}, net::NodeId{b}, rng.uniform(0.2, 2.0)});
+    }
+    std::vector<bool> is_virtual(g.link_count(), false);
+    is_virtual[0] = true;
+
+    const FlowReport base = simulate_flows(sg, tm, is_virtual);
+
+    net::PathCache cache;
+    FlowSimOptions cached;
+    cached.path_cache = &cache;
+    FlowSimOptions threaded;
+    threaded.sssp_threads = 4;
+    FlowSimOptions both;
+    both.path_cache = &cache;
+    both.sssp_threads = 4;
+    for (const FlowSimOptions* opt : {&cached, &threaded, &both}) {
+        const FlowReport r = simulate_flows(sg, tm, is_virtual, *opt);
+        // Exact equality across the board: the fast path must be
+        // bit-identical to the default serial computation.
+        EXPECT_EQ(r.total_offered_gbps, base.total_offered_gbps);
+        EXPECT_EQ(r.total_routed_gbps, base.total_routed_gbps);
+        EXPECT_EQ(r.fully_routed, base.fully_routed);
+        EXPECT_EQ(r.max_utilization, base.max_utilization);
+        EXPECT_EQ(r.mean_utilization, base.mean_utilization);
+        EXPECT_EQ(r.link_load_gbps, base.link_load_gbps);
+        EXPECT_EQ(r.mean_path_km, base.mean_path_km);
+        EXPECT_EQ(r.mean_shortest_km, base.mean_shortest_km);
+        EXPECT_EQ(r.stretch, base.stretch);
+        EXPECT_EQ(r.virtual_share, base.virtual_share);
+    }
+    EXPECT_GT(cache.stats().hits + cache.stats().misses, 0u);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "helpers/market.hpp"
 #include "market/pricing.hpp"
 #include "market/vcg.hpp"
+#include "net/path_cache.hpp"
 #include "topo/traffic.hpp"
 
 namespace poc::market {
@@ -144,6 +145,103 @@ TEST_P(ParallelAuctionProperty, GeneratedTopologyFastOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelAuctionProperty,
                          ::testing::Values(401, 402, 403, 404, 405, 406));
+
+TEST(ParallelPivotCutover, EngagementRulePinned) {
+    // The small-instance guard: below `parallel_min_pivots` Clarke
+    // pivots, pool setup costs more than the fan-out saves, so the
+    // engine must stay serial. Pin the default and the exact cutover.
+    AuctionOptions opt;
+    EXPECT_EQ(opt.parallel_min_pivots, 8u);
+
+    opt.threads = 4;
+    EXPECT_FALSE(parallel_pivots_engaged(opt, 0));
+    EXPECT_FALSE(parallel_pivots_engaged(opt, 1));
+    EXPECT_FALSE(parallel_pivots_engaged(opt, 7));  // one below the default
+    EXPECT_TRUE(parallel_pivots_engaged(opt, 8));   // exactly at the default
+    EXPECT_TRUE(parallel_pivots_engaged(opt, 100));
+
+    opt.threads = 1;  // serial request never engages
+    EXPECT_FALSE(parallel_pivots_engaged(opt, 100));
+
+    opt.threads = 2;
+    opt.parallel_min_pivots = 0;  // floor removed: only the >1 guard remains
+    EXPECT_FALSE(parallel_pivots_engaged(opt, 1));
+    EXPECT_TRUE(parallel_pivots_engaged(opt, 2));
+
+    opt.parallel_min_pivots = 3;
+    EXPECT_FALSE(parallel_pivots_engaged(opt, 2));
+    EXPECT_TRUE(parallel_pivots_engaged(opt, 3));
+}
+
+TEST(ParallelPivotCutover, BothSidesOfCutoverBitIdentical) {
+    // 3-bid instances sit below the default threshold: force the
+    // threshold to both sides of the instance size and require the
+    // identical result either way.
+    for (const std::uint64_t seed : {501u, 502u, 503u}) {
+        test::RandomSmallInstance inst(seed);
+        const OfferPool pool = inst.pool();
+        auto run = [&](const AuctionOptions& opt) {
+            const AcceptabilityOracle oracle(inst.graph, inst.tm, ConstraintKind::kLoad);
+            return run_auction(pool, oracle, opt);
+        };
+        const auto baseline = run({});
+
+        AuctionOptions engaged;  // pivots >= threshold: pool fan-out
+        engaged.threads = 8;
+        engaged.parallel_min_pivots = 2;
+        AuctionOptions below;  // pivots < threshold: serial fallback
+        below.threads = 8;
+        below.parallel_min_pivots = 100;
+        ASSERT_TRUE(parallel_pivots_engaged(engaged, pool.bids().size()));
+        ASSERT_FALSE(parallel_pivots_engaged(below, pool.bids().size()));
+
+        const auto a = run(engaged);
+        const auto b = run(below);
+        ASSERT_EQ(baseline.has_value(), a.has_value());
+        ASSERT_EQ(baseline.has_value(), b.has_value());
+        if (baseline) {
+            expect_identical(*baseline, *a, "engaged");
+            expect_identical(*baseline, *b, "below cutover");
+        }
+    }
+}
+
+class PathCacheAuctionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathCacheAuctionProperty, SharedTreeCacheIsBitIdentical) {
+    // OracleOptions::path_cache reuses SSSP trees across Clarke-pivot
+    // masks in the per-pair-failure constraint (the SSSP-heaviest
+    // oracle). The auction outcome must not change, and on these
+    // instances the pivots' overlapping masks must actually hit.
+    test::RandomSmallInstance inst(GetParam());
+    const OfferPool pool = inst.pool();
+
+    for (const OracleFidelity fidelity : {OracleFidelity::kExact, OracleFidelity::kFast}) {
+        SCOPED_TRACE(fidelity == OracleFidelity::kExact ? "exact" : "fast");
+        OracleOptions base_opt;
+        base_opt.fidelity = fidelity;
+        const AcceptabilityOracle plain(inst.graph, inst.tm,
+                                        ConstraintKind::kPerPairFailure, base_opt);
+        const auto baseline = run_auction(pool, plain, {});
+
+        net::PathCache cache;
+        OracleOptions cached_opt = base_opt;
+        cached_opt.path_cache = &cache;
+        const AcceptabilityOracle cached(inst.graph, inst.tm,
+                                         ConstraintKind::kPerPairFailure, cached_opt);
+        for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+            AuctionOptions aopt;
+            aopt.threads = threads;
+            aopt.parallel_min_pivots = 2;
+            const auto result = run_auction(pool, cached, aopt);
+            ASSERT_EQ(baseline.has_value(), result.has_value());
+            if (baseline) expect_identical(*baseline, *result, "path cache");
+        }
+        if (baseline) EXPECT_GT(cache.stats().hits, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathCacheAuctionProperty, ::testing::Values(411, 412, 413));
 
 }  // namespace
 }  // namespace poc::market

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "helpers/graphs.hpp"
 #include "util/contracts.hpp"
+#include "util/rng.hpp"
 
 namespace poc::net {
 namespace {
@@ -132,6 +135,90 @@ TEST(Subgraph, ActiveLinksSortedById) {
     ASSERT_EQ(links.size(), 2u);
     EXPECT_EQ(links[0], LinkId{0u});
     EXPECT_EQ(links[1], LinkId{2u});
+}
+
+TEST(SubgraphFingerprint, OrderIndependent) {
+    util::Rng rng(101);
+    Graph g = test::random_connected(rng, 20, 15);
+    const auto links = g.all_links();
+
+    // Build the same active set three ways: constructor list, forward
+    // toggling, and shuffled toggling. All must agree.
+    std::vector<LinkId> keep;
+    for (const LinkId l : links) {
+        if (rng.uniform(0.0, 1.0) < 0.6) keep.push_back(l);
+    }
+    const Subgraph direct(g, keep);
+
+    Subgraph forward(g);
+    for (const LinkId l : links) {
+        forward.set_active(l, false);
+    }
+    for (const LinkId l : keep) forward.set_active(l, true);
+
+    std::vector<LinkId> shuffled_off = links;
+    rng.shuffle(shuffled_off);
+    Subgraph shuffled(g);
+    for (const LinkId l : shuffled_off) shuffled.set_active(l, false);
+    std::vector<LinkId> keep_shuffled = keep;
+    rng.shuffle(keep_shuffled);
+    for (const LinkId l : keep_shuffled) shuffled.set_active(l, true);
+
+    EXPECT_EQ(direct.fingerprint(), forward.fingerprint());
+    EXPECT_EQ(direct.fingerprint(), shuffled.fingerprint());
+}
+
+TEST(SubgraphFingerprint, SingleToggleChangesAndRestores) {
+    Graph g = test::triangle();
+    Subgraph sg(g);
+    const std::uint64_t full = sg.fingerprint();
+    for (const LinkId l : g.all_links()) {
+        sg.set_active(l, false);
+        EXPECT_NE(sg.fingerprint(), full) << "toggling link " << l.index();
+        EXPECT_EQ(sg.fingerprint(), full ^ Subgraph::link_fingerprint(l.index()));
+        sg.set_active(l, false);  // idempotent: no double-XOR
+        EXPECT_EQ(sg.fingerprint(), full ^ Subgraph::link_fingerprint(l.index()));
+        sg.set_active(l, true);
+        EXPECT_EQ(sg.fingerprint(), full);
+    }
+}
+
+TEST(SubgraphFingerprint, EmptyViewIsZeroAndFullIsXorOfLinks) {
+    Graph g = test::triangle();
+    const Subgraph empty(g, {});
+    EXPECT_EQ(empty.fingerprint(), 0u);
+    std::uint64_t expected = 0;
+    for (const LinkId l : g.all_links()) {
+        expected ^= Subgraph::link_fingerprint(l.index());
+    }
+    EXPECT_EQ(Subgraph(g).fingerprint(), expected);
+}
+
+TEST(SubgraphFingerprint, RandomMaskCollisionSanity) {
+    // 64-bit XOR fingerprints over distinct random masks: any collision
+    // among a few thousand draws would signal a broken per-link mix.
+    util::Rng rng(103);
+    Graph g = test::random_connected(rng, 40, 40);
+    const auto links = g.all_links();
+
+    std::vector<std::uint64_t> seen;
+    std::vector<std::vector<char>> masks;
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<char> mask(links.size());
+        std::vector<LinkId> active;
+        for (std::size_t j = 0; j < links.size(); ++j) {
+            mask[j] = rng.bernoulli(0.5) ? 1 : 0;
+            if (mask[j] != 0) active.push_back(links[j]);
+        }
+        const Subgraph sg(g, active);
+        for (std::size_t k = 0; k < seen.size(); ++k) {
+            if (seen[k] == sg.fingerprint()) {
+                EXPECT_EQ(masks[k], mask) << "distinct masks collided";
+            }
+        }
+        seen.push_back(sg.fingerprint());
+        masks.push_back(std::move(mask));
+    }
 }
 
 TEST(TrafficMatrix, TotalDemandSums) {

@@ -294,6 +294,53 @@ TEST(Chaos, ParallelCachedReauctionsMatchSerial) {
     EXPECT_EQ(base.total_recovery_cost, r.total_recovery_cost);
 }
 
+TEST(Chaos, PathCacheTrajectoryBitIdentical) {
+    // The epoch-invalidated PathCache threads through the initial
+    // provision, every epoch's flow simulation, and the off-cycle
+    // re-auction/recovery path. With it disabled the exact same
+    // trajectory must come out — the cache only skips recomputation of
+    // trees it has already seen for the same (mask, source, metric).
+    ChaosFixture fx(/*with_virtual=*/true);
+    const auto pool = fx.pool();
+    FaultInjectorOptions iopt;
+    iopt.epochs = 6;
+    iopt.intensity = 1.8;
+    iopt.seed = 31;
+    const auto trace = draw_fault_trace(pool, shared_risk_groups(fx.graph), iopt);
+
+    for (const auto constraint :
+         {market::ConstraintKind::kLoad, market::ConstraintKind::kPerPairFailure}) {
+        SCOPED_TRACE(static_cast<int>(constraint));
+        ChaosOptions with_cache = fx.options(constraint, 6);
+        with_cache.use_path_cache = true;
+        ChaosOptions without = fx.options(constraint, 6);
+        without.use_path_cache = false;
+
+        const ChaosOutcome a = run_chaos(pool, fx.tm, trace, with_cache);
+        const ChaosOutcome b = run_chaos(pool, fx.tm, trace, without);
+        ASSERT_EQ(a.provisioned, b.provisioned);
+        ASSERT_EQ(a.sla.size(), b.sla.size());
+        for (std::size_t i = 0; i < a.sla.size(); ++i) {
+            SCOPED_TRACE(i);
+            EXPECT_EQ(a.sla[i].delivered_fraction, b.sla[i].delivered_fraction);
+            EXPECT_EQ(a.sla[i].virtual_share, b.sla[i].virtual_share);
+            EXPECT_EQ(a.sla[i].outlay, b.sla[i].outlay);
+            EXPECT_EQ(a.sla[i].emergency_virtual_cost, b.sla[i].emergency_virtual_cost);
+            EXPECT_EQ(a.sla[i].links_down, b.sla[i].links_down);
+            EXPECT_EQ(a.sla[i].links_degraded, b.sla[i].links_degraded);
+            EXPECT_EQ(a.sla[i].reauction_triggered, b.sla[i].reauction_triggered);
+            EXPECT_EQ(a.sla[i].degraded_mode, b.sla[i].degraded_mode);
+        }
+        EXPECT_EQ(a.reauction_count, b.reauction_count);
+        EXPECT_EQ(a.failed_reauctions, b.failed_reauctions);
+        EXPECT_EQ(a.epochs_to_restore, b.epochs_to_restore);
+        EXPECT_EQ(a.baseline_outlay, b.baseline_outlay);
+        EXPECT_EQ(a.total_recovery_cost, b.total_recovery_cost);
+        EXPECT_EQ(a.min_delivered_fraction, b.min_delivered_fraction);
+        EXPECT_EQ(a.mean_delivered_fraction, b.mean_delivered_fraction);
+    }
+}
+
 TEST(Chaos, InfeasibleInitialAuctionReported) {
     ChaosFixture fx;
     const auto pool = fx.pool();

@@ -124,6 +124,47 @@ TEST_F(RuntimeTest, JournaledRunMatchesUnjournaledRun) {
     EXPECT_EQ(replayed.retry.calls, 0u) << "replay must not re-clear";
 }
 
+TEST_F(RuntimeTest, PathCacheOutcomeBitIdentical) {
+    // The runtime's shared PathCache (use_path_cache) spans the
+    // clearing oracles and the flow stage of every epoch; disabling it
+    // must not change a single bit of the outcome.
+    const auto pool = fx_.pool();
+    const auto tm = fx_.demand(8.0);
+    RuntimeOptions opt = base_options();
+    opt.use_path_cache = true;
+    const RuntimeOutcome cached = EpochRuntime(pool, tm, opt).run();
+    opt.use_path_cache = false;
+    const RuntimeOutcome plain = EpochRuntime(pool, tm, opt).run();
+    expect_identical(cached, plain, "path cache on vs off");
+}
+
+TEST_F(RuntimeTest, ResumeSurvivesPathCacheFlip) {
+    // use_path_cache is an engine knob excluded from the journal's
+    // configuration fingerprint: a journal written with it on may
+    // resume with it off (and vice versa) bit-identically.
+    const auto pool = fx_.pool();
+    const auto tm = fx_.demand(8.0);
+    RuntimeOptions opt = base_options();
+    const RuntimeOutcome baseline = EpochRuntime(pool, tm, opt).run();
+
+    RuntimeOptions durable = opt;
+    durable.use_path_cache = true;
+    durable.journal_path = journal("wal");
+    bool fired = false;
+    durable.stage_hook = [&fired](std::size_t epoch, Stage stage, HookPoint p) {
+        if (!fired && epoch == 1 && stage == Stage::kFlowSim && p == HookPoint::kMid) {
+            fired = true;
+            throw CrashInjected(epoch, stage, p);
+        }
+    };
+    EXPECT_THROW(EpochRuntime(pool, tm, durable).run(), CrashInjected);
+
+    durable.stage_hook = nullptr;
+    durable.use_path_cache = false;
+    const RuntimeOutcome out = EpochRuntime(pool, tm, durable).run();
+    expect_identical(out, baseline, "resume with path cache flipped off");
+}
+
 // The tentpole property: a process killed mid-stage at ANY stage of
 // ANY epoch — across engine configs (cache on/off, 1 and 8 threads) —
 // recovers to bit-identical ledger balances, auction outcomes, and RNG

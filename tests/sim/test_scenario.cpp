@@ -161,5 +161,51 @@ TEST(Scenario, RejectsUnknownBp) {
     EXPECT_THROW(run_scenario(fx.pool, fx.tm, events, fx.options(2)), util::ContractViolation);
 }
 
+TEST(Scenario, OnEpochFiresOncePerEpochInOrder) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(1);
+    events[0].kind = ScenarioEvent::Kind::kDemandGrowth;
+    events[0].epoch = 1;
+    events[0].factor = 1.8;
+
+    std::vector<std::size_t> seen;
+    ScenarioOptions opt = fx.options(3);
+    opt.on_epoch = [&](const EpochOutcome& out) { seen.push_back(out.epoch); };
+    const auto outcomes = run_scenario(fx.pool, fx.tm, events, opt);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Scenario, PathCacheOutcomesBitIdentical) {
+    ScenarioFixture fx;
+    std::vector<ScenarioEvent> events(2);
+    events[0].kind = ScenarioEvent::Kind::kDemandGrowth;
+    events[0].epoch = 1;
+    events[0].factor = 1.8;
+    events[1].kind = ScenarioEvent::Kind::kLinkFailure;
+    events[1].epoch = 2;
+    events[1].count = 1;
+
+    ScenarioOptions with_cache = fx.options(4);
+    with_cache.use_path_cache = true;
+    ScenarioOptions without = fx.options(4);
+    without.use_path_cache = false;
+
+    const auto a = run_scenario(fx.pool, fx.tm, events, with_cache);
+    const auto b = run_scenario(fx.pool, fx.tm, events, without);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(a[i].provisioned, b[i].provisioned);
+        EXPECT_EQ(a[i].outlay, b[i].outlay);
+        EXPECT_EQ(a[i].selected_links, b[i].selected_links);
+        EXPECT_EQ(a[i].mean_pob, b[i].mean_pob);
+        EXPECT_EQ(a[i].flows.total_routed_gbps, b[i].flows.total_routed_gbps);
+        EXPECT_EQ(a[i].flows.link_load_gbps, b[i].flows.link_load_gbps);
+        EXPECT_EQ(a[i].flows.stretch, b[i].flows.stretch);
+        EXPECT_EQ(a[i].flows.max_utilization, b[i].flows.max_utilization);
+    }
+}
+
 }  // namespace
 }  // namespace poc::sim
