@@ -108,6 +108,21 @@ struct Row {
     bool identical = false;
 };
 
+/// One restart-cost measurement (DESIGN.md §4c): crash at the last
+/// epoch of an L-epoch run, then time the restart. Journal-only
+/// replay cost grows with L; snapshot-grounded cost is pinned to the
+/// snapshot interval.
+struct RestartRow {
+    std::size_t epochs = 0;
+    std::string mode;  // "journal" | "snapshot"
+    double resume_wall_ms = 0.0;
+    double replay_ms = 0.0;
+    std::size_t replayed_records = 0;
+    std::size_t journal_bytes = 0;  // on disk at crash time
+    bool resumed_from_snapshot = false;
+    bool identical = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -204,6 +219,80 @@ int main(int argc, char** argv) {
                   << (row.identical ? "bit-identical" : "MISMATCH") << "\n";
     }
 
+    // Restart cost vs history length: crash at the final epoch of an
+    // L-epoch run and time the restart, journal-only vs snapshots
+    // (interval 4) + compaction. The run length grows 10x; the
+    // snapshot-grounded restart must stay O(interval).
+    constexpr std::size_t kSnapshotInterval = 4;
+    const std::size_t lengths[] = {8, 16, 32, 80};
+    std::vector<RestartRow> restart_rows;
+    bool restart_cost_flat = true;
+    {
+        const Instance& inst = instances.front();
+        for (const std::size_t epochs : lengths) {
+            sim::RuntimeOptions opt;
+            opt.epochs = epochs;
+            opt.seed = 2020;
+            opt.request.constraint = market::ConstraintKind::kLoad;
+            opt.request.oracle.fidelity = market::OracleFidelity::kFast;
+            const std::string want =
+                outcome_key(sim::EpochRuntime(inst.pool, inst.tm, opt).run());
+
+            for (const bool snapshots : {false, true}) {
+                RestartRow row;
+                row.epochs = epochs;
+                row.mode = snapshots ? "snapshot" : "journal";
+                sim::RuntimeOptions jopt = opt;
+                jopt.journal_path =
+                    (dir / (row.mode + std::to_string(epochs) + ".wal")).string();
+                if (snapshots) jopt.snapshot_interval = kSnapshotInterval;
+
+                bool fired = false;
+                jopt.stage_hook = [&fired, epochs](std::size_t epoch, sim::Stage stage,
+                                                   sim::HookPoint p) {
+                    if (!fired && epoch == epochs - 1 && stage == sim::Stage::kFlowSim &&
+                        p == sim::HookPoint::kMid) {
+                        fired = true;
+                        throw sim::CrashInjected(epoch, stage, p);
+                    }
+                };
+                try {
+                    (void)sim::EpochRuntime(inst.pool, inst.tm, jopt).run();
+                } catch (const sim::CrashInjected&) {
+                }
+                row.journal_bytes =
+                    static_cast<std::size_t>(std::filesystem::file_size(jopt.journal_path));
+
+                jopt.stage_hook = nullptr;
+                const auto t0 = std::chrono::steady_clock::now();
+                const sim::RuntimeOutcome resumed =
+                    sim::EpochRuntime(inst.pool, inst.tm, jopt).run();
+                const auto t1 = std::chrono::steady_clock::now();
+                row.resume_wall_ms =
+                    std::chrono::duration<double, std::milli>(t1 - t0).count();
+                row.replay_ms = resumed.replay_ms;
+                row.replayed_records = resumed.replayed_records;
+                row.resumed_from_snapshot = resumed.resumed_from_snapshot;
+                row.identical = outcome_key(resumed) == want;
+                all_identical = all_identical && row.identical;
+                // Flat = the snapshot-grounded restart never replays
+                // more than one interval's worth of records (6 per
+                // epoch + the crashed epoch's partial stage records),
+                // no matter how long the run had been going.
+                if (snapshots) {
+                    restart_cost_flat = restart_cost_flat &&
+                                        row.replayed_records <= (kSnapshotInterval + 1) * 6;
+                }
+                restart_rows.push_back(row);
+
+                std::cout << "restart " << row.mode << " L=" << row.epochs << "  resume "
+                          << row.resume_wall_ms << " ms  records=" << row.replayed_records
+                          << "  wal=" << row.journal_bytes << " B  "
+                          << (row.identical ? "bit-identical" : "MISMATCH") << "\n";
+            }
+        }
+    }
+
     std::ofstream out(out_path);
     out << "{\n  \"bench\": \"micro_recovery\",\n"
         << "  \"reps\": " << kReps << ",\n"
@@ -227,6 +316,24 @@ int main(int argc, char** argv) {
             << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
             << (i + 1 < rows.size() ? "," : "") << "\n";
     }
+    out << "  ],\n"
+        << "  \"snapshot_interval\": " << kSnapshotInterval << ",\n"
+        << "  \"restart_cost_flat\": " << (restart_cost_flat ? "true" : "false") << ",\n"
+        << "  \"restart_note\": \"crash at the last epoch of an L-epoch run, then time the "
+           "restart; journal mode replays the whole history, snapshot mode grounds on the "
+           "newest snapshot and replays at most one interval\",\n"
+        << "  \"restart_cost\": [\n";
+    for (std::size_t i = 0; i < restart_rows.size(); ++i) {
+        const RestartRow& r = restart_rows[i];
+        out << "    {\"epochs\": " << r.epochs << ", \"mode\": \"" << r.mode
+            << "\", \"resume_wall_ms\": " << r.resume_wall_ms
+            << ", \"replay_ms\": " << r.replay_ms
+            << ", \"replayed_records\": " << r.replayed_records
+            << ", \"journal_bytes\": " << r.journal_bytes
+            << ", \"resumed_from_snapshot\": " << (r.resumed_from_snapshot ? "true" : "false")
+            << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+            << (i + 1 < restart_rows.size() ? "," : "") << "\n";
+    }
     out << "  ]\n}\n";
 
     std::ofstream csv(csv_path);
@@ -237,6 +344,14 @@ int main(int argc, char** argv) {
             << ',' << r.plain_ms << ',' << r.journaled_ms << ',' << r.overhead_pct << ','
             << r.replay_wall_ms << ',' << r.replay_ms << ',' << r.journal_bytes << ','
             << r.replayed_records << ',' << (r.identical ? "true" : "false") << "\n";
+    }
+    csv << "\nepochs,mode,resume_wall_ms,replay_ms,replayed_records,journal_bytes,"
+           "resumed_from_snapshot,identical\n";
+    for (const RestartRow& r : restart_rows) {
+        csv << r.epochs << ',' << r.mode << ',' << r.resume_wall_ms << ',' << r.replay_ms
+            << ',' << r.replayed_records << ',' << r.journal_bytes << ','
+            << (r.resumed_from_snapshot ? "true" : "false") << ','
+            << (r.identical ? "true" : "false") << "\n";
     }
 
     std::filesystem::remove_all(dir);

@@ -85,6 +85,8 @@ const char* fault_kind_name(FaultKind kind) {
         case FaultKind::kBrownout: return "brownout";
         case FaultKind::kCrash: return "crash";
         case FaultKind::kOracleDegraded: return "oracle-degraded";
+        case FaultKind::kSnapshotCorrupt: return "snapshot-corrupt";
+        case FaultKind::kTornWrite: return "torn-write";
     }
     return "?";
 }
@@ -198,6 +200,22 @@ std::vector<Fault> draw_fault_trace(const market::OfferPool& pool,
                                  "acceptability oracle degraded"});
             }
         }
+        if (opt.snapshot_corrupt_rate > 0.0) {
+            for (std::size_t i = draw_count(opt.snapshot_corrupt_rate); i > 0; --i) {
+                const auto stage = static_cast<std::uint32_t>(rng.uniform_int(std::uint64_t{4}));
+                trace.push_back({FaultKind::kSnapshotCorrupt, epoch, 1, {}, 0.0,
+                                 "crash + snapshot bit flip (stage " + std::to_string(stage) + ")",
+                                 stage});
+            }
+        }
+        if (opt.torn_write_rate > 0.0) {
+            for (std::size_t i = draw_count(opt.torn_write_rate); i > 0; --i) {
+                const auto stage = static_cast<std::uint32_t>(rng.uniform_int(std::uint64_t{4}));
+                trace.push_back({FaultKind::kTornWrite, epoch, 1, {}, 0.0,
+                                 "crash + torn journal tail (stage " + std::to_string(stage) + ")",
+                                 stage});
+            }
+        }
     }
     POC_OBS_COUNT("sim.chaos.faults_injected", trace.size());
     return trace;
@@ -281,7 +299,10 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
             if (!f.active_at(epoch)) continue;
             // Control-plane faults affect the epoch runtime, not the
             // provisioned data plane this engine degrades.
-            if (f.kind == FaultKind::kCrash || f.kind == FaultKind::kOracleDegraded) continue;
+            if (f.kind == FaultKind::kCrash || f.kind == FaultKind::kOracleDegraded ||
+                f.kind == FaultKind::kSnapshotCorrupt || f.kind == FaultKind::kTornWrite) {
+                continue;
+            }
             ++active;
             for (const net::LinkId l : f.links) {
                 if (is_virtual[l.index()]) continue;  // contracted fallback is reliable

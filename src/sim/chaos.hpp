@@ -77,6 +77,15 @@ enum class FaultKind {
     /// active: every oracle query raises util::TransientError, so the
     /// runtime's retry/breaker layer absorbs it. run_chaos ignores it.
     kOracleDegraded,
+    /// The process is killed mid-epoch AND, before the restart, a bit
+    /// flips in the newest state snapshot file (media corruption
+    /// surfacing during recovery). Consumed by run_with_recovery;
+    /// run_chaos ignores it.
+    kSnapshotCorrupt,
+    /// The process is killed mid-epoch AND the journal's tail is torn
+    /// (the device persisted only part of the last write). Consumed by
+    /// run_with_recovery; run_chaos ignores it.
+    kTornWrite,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -117,11 +126,14 @@ struct FaultInjectorOptions {
     double router_outage_rate = 0.1;
     double bp_outage_rate = 0.05;
     double brownout_rate = 0.4;
-    /// Control-plane fault rates (kCrash / kOracleDegraded), consumed
-    /// by the durable epoch runtime. Default 0 so existing data-plane
-    /// traces — and their RNG streams — are unchanged.
+    /// Control-plane fault rates (kCrash / kOracleDegraded /
+    /// kSnapshotCorrupt / kTornWrite), consumed by the durable epoch
+    /// runtime. Default 0 so existing data-plane traces — and their
+    /// RNG streams — are unchanged.
     double crash_rate = 0.0;
     double oracle_degraded_rate = 0.0;
+    double snapshot_corrupt_rate = 0.0;
+    double torn_write_rate = 0.0;
     /// Brownout surviving-capacity factor is drawn uniformly from
     /// [brownout_floor, brownout_ceil].
     double brownout_floor = 0.2;

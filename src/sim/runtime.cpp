@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <map>
 #include <utility>
 
 #include "core/flow_sim.hpp"
 #include "obs/trace.hpp"
+#include "util/fault_injection.hpp"
 #include "util/journal.hpp"
 
 namespace poc::sim {
@@ -16,6 +21,8 @@ const char* stage_name(Stage stage) {
         case Stage::kProvisioning: return "provisioning";
         case Stage::kFlowSim: return "flow-sim";
         case Stage::kSettlement: return "settlement";
+        case Stage::kSnapshotWrite: return "snapshot";
+        case Stage::kCompaction: return "compaction";
     }
     return "?";
 }
@@ -37,6 +44,14 @@ constexpr std::uint16_t kRecProvision = 3;
 constexpr std::uint16_t kRecFlows = 4;
 constexpr std::uint16_t kRecSettlement = 5;
 constexpr std::uint16_t kRecEpochEnd = 6;
+
+/// High bit of the record type: the payload is an XOR delta
+/// (util::xor_delta_encode) against the previous *full* payload of the
+/// same base type in the file. Part of the on-disk format.
+constexpr std::uint16_t kRecDeltaFlag = 0x8000;
+
+/// Version tag leading every snapshot payload (on-disk format).
+constexpr std::uint64_t kStateVersion = 1;
 
 void write_rng_state(util::BinaryWriter& w, const util::RngState& st) {
     for (const std::uint64_t s : st.s) w.u64(s);
@@ -144,7 +159,90 @@ struct PendingEpoch {
     double stretch = 1.0;
 };
 
+/// One journal record with its delta flag resolved: full payload bytes
+/// plus the epoch every record type leads with.
+struct DecodedRecord {
+    std::uint16_t type = 0;  // base type, flag stripped
+    std::string payload;
+    std::uint64_t epoch = 0;
+};
+
+/// Resolve delta-encoded frames against the running per-type base map.
+/// Stops at the first record that cannot be resolved (unknown type,
+/// broken delta chain, malformed delta bytes, payload too short to
+/// carry an epoch); `out` holds exactly the clean prefix. `bases`
+/// ends up holding the last full payload per type of that prefix —
+/// the appender state matching the file.
+std::size_t decode_records(const std::vector<util::JournalRecord>& records,
+                           std::vector<DecodedRecord>& out,
+                           std::map<std::uint16_t, std::string>& bases) {
+    for (const util::JournalRecord& rec : records) {
+        const auto base_type = static_cast<std::uint16_t>(rec.type & ~kRecDeltaFlag);
+        if (base_type < kRecEpochBegin || base_type > kRecEpochEnd) return out.size();
+        std::string payload;
+        if ((rec.type & kRecDeltaFlag) != 0) {
+            const auto it = bases.find(base_type);
+            if (it == bases.end()) return out.size();
+            try {
+                payload = util::xor_delta_decode(it->second, rec.payload);
+            } catch (const util::StateHistoryError&) {
+                return out.size();
+            }
+        } else {
+            payload = rec.payload;
+        }
+        if (payload.size() < sizeof(std::uint64_t)) return out.size();
+        std::uint64_t epoch = 0;
+        std::memcpy(&epoch, payload.data(), sizeof epoch);
+        bases[base_type] = payload;
+        out.push_back({base_type, std::move(payload), epoch});
+    }
+    return out.size();
+}
+
 }  // namespace
+
+std::string encode_runtime_state(const RuntimeState& state) {
+    POC_EXPECTS(state.epochs.size() == state.auctions.size());
+    util::BinaryWriter w;
+    w.u64(kStateVersion);
+    w.u64(state.epochs.size());
+    for (const EpochRecord& rec : state.epochs) write_epoch_record(w, rec);
+    for (const std::optional<market::AuctionResult>& a : state.auctions) {
+        w.boolean(a.has_value());
+        if (a) market::write_auction_result(w, *a);
+    }
+    state.ledger.serialize(w);
+    write_rng_state(w, state.rng);
+    w.u64(state.breaker_open_epochs);
+    return w.bytes();
+}
+
+RuntimeState decode_runtime_state(std::string_view bytes) {
+    util::BinaryReader r(bytes);
+    if (r.u64() != kStateVersion) {
+        throw util::JournalError("unknown runtime-state version");
+    }
+    RuntimeState state;
+    const std::uint64_t n = r.u64();
+    state.epochs.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) state.epochs.push_back(read_epoch_record(r));
+    state.auctions.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (r.boolean()) {
+            state.auctions.emplace_back(market::read_auction_result(r));
+        } else {
+            state.auctions.emplace_back(std::nullopt);
+        }
+    }
+    state.ledger = core::Ledger::deserialize(r);
+    state.rng = read_rng_state(r);
+    state.breaker_open_epochs = r.u64();
+    if (!r.exhausted()) {
+        throw util::JournalError("trailing bytes after runtime state");
+    }
+    return state;
+}
 
 struct EpochRuntime::Impl {
     const market::OfferPool& pool;
@@ -160,6 +258,16 @@ struct EpochRuntime::Impl {
     /// Shared across every epoch's oracle queries and flow sims (see
     /// RuntimeOptions::use_path_cache); epoch-invalidated in run_epoch.
     net::PathCache path_cache;
+    /// Last full payload per record type in the journal file — the
+    /// delta-encoding bases for future appends. Rebuilt from the file
+    /// on recovery, reset by compaction.
+    std::map<std::uint16_t, std::string> delta_base;
+    /// Snapshot files next to the journal. Always consulted on
+    /// recovery (the emitting process may have had snapshots on even
+    /// if this one does not — engine knobs may flip across restarts).
+    util::SnapshotStore store;
+    std::optional<util::FileSnapshotSink> file_sink;
+    util::SnapshotSink* sink = nullptr;
 
     Impl(const market::OfferPool& pool_, const net::TrafficMatrix& tm_, RuntimeOptions opt_)
         : pool(pool_),
@@ -169,6 +277,16 @@ struct EpochRuntime::Impl {
           retrier(opt.retry, opt.breaker) {
         POC_EXPECTS(opt.epochs >= 1);
         POC_EXPECTS(opt.demand_jitter >= 0.0 && opt.demand_jitter < 1.0);
+        POC_EXPECTS(opt.snapshot_keep >= 1);
+        if (!opt.journal_path.empty()) {
+            store = util::SnapshotStore(opt.journal_path, opt.snapshot_keep);
+        }
+        if (opt.snapshot_sink != nullptr) {
+            sink = opt.snapshot_sink;
+        } else if (store.enabled() && opt.snapshot_interval > 0) {
+            file_sink.emplace(store);
+            sink = &*file_sink;
+        }
     }
 
     /// Configuration fingerprint stored in the journal header. Engine
@@ -193,8 +311,30 @@ struct EpochRuntime::Impl {
         if (opt.stage_hook) opt.stage_hook(epoch, stage, point);
     }
 
+    /// Append one record, delta-encoding against the last payload of
+    /// the same type when that is smaller. The base map always tracks
+    /// the full payload so a later record can delta against this one.
     void append(std::uint16_t type, const util::BinaryWriter& w) {
-        journal.append(type, w.bytes());
+        const std::string& bytes = w.bytes();
+        if (!journal.attached()) {
+            journal.append(type, bytes);  // durability off: no-op write
+            return;
+        }
+        if (opt.delta_encoding) {
+            const auto it = delta_base.find(type);
+            if (it != delta_base.end()) {
+                std::string delta = util::xor_delta_encode(it->second, bytes);
+                if (delta.size() < bytes.size()) {
+                    it->second = bytes;
+                    journal.append(static_cast<std::uint16_t>(type | kRecDeltaFlag), delta);
+                    POC_OBS_COUNT("sim.runtime.delta_bytes_saved",
+                                  bytes.size() - delta.size());
+                    return;
+                }
+            }
+        }
+        delta_base[type] = bytes;
+        journal.append(type, bytes);
     }
 
     net::TrafficMatrix scaled_tm(double factor) const {
@@ -204,59 +344,98 @@ struct EpochRuntime::Impl {
     }
 
     /// Apply one journal record to the reconstructed state. Records
-    /// arrive in append order; the journal layer has already verified
-    /// their checksums.
-    void replay_record(const util::JournalRecord& rec) {
+    /// arrive in append order with checksums verified and deltas
+    /// resolved. Parse-then-commit: a record that turns out to be
+    /// semantically impossible (out-of-order epoch, duplicated stage,
+    /// truncated fields) throws *before* mutating anything, so
+    /// defensive recovery can stop at the last good prefix. Checks
+    /// throw util::ContractViolation (via POC_EXPECTS) or
+    /// util::JournalError; both are recoverable.
+    void replay_record(const DecodedRecord& rec) {
         util::BinaryReader r(rec.payload);
         switch (rec.type) {
             case kRecEpochBegin: {
+                const std::uint64_t epoch = r.u64();
+                const double demand_factor = r.f64();
+                const util::RngState st = read_rng_state(r);
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(!has_pending);
+                POC_EXPECTS(epoch == outcome.epochs.size());
                 pending = PendingEpoch{};
-                pending.epoch = r.u64();
-                pending.demand_factor = r.f64();
-                rng.set_state(read_rng_state(r));
+                pending.epoch = epoch;
+                pending.demand_factor = demand_factor;
+                rng.set_state(st);
                 pending.have_begin = true;
                 has_pending = true;
                 break;
             }
             case kRecAuction: {
-                POC_EXPECTS(has_pending && r.u64() == pending.epoch);
-                if (r.boolean()) pending.auction = market::read_auction_result(r);
-                pending.degraded = r.boolean();
-                pending.breaker_open = r.boolean();
-                pending.attempts = r.u64();
+                const std::uint64_t epoch = r.u64();
+                std::optional<market::AuctionResult> auction;
+                if (r.boolean()) auction = market::read_auction_result(r);
+                const bool degraded = r.boolean();
+                const bool breaker_open = r.boolean();
+                const std::uint64_t attempts = r.u64();
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(has_pending && epoch == pending.epoch);
+                POC_EXPECTS(!pending.have_auction);
+                pending.auction = std::move(auction);
+                pending.degraded = degraded;
+                pending.breaker_open = breaker_open;
+                pending.attempts = attempts;
                 pending.have_auction = true;
                 break;
             }
             case kRecProvision: {
-                POC_EXPECTS(has_pending && r.u64() == pending.epoch);
-                pending.selected = read_links(r);
+                const std::uint64_t epoch = r.u64();
+                std::vector<net::LinkId> selected = read_links(r);
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(has_pending && epoch == pending.epoch);
+                POC_EXPECTS(pending.have_auction && !pending.have_provision);
+                pending.selected = std::move(selected);
                 pending.have_provision = true;
                 break;
             }
             case kRecFlows: {
-                POC_EXPECTS(has_pending && r.u64() == pending.epoch);
-                pending.offered_gbps = r.f64();
-                pending.routed_gbps = r.f64();
-                pending.max_utilization = r.f64();
-                pending.stretch = r.f64();
+                const std::uint64_t epoch = r.u64();
+                const double offered = r.f64();
+                const double routed = r.f64();
+                const double max_util = r.f64();
+                const double stretch = r.f64();
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(has_pending && epoch == pending.epoch);
+                POC_EXPECTS(pending.have_provision && !pending.have_flows);
+                pending.offered_gbps = offered;
+                pending.routed_gbps = routed;
+                pending.max_utilization = max_util;
+                pending.stretch = stretch;
                 pending.have_flows = true;
                 break;
             }
             case kRecSettlement: {
-                POC_EXPECTS(has_pending && r.u64() == pending.epoch);
+                const std::uint64_t epoch = r.u64();
                 const std::uint64_t n = r.u64();
+                std::vector<core::Transfer> transfers;
+                transfers.reserve(n);
                 for (std::uint64_t i = 0; i < n; ++i) {
-                    const core::Transfer t = core::read_transfer(r);
+                    transfers.push_back(core::read_transfer(r));
+                }
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(has_pending && epoch == pending.epoch);
+                POC_EXPECTS(pending.have_flows && !pending.have_settlement);
+                for (const core::Transfer& t : transfers) {
                     outcome.ledger.record(t.from, t.to, t.kind, t.amount, t.memo);
                 }
                 pending.have_settlement = true;
                 break;
             }
             case kRecEpochEnd: {
-                POC_EXPECTS(has_pending);
                 EpochRecord done = read_epoch_record(r);
+                const util::RngState st = read_rng_state(r);
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(has_pending && pending.have_settlement);
                 POC_EXPECTS(done.epoch == pending.epoch);
-                rng.set_state(read_rng_state(r));
+                rng.set_state(st);
                 if (done.breaker_open) ++outcome.breaker_open_epochs;
                 outcome.epochs.push_back(done);
                 outcome.auctions.push_back(std::move(pending.auction));
@@ -268,41 +447,211 @@ struct EpochRuntime::Impl {
                 throw util::JournalError("unknown journal record type " +
                                          std::to_string(rec.type));
         }
-        POC_EXPECTS(r.exhausted());
     }
 
-    /// Open or create the journal and replay its valid prefix.
+    /// Install a decoded snapshot state as the recovery ground truth.
+    void install_state(RuntimeState st) {
+        outcome.epochs = std::move(st.epochs);
+        outcome.auctions = std::move(st.auctions);
+        outcome.ledger = std::move(st.ledger);
+        rng.set_state(st.rng);
+        outcome.breaker_open_epochs = static_cast<std::size_t>(st.breaker_open_epochs);
+        has_pending = false;
+    }
+
+    /// Atomically rewrite the journal to header + `kept` (full
+    /// payloads, re-encoded so the first record per type is full and
+    /// delta chains stay self-contained). Resets the appender's base
+    /// map to match the new file.
+    void rewrite_journal(const std::string& meta, const std::vector<DecodedRecord>& kept) {
+        std::vector<util::JournalRecord> frames;
+        frames.reserve(kept.size());
+        std::map<std::uint16_t, std::string> bases;
+        for (const DecodedRecord& d : kept) {
+            const auto it = bases.find(d.type);
+            if (it != bases.end() && opt.delta_encoding) {
+                std::string delta = util::xor_delta_encode(it->second, d.payload);
+                if (delta.size() < d.payload.size()) {
+                    it->second = d.payload;
+                    frames.push_back({static_cast<std::uint16_t>(d.type | kRecDeltaFlag),
+                                      std::move(delta)});
+                    continue;
+                }
+            }
+            bases[d.type] = d.payload;
+            frames.push_back({d.type, d.payload});
+        }
+        util::Journal::RewriteStats stats;
+        journal = util::Journal::rewrite(opt.journal_path, meta, frames, &stats,
+                                         opt.fsync_journal);
+        delta_base = std::move(bases);
+        if (stats.bytes_before > stats.bytes_after) {
+            POC_OBS_COUNT("sim.runtime.journal_bytes_reclaimed",
+                          stats.bytes_before - stats.bytes_after);
+        }
+    }
+
+    /// Recovery lattice: sweep stale temps, ground on the newest valid
+    /// snapshot, then replay only the journal suffix that extends it.
+    /// Defensive end to end — a corrupt snapshot falls back to an
+    /// older one (or the journal alone), and a journal whose content
+    /// cannot extend the grounded state is rewritten to its last good
+    /// prefix with the rest recomputed deterministically. Never
+    /// installs corrupt state; only a *foreign* journal (different
+    /// configuration fingerprint) throws.
     void recover() {
         const std::string meta = meta_fingerprint();
+        if (store.enabled()) {
+            const std::size_t swept = store.sweep_stale_temps();
+            if (swept > 0) POC_OBS_COUNT("sim.runtime.stale_temps_swept", swept);
+        }
+        {
+            // A compaction rewrite that died before its rename leaves
+            // `<journal>.tmp` behind; the original journal is intact.
+            std::error_code ec;
+            std::filesystem::remove(opt.journal_path + ".tmp", ec);
+        }
+
         util::Journal::ScanResult scan;
         bool opened = false;
         try {
-            journal = util::Journal::open(opt.journal_path, scan);
+            journal = util::Journal::open(opt.journal_path, scan, opt.fsync_journal);
             opened = true;
         } catch (const util::JournalError&) {
-            // Missing or header-corrupt journal: start fresh. A corrupt
-            // *record* never lands here (open() truncates those).
+            // Missing or header-corrupt journal: start a fresh log. A
+            // corrupt *record* never lands here (open() truncates
+            // those). Snapshot grounding below still applies — the
+            // journal is the suffix, not the source of truth.
         }
-        if (!opened) {
-            journal = util::Journal::create(opt.journal_path, meta);
-            return;
-        }
-        if (scan.meta != meta) {
+        if (opened && scan.meta != meta) {
             throw util::JournalError(
                 "journal at " + opt.journal_path +
                 " was written by a different run configuration; refusing to replay");
         }
+
+        // Ground on the newest snapshot that validates end to end
+        // (CRC, fingerprint) *and* decodes; anything less is skipped.
+        std::uint64_t grounded = 0;
+        if (store.enabled()) {
+            if (const auto snap = store.load_newest_valid(meta)) {
+                try {
+                    RuntimeState st = decode_runtime_state(snap->payload);
+                    POC_EXPECTS(st.epochs.size() == snap->completed_epochs);
+                    install_state(std::move(st));
+                    grounded = snap->completed_epochs;
+                    outcome.resumed_from_snapshot = true;
+                    outcome.snapshot_epochs = grounded;
+                    POC_OBS_INC("sim.runtime.snapshot_resumes");
+                } catch (const util::ContractViolation&) {
+                    POC_OBS_INC("sim.runtime.snapshots_undecodable");
+                } catch (const util::JournalError&) {
+                    POC_OBS_INC("sim.runtime.snapshots_undecodable");
+                }
+            }
+        }
+
+        if (!opened) {
+            journal = util::Journal::create(opt.journal_path, meta, opt.fsync_journal);
+            return;
+        }
         outcome.tail_truncated = scan.tail_truncated;
+
         const auto start = std::chrono::steady_clock::now();
-        for (const util::JournalRecord& rec : scan.records) {
-            replay_record(rec);
+        std::vector<DecodedRecord> decoded;
+        std::map<std::uint16_t, std::string> bases;
+        decode_records(scan.records, decoded, bases);
+        bool bad_tail = decoded.size() < scan.records.size();
+
+        // Apply: skip records the grounding snapshot already covers,
+        // then defensively replay the suffix. The first record that
+        // cannot extend the current state (gap, duplicated frame,
+        // semantic garbage) ends the good prefix; everything past it
+        // is dropped and recomputed.
+        std::size_t applied_begin = 0;
+        bool any_applied = false;
+        std::size_t good = decoded.size();
+        std::size_t skipped = 0;
+        for (std::size_t i = 0; i < decoded.size(); ++i) {
+            if (!any_applied && decoded[i].epoch < grounded) {
+                ++skipped;
+                continue;
+            }
+            try {
+                replay_record(decoded[i]);
+            } catch (const util::ContractViolation&) {
+                good = i;
+                bad_tail = true;
+                break;
+            } catch (const util::JournalError&) {
+                good = i;
+                bad_tail = true;
+                break;
+            }
+            if (!any_applied) {
+                any_applied = true;
+                applied_begin = i;
+            }
             ++outcome.replayed_records;
         }
+        if (!any_applied) applied_begin = good;
+
+        if (bad_tail || skipped > 0) {
+            const std::vector<DecodedRecord> kept(
+                decoded.begin() + static_cast<std::ptrdiff_t>(applied_begin),
+                decoded.begin() + static_cast<std::ptrdiff_t>(good));
+            rewrite_journal(meta, kept);
+            if (bad_tail) {
+                outcome.journal_repaired = true;
+                POC_OBS_INC("sim.runtime.journal_repairs");
+            }
+            if (skipped > 0) {
+                // The crash-between-snapshot-and-compaction path: the
+                // rewrite above doubles as the compaction that crash
+                // skipped.
+                ++outcome.compactions;
+                POC_OBS_INC("sim.runtime.compactions");
+            }
+        } else {
+            delta_base = std::move(bases);
+        }
+
         const auto dur = std::chrono::steady_clock::now() - start;
         outcome.replay_ms =
             std::chrono::duration<double, std::milli>(dur).count();
         POC_OBS_HISTOGRAM("sim.runtime.replay_ms", 0.0, 1000.0, 50, outcome.replay_ms);
         POC_OBS_COUNT("sim.runtime.replayed_records", outcome.replayed_records);
+    }
+
+    /// Emit a snapshot when a snapshot boundary was just crossed, then
+    /// compact the journal down to what the snapshot does not cover.
+    void maybe_snapshot() {
+        if (opt.snapshot_interval == 0 || sink == nullptr) return;
+        const std::uint64_t completed = outcome.epochs.size();
+        if (completed == 0 || completed % opt.snapshot_interval != 0) return;
+        POC_OBS_SPAN("sim.runtime.snapshot");
+        const auto epoch = static_cast<std::size_t>(completed);
+        hook(epoch, Stage::kSnapshotWrite, HookPoint::kBefore);
+        RuntimeState st{outcome.epochs, outcome.auctions, outcome.ledger, rng.state(),
+                        outcome.breaker_open_epochs};
+        const std::string payload = encode_runtime_state(st);
+        // kMid models the worst case: state serialized, install not
+        // yet durable. The atomic temp+rename install makes a crash
+        // here invisible to recovery.
+        hook(epoch, Stage::kSnapshotWrite, HookPoint::kMid);
+        sink->emit(completed, meta_fingerprint(), payload);
+        ++outcome.snapshots_written;
+        POC_OBS_INC("sim.runtime.snapshots");
+        hook(epoch, Stage::kSnapshotWrite, HookPoint::kAfter);
+
+        if (!opt.compact_after_snapshot || !journal.attached()) return;
+        hook(epoch, Stage::kCompaction, HookPoint::kBefore);
+        // At a snapshot boundary no epoch is in flight, so the
+        // snapshot covers every record: the kept suffix is empty.
+        hook(epoch, Stage::kCompaction, HookPoint::kMid);
+        rewrite_journal(meta_fingerprint(), {});
+        ++outcome.compactions;
+        POC_OBS_INC("sim.runtime.compactions");
+        hook(epoch, Stage::kCompaction, HookPoint::kAfter);
     }
 
     /// The auction stage's computation: clear under the retry/breaker
@@ -512,7 +861,10 @@ struct EpochRuntime::Impl {
         if (!opt.journal_path.empty()) recover();
         // After replay, any in-flight epoch is exactly the next one:
         // run_epoch() resumes it from its first incomplete stage.
-        while (outcome.epochs.size() < opt.epochs) run_epoch(outcome.epochs.size());
+        while (outcome.epochs.size() < opt.epochs) {
+            run_epoch(outcome.epochs.size());
+            maybe_snapshot();
+        }
         outcome.final_rng = rng.state();
         outcome.retry = retrier.stats();
         return std::move(outcome);
@@ -534,7 +886,9 @@ RuntimeOutcome run_with_recovery(const market::OfferPool& pool, const net::Traff
     struct CrashPoint {
         std::size_t epoch;
         Stage stage;
+        FaultKind kind;
         bool fired = false;
+        bool damage_done = false;
     };
     auto crashes = std::make_shared<std::vector<CrashPoint>>();
     struct Window {
@@ -543,9 +897,10 @@ RuntimeOutcome run_with_recovery(const market::OfferPool& pool, const net::Traff
     };
     std::vector<Window> degraded_windows;
     for (const Fault& f : trace) {
-        if (f.kind == FaultKind::kCrash) {
-            POC_EXPECTS(f.crash_stage < kStageCount);
-            crashes->push_back({f.start_epoch, static_cast<Stage>(f.crash_stage), false});
+        if (f.kind == FaultKind::kCrash || f.kind == FaultKind::kSnapshotCorrupt ||
+            f.kind == FaultKind::kTornWrite) {
+            POC_EXPECTS(f.crash_stage <= kCrashStageCompaction);
+            crashes->push_back({f.start_epoch, static_cast<Stage>(f.crash_stage), f.kind});
         } else if (f.kind == FaultKind::kOracleDegraded) {
             degraded_windows.push_back({f.start_epoch, f.start_epoch + f.repair_epochs});
         }
@@ -576,14 +931,78 @@ RuntimeOutcome run_with_recovery(const market::OfferPool& pool, const net::Traff
         }
     };
 
+    // Post-kill disk damage: kSnapshotCorrupt flips a bit in the
+    // newest snapshot, kTornWrite tears the journal's tail — the
+    // crash *causing* the corruption recovery must then survive.
+    const auto apply_damage = [&supervised] (std::vector<CrashPoint>& points) {
+        for (CrashPoint& c : points) {
+            if (!c.fired || c.damage_done) continue;
+            c.damage_done = true;
+            if (c.kind == FaultKind::kTornWrite) {
+                const std::uint64_t size = util::FaultyFile::size(supervised.journal_path);
+                if (size > 0) {
+                    util::FaultyFile::tear_at(supervised.journal_path,
+                                              size - std::min<std::uint64_t>(size, 3));
+                    POC_OBS_INC("sim.runtime.torn_writes_injected");
+                }
+            } else if (c.kind == FaultKind::kSnapshotCorrupt) {
+                const util::SnapshotStore store(supervised.journal_path,
+                                                supervised.snapshot_keep);
+                const auto snaps = store.list();
+                if (!snaps.empty()) {
+                    const std::string& path = snaps.back().path;
+                    util::FaultyFile::flip_bit(path, util::FaultyFile::size(path) / 2, 3);
+                    POC_OBS_INC("sim.runtime.snapshot_corruptions_injected");
+                }
+            }
+        }
+    };
+
+    const auto journal_size = [&supervised] {
+        std::error_code ec;
+        const auto n = std::filesystem::file_size(supervised.journal_path, ec);
+        return ec ? std::uintmax_t{0} : n;
+    };
+
+    // Restart loop under a per-progress-window budget: each crash that
+    // leaves the journal unchanged burns one attempt (with the restart
+    // policy's jittered backoff in between); any journal change resets
+    // the window. A deterministic crash point therefore exhausts the
+    // budget instead of looping forever.
+    struct ProgressMade {};
+    std::size_t restarts = 0;
+    std::uintmax_t last_size = journal_size();
+    util::RetryPolicy restart_policy = supervised.restart;
+    restart_policy.deadline_ms = std::numeric_limits<double>::infinity();
     for (;;) {
+        util::Retrier restarter(restart_policy);
         try {
-            return EpochRuntime(pool, tm, supervised).run();
-        } catch (const CrashInjected&) {
-            POC_OBS_INC("sim.runtime.crashes");
-            // "Restart the process": loop around and recover from the
-            // journal with a fresh runtime (fresh breaker, fresh RNG
-            // object — all durable state comes from the journal).
+            return restarter.call([&](const util::Deadline&) -> RuntimeOutcome {
+                try {
+                    RuntimeOutcome out = EpochRuntime(pool, tm, supervised).run();
+                    out.restarts = restarts;
+                    return out;
+                } catch (const CrashInjected& c) {
+                    ++restarts;
+                    POC_OBS_INC("sim.runtime.crashes");
+                    apply_damage(*crashes);
+                    // "Restart the process": recover from the journal
+                    // (and snapshots) with a fresh runtime — fresh
+                    // breaker, fresh RNG object, all durable state
+                    // from disk.
+                    const std::uintmax_t size_now = journal_size();
+                    if (size_now != last_size) {
+                        last_size = size_now;
+                        throw ProgressMade{};
+                    }
+                    throw util::TransientError(c.what());
+                }
+            });
+        } catch (const ProgressMade&) {
+            continue;  // fresh budget window
+        } catch (const util::RetryExhausted& e) {
+            POC_OBS_INC("sim.runtime.recovery_exhausted");
+            throw RecoveryExhausted(restarts, e.what());
         }
     }
 }

@@ -23,6 +23,23 @@
 // load-feasibility constraint with a fresh healthy oracle, flags the
 // epoch `degraded_mode`, and keeps serving rather than staying dark —
 // the same degradation contract as the chaos engine (sim/chaos.hpp).
+//
+// State-history model (DESIGN.md §4c). With `snapshot_interval` set,
+// every K completed epochs the runtime serializes its *complete* state
+// (epoch records, auction outcomes, ledger, RNG position) into a
+// versioned, CRC-framed snapshot file installed atomically next to the
+// journal, then compacts the journal down to the records the snapshot
+// does not cover (none, at a snapshot boundary). Recovery grounds on
+// the newest snapshot that validates end to end and replays only the
+// journal suffix past it, so restart cost is O(snapshot interval)
+// instead of O(history). Journal records are delta-encoded against the
+// prior record of the same type (varint + XOR runs), shrinking
+// steady-state log growth. Recovery is defensive: CRC-valid but
+// semantically impossible records (duplicated frames, suffixes the
+// surviving snapshot cannot ground) stop replay at the last good
+// prefix, the journal is rewritten to that prefix, and the remainder
+// is recomputed deterministically — recovery never crashes and never
+// installs corrupt state.
 #pragma once
 
 #include <cstdint>
@@ -38,18 +55,36 @@
 #include "sim/chaos.hpp"
 #include "util/retry.hpp"
 #include "util/rng.hpp"
+#include "util/state_history.hpp"
 
 namespace poc::sim {
 
-/// The four restartable stages of one epoch, in pipeline order.
+/// The four restartable stages of one epoch, in pipeline order, plus
+/// the two state-history operations that run between epochs. Hooks and
+/// crash injection address all six; kStageCount counts only the
+/// pipeline.
 enum class Stage : std::uint8_t {
     kAuction = 0,
     kProvisioning = 1,
     kFlowSim = 2,
     kSettlement = 3,
+    /// Snapshot emission (between epochs; hooked with the completed-
+    /// epoch count in the epoch slot).
+    kSnapshotWrite = 4,
+    /// Journal compaction right after a snapshot.
+    kCompaction = 5,
 };
 
+/// Pipeline stages only (kSnapshotWrite/kCompaction excluded — chaos
+/// fault draws and the per-epoch crash matrices iterate this).
 inline constexpr std::size_t kStageCount = 4;
+
+/// Fault::crash_stage values addressing the state-history operations
+/// (a crash while writing the snapshot / compacting the journal). The
+/// fault's start_epoch is matched against the completed-epoch count at
+/// which the operation fires.
+inline constexpr std::uint32_t kCrashStageSnapshot = 4;
+inline constexpr std::uint32_t kCrashStageCompaction = 5;
 
 const char* stage_name(Stage stage);
 
@@ -74,6 +109,25 @@ private:
     std::size_t epoch_;
     Stage stage_;
     HookPoint point_;
+};
+
+/// run_with_recovery gave up: the restart budget burned down with no
+/// forward progress (journal growth) between consecutive crashes. The
+/// run is permanently stuck — a deterministic crash point, or storage
+/// that corrupts faster than recovery repairs it.
+class RecoveryExhausted final : public std::runtime_error {
+public:
+    RecoveryExhausted(std::size_t restarts, const std::string& last_error)
+        : std::runtime_error("recovery exhausted after " + std::to_string(restarts) +
+                             " restart(s); " + last_error),
+          restarts_(restarts) {}
+
+    /// Total process restarts before giving up (across all progress
+    /// windows, not just the stuck one).
+    std::size_t restarts() const noexcept { return restarts_; }
+
+private:
+    std::size_t restarts_;
 };
 
 /// One epoch's summary row (the runtime's SLA record).
@@ -137,7 +191,65 @@ struct RuntimeOptions {
     /// fingerprint because results are bit-identical either way, so a
     /// journaled run may resume with it flipped.
     bool use_path_cache = true;
+
+    // --- State-history knobs (DESIGN.md §4c). All of these are engine
+    // knobs: results are bit-identical whatever their values, so they
+    // are excluded from the meta fingerprint and a journaled run may
+    // resume with any of them flipped. ---
+
+    /// Emit a full state snapshot every K completed epochs (0 = off).
+    std::size_t snapshot_interval = 0;
+    /// Newest snapshot generations the default sink keeps on disk
+    /// (older ones are the fallback when the newest is corrupt).
+    std::size_t snapshot_keep = 2;
+    /// After each snapshot, atomically rewrite the journal down to the
+    /// records the snapshot does not cover (none, at a snapshot
+    /// boundary) so the log stays O(snapshot interval).
+    bool compact_after_snapshot = true;
+    /// Delta-encode journal records against the prior record of the
+    /// same type (varint + XOR runs) when that is smaller.
+    bool delta_encoding = true;
+    /// Snapshot destination override (tests capture payloads). Null =
+    /// a util::FileSnapshotSink over SnapshotStore(journal_path,
+    /// snapshot_keep). A custom sink that does not durably store
+    /// snapshots next to the journal must disable
+    /// compact_after_snapshot, or compaction will drop records only
+    /// its snapshots could replace.
+    util::SnapshotSink* snapshot_sink = nullptr;
+    /// fsync the journal after every append (power-failure durability
+    /// at per-append syscall cost; see util::Journal).
+    bool fsync_journal = false;
+    /// run_with_recovery's restart budget *per progress window*: after
+    /// a crash, up to `restart.max_attempts` consecutive relaunches
+    /// that make no forward progress (no journal change) are admitted,
+    /// with the policy's jittered backoff between them; any progress
+    /// resets the window. Exhaustion throws RecoveryExhausted. The
+    /// per-attempt deadline is ignored (runs may take arbitrarily
+    /// long).
+    util::RetryPolicy restart{.max_attempts = 8};
 };
+
+/// The complete durable state of a runtime between epochs — exactly
+/// what a snapshot persists and recovery installs. Exposed (with the
+/// codec below) so property tests can prove the serialization
+/// byte-stable without a runtime in the loop.
+struct RuntimeState {
+    std::vector<EpochRecord> epochs;
+    std::vector<std::optional<market::AuctionResult>> auctions;
+    core::Ledger ledger;
+    util::RngState rng;
+    std::uint64_t breaker_open_epochs = 0;
+};
+
+/// Serialize a RuntimeState to the snapshot payload format.
+/// Deterministic and byte-stable: encode(decode(encode(s))) ==
+/// encode(s).
+std::string encode_runtime_state(const RuntimeState& state);
+
+/// Invert encode_runtime_state. Throws util::JournalError on
+/// malformed bytes (snapshot CRC framing normally rules that out;
+/// this guards against version drift).
+RuntimeState decode_runtime_state(std::string_view bytes);
 
 struct RuntimeOutcome {
     std::vector<EpochRecord> epochs;
@@ -155,6 +267,21 @@ struct RuntimeOutcome {
     /// Epochs that found the breaker open on arrival.
     std::size_t breaker_open_epochs = 0;
     util::RetryStats retry;
+    /// State-history diagnostics for this run() call.
+    std::size_t snapshots_written = 0;
+    std::size_t compactions = 0;
+    /// Recovery grounded on a snapshot instead of replaying the
+    /// journal from its header.
+    bool resumed_from_snapshot = false;
+    /// Completed epochs the grounding snapshot covered (0 when none).
+    std::uint64_t snapshot_epochs = 0;
+    /// Recovery hit a CRC-valid but semantically impossible record
+    /// (duplicated frame, ungroundable suffix) and rewrote the journal
+    /// to its last good prefix.
+    bool journal_repaired = false;
+    /// Process restarts the supervisor performed (run_with_recovery
+    /// only; 0 from a bare run()).
+    std::size_t restarts = 0;
 };
 
 /// The runtime. One instance = one process lifetime: the retry breaker
@@ -184,12 +311,18 @@ private:
 };
 
 /// Supervisor loop: converts a chaos fault trace's control-plane
-/// faults (kCrash, kOracleDegraded) into runtime hooks, then runs
-/// EpochRuntime under a restart-on-crash loop until it completes.
-/// Each kCrash fault kills the process once (at the faulted epoch and
-/// stage, mid-stage); each kOracleDegraded fault makes every oracle
-/// query of its active epochs throw util::TransientError. Requires a
-/// journal path (recovery without durability would replay nothing).
+/// faults (kCrash, kOracleDegraded, kSnapshotCorrupt, kTornWrite)
+/// into runtime hooks, then runs EpochRuntime under a restart-on-crash
+/// loop until it completes. Each kCrash fault kills the process once
+/// (at the faulted epoch and stage, mid-stage; crash_stage may also
+/// name kCrashStageSnapshot/kCrashStageCompaction); kSnapshotCorrupt
+/// and kTornWrite additionally damage the newest snapshot file (bit
+/// flip) / the journal tail (torn write) after the kill, before the
+/// restart. Each kOracleDegraded fault makes every oracle query of
+/// its active epochs throw util::TransientError. Restarts are budgeted
+/// by opt.restart: consecutive crashes with no forward progress
+/// exhaust it and throw RecoveryExhausted. Requires a journal path
+/// (recovery without durability would replay nothing).
 RuntimeOutcome run_with_recovery(const market::OfferPool& pool, const net::TrafficMatrix& tm,
                                  const RuntimeOptions& opt, const std::vector<Fault>& trace);
 

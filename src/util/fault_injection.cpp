@@ -1,0 +1,64 @@
+#include "util/fault_injection.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace poc::util {
+
+std::string FaultyFile::slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return {};
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void FaultyFile::spit(const std::string& path, std::string_view bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::uint64_t FaultyFile::size(const std::string& path) {
+    std::error_code ec;
+    const auto n = std::filesystem::file_size(path, ec);
+    return ec ? 0 : n;
+}
+
+void FaultyFile::tear_at(const std::string& path, std::uint64_t offset) {
+    std::string bytes = slurp(path);
+    if (offset < bytes.size()) bytes.resize(offset);
+    spit(path, bytes);
+}
+
+void FaultyFile::flip_bit(const std::string& path, std::uint64_t offset, unsigned bit) {
+    std::string bytes = slurp(path);
+    if (offset >= bytes.size()) return;
+    bytes[offset] = static_cast<char>(
+        static_cast<unsigned char>(bytes[offset]) ^ (1u << (bit & 7u)));
+    spit(path, bytes);
+}
+
+void FaultyFile::truncate_tail(const std::string& path, std::uint64_t n) {
+    std::string bytes = slurp(path);
+    bytes.resize(bytes.size() - std::min<std::uint64_t>(n, bytes.size()));
+    spit(path, bytes);
+}
+
+void FaultyFile::duplicate_range(const std::string& path, std::uint64_t offset,
+                                 std::uint64_t len) {
+    std::string bytes = slurp(path);
+    if (offset >= bytes.size()) return;
+    const std::uint64_t n = std::min<std::uint64_t>(len, bytes.size() - offset);
+    bytes.append(bytes, offset, n);
+    spit(path, bytes);
+}
+
+void FaultyFile::append_garbage(const std::string& path, std::string_view bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void FaultyFile::make_stale_temp(const std::string& path, std::string_view bytes) {
+    spit(path + ".tmp", bytes);
+}
+
+}  // namespace poc::util

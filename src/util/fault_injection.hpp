@@ -1,0 +1,56 @@
+// Deterministic file-level fault injection for durability testing
+// (DESIGN.md §4c): the byte-surgery toolkit the state-history property
+// tests sweep over snapshot and journal files.
+//
+// Every operation models a concrete storage failure:
+//
+//  * tear_at        - torn write: the device persisted only the first
+//                     `offset` bytes of the file (power loss mid-write).
+//                     Sweeping offset over every byte of a frame is the
+//                     exhaustive torn-write matrix.
+//  * flip_bit       - a single bit flip at rest (media corruption).
+//  * truncate_tail  - the last n bytes never made it (lost cache).
+//  * duplicate_range- a doubled frame: bytes [offset, offset+len) are
+//                     appended again at the end (replayed write, a
+//                     misdirected retry).
+//  * append_garbage - arbitrary trailing bytes (reused sectors).
+//  * make_stale_temp- a `<path>.tmp` leftover from an install that
+//                     died before its rename.
+//
+// All operations act on closed files (the crash already happened);
+// they are plain byte surgery, deterministic, and sandbox-friendly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace poc::util {
+
+class FaultyFile {
+public:
+    /// Raw file bytes ("" when missing — faults on absent files are
+    /// no-ops by construction).
+    static std::string slurp(const std::string& path);
+    /// Replace the file's contents wholesale.
+    static void spit(const std::string& path, std::string_view bytes);
+    /// Current size in bytes (0 when missing).
+    static std::uint64_t size(const std::string& path);
+
+    /// Keep only the first `offset` bytes (torn write at `offset`).
+    static void tear_at(const std::string& path, std::uint64_t offset);
+    /// XOR bit `bit` (0-7) of the byte at `offset` (no-op past EOF).
+    static void flip_bit(const std::string& path, std::uint64_t offset, unsigned bit = 0);
+    /// Drop the last `n` bytes.
+    static void truncate_tail(const std::string& path, std::uint64_t n);
+    /// Append a copy of bytes [offset, offset+len) to the end
+    /// (duplicated frame). Clamped to the file's size.
+    static void duplicate_range(const std::string& path, std::uint64_t offset,
+                                std::uint64_t len);
+    /// Append arbitrary garbage bytes.
+    static void append_garbage(const std::string& path, std::string_view bytes);
+    /// Plant a stale `<path>.tmp` leftover with the given bytes.
+    static void make_stale_temp(const std::string& path, std::string_view bytes);
+};
+
+}  // namespace poc::util

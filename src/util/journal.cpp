@@ -5,7 +5,40 @@
 
 #include "obs/metrics.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define POC_JOURNAL_HAVE_FSYNC 1
+#else
+#define POC_JOURNAL_HAVE_FSYNC 0
+#endif
+
 namespace poc::util {
+
+/// Holds the descriptor fsync needs; data still flows through the
+/// ofstream (buffered), this fd exists only to reach the same inode.
+struct Journal::Fsyncer {
+#if POC_JOURNAL_HAVE_FSYNC
+    int fd = -1;
+    explicit Fsyncer(const std::string& path) : fd(::open(path.c_str(), O_WRONLY)) {}
+    ~Fsyncer() {
+        if (fd >= 0) ::close(fd);
+    }
+    void sync() const {
+        if (fd >= 0) ::fsync(fd);
+    }
+#else
+    explicit Fsyncer(const std::string&) {}
+    void sync() const {}
+#endif
+    Fsyncer(const Fsyncer&) = delete;
+    Fsyncer& operator=(const Fsyncer&) = delete;
+};
+
+Journal::Journal() = default;
+Journal::Journal(Journal&&) noexcept = default;
+Journal& Journal::operator=(Journal&&) noexcept = default;
+Journal::~Journal() = default;
 
 namespace {
 
@@ -64,7 +97,8 @@ std::uint32_t crc32(std::string_view bytes) {
     return crc32_update(0xFFFFFFFFu, bytes.data(), bytes.size()) ^ 0xFFFFFFFFu;
 }
 
-Journal Journal::create(const std::string& path, std::string_view meta) {
+Journal Journal::create(const std::string& path, std::string_view meta,
+                        bool fsync_on_append) {
     Journal j;
     j.path_ = path;
     j.out_.open(path, std::ios::binary | std::ios::trunc);
@@ -80,10 +114,11 @@ Journal Journal::create(const std::string& path, std::string_view meta) {
     j.out_.flush();
     if (!j.out_) throw JournalError("journal header write failed at " + path);
     j.size_bytes_ = kHeaderFixed + meta.size() + sizeof crc;
+    j.set_fsync_on_append(fsync_on_append);
     return j;
 }
 
-Journal Journal::open(const std::string& path, ScanResult& scan) {
+Journal Journal::open(const std::string& path, ScanResult& scan, bool fsync_on_append) {
     scan = ScanResult{};
     std::string bytes;
     {
@@ -137,6 +172,44 @@ Journal Journal::open(const std::string& path, ScanResult& scan) {
     j.out_.open(path, std::ios::binary | std::ios::app);
     if (!j.out_) throw JournalError("cannot reopen journal for append at " + path);
     j.size_bytes_ = valid_end;
+    j.set_fsync_on_append(fsync_on_append);
+    return j;
+}
+
+Journal Journal::rewrite(const std::string& path, std::string_view meta,
+                         const std::vector<JournalRecord>& records, RewriteStats* stats,
+                         bool fsync_on_append) {
+    std::uint64_t bytes_before = 0;
+    {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(path, ec);
+        if (!ec) bytes_before = size;
+    }
+    const std::string tmp = path + ".tmp";
+    {
+        // Reuse create/append for the serialization so the rewritten
+        // bytes are frame-for-frame what a fresh log would contain.
+        Journal draft = Journal::create(tmp, meta);
+        for (const JournalRecord& rec : records) draft.append(rec.type, rec.payload);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        throw JournalError("journal rewrite rename failed at " + path + ": " + ec.message());
+    }
+
+    Journal j;
+    j.path_ = path;
+    j.out_.open(path, std::ios::binary | std::ios::app);
+    if (!j.out_) throw JournalError("cannot reopen rewritten journal at " + path);
+    j.size_bytes_ = std::filesystem::file_size(path);
+    j.set_fsync_on_append(fsync_on_append);
+    if (stats) {
+        stats->records = records.size();
+        stats->bytes_before = bytes_before;
+        stats->bytes_after = j.size_bytes_;
+    }
+    POC_OBS_INC("util.journal.rewrites");
     return j;
 }
 
@@ -150,9 +223,18 @@ void Journal::append(std::uint16_t type, std::string_view payload) {
     out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
     out_.flush();
     if (!out_) throw JournalError("journal append failed at " + path_);
+    if (fsync_) fsync_->sync();
     size_bytes_ += kFrameFixed + payload.size();
     POC_OBS_INC("util.journal.appends");
     POC_OBS_COUNT("util.journal.bytes", kFrameFixed + payload.size());
+}
+
+void Journal::set_fsync_on_append(bool enabled) {
+    if (!enabled) {
+        fsync_.reset();
+        return;
+    }
+    if (!fsync_ && out_.is_open()) fsync_ = std::make_unique<Fsyncer>(path_);
 }
 
 }  // namespace poc::util

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -135,22 +136,51 @@ public:
         std::uint64_t dropped_bytes = 0;
     };
 
-    Journal() = default;
-    Journal(Journal&&) = default;
-    Journal& operator=(Journal&&) = default;
+    /// Diagnostics from a rewrite() compaction pass.
+    struct RewriteStats {
+        std::uint64_t records = 0;
+        std::uint64_t bytes_before = 0;
+        std::uint64_t bytes_after = 0;
+    };
+
+    // All special members out of line: Fsyncer is incomplete here.
+    Journal();
+    Journal(Journal&&) noexcept;
+    Journal& operator=(Journal&&) noexcept;
+    ~Journal();
 
     /// Create (or truncate) the journal at `path` with the given
     /// configuration fingerprint. Throws JournalError on I/O failure.
-    static Journal create(const std::string& path, std::string_view meta);
+    static Journal create(const std::string& path, std::string_view meta,
+                          bool fsync_on_append = false);
 
     /// Open an existing journal: validate the header, scan the valid
     /// record prefix, truncate the file to it, and report what was
     /// read. Throws JournalError when the header itself is unreadable.
-    static Journal open(const std::string& path, ScanResult& scan);
+    static Journal open(const std::string& path, ScanResult& scan,
+                        bool fsync_on_append = false);
+
+    /// Atomically replace the journal at `path` with header(meta) +
+    /// `records`: serialize to `<path>.tmp`, then rename over `path`.
+    /// A crash at any point leaves either the old log or the complete
+    /// new one — never a hybrid. Returns the rewritten journal open
+    /// for append. This is the compaction primitive: the state-history
+    /// layer calls it to drop records a snapshot already covers.
+    static Journal rewrite(const std::string& path, std::string_view meta,
+                           const std::vector<JournalRecord>& records,
+                           RewriteStats* stats = nullptr, bool fsync_on_append = false);
 
     /// Append one record and flush it to the OS. The record is durable
-    /// (from this process's perspective) once append returns.
+    /// (from this process's perspective) once append returns; with
+    /// fsync_on_append it is also synced to stable storage.
     void append(std::uint16_t type, std::string_view payload);
+
+    /// Durability knob: fsync the file after every append. Off by
+    /// default (flush-to-OS only) — the journal's torn-tail scan
+    /// already makes an OS-level loss a clean truncation, so fsync
+    /// buys power-failure durability at per-append syscall cost.
+    void set_fsync_on_append(bool enabled);
+    bool fsync_on_append() const noexcept { return fsync_ != nullptr; }
 
     bool attached() const noexcept { return out_.is_open(); }
     const std::string& path() const noexcept { return path_; }
@@ -158,9 +188,14 @@ public:
     std::uint64_t size_bytes() const noexcept { return size_bytes_; }
 
 private:
+    /// RAII holder of the O_WRONLY descriptor used for fsync (the
+    /// ofstream has no portable sync hook). Defined in journal.cpp.
+    struct Fsyncer;
+
     std::string path_;
     std::ofstream out_;
     std::uint64_t size_bytes_ = 0;
+    std::unique_ptr<Fsyncer> fsync_;
 };
 
 }  // namespace poc::util

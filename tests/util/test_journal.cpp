@@ -209,5 +209,113 @@ TEST_F(JournalTest, DetachedJournalIsANoOp) {
     EXPECT_EQ(j.size_bytes(), 0u);
 }
 
+// The exhaustive torn-write matrix: tear the file at *every* byte
+// offset of the record region. Whatever the offset, open() must land
+// on a clean record prefix — never throw, never surface a partial
+// record — and must truncate the file so a second open is clean.
+TEST_F(JournalTest, TornTailMatrixAtEveryByteOffset) {
+    const std::string p = path("wal");
+    std::uint64_t header_end = 0;
+    {
+        Journal j = Journal::create(p, "matrix-meta");
+        header_end = j.size_bytes();
+        j.append(7, "first-payload");
+        j.append(8, "");
+        j.append(9, std::string("second\0payload", 14));
+    }
+    const std::string intact = slurp(p);
+    // Frame boundaries: offsets at which a tear still leaves k whole
+    // records (frame = 10 fixed bytes + payload).
+    const std::uint64_t b1 = header_end + 10 + 13;
+    const std::uint64_t b2 = b1 + 10;
+    const std::uint64_t b3 = b2 + 10 + 14;
+    ASSERT_EQ(intact.size(), b3);
+
+    for (std::uint64_t cut = header_end; cut <= intact.size(); ++cut) {
+        spit(p, intact.substr(0, cut));
+        Journal::ScanResult scan;
+        ASSERT_NO_THROW(Journal::open(p, scan)) << "cut at " << cut;
+        const std::size_t expect =
+            cut >= b3 ? 3u : (cut >= b2 ? 2u : (cut >= b1 ? 1u : 0u));
+        ASSERT_EQ(scan.records.size(), expect) << "cut at " << cut;
+        EXPECT_EQ(scan.tail_truncated, cut != b1 && cut != b2 && cut != b3 &&
+                                           cut != header_end)
+            << "cut at " << cut;
+        if (!scan.records.empty()) {
+            EXPECT_EQ(scan.records[0].payload, "first-payload");
+        }
+        // The truncation is physical: a re-open reports a clean log
+        // and an append continues it.
+        Journal::ScanResult again;
+        Journal j = Journal::open(p, again);
+        EXPECT_FALSE(again.tail_truncated) << "cut at " << cut;
+        j.append(42, "resumed");
+        Journal::ScanResult resumed;
+        Journal::open(p, resumed);
+        ASSERT_EQ(resumed.records.size(), expect + 1) << "cut at " << cut;
+        EXPECT_EQ(resumed.records.back().payload, "resumed");
+    }
+}
+
+TEST_F(JournalTest, FsyncOnAppendKnob) {
+    const std::string p = path("wal");
+    {
+        Journal j = Journal::create(p, "m", /*fsync_on_append=*/true);
+        EXPECT_TRUE(j.fsync_on_append());
+        j.append(1, "durable");
+        j.set_fsync_on_append(false);
+        EXPECT_FALSE(j.fsync_on_append());
+        j.append(2, "buffered");
+        j.set_fsync_on_append(true);
+        EXPECT_TRUE(j.fsync_on_append());
+        j.append(3, "durable-again");
+    }
+    // The knob changes durability, never bytes: the log replays the
+    // same either way.
+    Journal::ScanResult scan;
+    Journal j = Journal::open(p, scan, /*fsync_on_append=*/true);
+    EXPECT_TRUE(j.fsync_on_append());
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.records[0].payload, "durable");
+    EXPECT_EQ(scan.records[1].payload, "buffered");
+    EXPECT_EQ(scan.records[2].payload, "durable-again");
+}
+
+TEST_F(JournalTest, RewriteCompactsAtomically) {
+    const std::string p = path("wal");
+    {
+        Journal j = Journal::create(p, "m");
+        for (int i = 0; i < 8; ++i) {
+            j.append(static_cast<std::uint16_t>(i + 1), std::string(100, 'x'));
+        }
+    }
+    const auto before = std::filesystem::file_size(p);
+
+    Journal::RewriteStats stats;
+    Journal j = Journal::rewrite(p, "m", {JournalRecord{9, "suffix"}}, &stats);
+    EXPECT_EQ(stats.records, 1u);
+    EXPECT_EQ(stats.bytes_before, before);
+    EXPECT_LT(stats.bytes_after, stats.bytes_before);
+    EXPECT_FALSE(std::filesystem::exists(p + ".tmp"));
+
+    // The rewritten log is a normal journal: same meta, the kept
+    // record, and the returned handle appends to it.
+    j.append(10, "appended");
+    Journal::ScanResult scan;
+    Journal::open(p, scan);
+    EXPECT_EQ(scan.meta, "m");
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.records[0].type, 9);
+    EXPECT_EQ(scan.records[0].payload, "suffix");
+    EXPECT_EQ(scan.records[1].payload, "appended");
+
+    // Rewrite to empty = a fresh log with only the header.
+    Journal::rewrite(p, "m", {});
+    Journal::ScanResult empty;
+    Journal::open(p, empty);
+    EXPECT_EQ(empty.meta, "m");
+    EXPECT_TRUE(empty.records.empty());
+}
+
 }  // namespace
 }  // namespace poc::util
