@@ -56,6 +56,15 @@ void AuctionCache::store_solve(const std::vector<net::LinkId>& key,
     solves_.emplace(key, result);
 }
 
+void AuctionCache::clear() {
+    for (Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.verdicts.clear();
+    }
+    std::lock_guard<std::mutex> lock(solve_mutex_);
+    solves_.clear();
+}
+
 AuctionCache::Stats AuctionCache::stats() const {
     Stats s;
     s.verdict_hits = verdict_hits_.load(std::memory_order_relaxed);

@@ -51,6 +51,13 @@ public:
 
     Stats stats() const;
 
+    /// Drop every memoized verdict and solve. The hit/miss tallies are
+    /// lifetime counters and survive (callers difference them around a
+    /// run). Used by delta re-clearing (market/delta_reclear.hpp) when
+    /// the cross-epoch context changes and carried entries would be
+    /// unsound.
+    void clear();
+
 private:
     struct LinkSetHash {
         std::size_t operator()(const std::vector<net::LinkId>& key) const noexcept;
@@ -80,6 +87,12 @@ private:
 class CachingOracle final : public Oracle {
 public:
     CachingOracle(const Oracle& inner, AuctionCache& cache) : inner_(&inner), cache_(&cache) {}
+
+    /// The decorator adds memoization, not semantics: purity is the
+    /// wrapped oracle's to certify.
+    std::optional<std::uint64_t> verdict_fingerprint() const override {
+        return inner_->verdict_fingerprint();
+    }
 
 private:
     bool accepts_impl(const net::Subgraph& sg) const override;

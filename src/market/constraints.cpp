@@ -2,6 +2,7 @@
 
 #include "net/connectivity.hpp"
 #include "net/mcf.hpp"
+#include "util/hash.hpp"
 
 namespace poc::market {
 
@@ -26,6 +27,32 @@ AcceptabilityOracle::AcceptabilityOracle(const net::Graph& graph, net::TrafficMa
 bool AcceptabilityOracle::accepts_impl(const net::Subgraph& sg) const {
     POC_EXPECTS(&sg.graph() == graph_);
     return opt_.fidelity == OracleFidelity::kExact ? accepts_exact(sg) : accepts_fast(sg);
+}
+
+std::optional<std::uint64_t> AcceptabilityOracle::verdict_fingerprint() const {
+    // Content digest, not address: chaos rebuilds equal-content graph
+    // copies per re-auction, and those must fingerprint equal.
+    util::Fnv64 h;
+    h.add(static_cast<std::uint64_t>(kind_));
+    h.add(static_cast<std::uint64_t>(opt_.fidelity));
+    h.add_f64(opt_.fast_failure_derate);
+    h.add_f64(opt_.fptas_eps);
+    h.add(graph_->node_count());
+    h.add(graph_->link_count());
+    for (std::size_t i = 0; i < graph_->link_count(); ++i) {
+        const net::Link& l = graph_->link(net::LinkId{i});
+        h.add(l.a.value());
+        h.add(l.b.value());
+        h.add_f64(l.capacity_gbps);
+        h.add_f64(l.length_km);
+    }
+    h.add(tm_.size());
+    for (const net::Demand& d : tm_) {
+        h.add(d.src.value());
+        h.add(d.dst.value());
+        h.add_f64(d.gbps);
+    }
+    return h.value();
 }
 
 bool AcceptabilityOracle::accepts_exact(const net::Subgraph& sg) const {

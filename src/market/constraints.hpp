@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "net/failure.hpp"
 #include "net/graph.hpp"
@@ -75,6 +77,17 @@ public:
         return queries_.load(std::memory_order_relaxed);
     }
 
+    /// A 64-bit digest of everything a verdict depends on *besides* the
+    /// active link set itself: two oracles with equal fingerprints
+    /// answer every query identically. This is the purity certificate
+    /// cross-auction memoization needs (market/delta_reclear.hpp): a
+    /// verdict cached under one fingerprint may be replayed in a later
+    /// auction with the same fingerprint. Returning nullopt (the
+    /// default) opts out — the oracle cannot certify that its answers
+    /// are a pure function of the link set across runs (e.g. a fault
+    /// hook is installed), so delta re-clearing falls back to cold.
+    virtual std::optional<std::uint64_t> verdict_fingerprint() const { return std::nullopt; }
+
 protected:
     Oracle() = default;
     // Copies carry the count, not the atomic (atomics are not copyable).
@@ -100,6 +113,12 @@ public:
     ConstraintKind kind() const noexcept { return kind_; }
     const net::TrafficMatrix& traffic() const noexcept { return tm_; }
     const net::Graph& graph() const noexcept { return *graph_; }
+
+    /// Digest of (constraint, fidelity knobs, graph content, traffic
+    /// matrix) — everything accepts_impl reads. The path_cache pointer
+    /// is deliberately excluded: cached trees only change the work, not
+    /// the verdicts.
+    std::optional<std::uint64_t> verdict_fingerprint() const override;
 
 private:
     bool accepts_impl(const net::Subgraph& sg) const override;
@@ -134,6 +153,16 @@ public:
         : inner_(&inner), fault_(std::move(fault)) {}
 
     void set_deadline(const util::Deadline* deadline) noexcept { deadline_ = deadline; }
+
+    /// Transparent pass-throughs stay pure; with a fault hook installed
+    /// the query *schedule* is observable (the hook may throw on the
+    /// Nth query), so memoizing across runs would change which queries
+    /// reach it — opt out. A deadline alone does not affect verdicts,
+    /// only liveness, so it does not break purity.
+    std::optional<std::uint64_t> verdict_fingerprint() const override {
+        if (fault_) return std::nullopt;
+        return inner_->verdict_fingerprint();
+    }
 
 private:
     bool accepts_impl(const net::Subgraph& sg) const override {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "market/auction_cache.hpp"
+#include "market/delta_reclear.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -86,18 +87,35 @@ std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& or
     POC_OBS_SPAN("market.run_auction");
     POC_OBS_INC("market.auction.runs");
     const std::size_t queries_before = oracle.query_count();
-    // The memoization layer is scoped to this auction: verdicts and
+    // The memoization layer: per-auction by default (verdicts and
     // solves are pure functions of the link set only for a fixed pool,
-    // oracle, and option set.
+    // oracle, and option set); carried across auctions when a delta
+    // re-clearing state is attached and the context certifies the
+    // carried entries stay exact (market/delta_reclear.hpp). Either
+    // way the engine's control flow is untouched — memo replay is the
+    // only difference — so results are bit-identical to cold solves.
+    AuctionCache* cache_ptr = nullptr;
+    if (opt.delta != nullptr) {
+        if (const auto context = delta_context(pool, oracle, opt)) {
+            opt.delta->begin_run(*context, delta_offer_digests(pool), opt.delta_max_links);
+            cache_ptr = &opt.delta->cache();
+        }
+    }
     std::optional<AuctionCache> cache;
+    if (cache_ptr == nullptr && opt.cache) {
+        cache.emplace();
+        cache_ptr = &*cache;
+    }
     std::optional<CachingOracle> caching_oracle;
     const Oracle* engine_oracle = &oracle;
-    if (opt.cache) {
-        cache.emplace();
-        caching_oracle.emplace(oracle, *cache);
+    if (cache_ptr != nullptr) {
+        caching_oracle.emplace(oracle, *cache_ptr);
         engine_oracle = &*caching_oracle;
     }
-    AuctionCache* const cache_ptr = cache ? &*cache : nullptr;
+    // Carried caches have lifetime tallies; difference them so the
+    // result's diagnostics stay per-auction.
+    const AuctionCache::Stats cache_before =
+        cache_ptr != nullptr ? cache_ptr->stats() : AuctionCache::Stats{};
 
     const auto sl = solve(pool, *engine_oracle, pool.offered_links(), opt, cache_ptr);
     if (!sl) {
@@ -153,10 +171,10 @@ std::optional<AuctionResult> run_auction(const OfferPool& pool, const Oracle& or
     result.oracle_queries = oracle.query_count();
     if (cache_ptr) {
         const AuctionCache::Stats stats = cache_ptr->stats();
-        result.oracle_cache_hits = stats.verdict_hits;
-        result.solve_cache_hits = stats.solve_hits;
-        POC_OBS_COUNT("market.auction.oracle_cache_hits", stats.verdict_hits);
-        POC_OBS_COUNT("market.auction.solve_cache_hits", stats.solve_hits);
+        result.oracle_cache_hits = stats.verdict_hits - cache_before.verdict_hits;
+        result.solve_cache_hits = stats.solve_hits - cache_before.solve_hits;
+        POC_OBS_COUNT("market.auction.oracle_cache_hits", result.oracle_cache_hits);
+        POC_OBS_COUNT("market.auction.solve_cache_hits", result.solve_cache_hits);
     }
     // Real oracle evaluations attributable to this auction (exact: the
     // atomic lifetime count is differenced around the run).

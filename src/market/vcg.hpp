@@ -20,6 +20,8 @@
 
 namespace poc::market {
 
+class DeltaReclearState;
+
 /// Per-BP auction outcome.
 struct BpOutcome {
     BpId bp;
@@ -87,6 +89,20 @@ struct AuctionOptions {
     /// auction (see market/auction_cache.hpp). Results are
     /// bit-identical to the uncached path; only the work is shared.
     bool cache = false;
+    /// Cross-epoch warm start (market/delta_reclear.hpp): when set and
+    /// the oracle certifies purity (Oracle::verdict_fingerprint), this
+    /// auction reuses the previous run's verdict/solve memo whenever
+    /// the offered pool differs by at most `delta_max_links` links
+    /// under an unchanged context, and solves cold (dropping the memo)
+    /// otherwise. Supersedes `cache` when engaged. Results are
+    /// bit-identical to cold solves either way; the threshold bounds
+    /// memory and staleness, not correctness. The pointed-to state must
+    /// outlive every auction using it, and auctions sharing one state
+    /// must not run concurrently with each other.
+    DeltaReclearState* delta = nullptr;
+    /// The k-link cutover: offered-set symmetric differences larger
+    /// than this fall back to a cold solve.
+    std::size_t delta_max_links = 8;
 };
 
 /// Run the full auction. Returns nullopt when OL itself is unacceptable

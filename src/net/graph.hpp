@@ -139,6 +139,12 @@ public:
     /// Active links in id order.
     std::vector<LinkId> active_links() const;
 
+    /// The raw per-link activity mask (1 byte per link, indexed by link
+    /// id). Exposed so net::PathCache can diff two views of the same
+    /// graph family link-by-link when deciding whether a cached tree is
+    /// repairable (DESIGN.md §7).
+    std::span<const char> mask() const noexcept { return mask_; }
+
     std::size_t node_count() const noexcept { return graph_->node_count(); }
 
 private:

@@ -1,5 +1,8 @@
 #include "net/path_cache.hpp"
 
+#include <algorithm>
+
+#include "net/sssp_repair.hpp"
 #include "obs/metrics.hpp"
 
 namespace poc::net {
@@ -11,14 +14,44 @@ std::shared_ptr<const ShortestPathTree> PathCache::tree(const Subgraph& sg, Node
     Shard& shard = shard_for(key);
     const std::uint64_t now = epoch_.load(std::memory_order_relaxed);
 
+    std::shared_ptr<const ShortestPathTree> found;
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         auto it = shard.map.find(key);
         if (it != shard.map.end()) {
             it->second.last_used_epoch = now;
+            found = it->second.tree;
+        }
+    }
+    if (found) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        POC_OBS_INC("net.path_cache.hits");
+        // Base refresh happens outside the shard lock (it copies the
+        // mask when the base moves) and is a no-op when repair is off.
+        update_base(source, metric, sg, found);
+        return found;
+    }
+
+    // Shard miss: before paying for a full Dijkstra, see whether the
+    // last tree served for this (source, metric) is within the repair
+    // budget of the requested mask. A repaired tree is bit-identical
+    // to the cold one (net/sssp_repair.hpp), so it is inserted and
+    // returned exactly as a computed tree would be — but counted as a
+    // hit plus a repair, not a miss.
+    if (repair_budget_ > 0) {
+        if (auto repaired = try_repair(sg, source, metric)) {
             hits_.fetch_add(1, std::memory_order_relaxed);
             POC_OBS_INC("net.path_cache.hits");
-            return it->second.tree;
+            std::shared_ptr<const ShortestPathTree> result;
+            {
+                std::lock_guard<std::mutex> lock(shard.mutex);
+                auto [it, inserted] = shard.map.try_emplace(key);
+                if (inserted) it->second.tree = std::move(repaired);
+                it->second.last_used_epoch = now;
+                result = it->second.tree;
+            }
+            update_base(source, metric, sg, result);
+            return result;
         }
     }
 
@@ -32,11 +65,87 @@ std::shared_ptr<const ShortestPathTree> PathCache::tree(const Subgraph& sg, Node
     dijkstra_metric_into(sg, source, metric, ws);
     auto computed = std::make_shared<const ShortestPathTree>(ws.to_tree());
 
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto [it, inserted] = shard.map.try_emplace(key);
-    if (inserted) it->second.tree = std::move(computed);
-    it->second.last_used_epoch = now;
-    return it->second.tree;
+    std::shared_ptr<const ShortestPathTree> result;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto [it, inserted] = shard.map.try_emplace(key);
+        if (inserted) it->second.tree = std::move(computed);
+        it->second.last_used_epoch = now;
+        result = it->second.tree;
+    }
+    update_base(source, metric, sg, result);
+    return result;
+}
+
+void PathCache::update_base(NodeId source, SsspMetric metric, const Subgraph& sg,
+                            const std::shared_ptr<const ShortestPathTree>& tree) {
+    if (repair_budget_ == 0) return;
+    const BaseKey bkey{source.value(), static_cast<std::uint8_t>(metric)};
+    const std::uint64_t fp = sg.fingerprint();
+    std::lock_guard<std::mutex> lock(base_mutex_);
+    BaseEntry& base = base_[bkey];
+    base.last_update_epoch = epoch_.load(std::memory_order_relaxed);
+    if (base.tree && base.fingerprint == fp) return;  // already current; skip the copy
+    base.fingerprint = fp;
+    base.mask.assign(sg.mask().begin(), sg.mask().end());
+    base.tree = tree;
+}
+
+std::shared_ptr<const ShortestPathTree> PathCache::try_repair(const Subgraph& sg,
+                                                              NodeId source,
+                                                              SsspMetric metric) {
+    BaseEntry base;
+    {
+        const BaseKey bkey{source.value(), static_cast<std::uint8_t>(metric)};
+        std::lock_guard<std::mutex> lock(base_mutex_);
+        auto it = base_.find(bkey);
+        if (it == base_.end() || !it->second.tree) return nullptr;
+        base = it->second;  // snapshot (mask copy) so repair runs unlocked
+    }
+
+    const std::span<const char> want = sg.mask();
+    if (base.mask.size() != want.size()) return nullptr;  // different graph family
+
+    // Collect the differing link ids (ascending). Bail as soon as the
+    // delta exceeds the budget; a cold solve is cheaper than a long
+    // repair chain anyway.
+    std::vector<std::uint32_t> delta;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        if ((base.mask[i] != 0) != (want[i] != 0)) {
+            if (delta.size() == repair_budget_) return nullptr;
+            delta.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+    if (delta.empty()) {
+        // Same mask (the shard entry was evicted but the base survived):
+        // the base tree is already the exact tree for this request.
+        return base.tree;
+    }
+
+    // Replay the flips in ascending link-id order, repairing after each
+    // one. Each intermediate tree is the exact cold tree of its
+    // intermediate mask (DESIGN.md §7), so single-link repairs compose
+    // to the cold tree of the final mask.
+    ShortestPathTree patched = *base.tree;
+    Subgraph cursor(sg.graph());
+    for (std::size_t i = 0; i < base.mask.size(); ++i) {
+        cursor.set_active(LinkId{static_cast<std::uint32_t>(i)}, base.mask[i] != 0);
+    }
+    thread_local SsspRepairWorkspace rws;
+    for (const std::uint32_t raw : delta) {
+        const LinkId lid{raw};
+        const bool now_active = sg.is_active(lid);
+        cursor.set_active(lid, now_active);
+        if (now_active) {
+            repair_link_restore(patched, cursor, lid, metric, rws);
+        } else {
+            repair_link_cut(patched, cursor, lid, metric, rws);
+        }
+    }
+    POC_ASSERT(cursor.fingerprint() == sg.fingerprint());
+    repairs_.fetch_add(1, std::memory_order_relaxed);
+    POC_OBS_INC("net.path_cache.repairs");
+    return std::make_shared<const ShortestPathTree>(std::move(patched));
 }
 
 void PathCache::advance_epoch() {
@@ -56,6 +165,19 @@ void PathCache::advance_epoch() {
             }
         }
     }
+    {
+        // Repair bases age out by the same strict rule, keyed on their
+        // last refresh. They are not cache entries, so dropping one is
+        // not an eviction for stats purposes.
+        std::lock_guard<std::mutex> lock(base_mutex_);
+        for (auto it = base_.begin(); it != base_.end();) {
+            if (it->second.last_update_epoch + max_age_ < now) {
+                it = base_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
     evictions_.fetch_add(evicted, std::memory_order_relaxed);
     POC_OBS_COUNT("net.path_cache.evictions", evicted);
 }
@@ -65,6 +187,8 @@ void PathCache::clear() {
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.map.clear();
     }
+    std::lock_guard<std::mutex> lock(base_mutex_);
+    base_.clear();
 }
 
 PathCache::Stats PathCache::stats() const {
@@ -72,6 +196,7 @@ PathCache::Stats PathCache::stats() const {
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.repairs = repairs_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         s.entries += shard.map.size();

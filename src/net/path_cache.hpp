@@ -6,6 +6,16 @@
 // metric) so that routing state is reused across those near-identical
 // masks instead of recomputed.
 //
+// Incremental repair (DESIGN.md §7): with a nonzero `repair_budget`,
+// a miss whose mask differs from the last tree served for the same
+// (source, metric) by at most `repair_budget` links is satisfied by
+// patching a copy of that base tree with per-link dynamic-SSSP
+// repairs (net/sssp_repair.hpp) instead of a full Dijkstra. Repaired
+// trees are bit-identical to cold ones, so cache contents are
+// indistinguishable either way; repairs count as hits (plus the
+// `repairs` counter) and do not refresh the base entry's idle age —
+// only direct lookups of a key keep it alive.
+//
 // Contract: one cache serves one topology family — Graphs whose link
 // id space and link lengths (the routing weight) are fixed. Capacity
 // changes are fine (capacity is not a routing input for the cached
@@ -17,6 +27,10 @@
 // pattern as market::AuctionCache). Concurrent misses on one key may
 // compute the tree twice; both computations are deterministic and
 // identical, the first insert wins, so results never depend on timing.
+// Repair adds a per-(source, metric) base index under its own mutex;
+// racing threads may pick different bases, but every base is an exact
+// cold tree of its mask and repair is bit-identical, so the produced
+// trees are identical regardless of which base wins the race.
 //
 // Invalidation is epoch-based, not size-based: advance_epoch() (called
 // once per simulation epoch) drops every entry that was not touched
@@ -29,6 +43,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "net/shortest_path.hpp"
 
@@ -40,19 +55,27 @@ public:
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
+        /// Trees produced by patching a cached base instead of a full
+        /// Dijkstra. Every repair is also counted as a hit.
+        std::uint64_t repairs = 0;
         std::size_t entries = 0;
     };
 
     /// `max_age`: number of consecutive epochs an entry may go unused
     /// before advance_epoch() evicts it. 1 keeps only the previous
-    /// epoch's working set alive.
-    explicit PathCache(std::uint64_t max_age = 1) : max_age_(max_age == 0 ? 1 : max_age) {}
+    /// epoch's working set alive. `repair_budget`: maximum number of
+    /// link flips between a missed mask and the last served tree for
+    /// the same (source, metric) that will be bridged by dynamic-SSSP
+    /// repair instead of a cold Dijkstra; 0 disables repair.
+    explicit PathCache(std::uint64_t max_age = 1, std::size_t repair_budget = 0)
+        : max_age_(max_age == 0 ? 1 : max_age), repair_budget_(repair_budget) {}
 
     PathCache(const PathCache&) = delete;
     PathCache& operator=(const PathCache&) = delete;
 
-    /// The SSSP tree for (sg's active set, source, metric): cached, or
-    /// computed now and cached. The metric is one of the built-in
+    /// The SSSP tree for (sg's active set, source, metric): cached,
+    /// repaired from a near-identical cached tree, or computed now —
+    /// all three bit-identical. The metric is one of the built-in
     /// weights (SsspMetric), so a key can never be paired with the
     /// wrong weight function.
     std::shared_ptr<const ShortestPathTree> tree(const Subgraph& sg, NodeId source,
@@ -65,6 +88,8 @@ public:
     void clear();
 
     std::uint64_t epoch() const noexcept { return epoch_.load(std::memory_order_relaxed); }
+
+    std::size_t repair_budget() const noexcept { return repair_budget_; }
 
     Stats stats() const;
 
@@ -102,12 +127,52 @@ private:
         return shards_[KeyHash{}(k) % kShards];
     }
 
+    /// Repair base: the last tree served for a (source, metric) pair,
+    /// together with the exact mask it was computed for. Not a cache
+    /// entry itself — using it as a repair source does not count as a
+    /// use of the corresponding key (idle ages are unaffected).
+    struct BaseKey {
+        NodeId::underlying_type source = 0;
+        std::uint8_t metric = 0;
+
+        bool operator==(const BaseKey&) const = default;
+    };
+
+    struct BaseKeyHash {
+        std::size_t operator()(const BaseKey& k) const noexcept {
+            return (std::size_t{k.source} << 1) ^ k.metric;
+        }
+    };
+
+    struct BaseEntry {
+        std::uint64_t fingerprint = 0;
+        std::vector<char> mask;
+        std::shared_ptr<const ShortestPathTree> tree;
+        std::uint64_t last_update_epoch = 0;
+    };
+
+    /// Record `tree` as the repair base for (source, metric). Skips the
+    /// mask copy when the base is already current (the steady-state hit
+    /// path stays O(1)).
+    void update_base(NodeId source, SsspMetric metric, const Subgraph& sg,
+                     const std::shared_ptr<const ShortestPathTree>& tree);
+
+    /// Try to satisfy a miss by repairing the base tree. Returns null
+    /// when there is no base, the masks are from different families,
+    /// or the delta exceeds the budget.
+    std::shared_ptr<const ShortestPathTree> try_repair(const Subgraph& sg, NodeId source,
+                                                       SsspMetric metric);
+
     std::uint64_t max_age_;
+    std::size_t repair_budget_;
     Shard shards_[kShards];
+    mutable std::mutex base_mutex_;
+    std::unordered_map<BaseKey, BaseEntry, BaseKeyHash> base_;
     std::atomic<std::uint64_t> epoch_{0};
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> repairs_{0};
 };
 
 }  // namespace poc::net

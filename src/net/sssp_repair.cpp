@@ -1,0 +1,514 @@
+#include "net/sssp_repair.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/metrics.hpp"
+
+namespace poc::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The routing weight the built-in metrics assign to a link — must
+/// match the LengthWeight/UnitWeight functors in shortest_path.cpp
+/// exactly (same double load, no rounding) for bit-identity.
+double metric_weight(const Graph& g, LinkId lid, SsspMetric metric) {
+    return metric == SsspMetric::kLength ? g.link(lid).length_km : 1.0;
+}
+
+}  // namespace
+
+/// All repair logic. Defined at namespace scope (not anonymous) so the
+/// friend declaration in SsspRepairWorkspace resolves to it; it is not
+/// declared in any header.
+///
+/// Bit-identity model (DESIGN.md §7). Cold Dijkstra's outputs decompose
+/// into two order-free parts and one order-dependent part:
+///  - distances: the unique fixed point D(v) = min over active incident
+///    links l (other endpoint u reached) of fl(D(u) + w(l)) — no heap
+///    or visit order involved;
+///  - parents: the first relaxation event to reach D(v). Events happen
+///    at pops; pops are nondecreasing in distance, but among
+///    equal-distance nodes (a "plateau") the order is *discovery
+///    constrained*: the heap pops the minimum (dist, node id) among
+///    entries present, and an entry appears only once some earlier pop
+///    set the node's distance. Within a plateau, discovery propagates
+///    along "plateau edges" — active links with fl(d + w) == d (weight
+///    zero, up to rounding) — so the settle order is: start from the
+///    members already discovered by strictly-smaller pops, repeatedly
+///    pop the minimum id among discovered members, each pop discovering
+///    its plateau-edge neighbors.
+/// Repairs therefore (1) recompute exact distances on the affected
+/// region, then (2) re-derive parents from final distances as the
+/// lexicographically first (settle order of u, link id) achieving
+/// candidate, reconstructing settle order locally by simulating just
+/// the plateau components containing tied candidates (the pop
+/// subsequence of a union of components is independent of how other
+/// nodes interleave, because discovery never crosses component
+/// boundaries).
+class RepairEngine {
+public:
+    RepairEngine(ShortestPathTree& tree, const Subgraph& sg, SsspMetric metric,
+                 SsspRepairWorkspace& ws)
+        : tree_(tree), sg_(sg), g_(sg.graph()), metric_(metric), ws_(ws) {
+        POC_EXPECTS(tree_.dist.size() == g_.node_count());
+        POC_EXPECTS(tree_.source.index() < g_.node_count());
+        prepare();
+    }
+
+    /// Weight-increase case (a cut is an increase to +inf). Returns
+    /// false when the tree is provably bit-unchanged.
+    ///
+    /// If lid is not a tree edge nothing moves: every settled distance
+    /// is realized by its tree path, which avoids lid, and an increase
+    /// can only raise candidate values fl(D(u)+w) — it can never create
+    /// a new equality with D(v) (IEEE addition is monotone), so no node
+    /// gains a candidate. If lid is a tree edge, the affected set is
+    /// exactly the subtree below it: outside it the realizing tree path
+    /// avoids lid, so distances are bit-unchanged; parents outside
+    /// stand because candidates only drop (and a dropped candidate was
+    /// never the first achiever of an outside node — that would have
+    /// made the node a subtree member), and the within-plateau settle
+    /// order of non-subtree members is preserved (their discovery
+    /// edges and pre-discovered status are untouched; subtree members
+    /// never discover non-subtree members, since discovering a node
+    /// makes it your tree child).
+    bool repair_increase(LinkId lid) {
+        const Link& l = g_.link(lid);
+        NodeId child{};
+        if (tree_.parent_link[l.a.index()] == lid) {
+            child = l.a;
+        } else if (tree_.parent_link[l.b.index()] == lid) {
+            child = l.b;
+        } else {
+            return false;
+        }
+
+        collect_subtree(child);
+        ws_.heap_.clear();
+        for (const std::uint32_t ui : ws_.queue_) {
+            tree_.dist[ui] = kInf;
+            tree_.parent_link[ui] = LinkId{};
+            tree_.pred_node_[ui] = NodeId{};
+        }
+        // Seed every subtree node from its settled outside neighbors
+        // with the exact relaxation value cold Dijkstra offers it —
+        // fl(dist[u] + w) — then run Dijkstra restricted to the
+        // subtree. Distances settle at the cold fixed point; the heap
+        // order only affects work, not results, because parents are
+        // re-derived from final distances afterwards.
+        for (const std::uint32_t ui : ws_.queue_) {
+            const NodeId u{ui};
+            for (const LinkId in : g_.incident(u)) {
+                if (!sg_.is_active(in)) continue;
+                const NodeId v = g_.link(in).other(u);
+                if (in_affected(v)) continue;
+                const double dv = tree_.dist[v.index()];
+                if (!(dv < kInf)) continue;
+                const double nd = dv + metric_weight(g_, in, metric_);
+                if (nd < tree_.dist[ui]) {
+                    tree_.dist[ui] = nd;
+                    heap_push(nd, ui);
+                }
+            }
+        }
+        while (!ws_.heap_.empty()) {
+            const auto [d, ui] = heap_pop();
+            if (d > tree_.dist[ui]) continue;
+            const NodeId u{ui};
+            for (const LinkId in : g_.incident(u)) {
+                if (!sg_.is_active(in)) continue;
+                const NodeId v = g_.link(in).other(u);
+                if (!in_affected(v)) continue;
+                const double nd = d + metric_weight(g_, in, metric_);
+                if (nd < tree_.dist[v.index()]) {
+                    tree_.dist[v.index()] = nd;
+                    heap_push(nd, v.value());
+                }
+            }
+        }
+        ws_.stats_.affected_nodes += ws_.queue_.size();
+        for (const std::uint32_t ui : ws_.queue_) {
+            if (tree_.dist[ui] < kInf) derive_parent(NodeId{ui});
+        }
+        return true;
+    }
+
+    /// Weight-decrease case (a restore is a decrease from +inf).
+    /// Propagates strict improvements outward from lid's endpoints,
+    /// then re-derives parents on a conservative superset of the nodes
+    /// whose parent can move: the changed set C, its active neighbors
+    /// (new or re-keyed candidates), lid's endpoints (a candidate link
+    /// appeared outright), the plateau-closure of all of those (settle
+    /// order inside a contaminated plateau component can shift), and
+    /// one neighbor ring around that closure (a node adjacent to a
+    /// shifted candidate). Over-approximation is harmless: derivation
+    /// reproduces the cold parent for any node given final distances.
+    /// Returns false when the tree is provably bit-unchanged.
+    bool repair_decrease(LinkId lid) {
+        const Link& l = g_.link(lid);
+        const double w = metric_weight(g_, lid, metric_);
+        const bool a_reached = tree_.dist[l.a.index()] < kInf;
+        const bool b_reached = tree_.dist[l.b.index()] < kInf;
+        if (!a_reached && !b_reached) return false;
+
+        ws_.heap_.clear();
+        auto seed = [&](NodeId from, NodeId to) {
+            const double df = tree_.dist[from.index()];
+            if (!(df < kInf)) return;
+            const double nd = df + w;
+            if (nd < tree_.dist[to.index()]) {
+                tree_.dist[to.index()] = nd;
+                mark_changed(to);
+                heap_push(nd, to.value());
+            }
+        };
+        seed(l.a, l.b);
+        seed(l.b, l.a);
+        while (!ws_.heap_.empty()) {
+            const auto [d, ui] = heap_pop();
+            if (d > tree_.dist[ui]) continue;
+            const NodeId u{ui};
+            for (const LinkId in : g_.incident(u)) {
+                if (!sg_.is_active(in)) continue;
+                const NodeId v = g_.link(in).other(u);
+                const double nd = d + metric_weight(g_, in, metric_);
+                if (nd < tree_.dist[v.index()]) {
+                    tree_.dist[v.index()] = nd;
+                    mark_changed(v);
+                    heap_push(nd, v.value());
+                }
+            }
+        }
+        ws_.stats_.affected_nodes += ws_.queue_.size();
+
+        // Seeds: C, N(C), and lid's endpoints.
+        ws_.derive_.clear();
+        for (const std::uint32_t ui : ws_.queue_) {
+            const NodeId u{ui};
+            add_derive(u);
+            for (const LinkId in : g_.incident(u)) {
+                if (!sg_.is_active(in)) continue;
+                add_derive(g_.link(in).other(u));
+            }
+        }
+        add_derive(l.a);
+        add_derive(l.b);
+        // Plateau closure: expand across plateau edges (appends while
+        // iterating, so closure members expand too).
+        for (std::size_t qi = 0; qi < ws_.derive_.size(); ++qi) {
+            const NodeId x{ws_.derive_[qi]};
+            const double dx = tree_.dist[x.index()];
+            if (!(dx < kInf)) continue;
+            for (const LinkId in : g_.incident(x)) {
+                if (!sg_.is_active(in)) continue;
+                const NodeId y = g_.link(in).other(x);
+                if (tree_.dist[y.index()] != dx) continue;
+                if (dx + metric_weight(g_, in, metric_) != dx) continue;
+                add_derive(y);
+            }
+        }
+        // One neighbor ring around the closure (no further expansion).
+        const std::size_t closure_size = ws_.derive_.size();
+        for (std::size_t qi = 0; qi < closure_size; ++qi) {
+            const NodeId x{ws_.derive_[qi]};
+            for (const LinkId in : g_.incident(x)) {
+                if (!sg_.is_active(in)) continue;
+                add_derive(g_.link(in).other(x));
+            }
+        }
+
+        bool any = !ws_.queue_.empty();
+        for (const std::uint32_t ui : ws_.derive_) {
+            const NodeId v{ui};
+            if (v == tree_.source) continue;
+            if (!(tree_.dist[ui] < kInf)) continue;
+            const bool changed = derive_parent(v);
+            any = any || changed;
+        }
+        return any;
+    }
+
+private:
+    void prepare() {
+        const std::size_t n = g_.node_count();
+        if (ws_.stamp_.size() != n) {
+            ws_.stamp_.assign(n, 0);
+            ws_.derive_stamp_.assign(n, 0);
+            ws_.generation_ = 0;
+            ws_.plateau_stamp_.assign(n, 0);
+            ws_.plateau_state_.assign(n, 0);
+            ws_.plateau_generation_ = 0;
+        }
+        if (++ws_.generation_ == 0) {
+            std::fill(ws_.stamp_.begin(), ws_.stamp_.end(), 0);
+            std::fill(ws_.derive_stamp_.begin(), ws_.derive_stamp_.end(), 0);
+            ws_.generation_ = 1;
+        }
+        ws_.queue_.clear();
+    }
+
+    bool in_affected(NodeId v) const { return ws_.stamp_[v.index()] == ws_.generation_; }
+
+    void mark_changed(NodeId v) {
+        if (ws_.stamp_[v.index()] != ws_.generation_) {
+            ws_.stamp_[v.index()] = ws_.generation_;
+            ws_.queue_.push_back(v.value());
+        }
+    }
+
+    void add_derive(NodeId v) {
+        if (ws_.derive_stamp_[v.index()] != ws_.generation_) {
+            ws_.derive_stamp_[v.index()] = ws_.generation_;
+            ws_.derive_.push_back(v.value());
+        }
+    }
+
+    /// Collect the tree subtree rooted at `child` into ws_.queue_,
+    /// stamping membership. The children index is a counting-sort CSR
+    /// over predecessor pointers; after the fill pass child_offsets_[p]
+    /// is the END of p's bucket (start is the previous bucket's end).
+    void collect_subtree(NodeId child) {
+        const std::size_t n = g_.node_count();
+        ws_.child_offsets_.assign(n + 1, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (tree_.parent_link[i].valid()) {
+                ++ws_.child_offsets_[tree_.pred_node_[i].index() + 1];
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            ws_.child_offsets_[i + 1] += ws_.child_offsets_[i];
+        }
+        ws_.child_nodes_.resize(ws_.child_offsets_[n]);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (tree_.parent_link[i].valid()) {
+                const std::size_t p = tree_.pred_node_[i].index();
+                ws_.child_nodes_[ws_.child_offsets_[p]++] = static_cast<std::uint32_t>(i);
+            }
+        }
+        ws_.queue_.clear();
+        ws_.stamp_[child.index()] = ws_.generation_;
+        ws_.queue_.push_back(child.value());
+        for (std::size_t qi = 0; qi < ws_.queue_.size(); ++qi) {
+            const std::size_t p = ws_.queue_[qi];
+            const std::size_t lo = p == 0 ? 0 : ws_.child_offsets_[p - 1];
+            const std::size_t hi = ws_.child_offsets_[p];
+            for (std::size_t c = lo; c < hi; ++c) {
+                const std::uint32_t v = ws_.child_nodes_[c];
+                ws_.stamp_[v] = ws_.generation_;
+                ws_.queue_.push_back(v);
+            }
+        }
+    }
+
+    static bool heap_greater(SsspRepairWorkspace::HeapItem a,
+                             SsspRepairWorkspace::HeapItem b) noexcept {
+        return a.dist > b.dist || (a.dist == b.dist && a.node > b.node);
+    }
+
+    void heap_push(double d, NodeId::underlying_type node) {
+        ws_.heap_.push_back({d, node});
+        std::push_heap(ws_.heap_.begin(), ws_.heap_.end(), heap_greater);
+    }
+
+    SsspRepairWorkspace::HeapItem heap_pop() {
+        std::pop_heap(ws_.heap_.begin(), ws_.heap_.end(), heap_greater);
+        const auto item = ws_.heap_.back();
+        ws_.heap_.pop_back();
+        return item;
+    }
+
+    /// Recompute v's parent from final distances: the winner is the
+    /// lexicographically first (settle order of u, link id) among
+    /// candidates with fl(D(u) + w) == D(v) exactly. Settle order
+    /// respects distance strictly, so only the minimum-D(u) group can
+    /// win; within it, a single node needs no ordering, multiple nodes
+    /// need the plateau simulation. Requires v reachable and != source.
+    bool derive_parent(NodeId v) {
+        const double dv = tree_.dist[v.index()];
+        ws_.cand_nodes_.clear();
+        ws_.cand_links_.clear();
+        double best_du = kInf;
+        for (const LinkId in : g_.incident(v)) {
+            if (!sg_.is_active(in)) continue;
+            const NodeId u = g_.link(in).other(v);
+            const double du = tree_.dist[u.index()];
+            if (!(du < kInf)) continue;
+            if (du + metric_weight(g_, in, metric_) != dv) continue;
+            if (du < best_du) {
+                best_du = du;
+                ws_.cand_nodes_.clear();
+                ws_.cand_links_.clear();
+            } else if (du != best_du) {
+                continue;
+            }
+            // Ascending link scan: keep the first link per distinct
+            // node (cold Dijkstra scans u's incident list in ascending
+            // link id, so among parallel achieving links the lowest id
+            // relaxes first).
+            bool known = false;
+            for (const std::uint32_t seen : ws_.cand_nodes_) {
+                if (seen == u.value()) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                ws_.cand_nodes_.push_back(u.value());
+                ws_.cand_links_.push_back(in);
+            }
+        }
+        POC_ASSERT(!ws_.cand_nodes_.empty());
+        std::size_t win = 0;
+        if (ws_.cand_nodes_.size() > 1) {
+            const NodeId u = plateau_winner(best_du);
+            while (ws_.cand_nodes_[win] != u.value()) ++win;
+        }
+        const NodeId best_u{ws_.cand_nodes_[win]};
+        const LinkId best_l = ws_.cand_links_[win];
+        const bool changed =
+            tree_.parent_link[v.index()] != best_l || tree_.pred_node_[v.index()] != best_u;
+        tree_.parent_link[v.index()] = best_l;
+        tree_.pred_node_[v.index()] = best_u;
+        return changed;
+    }
+
+    /// Which of the (equal-distance) candidate nodes in ws_.cand_nodes_
+    /// settles first in cold Dijkstra's pop order. Reconstructs the pop
+    /// subsequence of the plateau components containing the candidates:
+    /// collect the components via plateau edges (fl(dp + w) == dp,
+    /// both endpoints at dp), mark members pre-discovered when some
+    /// strictly-closer neighbor achieves dp into them (or they are the
+    /// source), then pop minimum node id among discovered, each pop
+    /// discovering its plateau-edge neighbors — exactly the heap's
+    /// behavior restricted to these components.
+    NodeId plateau_winner(double dp) {
+        if (++ws_.plateau_generation_ == 0) {
+            std::fill(ws_.plateau_stamp_.begin(), ws_.plateau_stamp_.end(), 0);
+            ws_.plateau_generation_ = 1;
+        }
+        const std::uint32_t gen = ws_.plateau_generation_;
+        constexpr std::uint8_t kMember = 0, kDiscovered = 1, kPopped = 2;
+        ws_.plateau_queue_.clear();
+        ws_.plateau_heap_.clear();
+        for (const std::uint32_t t : ws_.cand_nodes_) {
+            ws_.plateau_stamp_[t] = gen;
+            ws_.plateau_state_[t] = kMember;
+            ws_.plateau_queue_.push_back(t);
+        }
+        for (std::size_t qi = 0; qi < ws_.plateau_queue_.size(); ++qi) {
+            const NodeId x{ws_.plateau_queue_[qi]};
+            for (const LinkId in : g_.incident(x)) {
+                if (!sg_.is_active(in)) continue;
+                const NodeId y = g_.link(in).other(x);
+                if (ws_.plateau_stamp_[y.index()] == gen) continue;
+                if (tree_.dist[y.index()] != dp) continue;
+                if (dp + metric_weight(g_, in, metric_) != dp) continue;
+                ws_.plateau_stamp_[y.index()] = gen;
+                ws_.plateau_state_[y.index()] = kMember;
+                ws_.plateau_queue_.push_back(y.value());
+            }
+        }
+        for (const std::uint32_t m : ws_.plateau_queue_) {
+            const NodeId mn{m};
+            bool pre = mn == tree_.source;
+            if (!pre) {
+                for (const LinkId in : g_.incident(mn)) {
+                    if (!sg_.is_active(in)) continue;
+                    const NodeId x = g_.link(in).other(mn);
+                    const double dx = tree_.dist[x.index()];
+                    if (dx < dp && dx + metric_weight(g_, in, metric_) == dp) {
+                        pre = true;
+                        break;
+                    }
+                }
+            }
+            if (pre) {
+                ws_.plateau_state_[m] = kDiscovered;
+                id_heap_push(m);
+            }
+        }
+        while (!ws_.plateau_heap_.empty()) {
+            const std::uint32_t x = id_heap_pop();
+            if (ws_.plateau_state_[x] == kPopped) continue;
+            ws_.plateau_state_[x] = kPopped;
+            for (const std::uint32_t t : ws_.cand_nodes_) {
+                if (t == x) return NodeId{x};
+            }
+            const NodeId xn{x};
+            for (const LinkId in : g_.incident(xn)) {
+                if (!sg_.is_active(in)) continue;
+                const NodeId y = g_.link(in).other(xn);
+                if (ws_.plateau_stamp_[y.index()] != gen) continue;
+                if (ws_.plateau_state_[y.index()] != kMember) continue;
+                if (dp + metric_weight(g_, in, metric_) != dp) continue;
+                ws_.plateau_state_[y.index()] = kDiscovered;
+                id_heap_push(y.value());
+            }
+        }
+        POC_ASSERT(false);  // every component has a pre-discovered entry point
+        return NodeId{};
+    }
+
+    void id_heap_push(std::uint32_t id) {
+        ws_.plateau_heap_.push_back(id);
+        std::push_heap(ws_.plateau_heap_.begin(), ws_.plateau_heap_.end(),
+                       std::greater<std::uint32_t>{});
+    }
+
+    std::uint32_t id_heap_pop() {
+        std::pop_heap(ws_.plateau_heap_.begin(), ws_.plateau_heap_.end(),
+                      std::greater<std::uint32_t>{});
+        const std::uint32_t id = ws_.plateau_heap_.back();
+        ws_.plateau_heap_.pop_back();
+        return id;
+    }
+
+    ShortestPathTree& tree_;
+    const Subgraph& sg_;
+    const Graph& g_;
+    SsspMetric metric_;
+    SsspRepairWorkspace& ws_;
+};
+
+void repair_link_cut(ShortestPathTree& tree, const Subgraph& sg, LinkId lid, SsspMetric metric,
+                     SsspRepairWorkspace& ws) {
+    POC_EXPECTS(lid.index() < sg.graph().link_count());
+    POC_EXPECTS(!sg.is_active(lid));
+    ++ws.stats_.cuts;
+    POC_OBS_INC("net.sssp_repair.cuts");
+    RepairEngine eng(tree, sg, metric, ws);
+    if (!eng.repair_increase(lid)) ++ws.stats_.noops;
+}
+
+void repair_link_restore(ShortestPathTree& tree, const Subgraph& sg, LinkId lid,
+                         SsspMetric metric, SsspRepairWorkspace& ws) {
+    POC_EXPECTS(lid.index() < sg.graph().link_count());
+    POC_EXPECTS(sg.is_active(lid));
+    ++ws.stats_.restores;
+    POC_OBS_INC("net.sssp_repair.restores");
+    RepairEngine eng(tree, sg, metric, ws);
+    if (!eng.repair_decrease(lid)) ++ws.stats_.noops;
+}
+
+void repair_weight_change(ShortestPathTree& tree, const Subgraph& sg, LinkId lid,
+                          double old_weight, SsspMetric metric, SsspRepairWorkspace& ws) {
+    POC_EXPECTS(lid.index() < sg.graph().link_count());
+    POC_EXPECTS(sg.is_active(lid));
+    POC_EXPECTS(old_weight >= 0.0);
+    ++ws.stats_.weight_changes;
+    POC_OBS_INC("net.sssp_repair.weight_changes");
+    const double w_old = metric == SsspMetric::kLength ? old_weight : 1.0;
+    const double w_new = metric_weight(sg.graph(), lid, metric);
+    if (w_new == w_old) {
+        ++ws.stats_.noops;
+        return;
+    }
+    RepairEngine eng(tree, sg, metric, ws);
+    const bool acted = w_new > w_old ? eng.repair_increase(lid) : eng.repair_decrease(lid);
+    if (!acted) ++ws.stats_.noops;
+}
+
+}  // namespace poc::net

@@ -1,0 +1,111 @@
+// Dynamic single-source shortest-path repair (DESIGN.md §7). Between
+// epochs — and after a chaos fault — the active-link mask changes by a
+// handful of links, yet recomputing a source tree from scratch costs a
+// full Dijkstra. These routines patch an existing ShortestPathTree in
+// place after one link cut, restore, or weight change, and are
+// *bit-identical* to a fresh Dijkstra over the new subgraph: same
+// dist doubles, same parent links, same predecessor nodes, including
+// every tie-break.
+//
+// Why bit-identity is achievable at all: Dijkstra's final distances
+// are a pure function of the active edge set — each reached node v
+// settles at D(v) = min over active incident links l (other endpoint
+// u) of fl(D(u) + w(l)), where fl is IEEE double addition; and its
+// final parent is the lexicographically first candidate (by popped
+// distance, then node id, then link id) achieving that minimum
+// exactly. Neither depends on heap internals or visit order, so a
+// repair that (a) recomputes exact distances on the affected region
+// and (b) re-derives parents from final distances by the same rule
+// reproduces the cold tree byte for byte. See DESIGN.md §7 for the
+// full argument (increase/decrease case split, affected-set bounds).
+//
+// The caller owns the delta discipline: the tree passed in must be
+// exactly the cold tree of the subgraph that differs from `sg` by the
+// single named link. Multi-link deltas compose: apply single-link
+// repairs in any deterministic order; each intermediate tree is the
+// cold tree of its intermediate mask, so the final tree is the cold
+// tree of the final mask.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/shortest_path.hpp"
+
+namespace poc::net {
+
+/// Reusable scratch for repairs: stamp arrays, the tree-children CSR,
+/// a BFS queue, and a binary heap. Like SsspWorkspace, repeated use on
+/// one graph size allocates nothing in the steady state.
+class SsspRepairWorkspace {
+public:
+    struct Stats {
+        std::uint64_t cuts = 0;
+        std::uint64_t restores = 0;
+        std::uint64_t weight_changes = 0;
+        /// Repairs that proved the tree unchanged without touching it
+        /// (cut/increase of a non-tree edge, restore between two
+        /// unreachable nodes, no-op weight change).
+        std::uint64_t noops = 0;
+        /// Total nodes whose distance was recomputed across all repairs.
+        std::uint64_t affected_nodes = 0;
+    };
+
+    const Stats& stats() const noexcept { return stats_; }
+
+private:
+    friend void repair_link_cut(ShortestPathTree&, const Subgraph&, LinkId, SsspMetric,
+                                SsspRepairWorkspace&);
+    friend void repair_link_restore(ShortestPathTree&, const Subgraph&, LinkId, SsspMetric,
+                                    SsspRepairWorkspace&);
+    friend void repair_weight_change(ShortestPathTree&, const Subgraph&, LinkId, double,
+                                     SsspMetric, SsspRepairWorkspace&);
+    friend class RepairEngine;
+
+    struct HeapItem {
+        double dist;
+        NodeId::underlying_type node;
+    };
+
+    std::vector<std::uint32_t> stamp_;        // affected/changed-set membership
+    std::vector<std::uint32_t> derive_stamp_; // parent re-derivation dedupe
+    std::uint32_t generation_ = 0;
+    std::vector<std::uint32_t> child_offsets_;
+    std::vector<std::uint32_t> child_nodes_;
+    std::vector<std::uint32_t> queue_;        // BFS queue over the subtree / changed set
+    std::vector<std::uint32_t> derive_;       // nodes needing parent re-derivation
+    std::vector<HeapItem> heap_;
+    // Plateau-order simulation scratch (parent tie-breaks among
+    // equal-distance candidates; see RepairEngine::plateau_winner).
+    std::vector<std::uint32_t> plateau_stamp_;
+    std::vector<std::uint8_t> plateau_state_;
+    std::uint32_t plateau_generation_ = 0;
+    std::vector<std::uint32_t> plateau_queue_;
+    std::vector<std::uint32_t> plateau_heap_;
+    std::vector<std::uint32_t> cand_nodes_;   // distinct candidate nodes for one derivation
+    std::vector<LinkId> cand_links_;          // first (lowest-id) candidate link per node
+    Stats stats_;
+};
+
+/// Repair `tree` after deactivating `lid`. Preconditions: `tree` is
+/// the exact cold tree of `sg` with `lid` active; `sg` has `lid`
+/// inactive now. Postcondition: `tree` is bit-identical to
+/// dijkstra over `sg`.
+void repair_link_cut(ShortestPathTree& tree, const Subgraph& sg, LinkId lid, SsspMetric metric,
+                     SsspRepairWorkspace& ws);
+
+/// Repair `tree` after activating `lid`. Preconditions: `tree` is the
+/// exact cold tree of `sg` with `lid` inactive; `sg` has `lid` active
+/// now.
+void repair_link_restore(ShortestPathTree& tree, const Subgraph& sg, LinkId lid,
+                         SsspMetric metric, SsspRepairWorkspace& ws);
+
+/// Repair `tree` after `lid`'s routing weight changed from
+/// `old_weight` to its current value in `sg.graph()` (the tree was
+/// computed against the old weight; `lid` is active in both views).
+/// Under SsspMetric::kUnit the routing weight is 1.0 regardless of
+/// length, so length changes are no-ops.
+void repair_weight_change(ShortestPathTree& tree, const Subgraph& sg, LinkId lid,
+                          double old_weight, SsspMetric metric, SsspRepairWorkspace& ws);
+
+}  // namespace poc::net

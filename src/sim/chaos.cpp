@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "market/delta_reclear.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "topo/geo.hpp"
@@ -261,13 +262,21 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
     // One tree cache for the whole run (see ChaosOptions::use_path_cache):
     // the initial auction, every re-auction pivot, and every epoch's
     // flow simulation share it; advance_epoch() below keeps only the
-    // recent working set alive.
-    net::PathCache path_cache;
+    // recent working set alive. The repair budget lets near-miss masks
+    // patch cached trees instead of recomputing them.
+    net::PathCache path_cache(1, opt.path_cache_repair_budget);
     core::ProvisioningRequest request = opt.request;
     core::FlowSimOptions flow_opt;
     if (opt.use_path_cache) {
         request.oracle.path_cache = &path_cache;
         flow_opt.path_cache = &path_cache;
+    }
+    // One warm-start state across the run's auctions: off-cycle
+    // re-auctions whose surviving offer set is within the delta
+    // threshold of the previous clearing reuse its memo.
+    market::DeltaReclearState delta_state;
+    if (opt.use_delta_reclear && request.auction.delta == nullptr) {
+        request.auction.delta = &delta_state;
     }
 
     ChaosOutcome out;

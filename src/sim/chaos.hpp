@@ -216,6 +216,19 @@ struct ChaosOptions {
     /// lengths and link ids — the cache-key contract). Off = recompute
     /// everything; outcomes are bit-identical either way.
     bool use_path_cache = true;
+    /// Dynamic-repair budget for that shared cache (net/sssp_repair.hpp):
+    /// a near-miss mask within this many link flips of a cached tree is
+    /// served by patching the tree instead of a fresh Dijkstra. 0 = off.
+    /// Repaired trees are bit-identical to cold ones (DESIGN.md §7), so
+    /// this is purely an engine knob.
+    std::size_t path_cache_repair_budget = 8;
+    /// Carry one market::DeltaReclearState across the run's auctions
+    /// (initial provisioning and every off-cycle re-auction): re-clears
+    /// whose offered pool shrank or grew by at most
+    /// `request.auction.delta_max_links` links under an unchanged
+    /// context reuse the previous clearing's verdict/solve memo.
+    /// Bit-identical to cold re-clears either way (DESIGN.md §7).
+    bool use_delta_reclear = true;
 };
 
 /// Full-run outcome: the SLA time series plus aggregates.

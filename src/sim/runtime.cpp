@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/flow_sim.hpp"
+#include "market/delta_reclear.hpp"
 #include "obs/trace.hpp"
 #include "util/fault_injection.hpp"
 #include "util/journal.hpp"
@@ -258,6 +259,10 @@ struct EpochRuntime::Impl {
     /// Shared across every epoch's oracle queries and flow sims (see
     /// RuntimeOptions::use_path_cache); epoch-invalidated in run_epoch.
     net::PathCache path_cache;
+    /// Cross-epoch auction warm start (RuntimeOptions::use_delta_reclear).
+    /// Process-local like the breaker: a restarted process starts cold,
+    /// which is safe because warm and cold clears are bit-identical.
+    market::DeltaReclearState delta_state;
     /// Last full payload per record type in the journal file — the
     /// delta-encoding bases for future appends. Rebuilt from the file
     /// on recovery, reset by compaction.
@@ -274,7 +279,8 @@ struct EpochRuntime::Impl {
           tm(tm_),
           opt(std::move(opt_)),
           rng(opt.seed),
-          retrier(opt.retry, opt.breaker) {
+          retrier(opt.retry, opt.breaker),
+          path_cache(1, opt.path_cache_repair_budget) {
         POC_EXPECTS(opt.epochs >= 1);
         POC_EXPECTS(opt.demand_jitter >= 0.0 && opt.demand_jitter < 1.0);
         POC_EXPECTS(opt.snapshot_keep >= 1);
@@ -663,6 +669,10 @@ struct EpochRuntime::Impl {
 
         market::OracleOptions oracle_opt = opt.request.oracle;
         if (opt.use_path_cache) oracle_opt.path_cache = &path_cache;
+        market::AuctionOptions auction_opt = opt.request.auction;
+        if (opt.use_delta_reclear && auction_opt.delta == nullptr) {
+            auction_opt.delta = &delta_state;
+        }
         const market::AcceptabilityOracle base(pool.graph(), epoch_tm, opt.request.constraint,
                                                oracle_opt);
         market::FallibleOracle::FaultHook fault;
@@ -675,7 +685,7 @@ struct EpochRuntime::Impl {
         try {
             pending.auction = retrier.call([&](const util::Deadline& deadline) {
                 const DeadlineScope scope(guarded, deadline);
-                return market::run_auction(pool, guarded, opt.request.auction);
+                return market::run_auction(pool, guarded, auction_opt);
             });
         } catch (const util::BreakerOpen&) {
             primary_failed = true;
@@ -691,7 +701,7 @@ struct EpochRuntime::Impl {
             const market::AcceptabilityOracle relaxed(pool.graph(), epoch_tm,
                                                       market::ConstraintKind::kLoad,
                                                       oracle_opt);
-            pending.auction = market::run_auction(pool, relaxed, opt.request.auction);
+            pending.auction = market::run_auction(pool, relaxed, auction_opt);
             pending.degraded = pending.auction.has_value();
             if (pending.degraded) POC_OBS_INC("sim.runtime.degraded_epochs");
         }

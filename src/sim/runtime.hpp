@@ -191,6 +191,20 @@ struct RuntimeOptions {
     /// fingerprint because results are bit-identical either way, so a
     /// journaled run may resume with it flipped.
     bool use_path_cache = true;
+    /// Dynamic-repair budget for that cache (net/sssp_repair.hpp): a
+    /// mask within this many link flips of a cached tree is served by
+    /// patching the tree instead of recomputing it. 0 = off. An engine
+    /// knob (bit-identical either way, excluded from the meta
+    /// fingerprint) — journaled runs may resume with it changed.
+    std::size_t path_cache_repair_budget = 8;
+    /// Carry one market::DeltaReclearState across the run's clearing
+    /// calls (market/delta_reclear.hpp): epochs whose offered pool and
+    /// oracle fingerprint match the previous clearing (e.g. jitter 0,
+    /// no faults) reuse its verdict/solve memo. Engine knob; excluded
+    /// from the meta fingerprint; bit-identical either way. With a
+    /// per-epoch oracle fault hook installed the oracle opts out of
+    /// purity certification and every epoch clears cold regardless.
+    bool use_delta_reclear = true;
 
     // --- State-history knobs (DESIGN.md §4c). All of these are engine
     // knobs: results are bit-identical whatever their values, so they

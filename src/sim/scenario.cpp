@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "market/delta_reclear.hpp"
 #include "topo/traffic.hpp"
 #include "util/rng.hpp"
 
@@ -88,12 +89,20 @@ std::vector<EpochOutcome> run_scenario(const market::OfferPool& initial_pool,
     // built by with_withheld_links / with_scaled_bid keep the same
     // Graph, so the cache-key contract (fixed link ids and lengths)
     // holds for the whole scenario.
-    net::PathCache path_cache;
+    net::PathCache path_cache(1, opt.path_cache_repair_budget);
     core::ProvisioningRequest request = opt.request;
     core::FlowSimOptions flow_opt;
     if (opt.use_path_cache) {
         request.oracle.path_cache = &path_cache;
         flow_opt.path_cache = &path_cache;
+    }
+    // Warm-start state across the scenario's per-epoch auctions: small
+    // offer-set deltas (withheld links, failures) reuse the previous
+    // epoch's memo; demand changes alter the oracle fingerprint and
+    // fall back to cold automatically.
+    market::DeltaReclearState delta_state;
+    if (opt.use_delta_reclear && request.auction.delta == nullptr) {
+        request.auction.delta = &delta_state;
     }
 
     // Links failed so far (withheld from every future pool).

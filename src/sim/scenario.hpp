@@ -63,6 +63,12 @@ struct ScenarioOptions {
     /// simulations (epoch-invalidated), exactly as the chaos engine
     /// does. Outcomes are bit-identical with it on or off.
     bool use_path_cache = true;
+    /// Dynamic-repair budget for that cache (net/sssp_repair.hpp); 0 =
+    /// off. Bit-identical either way.
+    std::size_t path_cache_repair_budget = 8;
+    /// Carry one market::DeltaReclearState across the scenario's
+    /// auctions (market/delta_reclear.hpp). Bit-identical either way.
+    bool use_delta_reclear = true;
     /// Called after each epoch's outcome is measured (examples use it
     /// to dump per-epoch observability snapshots). Must not mutate
     /// scenario state.

@@ -1,0 +1,43 @@
+// A tiny deterministic 64-bit hasher (FNV-1a) for building content
+// fingerprints: oracle purity digests, offer-pool pricing digests
+// (market/delta_reclear.hpp). Not a cryptographic hash — collision
+// behavior is the usual 64-bit birthday bound, the same contract as
+// Subgraph::fingerprint() (DESIGN.md §6).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace poc::util {
+
+class Fnv64 {
+public:
+    void add(std::uint64_t v) noexcept {
+        for (int i = 0; i < 8; ++i) {
+            step(static_cast<unsigned char>(v >> (8 * i)));
+        }
+    }
+
+    void add_i64(std::int64_t v) noexcept { add(static_cast<std::uint64_t>(v)); }
+
+    /// Hash the exact bit pattern: distinguishes -0.0 from 0.0 and
+    /// every NaN payload, which is what bit-identity contracts need.
+    void add_f64(double v) noexcept { add(std::bit_cast<std::uint64_t>(v)); }
+
+    void add_bytes(std::string_view bytes) noexcept {
+        for (const char c : bytes) step(static_cast<unsigned char>(c));
+    }
+
+    std::uint64_t value() const noexcept { return h_; }
+
+private:
+    void step(unsigned char byte) noexcept {
+        h_ ^= byte;
+        h_ *= 1099511628211ull;
+    }
+
+    std::uint64_t h_ = 1469598103934665603ull;
+};
+
+}  // namespace poc::util

@@ -130,6 +130,81 @@ TEST(PathCache, ClearDropsEverything) {
     EXPECT_EQ(cache.stats().misses, 3u);
 }
 
+TEST(PathCache, RepairedLookupIsBitIdenticalAndCountsAsHitNotMiss) {
+    util::Rng rng(67);
+    const net::Graph g = test::random_connected(rng, 24, 16);
+    net::Subgraph sg(g);
+
+    net::PathCache cache(/*max_age=*/2, /*repair_budget=*/3);
+    (void)cache.tree(sg, NodeId{0u}, net::SsspMetric::kLength);  // miss; installs the base
+    ASSERT_EQ(cache.stats().misses, 1u);
+
+    // Within budget: 3 flips away from the base mask.
+    sg.set_active(LinkId{0u}, false);
+    sg.set_active(LinkId{3u}, false);
+    sg.set_active(LinkId{5u}, false);
+    const auto repaired = cache.tree(sg, NodeId{0u}, net::SsspMetric::kLength);
+    const auto fresh = net::dijkstra(sg, NodeId{0u}, net::weight_by_length(g));
+    expect_trees_identical(*repaired, fresh);
+
+    const auto st = cache.stats();
+    EXPECT_EQ(st.hits, 1u);     // the repair IS the hit
+    EXPECT_EQ(st.misses, 1u);   // no new miss
+    EXPECT_EQ(st.repairs, 1u);
+    EXPECT_EQ(st.entries, 2u);  // the repaired tree is a real entry
+
+    // The base advanced to the repaired mask, so one more flip is again
+    // within budget — and restores chain off cuts just as well.
+    sg.set_active(LinkId{3u}, true);
+    const auto repaired2 = cache.tree(sg, NodeId{0u}, net::SsspMetric::kLength);
+    expect_trees_identical(*repaired2,
+                           net::dijkstra(sg, NodeId{0u}, net::weight_by_length(g)));
+    EXPECT_EQ(cache.stats().repairs, 2u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PathCache, RepairBeyondBudgetFallsBackToColdMiss) {
+    util::Rng rng(71);
+    const net::Graph g = test::random_connected(rng, 20, 12);
+    net::Subgraph sg(g);
+
+    net::PathCache cache(/*max_age=*/1, /*repair_budget=*/2);
+    (void)cache.tree(sg, NodeId{2u}, net::SsspMetric::kUnit);
+    sg.set_active(LinkId{1u}, false);
+    sg.set_active(LinkId{4u}, false);
+    sg.set_active(LinkId{6u}, false);  // 3 flips > budget 2
+    const auto t = cache.tree(sg, NodeId{2u}, net::SsspMetric::kUnit);
+    expect_trees_identical(*t, net::dijkstra(sg, NodeId{2u}, net::weight_unit()));
+    EXPECT_EQ(cache.stats().repairs, 0u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(PathCache, RepairSourceDoesNotRefreshEntryIdleAge) {
+    util::Rng rng(73);
+    const net::Graph g = test::random_connected(rng, 12, 8);
+    net::Subgraph sg(g);
+
+    net::PathCache cache(/*max_age=*/1, /*repair_budget=*/2);
+    (void)cache.tree(sg, NodeId{0u}, net::SsspMetric::kLength);  // entry A, epoch 0
+    cache.advance_epoch();
+
+    // Epoch 1: serve a near-miss mask by repairing off A. That must NOT
+    // count as a use of A's entry — only direct lookups keep keys alive.
+    sg.set_active(LinkId{2u}, false);
+    (void)cache.tree(sg, NodeId{0u}, net::SsspMetric::kLength);  // entry B via repair
+    ASSERT_EQ(cache.stats().repairs, 1u);
+    ASSERT_EQ(cache.stats().entries, 2u);
+
+    cache.advance_epoch();
+    // A went unused for a full epoch (its service as repair base does
+    // not refresh it); B was used in epoch 1 and survives.
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    (void)cache.tree(sg, NodeId{0u}, net::SsspMetric::kLength);
+    EXPECT_EQ(cache.stats().hits, 2u);  // B is still a direct hit
+}
+
 TEST(PathCache, ConcurrentLookupsAreConsistent) {
     util::Rng rng(61);
     const net::Graph g = test::random_connected(rng, 30, 20);
