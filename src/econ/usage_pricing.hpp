@@ -12,14 +12,109 @@
 // For each scheme we report revenue, cost recovery, the cross-subsidy
 // index (share of revenue transferred from below-average to
 // above-average users relative to cost), and each user's bill spread.
+//
+// DecayAccumulator/BilledAccumulator extend the static schemes into
+// *live* usage-based billing for the serve daemon (DESIGN.md §8): a
+// per-account exponentially-decaying usage average (the
+// subjective-billing idiom — recent queries dominate, old usage ages
+// out with a configurable half-life) and a Money-checked billed total
+// that refuses to wrap on overflow.
 #pragma once
 
+#include <cmath>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "util/contracts.hpp"
+#include "util/money.hpp"
 #include "util/rng.hpp"
 
 namespace poc::econ {
+
+/// Exponentially-decaying usage accumulator over a continuous epoch
+/// axis. value_at(t) halves every `half_life` epochs of silence:
+///
+///   value_at(t) = value(last) * 2^(-(t - last) / half_life)
+///
+/// Time is monotone: observations at t < last are folded in at `last`
+/// (never "un-decayed"). A zero accumulator stays *exactly* zero under
+/// decay — 0 * 2^x == 0 in IEEE arithmetic, so idle accounts never
+/// drift onto denormal residue.
+class DecayAccumulator {
+public:
+    explicit DecayAccumulator(double half_life_epochs) : half_life_(half_life_epochs) {
+        POC_EXPECTS(half_life_epochs > 0.0);
+    }
+
+    /// Decayed value as of `epoch` (>= last observation; earlier
+    /// epochs read at the last observation point).
+    double value_at(double epoch) const {
+        if (value_ == 0.0) return 0.0;  // exact: no decay arithmetic on zero
+        if (epoch <= last_) return value_;
+        return value_ * std::exp2(-(epoch - last_) / half_life_);
+    }
+
+    /// Fold `amount` in at `epoch`: decay to `epoch`, then add.
+    void add(double epoch, double amount) {
+        const double at = std::max(epoch, last_);
+        value_ = value_at(at) + amount;
+        last_ = at;
+    }
+
+    double half_life() const noexcept { return half_life_; }
+    double last_epoch() const noexcept { return last_; }
+
+private:
+    double half_life_;
+    double value_ = 0.0;  // as of last_
+    double last_ = 0.0;
+};
+
+/// A decaying usage meter plus an exact Money billed total: the serve
+/// daemon's per-account record. Usage drives admission control (the
+/// decayed average is the "recent load" an over-quota check compares
+/// against); billing multiplies metered units by a unit price under
+/// overflow-checked arithmetic — a charge that would wrap the int64
+/// micro-dollar total is *refused*, leaving both meter and bill
+/// untouched, rather than applied partially.
+class BilledAccumulator {
+public:
+    BilledAccumulator(double half_life_epochs, util::Money price_per_unit)
+        : usage_(half_life_epochs), price_(price_per_unit) {}
+
+    /// price_per_unit * units, or nullopt when the product leaves the
+    /// int64 micro-dollar range (Money::scaled would silently wrap).
+    static std::optional<util::Money> checked_scale(util::Money price, double units) {
+        const double micros = static_cast<double>(price.micros()) * units;
+        // Strict double bound below INT64_MAX: 2^63 is not representable,
+        // so compare against the largest double that still fits.
+        if (!(std::fabs(micros) < 9.2e18) || std::isnan(micros)) return std::nullopt;
+        return util::Money::from_micros(static_cast<std::int64_t>(std::llround(micros)));
+    }
+
+    /// Meter `units` at `epoch` and bill them. False (state unchanged)
+    /// when the charge or the running total would overflow.
+    bool charge(double epoch, double units) {
+        const auto amount = checked_scale(price_, units);
+        if (!amount) return false;
+        const auto total = util::Money::checked_add(billed_, *amount);
+        if (!total) return false;
+        usage_.add(epoch, units);
+        billed_ = *total;
+        return true;
+    }
+
+    double usage_at(double epoch) const { return usage_.value_at(epoch); }
+    const DecayAccumulator& usage() const noexcept { return usage_; }
+    util::Money price_per_unit() const noexcept { return price_; }
+    util::Money billed() const noexcept { return billed_; }
+
+private:
+    DecayAccumulator usage_;
+    util::Money price_;
+    util::Money billed_;
+};
 
 /// One subscriber's monthly usage in GB.
 using UsagePopulation = std::vector<double>;

@@ -1,0 +1,133 @@
+// The always-on market daemon's query front-end (DESIGN.md §8). One
+// ServeEngine sits beside a running sim::EpochRuntime: the runtime's
+// on_epoch_commit hook freezes each committed epoch into an immutable
+// EpochView and publishes it through the RCU hub; query threads (the
+// engine's util::ThreadPool, or any caller thread — every query
+// method is thread-safe) answer price quotes, path lookups, and SLA
+// status from the published view, never waiting on rollover work.
+// Point-in-time queries materialize historical epochs from
+// the state-history store (newest snapshot <= N plus a read-only
+// journal-suffix replay) without disturbing the live runtime's
+// journal. Every query passes admission control first (usage_meter);
+// all of it is strictly read-only with respect to the market: a
+// journaled run with a query storm replays bit-identical to one
+// without.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "serve/epoch_view.hpp"
+#include "serve/usage_meter.hpp"
+#include "serve/view_hub.hpp"
+#include "sim/runtime.hpp"
+#include "util/thread_pool.hpp"
+
+namespace poc::serve {
+
+struct ServeOptions {
+    /// Query worker threads.
+    std::size_t workers = 2;
+    MeterOptions meter;
+    /// SLA delivered-fraction contract target.
+    double sla_delivered_target = 0.999;
+    /// Admission cost per query class, in meter units.
+    double quote_units = 1.0;
+    double path_units = 2.0;
+    double sla_units = 1.0;
+    /// Historical queries replay journal suffixes: priced accordingly.
+    double history_units = 8.0;
+    /// Materialized historical views kept for reuse (history is
+    /// immutable, so entries never go stale; the cap only bounds
+    /// memory).
+    std::size_t history_cache_cap = 16;
+};
+
+class ServeEngine {
+public:
+    /// `pool`, `tm`, and `runtime_opt` must match the runtime being
+    /// served — they identify the journal generation for point-in-time
+    /// queries (same configuration fingerprint rule as recovery).
+    ServeEngine(const market::OfferPool& pool, const net::TrafficMatrix& tm,
+                sim::RuntimeOptions runtime_opt, ServeOptions opt = {});
+    ~ServeEngine();
+
+    /// Install this engine as `opt`'s commit subscriber. The returned
+    /// reference is `opt` itself (builder style).
+    sim::RuntimeOptions& attach(sim::RuntimeOptions& opt);
+
+    /// The commit hook body: freeze + publish. Never throws (a failed
+    /// build is counted, the previous epoch stays published).
+    void publish(const sim::EpochCommit& commit) noexcept;
+
+    /// Newest published epoch (nullptr before the first commit).
+    std::shared_ptr<const EpochView> current() const { return hub_.current(); }
+    std::uint64_t rollovers() const { return hub_.published_count(); }
+
+    struct QuoteReply {
+        ServeError code = ServeError::kNotServing;
+        std::size_t epoch = 0;
+        BpQuote quote;
+        util::Money total_outlay;
+    };
+    QuoteReply quote(const std::string& account, std::string_view bp_name);
+
+    struct PathReply {
+        ServeError code = ServeError::kNotServing;
+        std::size_t epoch = 0;
+        std::vector<net::LinkId> links;
+        double length_km = 0.0;
+    };
+    PathReply path(const std::string& account, net::NodeId src, net::NodeId dst);
+
+    struct SlaReply {
+        ServeError code = ServeError::kNotServing;
+        std::size_t epoch = 0;
+        SlaStatus status = SlaStatus::kUnprovisioned;
+        double delivered_fraction = 0.0;
+        bool degraded = false;
+        bool breaker_open = false;
+    };
+    SlaReply sla(const std::string& account);
+
+    struct HistoryReply {
+        ServeError code = ServeError::kNotServing;
+        /// The view as of `completed_epochs` target (null on error).
+        std::shared_ptr<const EpochView> view;
+    };
+    /// Point-in-time: the market as of exactly `completed_epochs`
+    /// committed epochs, bit-identical to what a from-scratch run of
+    /// that length would publish.
+    HistoryReply at_epoch(const std::string& account, std::uint64_t completed_epochs);
+
+    /// Run `fn` on the engine's pool (queries are thread-safe, so the
+    /// task may call any query method). wait_idle() drains.
+    void async(std::function<void()> fn);
+    void wait_idle();
+
+    UsageMeter& meter() noexcept { return meter_; }
+    const ServeOptions& options() const noexcept { return opt_; }
+
+private:
+    /// Admission at the current serving time (completed_epochs).
+    Admission admit(const std::string& account, double units);
+
+    const market::OfferPool& pool_;
+    const net::TrafficMatrix& tm_;
+    sim::RuntimeOptions runtime_opt_;
+    ServeOptions opt_;
+
+    ViewHub hub_;
+    UsageMeter meter_;
+    util::ThreadPool workers_;
+
+    std::mutex history_mutex_;
+    std::map<std::uint64_t, std::shared_ptr<const EpochView>> history_cache_;
+};
+
+}  // namespace poc::serve

@@ -1,0 +1,105 @@
+#include "serve/epoch_view.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace poc::serve {
+
+const char* sla_status_name(SlaStatus status) {
+    switch (status) {
+        case SlaStatus::kHealthy: return "healthy";
+        case SlaStatus::kDegraded: return "degraded";
+        case SlaStatus::kViolated: return "violated";
+        case SlaStatus::kUnprovisioned: return "unprovisioned";
+    }
+    return "unknown";
+}
+
+SlaStatus EpochView::sla(double delivered_target) const {
+    if (!provisioned) return SlaStatus::kUnprovisioned;
+    if (record.delivered_fraction < delivered_target) return SlaStatus::kViolated;
+    if (record.degraded_mode || record.breaker_open || record.max_utilization > 1.0) {
+        return SlaStatus::kDegraded;
+    }
+    return SlaStatus::kHealthy;
+}
+
+const BpQuote* EpochView::quote_for(std::string_view bp_name) const {
+    for (const BpQuote& q : quotes) {
+        if (q.name == bp_name) return &q;
+    }
+    return nullptr;
+}
+
+std::optional<util::Money> EpochView::balance(core::Party party) const {
+    for (const auto& [p, amount] : balances) {
+        if (p == party) return amount;
+    }
+    return std::nullopt;
+}
+
+std::shared_ptr<const EpochView> build_epoch_view(
+    const net::Graph& graph, std::size_t epoch, std::size_t completed_epochs, bool replayed,
+    const sim::EpochRecord& record, const std::optional<market::AuctionResult>& auction,
+    const core::Ledger& ledger) {
+    POC_OBS_SPAN("serve.view_build");
+    auto view = std::make_shared<EpochView>();
+    view->epoch = epoch;
+    view->completed_epochs = completed_epochs;
+    view->replayed = replayed;
+    view->record = record;
+    view->provisioned = auction.has_value();
+
+    if (auction) {
+        view->total_outlay = auction->total_outlay;
+        view->virtual_cost = auction->virtual_cost;
+        view->quotes.reserve(auction->outcomes.size());
+        for (const market::BpOutcome& o : auction->outcomes) {
+            view->quotes.push_back(
+                {o.name, o.payment, o.bid_cost, o.pob, o.selected_links.size()});
+        }
+        view->backbone = auction->selection.links;
+    }
+
+    // Path trees over the provisioned backbone, one per source. An
+    // unprovisioned epoch still gets trees (every node isolated), so
+    // path queries answer kUnreachable instead of faulting.
+    const net::Subgraph backbone(graph, view->backbone);
+    const net::LinkWeight weight = net::weight_by_length(graph);
+    view->trees.reserve(graph.node_count());
+    for (std::size_t n = 0; n < graph.node_count(); ++n) {
+        view->trees.push_back(net::dijkstra(backbone, net::NodeId(n), weight));
+    }
+
+    // Balances for every party the ledger has seen, in first-seen
+    // order (deterministic across runs: transfers replay identically).
+    for (const core::Transfer& t : ledger.transfers()) {
+        for (const core::Party p : {t.from, t.to}) {
+            const auto seen =
+                std::find_if(view->balances.begin(), view->balances.end(),
+                             [&](const auto& entry) { return entry.first == p; });
+            if (seen == view->balances.end()) {
+                view->balances.emplace_back(p, ledger.balance(p));
+            }
+        }
+    }
+    view->poc_net = ledger.poc_net();
+    return view;
+}
+
+std::shared_ptr<const EpochView> build_epoch_view(const net::Graph& graph,
+                                                  const sim::EpochCommit& commit) {
+    return build_epoch_view(graph, commit.epoch, commit.completed_epochs, commit.replayed,
+                            commit.record, commit.auction, commit.ledger);
+}
+
+std::shared_ptr<const EpochView> build_epoch_view(const net::Graph& graph,
+                                                  const sim::RuntimeState& state) {
+    POC_EXPECTS(!state.epochs.empty());
+    return build_epoch_view(graph, state.epochs.back().epoch, state.epochs.size(),
+                            /*replayed=*/true, state.epochs.back(), state.auctions.back(),
+                            state.ledger);
+}
+
+}  // namespace poc::serve

@@ -1,0 +1,105 @@
+// The serve daemon's unit of publication: one epoch's market results
+// frozen into an immutable value (DESIGN.md §8). The runtime hands the
+// daemon borrowed references at commit time (sim::EpochCommit); this
+// module copies exactly what queries need — per-BP quotes, the
+// provisioned backbone with its shortest-path trees, ledger balances,
+// SLA verdict — into a heap object that is never mutated again. The
+// hub (view_hub.hpp) then swaps a shared_ptr to it atomically, so
+// readers hold a consistent epoch for as long as they keep the
+// pointer, across any number of later rollovers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/ledger.hpp"
+#include "market/vcg.hpp"
+#include "net/shortest_path.hpp"
+#include "sim/runtime.hpp"
+
+namespace poc::serve {
+
+/// One bandwidth provider's standing in the epoch's auction: what a
+/// price-quote query answers.
+struct BpQuote {
+    std::string name;
+    /// VCG payment to this BP this epoch (its clearing price).
+    util::Money payment;
+    util::Money bid_cost;
+    /// Payment-over-bid margin (P-C)/C.
+    double pob = 0.0;
+    std::size_t links_won = 0;
+};
+
+/// The paper's availability SLA, graded from the epoch's flow results.
+enum class SlaStatus : std::uint8_t {
+    kHealthy = 0,
+    /// Served, but on the degraded (relaxed-constraint) path or with
+    /// the breaker open / links oversubscribed.
+    kDegraded,
+    /// Delivered fraction below the contract target.
+    kViolated,
+    /// No backbone was provisioned this epoch.
+    kUnprovisioned,
+};
+
+const char* sla_status_name(SlaStatus status);
+
+/// Immutable snapshot of one committed epoch. Built once (on the
+/// runtime's commit thread or from a materialized historical state),
+/// then only read — every member is value-owned, nothing points back
+/// into the runtime.
+struct EpochView {
+    std::size_t epoch = 0;
+    std::size_t completed_epochs = 0;
+    /// Reconstructed from the journal on daemon restart rather than
+    /// computed fresh this process.
+    bool replayed = false;
+
+    sim::EpochRecord record;
+    bool provisioned = false;
+    util::Money total_outlay;
+    util::Money virtual_cost;
+    /// Per-BP quotes in bid order.
+    std::vector<BpQuote> quotes;
+
+    /// The winning link set (empty when unprovisioned).
+    std::vector<net::LinkId> backbone;
+    /// Shortest-path tree per source node over `backbone`, weighted by
+    /// length — path queries answer from these without touching the
+    /// graph again. Index = node index.
+    std::vector<net::ShortestPathTree> trees;
+
+    /// Net balance per party with ledger activity, in first-seen order.
+    std::vector<std::pair<core::Party, util::Money>> balances;
+    util::Money poc_net;
+
+    /// SLA verdict at `delivered_target` (engine default 0.999).
+    SlaStatus sla(double delivered_target) const;
+
+    const BpQuote* quote_for(std::string_view bp_name) const;
+    std::optional<util::Money> balance(core::Party party) const;
+};
+
+/// Freeze one epoch's results into a view. `graph` must outlive the
+/// call only (trees are materialized eagerly); the returned view owns
+/// everything it answers from.
+std::shared_ptr<const EpochView> build_epoch_view(
+    const net::Graph& graph, std::size_t epoch, std::size_t completed_epochs, bool replayed,
+    const sim::EpochRecord& record, const std::optional<market::AuctionResult>& auction,
+    const core::Ledger& ledger);
+
+/// Convenience: freeze straight from the runtime's commit callback.
+std::shared_ptr<const EpochView> build_epoch_view(const net::Graph& graph,
+                                                  const sim::EpochCommit& commit);
+
+/// Freeze the newest epoch of a materialized historical state
+/// (sim::materialize_state_at). Requires at least one epoch.
+std::shared_ptr<const EpochView> build_epoch_view(const net::Graph& graph,
+                                                  const sim::RuntimeState& state);
+
+}  // namespace poc::serve

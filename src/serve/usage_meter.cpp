@@ -1,0 +1,116 @@
+#include "serve/usage_meter.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/contracts.hpp"
+
+namespace poc::serve {
+
+const char* serve_error_name(ServeError code) {
+    switch (code) {
+        case ServeError::kOk: return "ok";
+        case ServeError::kNotServing: return "not-serving";
+        case ServeError::kOverQuota: return "over-quota";
+        case ServeError::kBillingRefused: return "billing-refused";
+        case ServeError::kUnknownBp: return "unknown-bp";
+        case ServeError::kUnknownNode: return "unknown-node";
+        case ServeError::kUnreachable: return "unreachable";
+        case ServeError::kHistoryUnavailable: return "history-unavailable";
+    }
+    return "unknown";
+}
+
+UsageMeter::UsageMeter(MeterOptions opt) : opt_(opt) {
+    POC_EXPECTS(opt_.half_life_epochs > 0.0);
+    POC_EXPECTS(opt_.quota_units > 0.0);
+}
+
+UsageMeter::Account& UsageMeter::account_locked(const std::string& name) {
+    auto it = accounts_.find(name);
+    if (it == accounts_.end()) {
+        it = accounts_
+                 .emplace(name, Account{econ::BilledAccumulator(opt_.half_life_epochs,
+                                                                opt_.price_per_unit),
+                                        util::Money{}, next_party_++})
+                 .first;
+    }
+    return it->second;
+}
+
+Admission UsageMeter::admit(const std::string& account, double epoch, double units) {
+    POC_EXPECTS(units >= 0.0);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Account& acc = account_locked(account);
+    if (opt_.admission_enabled &&
+        acc.meter.usage_at(epoch) + units > opt_.quota_units) {
+        ++rejected_;
+        POC_OBS_INC("serve.admission_rejects");
+        return {ServeError::kOverQuota, acc.meter.usage_at(epoch), util::Money{}};
+    }
+    const util::Money before = acc.meter.billed();
+    if (!acc.meter.charge(epoch, units)) {
+        ++rejected_;
+        POC_OBS_INC("serve.billing_refusals");
+        return {ServeError::kBillingRefused, acc.meter.usage_at(epoch), util::Money{}};
+    }
+    return {ServeError::kOk, acc.meter.usage_at(epoch), acc.meter.billed() - before};
+}
+
+double UsageMeter::usage(const std::string& account, double epoch) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = accounts_.find(account);
+    return it == accounts_.end() ? 0.0 : it->second.meter.usage_at(epoch);
+}
+
+util::Money UsageMeter::billed(const std::string& account) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = accounts_.find(account);
+    return it == accounts_.end() ? util::Money{} : it->second.meter.billed();
+}
+
+util::Money UsageMeter::total_billed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    util::Money total;
+    for (const auto& [name, acc] : accounts_) {
+        total = util::Money::checked_sum(total, acc.meter.billed());
+    }
+    return total;
+}
+
+std::size_t UsageMeter::account_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return accounts_.size();
+}
+
+std::uint64_t UsageMeter::rejected() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+}
+
+UsageMeter::Reconciliation UsageMeter::reconcile(std::size_t epoch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Reconciliation out;
+    util::Money billed_total;
+    for (auto& [name, acc] : accounts_) {
+        billed_total = util::Money::checked_sum(billed_total, acc.meter.billed());
+        const util::Money delta = acc.meter.billed() - acc.flushed;
+        if (delta <= util::Money{}) continue;
+        ledger_.record({core::PartyKind::kCustomers, acc.party_index},
+                       {core::PartyKind::kPoc, 0}, core::TransferKind::kServiceFees, delta,
+                       "serve rollover " + std::to_string(epoch) + ": " + name);
+        acc.flushed += delta;
+        out.flushed += delta;
+        ++out.accounts_flushed;
+    }
+    out.balanced =
+        ledger_.total(core::TransferKind::kServiceFees) == billed_total && ledger_.conserves();
+    if (!out.balanced) POC_OBS_INC("serve.reconcile_mismatches");
+    POC_OBS_INC("serve.reconciliations");
+    return out;
+}
+
+core::Ledger UsageMeter::billing_ledger() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ledger_;
+}
+
+}  // namespace poc::serve

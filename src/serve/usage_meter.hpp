@@ -1,0 +1,122 @@
+// Per-account usage metering and admission control for the serve
+// daemon (DESIGN.md §8). Each account carries an exponentially-
+// decaying usage average (econ::DecayAccumulator — recent queries
+// dominate, idle accounts age back under quota) and a Money-checked
+// billed total. Admission is checked *before* a query runs: an
+// account whose decayed usage would exceed its quota is rejected with
+// a structured error code — backpressure, not silent throttling — and
+// a charge that would overflow the int64 micro-dollar bill is refused
+// atomically. At each epoch rollover the meter flushes accrued
+// charges into a core::Ledger (account -> POC service fees) and
+// reconciles: flushed totals must equal billed totals exactly, and
+// the ledger must conserve.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/ledger.hpp"
+#include "econ/usage_pricing.hpp"
+#include "util/money.hpp"
+
+namespace poc::serve {
+
+/// Structured error codes shared by every serve query class. Values
+/// are stable (wire/log-friendly).
+enum class ServeError : std::uint8_t {
+    kOk = 0,
+    /// No epoch has been published yet (daemon warming up).
+    kNotServing,
+    /// Admission control: the account's decayed usage is over quota.
+    kOverQuota,
+    /// The charge would overflow the account's billed total.
+    kBillingRefused,
+    kUnknownBp,
+    kUnknownNode,
+    /// Path query: destination not reachable on the epoch's backbone.
+    kUnreachable,
+    /// Point-in-time query: history cannot prove the requested epoch.
+    kHistoryUnavailable,
+};
+
+const char* serve_error_name(ServeError code);
+
+struct MeterOptions {
+    /// Usage half-life in epochs: how fast an idle account's load
+    /// average decays back toward zero (and back under quota).
+    double half_life_epochs = 8.0;
+    /// Price per query unit.
+    util::Money price_per_unit = util::Money::from_micros(250);
+    /// Decayed-usage ceiling; a query pushing past it is rejected.
+    double quota_units = 1000.0;
+    /// Off = meter and bill but never reject (observe-only mode).
+    bool admission_enabled = true;
+};
+
+/// One admission decision. On kOk the account was metered and billed;
+/// on any rejection its meter and bill are untouched.
+struct Admission {
+    ServeError code = ServeError::kOk;
+    /// Decayed usage after this decision (unchanged on rejection).
+    double usage = 0.0;
+    util::Money charged;
+
+    bool ok() const noexcept { return code == ServeError::kOk; }
+};
+
+class UsageMeter {
+public:
+    explicit UsageMeter(MeterOptions opt);
+
+    /// Admit-and-charge `units` of work for `account` at time `epoch`
+    /// (a continuous axis; the engine passes completed_epochs).
+    /// Thread-safe.
+    Admission admit(const std::string& account, double epoch, double units);
+
+    double usage(const std::string& account, double epoch) const;
+    util::Money billed(const std::string& account) const;
+    util::Money total_billed() const;
+    std::size_t account_count() const;
+    std::uint64_t rejected() const;
+
+    struct Reconciliation {
+        std::size_t accounts_flushed = 0;
+        util::Money flushed;
+        /// Ledger service-fee total == sum of billed totals, and the
+        /// ledger conserves. False would mean metering and billing
+        /// disagree — a bug, surfaced rather than absorbed.
+        bool balanced = false;
+    };
+
+    /// Rollover hook: flush charges accrued since the last call into
+    /// the billing ledger and verify meter/ledger agreement.
+    Reconciliation reconcile(std::size_t epoch);
+
+    /// The cumulative serve-side billing ledger (reconciled copy; safe
+    /// snapshot under the meter's lock).
+    core::Ledger billing_ledger() const;
+
+    const MeterOptions& options() const noexcept { return opt_; }
+
+private:
+    struct Account {
+        econ::BilledAccumulator meter;
+        /// Portion of `meter.billed()` already moved to the ledger.
+        util::Money flushed;
+        /// Stable ledger identity (first-registration order).
+        std::uint32_t party_index = 0;
+    };
+
+    Account& account_locked(const std::string& name);
+
+    MeterOptions opt_;
+    mutable std::mutex mutex_;
+    std::map<std::string, Account> accounts_;
+    core::Ledger ledger_;
+    std::uint64_t rejected_ = 0;
+    std::uint32_t next_party_ = 0;
+};
+
+}  // namespace poc::serve

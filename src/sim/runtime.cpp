@@ -201,6 +201,28 @@ std::size_t decode_records(const std::vector<util::JournalRecord>& records,
     return out.size();
 }
 
+/// Configuration fingerprint stored in the journal header. Engine
+/// knobs that cannot change results (threads, cache, serving hooks)
+/// are excluded on purpose: a run may resume under a different engine
+/// config and still be bit-identical (DESIGN.md §5). Shared between
+/// EpochRuntime and materialize_state_at so point-in-time reads refuse
+/// foreign journals with the same rule the runtime uses.
+std::string runtime_meta_fingerprint(const market::OfferPool& pool,
+                                     const net::TrafficMatrix& tm,
+                                     const RuntimeOptions& opt) {
+    util::BinaryWriter w;
+    w.str("poc-runtime-v1");
+    w.u64(opt.epochs);
+    w.u64(opt.seed);
+    w.u64(f64_bits(opt.demand_jitter));
+    w.u8(static_cast<std::uint8_t>(opt.request.constraint));
+    w.boolean(opt.request.auction.exact);
+    w.u64(pool.offered_links().size());
+    w.u64(tm.size());
+    w.u64(f64_bits(net::total_demand(tm)));
+    return w.bytes();
+}
+
 }  // namespace
 
 std::string encode_runtime_state(const RuntimeState& state) {
@@ -218,6 +240,122 @@ std::string encode_runtime_state(const RuntimeState& state) {
     w.u64(state.breaker_open_epochs);
     return w.bytes();
 }
+
+namespace {
+
+/// Replay state machine shared by crash recovery (EpochRuntime::Impl)
+/// and read-only point-in-time materialization (materialize_state_at):
+/// a RuntimeState plus the in-flight epoch, advanced one decoded
+/// record at a time. apply() is parse-then-commit — a record that is
+/// semantically impossible against the current state (out-of-order
+/// epoch, duplicated stage, truncated fields) throws *before* mutating
+/// anything, so callers can stop at the last good prefix.
+struct ReplayCursor {
+    RuntimeState state;
+    PendingEpoch pending;
+    bool has_pending = false;
+    std::size_t replayed_epochs = 0;
+
+    void apply(const DecodedRecord& rec) {
+        util::BinaryReader r(rec.payload);
+        switch (rec.type) {
+            case kRecEpochBegin: {
+                const std::uint64_t epoch = r.u64();
+                const double demand_factor = r.f64();
+                const util::RngState st = read_rng_state(r);
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(!has_pending);
+                POC_EXPECTS(epoch == state.epochs.size());
+                pending = PendingEpoch{};
+                pending.epoch = epoch;
+                pending.demand_factor = demand_factor;
+                state.rng = st;
+                pending.have_begin = true;
+                has_pending = true;
+                break;
+            }
+            case kRecAuction: {
+                const std::uint64_t epoch = r.u64();
+                std::optional<market::AuctionResult> auction;
+                if (r.boolean()) auction = market::read_auction_result(r);
+                const bool degraded = r.boolean();
+                const bool breaker_open = r.boolean();
+                const std::uint64_t attempts = r.u64();
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(has_pending && epoch == pending.epoch);
+                POC_EXPECTS(!pending.have_auction);
+                pending.auction = std::move(auction);
+                pending.degraded = degraded;
+                pending.breaker_open = breaker_open;
+                pending.attempts = attempts;
+                pending.have_auction = true;
+                break;
+            }
+            case kRecProvision: {
+                const std::uint64_t epoch = r.u64();
+                std::vector<net::LinkId> selected = read_links(r);
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(has_pending && epoch == pending.epoch);
+                POC_EXPECTS(pending.have_auction && !pending.have_provision);
+                pending.selected = std::move(selected);
+                pending.have_provision = true;
+                break;
+            }
+            case kRecFlows: {
+                const std::uint64_t epoch = r.u64();
+                const double offered = r.f64();
+                const double routed = r.f64();
+                const double max_util = r.f64();
+                const double stretch = r.f64();
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(has_pending && epoch == pending.epoch);
+                POC_EXPECTS(pending.have_provision && !pending.have_flows);
+                pending.offered_gbps = offered;
+                pending.routed_gbps = routed;
+                pending.max_utilization = max_util;
+                pending.stretch = stretch;
+                pending.have_flows = true;
+                break;
+            }
+            case kRecSettlement: {
+                const std::uint64_t epoch = r.u64();
+                const std::uint64_t n = r.u64();
+                std::vector<core::Transfer> transfers;
+                transfers.reserve(n);
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    transfers.push_back(core::read_transfer(r));
+                }
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(has_pending && epoch == pending.epoch);
+                POC_EXPECTS(pending.have_flows && !pending.have_settlement);
+                for (const core::Transfer& t : transfers) {
+                    state.ledger.record(t.from, t.to, t.kind, t.amount, t.memo);
+                }
+                pending.have_settlement = true;
+                break;
+            }
+            case kRecEpochEnd: {
+                EpochRecord done = read_epoch_record(r);
+                const util::RngState st = read_rng_state(r);
+                POC_EXPECTS(r.exhausted());
+                POC_EXPECTS(has_pending && pending.have_settlement);
+                POC_EXPECTS(done.epoch == pending.epoch);
+                state.rng = st;
+                if (done.breaker_open) ++state.breaker_open_epochs;
+                state.epochs.push_back(done);
+                state.auctions.push_back(std::move(pending.auction));
+                has_pending = false;
+                ++replayed_epochs;
+                break;
+            }
+            default:
+                throw util::JournalError("unknown journal record type " +
+                                         std::to_string(rec.type));
+        }
+    }
+};
+
+}  // namespace
 
 RuntimeState decode_runtime_state(std::string_view bytes) {
     util::BinaryReader r(bytes);
@@ -295,22 +433,12 @@ struct EpochRuntime::Impl {
         }
     }
 
-    /// Configuration fingerprint stored in the journal header. Engine
-    /// knobs that cannot change results (threads, cache) are excluded
-    /// on purpose: a run may resume under a different engine config
-    /// and still be bit-identical (DESIGN.md §5).
+    /// Configuration fingerprint stored in the journal header (see
+    /// runtime_meta_fingerprint): engine knobs that cannot change
+    /// results are excluded on purpose, so a run may resume under a
+    /// different engine config and still be bit-identical.
     std::string meta_fingerprint() const {
-        util::BinaryWriter w;
-        w.str("poc-runtime-v1");
-        w.u64(opt.epochs);
-        w.u64(opt.seed);
-        w.u64(f64_bits(opt.demand_jitter));
-        w.u8(static_cast<std::uint8_t>(opt.request.constraint));
-        w.boolean(opt.request.auction.exact);
-        w.u64(pool.offered_links().size());
-        w.u64(tm.size());
-        w.u64(f64_bits(net::total_demand(tm)));
-        return w.bytes();
+        return runtime_meta_fingerprint(pool, tm, opt);
     }
 
     void hook(std::size_t epoch, Stage stage, HookPoint point) {
@@ -349,120 +477,18 @@ struct EpochRuntime::Impl {
         return scaled;
     }
 
-    /// Apply one journal record to the reconstructed state. Records
-    /// arrive in append order with checksums verified and deltas
-    /// resolved. Parse-then-commit: a record that turns out to be
-    /// semantically impossible (out-of-order epoch, duplicated stage,
-    /// truncated fields) throws *before* mutating anything, so
-    /// defensive recovery can stop at the last good prefix. Checks
-    /// throw util::ContractViolation (via POC_EXPECTS) or
-    /// util::JournalError; both are recoverable.
-    void replay_record(const DecodedRecord& rec) {
-        util::BinaryReader r(rec.payload);
-        switch (rec.type) {
-            case kRecEpochBegin: {
-                const std::uint64_t epoch = r.u64();
-                const double demand_factor = r.f64();
-                const util::RngState st = read_rng_state(r);
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(!has_pending);
-                POC_EXPECTS(epoch == outcome.epochs.size());
-                pending = PendingEpoch{};
-                pending.epoch = epoch;
-                pending.demand_factor = demand_factor;
-                rng.set_state(st);
-                pending.have_begin = true;
-                has_pending = true;
-                break;
-            }
-            case kRecAuction: {
-                const std::uint64_t epoch = r.u64();
-                std::optional<market::AuctionResult> auction;
-                if (r.boolean()) auction = market::read_auction_result(r);
-                const bool degraded = r.boolean();
-                const bool breaker_open = r.boolean();
-                const std::uint64_t attempts = r.u64();
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(has_pending && epoch == pending.epoch);
-                POC_EXPECTS(!pending.have_auction);
-                pending.auction = std::move(auction);
-                pending.degraded = degraded;
-                pending.breaker_open = breaker_open;
-                pending.attempts = attempts;
-                pending.have_auction = true;
-                break;
-            }
-            case kRecProvision: {
-                const std::uint64_t epoch = r.u64();
-                std::vector<net::LinkId> selected = read_links(r);
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(has_pending && epoch == pending.epoch);
-                POC_EXPECTS(pending.have_auction && !pending.have_provision);
-                pending.selected = std::move(selected);
-                pending.have_provision = true;
-                break;
-            }
-            case kRecFlows: {
-                const std::uint64_t epoch = r.u64();
-                const double offered = r.f64();
-                const double routed = r.f64();
-                const double max_util = r.f64();
-                const double stretch = r.f64();
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(has_pending && epoch == pending.epoch);
-                POC_EXPECTS(pending.have_provision && !pending.have_flows);
-                pending.offered_gbps = offered;
-                pending.routed_gbps = routed;
-                pending.max_utilization = max_util;
-                pending.stretch = stretch;
-                pending.have_flows = true;
-                break;
-            }
-            case kRecSettlement: {
-                const std::uint64_t epoch = r.u64();
-                const std::uint64_t n = r.u64();
-                std::vector<core::Transfer> transfers;
-                transfers.reserve(n);
-                for (std::uint64_t i = 0; i < n; ++i) {
-                    transfers.push_back(core::read_transfer(r));
-                }
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(has_pending && epoch == pending.epoch);
-                POC_EXPECTS(pending.have_flows && !pending.have_settlement);
-                for (const core::Transfer& t : transfers) {
-                    outcome.ledger.record(t.from, t.to, t.kind, t.amount, t.memo);
-                }
-                pending.have_settlement = true;
-                break;
-            }
-            case kRecEpochEnd: {
-                EpochRecord done = read_epoch_record(r);
-                const util::RngState st = read_rng_state(r);
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(has_pending && pending.have_settlement);
-                POC_EXPECTS(done.epoch == pending.epoch);
-                rng.set_state(st);
-                if (done.breaker_open) ++outcome.breaker_open_epochs;
-                outcome.epochs.push_back(done);
-                outcome.auctions.push_back(std::move(pending.auction));
-                has_pending = false;
-                ++outcome.replayed_epochs;
-                break;
-            }
-            default:
-                throw util::JournalError("unknown journal record type " +
-                                         std::to_string(rec.type));
-        }
-    }
-
-    /// Install a decoded snapshot state as the recovery ground truth.
-    void install_state(RuntimeState st) {
-        outcome.epochs = std::move(st.epochs);
-        outcome.auctions = std::move(st.auctions);
-        outcome.ledger = std::move(st.ledger);
-        rng.set_state(st.rng);
-        outcome.breaker_open_epochs = static_cast<std::size_t>(st.breaker_open_epochs);
-        has_pending = false;
+    /// Install a finished replay cursor as this runtime's state: the
+    /// recovered epochs/ledger/RNG plus any in-flight epoch run_epoch()
+    /// will resume from its first incomplete stage.
+    void install_cursor(ReplayCursor&& c) {
+        outcome.epochs = std::move(c.state.epochs);
+        outcome.auctions = std::move(c.state.auctions);
+        outcome.ledger = std::move(c.state.ledger);
+        rng.set_state(c.state.rng);
+        outcome.breaker_open_epochs = static_cast<std::size_t>(c.state.breaker_open_epochs);
+        outcome.replayed_epochs = c.replayed_epochs;
+        pending = std::move(c.pending);
+        has_pending = c.has_pending;
     }
 
     /// Atomically rewrite the journal to header + `kept` (full
@@ -537,13 +563,17 @@ struct EpochRuntime::Impl {
 
         // Ground on the newest snapshot that validates end to end
         // (CRC, fingerprint) *and* decodes; anything less is skipped.
+        // The cursor starts at the fresh-seed state so a run with no
+        // usable history installs exactly what the constructor built.
+        ReplayCursor cursor;
+        cursor.state.rng = rng.state();
         std::uint64_t grounded = 0;
         if (store.enabled()) {
             if (const auto snap = store.load_newest_valid(meta)) {
                 try {
                     RuntimeState st = decode_runtime_state(snap->payload);
                     POC_EXPECTS(st.epochs.size() == snap->completed_epochs);
-                    install_state(std::move(st));
+                    cursor.state = std::move(st);
                     grounded = snap->completed_epochs;
                     outcome.resumed_from_snapshot = true;
                     outcome.snapshot_epochs = grounded;
@@ -557,6 +587,7 @@ struct EpochRuntime::Impl {
         }
 
         if (!opened) {
+            install_cursor(std::move(cursor));
             journal = util::Journal::create(opt.journal_path, meta, opt.fsync_journal);
             return;
         }
@@ -583,7 +614,7 @@ struct EpochRuntime::Impl {
                 continue;
             }
             try {
-                replay_record(decoded[i]);
+                cursor.apply(decoded[i]);
             } catch (const util::ContractViolation&) {
                 good = i;
                 bad_tail = true;
@@ -600,6 +631,7 @@ struct EpochRuntime::Impl {
             ++outcome.replayed_records;
         }
         if (!any_applied) applied_begin = good;
+        install_cursor(std::move(cursor));
 
         if (bad_tail || skipped > 0) {
             const std::vector<DecodedRecord> kept(
@@ -864,11 +896,29 @@ struct EpochRuntime::Impl {
         outcome.auctions.push_back(std::move(pending.auction));
         has_pending = false;
         POC_OBS_INC("sim.runtime.epochs");
+        commit_hook(false);
+    }
+
+    /// Publish the just-committed epoch to the serving layer. Fires
+    /// after the epoch-end record is durable, so a subscriber never
+    /// observes state the journal could lose.
+    void commit_hook(bool replayed) {
+        if (!opt.on_epoch_commit) return;
+        const EpochCommit commit{outcome.epochs.back().epoch,
+                                 outcome.epochs.size(),
+                                 replayed,
+                                 outcome.epochs.back(),
+                                 outcome.auctions.back(),
+                                 outcome.ledger};
+        opt.on_epoch_commit(commit);
     }
 
     RuntimeOutcome run() {
         POC_OBS_SPAN("sim.runtime.run");
         if (!opt.journal_path.empty()) recover();
+        // Replayed history publishes once, as the newest recovered
+        // epoch: subscribers resynchronize without a re-run.
+        if (!outcome.epochs.empty()) commit_hook(true);
         // After replay, any in-flight epoch is exactly the next one:
         // run_epoch() resumes it from its first incomplete stage.
         while (outcome.epochs.size() < opt.epochs) {
@@ -1015,6 +1065,65 @@ RuntimeOutcome run_with_recovery(const market::OfferPool& pool, const net::Traff
             throw RecoveryExhausted(restarts, e.what());
         }
     }
+}
+
+std::optional<RuntimeState> materialize_state_at(const market::OfferPool& pool,
+                                                 const net::TrafficMatrix& tm,
+                                                 const RuntimeOptions& opt,
+                                                 std::uint64_t target_epochs) {
+    if (opt.journal_path.empty()) return std::nullopt;
+    POC_OBS_SPAN("sim.runtime.materialize");
+    const std::string meta = runtime_meta_fingerprint(pool, tm, opt);
+    const util::HistoryReader reader(opt.journal_path, opt.snapshot_keep);
+
+    // Ground exactly like recover(): fresh-seed state, upgraded to the
+    // newest decodable snapshot at or below the target.
+    ReplayCursor cursor;
+    cursor.state.rng = util::Rng(opt.seed).state();
+    std::uint64_t grounded = 0;
+    if (const auto snap = reader.snapshot_at(target_epochs, meta)) {
+        try {
+            RuntimeState st = decode_runtime_state(snap->payload);
+            POC_EXPECTS(st.epochs.size() == snap->completed_epochs);
+            cursor.state = std::move(st);
+            grounded = snap->completed_epochs;
+        } catch (const util::ContractViolation&) {
+            POC_OBS_INC("sim.runtime.snapshots_undecodable");
+        } catch (const util::JournalError&) {
+            POC_OBS_INC("sim.runtime.snapshots_undecodable");
+        }
+    }
+    if (cursor.state.epochs.size() == target_epochs) return std::move(cursor.state);
+
+    // Read-only scan: never truncates, never takes an append handle,
+    // so this is safe while a live runtime owns the journal.
+    util::Journal::ScanResult scan;
+    try {
+        reader.scan_journal(scan);
+    } catch (const util::JournalError&) {
+        return std::nullopt;  // journal missing or header-corrupt
+    }
+    if (scan.meta != meta) return std::nullopt;  // foreign journal
+
+    std::vector<DecodedRecord> decoded;
+    std::map<std::uint16_t, std::string> bases;
+    decode_records(scan.records, decoded, bases);
+
+    bool any_applied = false;
+    for (const DecodedRecord& d : decoded) {
+        if (cursor.state.epochs.size() == target_epochs) break;
+        if (!any_applied && d.epoch < grounded) continue;
+        try {
+            cursor.apply(d);
+        } catch (const util::ContractViolation&) {
+            break;  // good prefix ends here; history cannot prove more
+        } catch (const util::JournalError&) {
+            break;
+        }
+        any_applied = true;
+    }
+    if (cursor.state.epochs.size() != target_epochs) return std::nullopt;
+    return std::move(cursor.state);
 }
 
 }  // namespace poc::sim

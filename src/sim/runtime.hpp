@@ -157,6 +157,27 @@ struct EpochRecord {
     friend bool operator==(const EpochRecord&, const EpochRecord&) = default;
 };
 
+/// What RuntimeOptions::on_epoch_commit observes: one epoch's results
+/// the instant its epoch-end record is durable. Every reference points
+/// into the runtime's own state and is valid only for the duration of
+/// the callback — a serving layer must copy what it publishes (the
+/// serve daemon builds an immutable EpochView from this).
+struct EpochCommit {
+    /// The epoch that just committed.
+    std::size_t epoch = 0;
+    /// Completed epochs so far (== epoch + 1).
+    std::size_t completed_epochs = 0;
+    /// True when this commit was reconstructed from the journal during
+    /// recovery rather than computed fresh (fired once per resume, for
+    /// the newest recovered epoch, so a restarted daemon republishes).
+    bool replayed = false;
+    const EpochRecord& record;
+    /// nullopt = unprovisioned epoch.
+    const std::optional<market::AuctionResult>& auction;
+    /// Cumulative ledger through this epoch.
+    const core::Ledger& ledger;
+};
+
 struct RuntimeOptions {
     std::size_t epochs = 4;
     /// Constraint, oracle fidelity, and auction engine knobs; reused
@@ -233,6 +254,17 @@ struct RuntimeOptions {
     /// fsync the journal after every append (power-failure durability
     /// at per-append syscall cost; see util::Journal).
     bool fsync_journal = false;
+    // --- Serving knobs (DESIGN.md §8). Observation only: the callback
+    // sees committed results and cannot perturb them, so — like every
+    // engine knob above — it is excluded from the meta fingerprint and
+    // a journaled run may resume with it attached or detached. ---
+
+    /// Fired after each epoch's end record is durable (and once after
+    /// a resume, for the newest recovered epoch, with replayed=true).
+    /// The EpochCommit's references die when the callback returns.
+    /// Must not throw; must not call back into the runtime.
+    std::function<void(const EpochCommit&)> on_epoch_commit;
+
     /// run_with_recovery's restart budget *per progress window*: after
     /// a crash, up to `restart.max_attempts` consecutive relaunches
     /// that make no forward progress (no journal change) are admitted,
@@ -339,5 +371,22 @@ private:
 /// (recovery without durability would replay nothing).
 RuntimeOutcome run_with_recovery(const market::OfferPool& pool, const net::TrafficMatrix& tm,
                                  const RuntimeOptions& opt, const std::vector<Fault>& trace);
+
+/// Point-in-time query backend (ROADMAP "point-in-time queries"):
+/// reconstruct the complete runtime state as of exactly
+/// `target_epochs` completed epochs, grounding on the newest valid
+/// snapshot ≤ target (util::HistoryReader) and replaying only the
+/// journal suffix past it. Strictly read-only — the journal is scanned
+/// via Journal::scan_file, never truncated or reopened for append, so
+/// this is safe to call while a live runtime owns the same journal
+/// (the serve daemon's historical queries do). Returns nullopt when
+/// the history cannot prove the state: no journal, a foreign
+/// configuration fingerprint, or a journal+snapshot set that does not
+/// reach `target_epochs`. The result is bit-identical to what a
+/// from-scratch run of `target_epochs` epochs would hold.
+std::optional<RuntimeState> materialize_state_at(const market::OfferPool& pool,
+                                                 const net::TrafficMatrix& tm,
+                                                 const RuntimeOptions& opt,
+                                                 std::uint64_t target_epochs);
 
 }  // namespace poc::sim

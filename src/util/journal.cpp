@@ -118,15 +118,13 @@ Journal Journal::create(const std::string& path, std::string_view meta,
     return j;
 }
 
-Journal Journal::open(const std::string& path, ScanResult& scan, bool fsync_on_append) {
-    scan = ScanResult{};
-    std::string bytes;
-    {
-        std::ifstream in(path, std::ios::binary);
-        if (!in) throw JournalError("cannot open journal at " + path);
-        bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
-    }
+namespace {
 
+/// Shared header+record scan over an in-memory image of the file.
+/// Returns the byte offset of the end of the valid record prefix;
+/// everything past it is a torn or corrupt tail.
+std::size_t scan_bytes(const std::string& path, const std::string& bytes,
+                       Journal::ScanResult& scan) {
     // Header: magic + meta (its own CRC). A bad header means we cannot
     // trust anything in the file — refuse rather than guess.
     if (bytes.size() < kHeaderFixed ||
@@ -143,8 +141,7 @@ Journal Journal::open(const std::string& path, ScanResult& scan, bool fsync_on_a
         throw JournalError("journal at " + path + " has corrupt metadata");
     }
 
-    // Record scan: stop at the first torn or checksum-failing frame and
-    // truncate the file back to the last good record.
+    // Record scan: stop at the first torn or checksum-failing frame.
     std::size_t pos = meta_end;
     std::size_t valid_end = meta_end;
     while (pos + kFrameFixed <= bytes.size()) {
@@ -162,6 +159,32 @@ Journal Journal::open(const std::string& path, ScanResult& scan, bool fsync_on_a
     if (valid_end < bytes.size()) {
         scan.tail_truncated = true;
         scan.dropped_bytes = bytes.size() - valid_end;
+    }
+    return valid_end;
+}
+
+std::string slurp_or_throw(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw JournalError("cannot open journal at " + path);
+    return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+void Journal::scan_file(const std::string& path, ScanResult& scan) {
+    scan = ScanResult{};
+    const std::string bytes = slurp_or_throw(path);
+    scan_bytes(path, bytes, scan);
+}
+
+Journal Journal::open(const std::string& path, ScanResult& scan, bool fsync_on_append) {
+    scan = ScanResult{};
+    const std::string bytes = slurp_or_throw(path);
+
+    // Scan the valid record prefix, then truncate the file back to the
+    // last good record so the append handle continues a clean log.
+    const std::size_t valid_end = scan_bytes(path, bytes, scan);
+    if (scan.tail_truncated) {
         std::filesystem::resize_file(path, valid_end);
         POC_OBS_INC("util.journal.truncated_tails");
         POC_OBS_COUNT("util.journal.dropped_bytes", scan.dropped_bytes);

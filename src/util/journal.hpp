@@ -160,6 +160,16 @@ public:
     static Journal open(const std::string& path, ScanResult& scan,
                         bool fsync_on_append = false);
 
+    /// Read-only scan: validate the header and every record CRC
+    /// exactly as open() does, but never truncate the file and never
+    /// take an append handle. Safe to run against a journal the
+    /// owning runtime still has open for append — the point-in-time
+    /// query path (util::HistoryReader) reads live journals this way.
+    /// A torn tail is reported in `scan`, not repaired. Throws
+    /// JournalError when the file is missing or its header is
+    /// unreadable, like open().
+    static void scan_file(const std::string& path, ScanResult& scan);
+
     /// Atomically replace the journal at `path` with header(meta) +
     /// `records`: serialize to `<path>.tmp`, then rename over `path`.
     /// A crash at any point leaves either the old log or the complete

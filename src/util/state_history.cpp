@@ -280,6 +280,25 @@ std::optional<LoadedSnapshot> SnapshotStore::load_newest_valid(
     return std::nullopt;
 }
 
+std::optional<LoadedSnapshot> SnapshotStore::load_at(std::uint64_t target_epochs,
+                                                     std::string_view expect_meta) const {
+    const std::vector<SnapshotInfo> snaps = list();
+    for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+        if (it->completed_epochs > target_epochs) continue;  // newer than the target
+        std::optional<LoadedSnapshot> snap = read_snapshot_file(it->path);
+        if (!snap) {
+            POC_OBS_INC("util.state_history.snapshots_rejected");
+            continue;  // corrupt: fall back to the next-older one
+        }
+        if (snap->meta != expect_meta) {
+            POC_OBS_INC("util.state_history.snapshots_foreign");
+            continue;  // a different run configuration's snapshot
+        }
+        return snap;
+    }
+    return std::nullopt;
+}
+
 std::size_t SnapshotStore::prune() const {
     const std::vector<SnapshotInfo> snaps = list();
     std::size_t removed = 0;

@@ -45,6 +45,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/journal.hpp"
+
 namespace poc::util {
 
 /// Thrown on malformed delta bytes. Snapshot corruption is *not* an
@@ -130,6 +132,15 @@ public:
     /// nullopt when none survive.
     std::optional<LoadedSnapshot> load_newest_valid(std::string_view expect_meta) const;
 
+    /// Point-in-time variant: the newest valid, fingerprint-matching
+    /// snapshot covering at most `target_epochs` completed epochs —
+    /// the grounding point for "replay the journal suffix up to epoch
+    /// N". Same corrupt/foreign fallback as load_newest_valid; nullopt
+    /// when no generation ≤ target survives (callers then replay the
+    /// whole journal from scratch).
+    std::optional<LoadedSnapshot> load_at(std::uint64_t target_epochs,
+                                          std::string_view expect_meta) const;
+
     /// Delete all but the newest `keep` snapshots. Returns how many
     /// files were removed.
     std::size_t prune() const;
@@ -149,6 +160,43 @@ public:
     virtual ~SnapshotSink() = default;
     virtual void emit(std::uint64_t completed_epochs, std::string_view meta,
                       std::string_view payload) = 0;
+};
+
+/// Read-only view over a run's history artifacts (journal + snapshot
+/// generations) for point-in-time queries: pick the newest valid
+/// snapshot ≤ the target epoch, then scan the journal *without*
+/// mutating it — the owning runtime may still hold the file open for
+/// append, so this side never truncates tails or takes write handles.
+/// The caller (sim::materialize_state_at) replays the record suffix on
+/// top of the snapshot.
+class HistoryReader {
+public:
+    HistoryReader() = default;
+    /// `journal_path` is the live journal; snapshots are discovered
+    /// next to it via SnapshotStore's `<base>.snap-<epochs>` naming.
+    explicit HistoryReader(std::string journal_path, std::size_t keep = 2)
+        : journal_path_(std::move(journal_path)), store_(journal_path_, keep) {}
+
+    const std::string& journal_path() const noexcept { return journal_path_; }
+    const SnapshotStore& store() const noexcept { return store_; }
+
+    /// Newest valid snapshot covering ≤ `target_epochs` (see
+    /// SnapshotStore::load_at). Nullopt → replay from the journal head.
+    std::optional<LoadedSnapshot> snapshot_at(std::uint64_t target_epochs,
+                                              std::string_view expect_meta) const {
+        return store_.load_at(target_epochs, expect_meta);
+    }
+
+    /// Read-only journal scan (Journal::scan_file): validates header
+    /// and record CRCs, reports — but never repairs — a torn tail.
+    /// Throws JournalError when the journal is missing or headerless.
+    void scan_journal(Journal::ScanResult& scan) const {
+        Journal::scan_file(journal_path_, scan);
+    }
+
+private:
+    std::string journal_path_;
+    SnapshotStore store_;
 };
 
 /// The default sink: write-through to a SnapshotStore.

@@ -8,9 +8,12 @@ namespace poc::util {
 ThreadPool::ThreadPool(std::size_t workers) {
     POC_EXPECTS(workers >= 1);
     queues_.reserve(workers);
+    parking_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
         queues_.push_back(std::make_unique<Queue>());
+        parking_.push_back(std::make_unique<Parking>());
     }
+    parked_.reserve(workers);
     threads_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
         threads_.emplace_back([this, i] { worker_loop(i); });
@@ -22,8 +25,8 @@ ThreadPool::~ThreadPool() {
     {
         std::lock_guard<std::mutex> lock(sleep_mutex_);
         stop_ = true;
+        for (const auto& p : parking_) p->cv.notify_one();
     }
-    wake_cv_.notify_all();
     for (std::thread& t : threads_) t.join();
 }
 
@@ -32,16 +35,29 @@ void ThreadPool::submit(std::function<void()> task) {
     POC_OBS_INC("util.pool.tasks_submitted");
     POC_OBS_GAUGE_ADD("util.pool.queue_depth", 1);
     pending_.fetch_add(1, std::memory_order_relaxed);
-    const std::size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
-    {
-        std::lock_guard<std::mutex> lock(queues_[q]->mutex);
-        queues_[q]->tasks.push_back(std::move(task));
+    // The push happens under sleep_mutex_ in both branches: a worker
+    // re-scans the queues under sleep_mutex_ before parking, so a task
+    // pushed while the lock is held is either seen by that re-scan or
+    // lands after the worker is on parked_ (and gets the targeted
+    // wakeup). Lock order is sleep_mutex_ -> queue mutex, matching
+    // any_queued() under the parking lock.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    if (!parked_.empty()) {
+        // Hand the task directly to a parked worker and wake exactly
+        // that worker. The task never touches a deque, so a busy
+        // worker mid-scan cannot steal it — an idle pool's steal
+        // counter stays flat.
+        const std::size_t q = parked_.back();
+        parked_.pop_back();
+        parking_[q]->task = std::move(task);
+        parking_[q]->signaled = true;
+        parking_[q]->cv.notify_one();
+        return;
     }
-    // Empty critical section: a worker that found no work either holds
-    // sleep_mutex_ (and will re-scan the queues before sleeping, seeing
-    // this push) or is already waiting (and gets the notify).
-    { std::lock_guard<std::mutex> lock(sleep_mutex_); }
-    wake_cv_.notify_one();
+    // Every worker is busy: round-robin placement for balance.
+    const std::size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    std::lock_guard<std::mutex> qlock(queues_[q]->mutex);
+    queues_[q]->tasks.push_back(std::move(task));
 }
 
 std::function<void()> ThreadPool::take(std::size_t home) {
@@ -82,6 +98,7 @@ void ThreadPool::finish_one() {
 }
 
 void ThreadPool::worker_loop(std::size_t home) {
+    Parking& self = *parking_[home];
     for (;;) {
         if (auto task = take(home)) {
             task();
@@ -91,7 +108,21 @@ void ThreadPool::worker_loop(std::size_t home) {
         std::unique_lock<std::mutex> lock(sleep_mutex_);
         if (stop_) return;
         if (any_queued()) continue;  // raced with a submit; retry take
-        wake_cv_.wait(lock);
+        // Park: once this worker is on parked_, the next submit targets
+        // it directly. Spurious wakeups stay inside the predicate wait
+        // (still parked, still on the stack).
+        self.signaled = false;
+        parked_.push_back(home);
+        self.cv.wait(lock, [&] { return self.signaled || stop_; });
+        if (stop_) return;
+        if (self.task) {
+            auto task = std::move(self.task);
+            self.task = nullptr;
+            lock.unlock();
+            POC_OBS_GAUGE_SUB("util.pool.queue_depth", 1);
+            task();
+            finish_one();
+        }
     }
 }
 

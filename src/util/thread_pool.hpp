@@ -1,11 +1,21 @@
 // A small work-stealing thread pool for embarrassingly parallel
 // batches — in this codebase, the auction engine's independent per-BP
-// Clarke-pivot re-solves (market/vcg.cpp). Design: one deque per worker
-// guarded by its own mutex; submit() round-robins tasks across the
-// deques; a worker pops from the front of its own deque and steals from
-// the back of another's when empty, so uneven task costs rebalance
-// without a single contended queue. parallel_for()'s calling thread
-// joins the stealing loop, so a pool of N workers drains N+1 wide.
+// Clarke-pivot re-solves (market/vcg.cpp) — that is also fit to idle
+// inside a long-running process (the serve daemon). Design: one deque
+// per worker guarded by its own mutex; a worker pops from the front of
+// its own deque and steals from the back of another's when empty, so
+// uneven task costs rebalance without a single contended queue.
+// parallel_for()'s calling thread joins the stealing loop, so a pool
+// of N workers drains N+1 wide.
+//
+// Idle behavior: workers park on their *own* condition variable (LIFO
+// parked stack under sleep_mutex_), and submit() hands the task
+// *directly* to a parked worker's handoff slot with a targeted wakeup
+// when one exists — the task never sits in a stealable deque — falling
+// back to round-robin queue placement only when every worker is busy.
+// A mostly-idle pool therefore executes submissions without steals:
+// the obs "util.pool.steals" counter measures real load imbalance, and
+// an idle pool burns no CPU between tasks.
 //
 // Tasks must not throw: ferry errors out by hand (run_auction catches
 // into std::exception_ptr slots and rethrows after the join).
@@ -49,6 +59,15 @@ private:
         std::deque<std::function<void()>> tasks;
     };
 
+    /// Per-worker parking slot. All fields guarded by sleep_mutex_.
+    /// `task` is the direct-handoff slot: filled by submit() targeting
+    /// this parked worker, drained by the worker on wakeup.
+    struct Parking {
+        std::condition_variable cv;
+        bool signaled = false;
+        std::function<void()> task;
+    };
+
     /// Pop a task: front of the `home` deque, else steal from the back
     /// of the others. Empty function when nothing is queued anywhere.
     std::function<void()> take(std::size_t home);
@@ -57,12 +76,15 @@ private:
     void finish_one();
 
     std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::unique_ptr<Parking>> parking_;
     std::vector<std::thread> threads_;
     std::mutex sleep_mutex_;
-    std::condition_variable wake_cv_;
     std::condition_variable idle_cv_;
     std::atomic<std::size_t> pending_{0};  // submitted, not yet finished
     std::atomic<std::size_t> next_queue_{0};
+    /// Workers currently parked, most recently parked last (LIFO keeps
+    /// warm workers busy). Guarded by sleep_mutex_.
+    std::vector<std::size_t> parked_;
     bool stop_ = false;  // guarded by sleep_mutex_
 };
 

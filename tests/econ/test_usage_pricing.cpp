@@ -108,5 +108,107 @@ TEST(Pricing, SchemeNamesStable) {
     EXPECT_STREQ(scheme_name(PricingScheme::kTiered), "tiered");
 }
 
+TEST(DecayAccumulator, HalvesAtExactHalfLifeBoundaries) {
+    DecayAccumulator acc(4.0);  // half-life: 4 epochs
+    acc.add(0.0, 16.0);
+    EXPECT_DOUBLE_EQ(acc.value_at(0.0), 16.0);
+    // 2^(-k) is exact in binary floating point: whole half-life
+    // boundaries read back exactly halved, not approximately.
+    EXPECT_DOUBLE_EQ(acc.value_at(4.0), 8.0);
+    EXPECT_DOUBLE_EQ(acc.value_at(8.0), 4.0);
+    EXPECT_DOUBLE_EQ(acc.value_at(12.0), 2.0);
+    EXPECT_DOUBLE_EQ(acc.value_at(40.0), 16.0 * std::exp2(-10.0));
+}
+
+TEST(DecayAccumulator, FractionalEpochBoundariesFollowExp2) {
+    DecayAccumulator acc(3.0);
+    acc.add(1.0, 9.0);
+    for (const double dt : {0.25, 0.5, 1.7, 2.999, 3.001, 10.125}) {
+        EXPECT_DOUBLE_EQ(acc.value_at(1.0 + dt), 9.0 * std::exp2(-dt / 3.0)) << dt;
+    }
+    // Folding in at a fractional epoch decays the old mass first.
+    acc.add(2.5, 1.0);
+    EXPECT_DOUBLE_EQ(acc.value_at(2.5), 9.0 * std::exp2(-1.5 / 3.0) + 1.0);
+}
+
+TEST(DecayAccumulator, ZeroUsageDecaysToExactZero) {
+    DecayAccumulator acc(2.0);
+    EXPECT_EQ(acc.value_at(1e9), 0.0);
+    // Add then cancel: the accumulator holds exact 0.0 again and stays
+    // there — no denormal residue after any horizon.
+    acc.add(0.0, 5.0);
+    acc.add(0.0, -5.0);
+    EXPECT_EQ(acc.value_at(0.0), 0.0);
+    EXPECT_EQ(acc.value_at(1e18), 0.0);
+    // std::signbit check: exactly +0.0, not -0.0 drift.
+    EXPECT_FALSE(std::signbit(acc.value_at(123.456)));
+}
+
+TEST(DecayAccumulator, TimeIsMonotoneAndHalfLifePositive) {
+    DecayAccumulator acc(1.0);
+    acc.add(10.0, 4.0);
+    // Reads before the last observation do not "un-decay".
+    EXPECT_DOUBLE_EQ(acc.value_at(5.0), 4.0);
+    // Observations in the past fold in at the last observation point.
+    acc.add(3.0, 1.0);
+    EXPECT_DOUBLE_EQ(acc.last_epoch(), 10.0);
+    EXPECT_DOUBLE_EQ(acc.value_at(10.0), 5.0);
+    EXPECT_THROW(DecayAccumulator(0.0), util::ContractViolation);
+    EXPECT_THROW(DecayAccumulator(-1.0), util::ContractViolation);
+}
+
+TEST(BilledAccumulator, ChargesMeterAndBillTogether) {
+    BilledAccumulator acc(4.0, util::Money::from_micros(250));  // $0.00025/unit
+    EXPECT_TRUE(acc.charge(0.0, 100.0));
+    EXPECT_TRUE(acc.charge(4.0, 100.0));
+    // Meter decays (100 halved + 100), bill is exact and undecayed.
+    EXPECT_DOUBLE_EQ(acc.usage_at(4.0), 150.0);
+    EXPECT_EQ(acc.billed(), util::Money::from_micros(50'000));
+}
+
+TEST(BilledAccumulator, RefusesOverflowingChargesAtomically) {
+    using util::Money;
+    // Adversarial sequence 1: a single charge whose product overflows.
+    BilledAccumulator big(1.0, Money::from_dollars(std::int64_t{1'000'000}));
+    EXPECT_FALSE(big.charge(0.0, 1e13));  // 10^12 micros * 10^13 units
+    EXPECT_EQ(big.billed(), Money{});
+    EXPECT_EQ(big.usage_at(0.0), 0.0);  // refused charge meters nothing
+
+    // Adversarial sequence 2: legal charges whose running total wraps.
+    // Each charge is ~2^62 micros; the second must be refused by
+    // checked_add, leaving the first intact.
+    BilledAccumulator acc(1.0, Money::from_micros(1'000'000'000));
+    EXPECT_TRUE(acc.charge(0.0, 4.0e9));   // ~4e18 micros: fits
+    const Money after_first = acc.billed();
+    EXPECT_GT(after_first, Money{});
+    EXPECT_FALSE(acc.charge(1.0, 6.0e9));  // 4e18 + 6e18 exceeds int64
+    EXPECT_EQ(acc.billed(), after_first);
+    EXPECT_DOUBLE_EQ(acc.usage_at(0.0), 4.0e9);  // meter untouched too
+
+    // Adversarial sequence 3: ratcheting near the edge — every refusal
+    // leaves the total exactly where it was.
+    BilledAccumulator edge(1.0, Money::from_micros(1));
+    EXPECT_TRUE(edge.charge(0.0, 9.0e18));
+    const Money near_cap = edge.billed();
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_FALSE(edge.charge(0.0, 3.0e17));
+        EXPECT_EQ(edge.billed(), near_cap);
+    }
+    // NaN units never bill.
+    EXPECT_FALSE(edge.charge(0.0, std::nan("")));
+}
+
+TEST(BilledAccumulator, CheckedScaleMatchesMoneyScaledInRange) {
+    using util::Money;
+    const Money price = Money::from_micros(12'345);
+    for (const double units : {0.0, 1.0, 2.5, 1000.0, 1e6, -3.0}) {
+        const auto got = BilledAccumulator::checked_scale(price, units);
+        ASSERT_TRUE(got.has_value()) << units;
+        EXPECT_EQ(*got, price.scaled(units)) << units;
+    }
+    EXPECT_FALSE(BilledAccumulator::checked_scale(price, 1e18).has_value());
+    EXPECT_FALSE(BilledAccumulator::checked_scale(price, -1e18).has_value());
+}
+
 }  // namespace
 }  // namespace poc::econ

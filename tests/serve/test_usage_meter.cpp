@@ -1,0 +1,127 @@
+// Usage metering and admission control: over-quota backpressure that
+// decays away, atomic billing refusal, and rollover reconciliation
+// against the core ledger.
+#include "serve/usage_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace poc::serve {
+namespace {
+
+using util::Money;
+
+MeterOptions cheap() {
+    MeterOptions opt;
+    opt.half_life_epochs = 2.0;
+    opt.price_per_unit = Money::from_micros(1'000);  // $0.001/unit
+    opt.quota_units = 10.0;
+    return opt;
+}
+
+TEST(UsageMeter, AdmitsMetersAndBills) {
+    UsageMeter meter(cheap());
+    const Admission a = meter.admit("alice", 0.0, 4.0);
+    ASSERT_TRUE(a.ok());
+    EXPECT_DOUBLE_EQ(a.usage, 4.0);
+    EXPECT_EQ(a.charged, Money::from_micros(4'000));
+    EXPECT_DOUBLE_EQ(meter.usage("alice", 0.0), 4.0);
+    EXPECT_EQ(meter.billed("alice"), Money::from_micros(4'000));
+    // Unknown accounts read as zero, not as an error.
+    EXPECT_DOUBLE_EQ(meter.usage("nobody", 0.0), 0.0);
+    EXPECT_EQ(meter.billed("nobody"), Money{});
+    EXPECT_EQ(meter.account_count(), 1u);
+}
+
+TEST(UsageMeter, OverQuotaRejectsThenDecaysBackUnder) {
+    UsageMeter meter(cheap());  // quota 10, half-life 2
+    ASSERT_TRUE(meter.admit("bob", 0.0, 8.0).ok());
+    // 8 + 4 > 10: rejected, and the rejection charges nothing.
+    const Admission rejected = meter.admit("bob", 0.0, 4.0);
+    EXPECT_EQ(rejected.code, ServeError::kOverQuota);
+    EXPECT_EQ(rejected.charged, Money{});
+    EXPECT_EQ(meter.billed("bob"), Money::from_micros(8'000));
+    EXPECT_EQ(meter.rejected(), 1u);
+    // Two half-lives later the load average has decayed 8 -> 2, so the
+    // same query is admitted: backpressure, not a permanent ban.
+    const Admission later = meter.admit("bob", 4.0, 4.0);
+    ASSERT_TRUE(later.ok());
+    EXPECT_DOUBLE_EQ(later.usage, 6.0);
+}
+
+TEST(UsageMeter, AdmissionDisabledMetersWithoutRejecting) {
+    MeterOptions opt = cheap();
+    opt.admission_enabled = false;
+    UsageMeter meter(opt);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(meter.admit("carol", 0.0, 100.0).ok());
+    }
+    EXPECT_EQ(meter.rejected(), 0u);
+    EXPECT_DOUBLE_EQ(meter.usage("carol", 0.0), 500.0);
+}
+
+TEST(UsageMeter, BillingOverflowRefusedAtomically) {
+    MeterOptions opt;
+    opt.price_per_unit = Money::from_dollars(std::int64_t{1'000'000});
+    opt.quota_units = 1e30;  // quota is not the constraint here
+    UsageMeter meter(opt);
+    // 10^12 micros * 10^13 units overflows int64: refused whole.
+    const Admission refused = meter.admit("dave", 0.0, 1e13);
+    EXPECT_EQ(refused.code, ServeError::kBillingRefused);
+    EXPECT_EQ(meter.billed("dave"), Money{});
+    EXPECT_DOUBLE_EQ(meter.usage("dave", 0.0), 0.0);
+    EXPECT_EQ(meter.rejected(), 1u);
+}
+
+TEST(UsageMeter, ReconcileFlushesIntoBalancedLedger) {
+    UsageMeter meter(cheap());
+    ASSERT_TRUE(meter.admit("alice", 0.0, 4.0).ok());
+    ASSERT_TRUE(meter.admit("bob", 0.0, 6.0).ok());
+
+    const auto first = meter.reconcile(1);
+    EXPECT_EQ(first.accounts_flushed, 2u);
+    EXPECT_EQ(first.flushed, Money::from_micros(10'000));
+    EXPECT_TRUE(first.balanced);
+
+    // Nothing accrued since: the second rollover flushes zero and
+    // still balances.
+    const auto idle = meter.reconcile(2);
+    EXPECT_EQ(idle.accounts_flushed, 0u);
+    EXPECT_EQ(idle.flushed, Money{});
+    EXPECT_TRUE(idle.balanced);
+
+    // New charges flush as a delta, never double-billed.
+    ASSERT_TRUE(meter.admit("alice", 2.0, 3.0).ok());
+    const auto delta = meter.reconcile(3);
+    EXPECT_EQ(delta.accounts_flushed, 1u);
+    EXPECT_EQ(delta.flushed, Money::from_micros(3'000));
+    EXPECT_TRUE(delta.balanced);
+
+    const core::Ledger ledger = meter.billing_ledger();
+    EXPECT_TRUE(ledger.conserves());
+    EXPECT_EQ(ledger.total(core::TransferKind::kServiceFees), meter.total_billed());
+    // The POC collects every service fee.
+    EXPECT_EQ(ledger.poc_net(), Money::from_micros(13'000));
+}
+
+TEST(UsageMeter, ErrorNamesStable) {
+    EXPECT_STREQ(serve_error_name(ServeError::kOk), "ok");
+    EXPECT_STREQ(serve_error_name(ServeError::kNotServing), "not-serving");
+    EXPECT_STREQ(serve_error_name(ServeError::kOverQuota), "over-quota");
+    EXPECT_STREQ(serve_error_name(ServeError::kBillingRefused), "billing-refused");
+    EXPECT_STREQ(serve_error_name(ServeError::kUnknownBp), "unknown-bp");
+    EXPECT_STREQ(serve_error_name(ServeError::kUnknownNode), "unknown-node");
+    EXPECT_STREQ(serve_error_name(ServeError::kUnreachable), "unreachable");
+    EXPECT_STREQ(serve_error_name(ServeError::kHistoryUnavailable), "history-unavailable");
+}
+
+TEST(UsageMeter, ValidatesOptions) {
+    MeterOptions bad_half_life;
+    bad_half_life.half_life_epochs = 0.0;
+    EXPECT_THROW(UsageMeter{bad_half_life}, util::ContractViolation);
+    MeterOptions bad_quota;
+    bad_quota.quota_units = 0.0;
+    EXPECT_THROW(UsageMeter{bad_quota}, util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace poc::serve

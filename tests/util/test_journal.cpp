@@ -115,6 +115,75 @@ TEST_F(JournalTest, CreateAppendOpenRoundTrip) {
     EXPECT_EQ(scan2.records[3].payload, "resumed");
 }
 
+TEST_F(JournalTest, ScanFileReadsWithoutTruncatingOrAppending) {
+    const std::string p = path("wal");
+    {
+        Journal j = Journal::create(p, "meta-ro");
+        j.append(1, "alpha");
+        j.append(2, "beta");
+    }
+    // A torn tail (crash mid-append) must be *reported* by scan_file,
+    // never repaired: the owning runtime may still hold the file.
+    const std::string intact = slurp(p);
+    BinaryWriter torn;
+    torn.u16(3);
+    torn.u32(100);
+    torn.u32(0);
+    spit(p, intact + torn.bytes() + "partial");
+    const auto size_before = std::filesystem::file_size(p);
+
+    Journal::ScanResult scan;
+    Journal::scan_file(p, scan);
+    EXPECT_EQ(scan.meta, "meta-ro");
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.records[0].payload, "alpha");
+    EXPECT_EQ(scan.records[1].payload, "beta");
+    EXPECT_TRUE(scan.tail_truncated);
+    EXPECT_GT(scan.dropped_bytes, 0u);
+    // The file is byte-for-byte untouched — torn tail and all.
+    EXPECT_EQ(std::filesystem::file_size(p), size_before);
+    EXPECT_EQ(slurp(p).size(), size_before);
+
+    // And the scan agrees with what open() would recover.
+    Journal::ScanResult opened;
+    Journal::open(p, opened);
+    EXPECT_EQ(opened.meta, scan.meta);
+    ASSERT_EQ(opened.records.size(), scan.records.size());
+    for (std::size_t i = 0; i < opened.records.size(); ++i) {
+        EXPECT_EQ(opened.records[i].type, scan.records[i].type);
+        EXPECT_EQ(opened.records[i].payload, scan.records[i].payload);
+    }
+}
+
+TEST_F(JournalTest, ScanFileWhileWriterHoldsAppendHandle) {
+    // The daemon's point-in-time path: a read-only scan races no one —
+    // the writer's appended records show up on the next scan.
+    const std::string p = path("wal");
+    Journal j = Journal::create(p, "m");
+    j.append(1, "one");
+
+    Journal::ScanResult scan;
+    Journal::scan_file(p, scan);
+    ASSERT_EQ(scan.records.size(), 1u);
+
+    j.append(2, "two");  // writer continues on its own handle
+    Journal::scan_file(p, scan);
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.records[1].payload, "two");
+    EXPECT_FALSE(scan.tail_truncated);
+
+    j.append(3, "three");  // the scan did not break the writer
+    Journal::scan_file(p, scan);
+    ASSERT_EQ(scan.records.size(), 3u);
+}
+
+TEST_F(JournalTest, ScanFileThrowsLikeOpenOnBadHeaders) {
+    Journal::ScanResult scan;
+    EXPECT_THROW(Journal::scan_file(path("missing"), scan), JournalError);
+    spit(path("garbage"), "definitely not a journal header at all");
+    EXPECT_THROW(Journal::scan_file(path("garbage"), scan), JournalError);
+}
+
 TEST_F(JournalTest, TornTailIsTruncatedNotReplayed) {
     const std::string p = path("wal");
     {

@@ -250,6 +250,77 @@ TEST_F(StateHistoryTest, LoadNewestValidFallsBackPastCorruptAndForeign) {
     EXPECT_FALSE(store.load_newest_valid("mine").has_value());
 }
 
+TEST_F(StateHistoryTest, LoadAtPicksNewestGenerationAtOrBelowTarget) {
+    const SnapshotStore store(path("journal"), /*keep=*/4);
+    store.write(4, "mine", "four");
+    store.write(8, "mine", "eight");
+    store.write(12, "mine", "twelve");
+
+    // Exact hit, between generations, above all, below all.
+    ASSERT_TRUE(store.load_at(8, "mine").has_value());
+    EXPECT_EQ(store.load_at(8, "mine")->completed_epochs, 8u);
+    EXPECT_EQ(store.load_at(11, "mine")->completed_epochs, 8u);
+    EXPECT_EQ(store.load_at(100, "mine")->completed_epochs, 12u);
+    EXPECT_EQ(store.load_at(4, "mine")->payload, "four");
+    EXPECT_FALSE(store.load_at(3, "mine").has_value());
+}
+
+TEST_F(StateHistoryTest, LoadAtFallsBackPastCorruptAndForeignGenerations) {
+    const SnapshotStore store(path("journal"), /*keep=*/4);
+    store.write(4, "mine", "four");
+    store.write(8, "mine", "eight");
+    store.write(12, "mine", "twelve");
+
+    // Corrupt the best candidate for target 10: the older generation
+    // answers instead (grounding further back is always sound — the
+    // journal suffix replay just gets longer).
+    FaultyFile::flip_bit(store.path_for(8), 20, 2);
+    auto snap = store.load_at(10, "mine");
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->completed_epochs, 4u);
+    EXPECT_EQ(snap->payload, "four");
+
+    // A newer-than-target generation is never consulted, even intact.
+    EXPECT_EQ(store.load_at(11, "mine")->completed_epochs, 4u);
+    // Foreign fingerprint at 4 too: nothing ≤ target survives.
+    write_snapshot_file(store.path_for(4), 4, "theirs", "not-yours");
+    EXPECT_FALSE(store.load_at(10, "mine").has_value());
+    // But the intact 12-generation still serves higher targets.
+    EXPECT_EQ(store.load_at(12, "mine")->completed_epochs, 12u);
+}
+
+TEST_F(StateHistoryTest, HistoryReaderGroundsAndScansReadOnly) {
+    // A runtime-shaped layout: live journal + snapshot generations
+    // next to it, with the writer still holding the append handle.
+    const std::string jp = path("journal");
+    Journal writer = Journal::create(jp, "run-meta");
+    writer.append(1, "epoch-0");
+    const SnapshotStore store(jp, /*keep=*/4);
+    store.write(1, "run-meta", "state@1");
+    writer.append(1, "epoch-1");
+
+    const HistoryReader reader(jp);
+    EXPECT_EQ(reader.journal_path(), jp);
+
+    auto snap = reader.snapshot_at(1, "run-meta");
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->completed_epochs, 1u);
+    EXPECT_EQ(snap->payload, "state@1");
+    EXPECT_FALSE(reader.snapshot_at(0, "run-meta").has_value());
+
+    Journal::ScanResult scan;
+    reader.scan_journal(scan);
+    EXPECT_EQ(scan.meta, "run-meta");
+    ASSERT_EQ(scan.records.size(), 2u);
+
+    // The scan is read-only: the live writer keeps appending and the
+    // next scan sees its record.
+    writer.append(1, "epoch-2");
+    reader.scan_journal(scan);
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.records[2].payload, "epoch-2");
+}
+
 TEST_F(StateHistoryTest, SweepRemovesOnlyStaleTemps) {
     const SnapshotStore store(path("journal"), 2);
     store.write(4, "m", "real");
