@@ -6,11 +6,22 @@
 // with a ServeEngine attached, gives the daemon real epochs to serve.
 // Each sweep config then pins `readers` threads on a query mix (price
 // quote / path lookup / SLA status, round-robin) against the engine
-// while a writer thread republishes a rotating window of the run's
-// committed epochs every `rollover_period_ms` (0 = no rollovers) —
-// the RCU swap the readers must never observe torn. Latency is
-// sampled per query; the JSON reports q/s and p50/p99/p999/max
-// microseconds, plus the rollover count and swap cost.
+// while a writer thread replays the run's committed epochs every
+// `rollover_period_ms` (0 = no rollovers) under a synthetic,
+// monotonically advancing completed-epochs counter (the hub's epoch
+// guard rejects anything older, so a rotating counter would publish
+// nothing) — the RCU swap the readers must never observe torn.
+// Latency is sampled per query; the JSON reports q/s and
+// p50/p99/p999/max microseconds, plus the rollover count and swap
+// cost.
+//
+// A second sweep benches the replicated read tier (DESIGN.md §8.6):
+// a follower bootstraps from the newest snapshot and tails the
+// journal while the leader is still writing, across snapshot interval
+// x epoch pacing. Reported per config: catch-up latency (cold start
+// to fully caught up), mean/max observed lag in epochs, polls, and
+// re-bootstraps (snapshot interval 0 = no snapshots, the follower
+// replays the whole journal).
 //
 // Admission modes per config:
 //   off      - metering without rejection (observe-only);
@@ -35,6 +46,7 @@
 #include <vector>
 
 #include "serve/engine.hpp"
+#include "serve/follower.hpp"
 #include "sim/runtime.hpp"
 #include "util/rng.hpp"
 
@@ -150,10 +162,17 @@ Row run_config(const market::OfferPool& pool, const net::TrafficMatrix& tm,
     std::thread writer;
     if (rollover_period_ms > 0.0) {
         writer = std::thread([&] {
+            // Replay the run's epochs under a synthetic advancing
+            // counter: the hub's monotonic epoch guard would reject a
+            // rotating completed_epochs as stale.
             std::size_t e = 0;
+            std::size_t seq = out.epochs.size();
             while (!stop.load(std::memory_order_acquire)) {
+                ++seq;
+                const sim::EpochCommit commit{seq - 1, seq, false, out.epochs[e],
+                                              out.auctions[e], out.ledger};
                 const auto t0 = std::chrono::steady_clock::now();
-                engine.publish(commit_at(e));
+                engine.publish(commit);
                 swap_ms.push_back(std::chrono::duration<double, std::milli>(
                                       std::chrono::steady_clock::now() - t0)
                                       .count());
@@ -227,6 +246,98 @@ Row run_config(const market::OfferPool& pool, const net::TrafficMatrix& tm,
     return row;
 }
 
+struct FollowerRow {
+    std::size_t snapshot_interval = 0;
+    double epoch_period_ms = 0.0;
+    std::size_t epochs = 0;
+    double writer_ms = 0.0;
+    double catchup_ms = 0.0;
+    double mean_lag_epochs = 0.0;
+    std::uint64_t max_lag_epochs = 0;
+    std::uint64_t polls = 0;
+    std::uint64_t rebootstraps = 0;
+    std::uint64_t records_applied = 0;
+};
+
+/// One live-tail config: the leader runs `epochs` epochs (paced at
+/// `epoch_period_ms` per epoch via its commit hook; 0 = flat out)
+/// while a follower started at the same instant bootstraps and tails
+/// to convergence. Lag is sampled after every poll.
+FollowerRow run_follower_config(const market::OfferPool& pool, const net::TrafficMatrix& tm,
+                                std::size_t epochs, std::size_t snapshot_interval,
+                                double epoch_period_ms, const std::filesystem::path& dir) {
+    FollowerRow row;
+    row.snapshot_interval = snapshot_interval;
+    row.epoch_period_ms = epoch_period_ms;
+    row.epochs = epochs;
+
+    const auto sub = dir / ("follower-" + std::to_string(snapshot_interval) + "-" +
+                            std::to_string(static_cast<int>(epoch_period_ms * 1000)));
+    std::filesystem::remove_all(sub);
+    std::filesystem::create_directories(sub);
+
+    sim::RuntimeOptions ropt;
+    ropt.epochs = epochs;
+    ropt.seed = 11;
+    ropt.demand_jitter = 0.05;
+    ropt.journal_path = (sub / "leader.wal").string();
+    ropt.snapshot_interval = snapshot_interval;
+    sim::RuntimeOptions leader_opt = ropt;  // the hook stays leader-side
+    if (epoch_period_ms > 0.0) {
+        leader_opt.on_epoch_commit = [epoch_period_ms](const sim::EpochCommit&) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(epoch_period_ms));
+        };
+    }
+
+    std::atomic<double> writer_ms{0.0};
+    std::thread writer([&] {
+        const auto w0 = std::chrono::steady_clock::now();
+        sim::EpochRuntime(pool, tm, leader_opt).run();
+        writer_ms.store(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - w0)
+                            .count());
+    });
+
+    serve::FollowerOptions fopt;
+    fopt.runtime = ropt;
+    serve::Follower follower(pool, tm, fopt);
+    std::uint64_t lag_sum = 0;
+    std::uint64_t lag_samples = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (follower.applied_epochs() < epochs) {
+        const serve::FollowerPoll p = follower.poll();
+        const std::uint64_t lag = follower.lag_epochs();
+        lag_sum += lag;
+        row.max_lag_epochs = std::max(row.max_lag_epochs, lag);
+        ++lag_samples;
+        if (!p.progressed) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    }
+    row.catchup_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    writer.join();
+    row.writer_ms = writer_ms.load();
+    row.mean_lag_epochs =
+        lag_samples > 0 ? static_cast<double>(lag_sum) / static_cast<double>(lag_samples)
+                        : 0.0;
+    const serve::FollowerStats stats = follower.stats();
+    row.polls = stats.polls;
+    row.rebootstraps = stats.rebootstraps;
+    row.records_applied = stats.records_applied;
+    return row;
+}
+
+void print_follower_row(const FollowerRow& r) {
+    std::cout << "follower: snapshot_interval=" << r.snapshot_interval << "  epoch_period="
+              << r.epoch_period_ms << "ms  epochs=" << r.epochs << "  catchup="
+              << r.catchup_ms << "ms  mean_lag=" << r.mean_lag_epochs << "  max_lag="
+              << r.max_lag_epochs << "  polls=" << r.polls << "  rebootstraps="
+              << r.rebootstraps << "\n";
+}
+
 void print_row(const Row& r) {
     std::cout << "readers=" << r.readers << "  rollover=" << r.rollover_period_ms
               << "ms  admission=" << r.admission << "  qps=" << r.qps
@@ -283,6 +394,21 @@ int main(int argc, char** argv) {
             }
         }
     }
+    // Replicated read tier: catch-up and lag across snapshot interval
+    // x leader pacing, each against a genuinely live writer.
+    const std::vector<std::size_t> snapshot_intervals =
+        smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{0, 2, 4};
+    const std::vector<double> epoch_periods =
+        smoke ? std::vector<double>{1.0} : std::vector<double>{0.0, 2.0};
+    const std::size_t follower_epochs = smoke ? 8 : 16;
+    std::vector<FollowerRow> follower_rows;
+    for (const std::size_t interval : snapshot_intervals) {
+        for (const double period : epoch_periods) {
+            follower_rows.push_back(run_follower_config(pool, inst.tm, follower_epochs,
+                                                        interval, period, dir));
+            print_follower_row(follower_rows.back());
+        }
+    }
     std::filesystem::remove_all(dir);
 
     // The tight tier must demonstrate admission actually rejecting,
@@ -321,6 +447,22 @@ int main(int argc, char** argv) {
              << ", \"max_us\": " << r.max_us << ", \"rollovers\": " << r.rollovers
              << ", \"mean_swap_ms\": " << r.mean_swap_ms << ", \"max_swap_ms\": "
              << r.max_swap_ms << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"follower_note\": \"a read-only follower bootstraps from the newest "
+            "snapshot and tails the live leader's journal to convergence; catchup_ms is "
+            "cold start to fully caught up, lag sampled per poll in epochs "
+            "(snapshot_interval 0 = no snapshots: full-journal replay)\",\n"
+         << "  \"follower_rows\": [\n";
+    for (std::size_t i = 0; i < follower_rows.size(); ++i) {
+        const FollowerRow& r = follower_rows[i];
+        json << "    {\"snapshot_interval\": " << r.snapshot_interval
+             << ", \"epoch_period_ms\": " << r.epoch_period_ms << ", \"epochs\": " << r.epochs
+             << ", \"writer_ms\": " << r.writer_ms << ", \"catchup_ms\": " << r.catchup_ms
+             << ", \"mean_lag_epochs\": " << r.mean_lag_epochs << ", \"max_lag_epochs\": "
+             << r.max_lag_epochs << ", \"polls\": " << r.polls << ", \"rebootstraps\": "
+             << r.rebootstraps << ", \"records_applied\": " << r.records_applied << "}"
+             << (i + 1 < follower_rows.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
     std::cout << "wrote " << out_path << "\n";

@@ -30,6 +30,40 @@
 
 namespace poc::serve {
 
+// Reply types shared by every serving front-end (the leader-side
+// ServeEngine and the replica-side Follower answer with the same
+// shapes, so a client cannot tell which tier served it — only
+// ServeError::kStaleView betrays a lagging replica).
+
+struct QuoteReply {
+    ServeError code = ServeError::kNotServing;
+    std::size_t epoch = 0;
+    BpQuote quote;
+    util::Money total_outlay;
+};
+
+struct PathReply {
+    ServeError code = ServeError::kNotServing;
+    std::size_t epoch = 0;
+    std::vector<net::LinkId> links;
+    double length_km = 0.0;
+};
+
+struct SlaReply {
+    ServeError code = ServeError::kNotServing;
+    std::size_t epoch = 0;
+    SlaStatus status = SlaStatus::kUnprovisioned;
+    double delivered_fraction = 0.0;
+    bool degraded = false;
+    bool breaker_open = false;
+};
+
+struct HistoryReply {
+    ServeError code = ServeError::kNotServing;
+    /// The view as of `completed_epochs` target (null on error).
+    std::shared_ptr<const EpochView> view;
+};
+
 struct ServeOptions {
     /// Query worker threads.
     std::size_t workers = 2;
@@ -69,37 +103,19 @@ public:
     std::shared_ptr<const EpochView> current() const { return hub_.current(); }
     std::uint64_t rollovers() const { return hub_.published_count(); }
 
-    struct QuoteReply {
-        ServeError code = ServeError::kNotServing;
-        std::size_t epoch = 0;
-        BpQuote quote;
-        util::Money total_outlay;
-    };
+    // Source-compat aliases: the reply structs predate the follower
+    // tier and used to be nested here.
+    using QuoteReply = serve::QuoteReply;
+    using PathReply = serve::PathReply;
+    using SlaReply = serve::SlaReply;
+    using HistoryReply = serve::HistoryReply;
+
     QuoteReply quote(const std::string& account, std::string_view bp_name);
 
-    struct PathReply {
-        ServeError code = ServeError::kNotServing;
-        std::size_t epoch = 0;
-        std::vector<net::LinkId> links;
-        double length_km = 0.0;
-    };
     PathReply path(const std::string& account, net::NodeId src, net::NodeId dst);
 
-    struct SlaReply {
-        ServeError code = ServeError::kNotServing;
-        std::size_t epoch = 0;
-        SlaStatus status = SlaStatus::kUnprovisioned;
-        double delivered_fraction = 0.0;
-        bool degraded = false;
-        bool breaker_open = false;
-    };
     SlaReply sla(const std::string& account);
 
-    struct HistoryReply {
-        ServeError code = ServeError::kNotServing;
-        /// The view as of `completed_epochs` target (null on error).
-        std::shared_ptr<const EpochView> view;
-    };
     /// Point-in-time: the market as of exactly `completed_epochs`
     /// committed epochs, bit-identical to what a from-scratch run of
     /// that length would publish.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "sim/replay.hpp"
 
 namespace poc::serve {
 
@@ -100,6 +101,42 @@ std::shared_ptr<const EpochView> build_epoch_view(const net::Graph& graph,
     return build_epoch_view(graph, state.epochs.back().epoch, state.epochs.size(),
                             /*replayed=*/true, state.epochs.back(), state.auctions.back(),
                             state.ledger);
+}
+
+std::string encode_epoch_view(const EpochView& view) {
+    util::BinaryWriter w;
+    w.str("poc-epoch-view-v1");
+    w.u64(view.epoch);
+    w.u64(view.completed_epochs);
+    sim::write_epoch_record(w, view.record);
+    w.boolean(view.provisioned);
+    w.i64(view.total_outlay.micros());
+    w.i64(view.virtual_cost.micros());
+    w.u64(view.quotes.size());
+    for (const BpQuote& q : view.quotes) {
+        w.str(q.name);
+        w.i64(q.payment.micros());
+        w.i64(q.bid_cost.micros());
+        w.f64(q.pob);
+        w.u64(q.links_won);
+    }
+    sim::write_links(w, view.backbone);
+    w.u64(view.trees.size());
+    for (const net::ShortestPathTree& tree : view.trees) {
+        w.u32(tree.source.value());
+        w.u64(tree.dist.size());
+        for (const double d : tree.dist) w.f64(d);
+        for (const net::LinkId l : tree.parent_link) w.u32(l.value());
+        for (const net::NodeId n : tree.pred_node_) w.u32(n.value());
+    }
+    w.u64(view.balances.size());
+    for (const auto& [party, amount] : view.balances) {
+        w.u8(static_cast<std::uint8_t>(party.kind));
+        w.u32(party.index);
+        w.i64(amount.micros());
+    }
+    w.i64(view.poc_net.micros());
+    return w.bytes();
 }
 
 }  // namespace poc::serve

@@ -102,4 +102,14 @@ std::shared_ptr<const EpochView> build_epoch_view(const net::Graph& graph,
 std::shared_ptr<const EpochView> build_epoch_view(const net::Graph& graph,
                                                   const sim::RuntimeState& state);
 
+/// Canonical byte serialization of everything a view *answers from*:
+/// epoch, record, quotes, backbone, path trees, balances. The one
+/// field excluded is `replayed` — it is provenance (how this process
+/// learned the epoch), not market state, and it is exactly what
+/// legitimately differs between a leader's freshly-computed view and
+/// a follower's journal-replayed one. Two views serving identical
+/// answers encode identically, so the replication property tests can
+/// assert leader/follower bit-identity per epoch with one comparison.
+std::string encode_epoch_view(const EpochView& view);
+
 }  // namespace poc::serve

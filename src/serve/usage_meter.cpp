@@ -15,6 +15,7 @@ const char* serve_error_name(ServeError code) {
         case ServeError::kUnknownNode: return "unknown-node";
         case ServeError::kUnreachable: return "unreachable";
         case ServeError::kHistoryUnavailable: return "history-unavailable";
+        case ServeError::kStaleView: return "stale-view";
     }
     return "unknown";
 }

@@ -39,6 +39,11 @@ enum class ServeError : std::uint8_t {
     kUnreachable,
     /// Point-in-time query: history cannot prove the requested epoch.
     kHistoryUnavailable,
+    /// Bounded-staleness serving (replica reads): the answering
+    /// replica's lag exceeds the query's max_lag_epochs bound. The
+    /// caller may retry against the leader, relax the bound, or fall
+    /// back to a point-in-time query the replica *can* prove.
+    kStaleView,
 };
 
 const char* serve_error_name(ServeError code);

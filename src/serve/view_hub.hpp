@@ -31,16 +31,35 @@ namespace poc::serve {
 
 class ViewHub {
 public:
-    /// Swap the published epoch. Called by the commit thread only;
-    /// safe against any number of concurrent current() calls. The
-    /// previous epoch (if this drops its last reference) is destroyed
-    /// after the lock is released, so a slow teardown never stalls
-    /// readers.
-    void publish(std::shared_ptr<const EpochView> view) {
+    /// Swap the published epoch. Called by the commit thread (or a
+    /// follower's tail thread); safe against any number of concurrent
+    /// current() calls. The previous epoch (if this drops its last
+    /// reference) is destroyed after the lock is released, so a slow
+    /// teardown never stalls readers.
+    ///
+    /// Monotonic epoch guard: a view older than the published one
+    /// (completed_epochs strictly below) is rejected — readers can
+    /// never observe time running backwards, whatever order restarts
+    /// and re-bootstraps hand views in. A *same-epoch* republish is
+    /// accepted (idempotent: a restarted daemon or a re-bootstrapped
+    /// follower re-announces the epoch it recovered to). Returns
+    /// whether the view was installed; a rejected view is destroyed
+    /// outside the critical section like a replaced one.
+    bool publish(std::shared_ptr<const EpochView> view) {
+        if (!view) return false;
+        bool accepted = false;
         lock();
-        view_.swap(view);
+        if (!view_ || view->completed_epochs >= view_->completed_epochs) {
+            view_.swap(view);
+            accepted = true;
+        }
         unlock();
-        published_.fetch_add(1, std::memory_order_relaxed);
+        if (accepted) {
+            published_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return accepted;
     }
 
     /// The newest published epoch, or nullptr before the first
@@ -57,6 +76,11 @@ public:
         return published_.load(std::memory_order_relaxed);
     }
 
+    /// Publishes the monotonic guard turned away.
+    std::uint64_t rejected_count() const {
+        return rejected_.load(std::memory_order_relaxed);
+    }
+
 private:
     void lock() const {
         while (locked_.exchange(true, std::memory_order_acquire)) {
@@ -69,6 +93,7 @@ private:
     mutable std::atomic<bool> locked_{false};
     std::shared_ptr<const EpochView> view_;
     std::atomic<std::uint64_t> published_{0};
+    std::atomic<std::uint64_t> rejected_{0};
 };
 
 }  // namespace poc::serve

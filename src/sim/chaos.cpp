@@ -88,6 +88,8 @@ const char* fault_kind_name(FaultKind kind) {
         case FaultKind::kOracleDegraded: return "oracle-degraded";
         case FaultKind::kSnapshotCorrupt: return "snapshot-corrupt";
         case FaultKind::kTornWrite: return "torn-write";
+        case FaultKind::kFollowerCrash: return "follower-crash";
+        case FaultKind::kFollowerTailCorrupt: return "follower-tail-corrupt";
     }
     return "?";
 }

@@ -86,6 +86,16 @@ enum class FaultKind {
     /// (the device persisted only part of the last write). Consumed by
     /// run_with_recovery; run_chaos ignores it.
     kTornWrite,
+    /// A journal-tailing read replica dies mid-apply (while applying a
+    /// record of epoch `start_epoch`). Consumed by
+    /// serve::run_follower_with_recovery; run_chaos and the leader-side
+    /// supervisors ignore it.
+    kFollowerCrash,
+    /// A bit flips in the journal suffix a follower has yet to consume
+    /// (replica-side media corruption: the leader's copy is fine).
+    /// Consumed by serve::run_follower_with_recovery; run_chaos and
+    /// the leader-side supervisors ignore it.
+    kFollowerTailCorrupt,
 };
 
 const char* fault_kind_name(FaultKind kind);

@@ -1,0 +1,120 @@
+// Journal-replay machinery shared by every consumer of the runtime's
+// write-ahead log: crash recovery (sim::EpochRuntime), read-only
+// point-in-time materialization (sim::materialize_state_at), and the
+// journal-tailing read replicas (serve::Follower). All three must
+// apply records through the *same* code path — bit-identity across
+// leader, recovery, and followers is a property test, and a second
+// replay implementation would be a place for it to silently break.
+//
+// The pieces: the on-disk record-type constants, the per-stage payload
+// codecs, delta-frame resolution against the running per-type base map
+// (decode_records), the configuration fingerprint stored in the
+// journal header (runtime_meta_fingerprint), and the ReplayCursor
+// state machine that advances a RuntimeState one decoded record at a
+// time with parse-then-commit semantics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/runtime.hpp"
+#include "util/journal.hpp"
+
+namespace poc::sim {
+
+// Journal record types (kRec* values are part of the on-disk format;
+// never renumber).
+inline constexpr std::uint16_t kRecEpochBegin = 1;
+inline constexpr std::uint16_t kRecAuction = 2;
+inline constexpr std::uint16_t kRecProvision = 3;
+inline constexpr std::uint16_t kRecFlows = 4;
+inline constexpr std::uint16_t kRecSettlement = 5;
+inline constexpr std::uint16_t kRecEpochEnd = 6;
+
+/// High bit of the record type: the payload is an XOR delta
+/// (util::xor_delta_encode) against the previous *full* payload of the
+/// same base type in the file. Part of the on-disk format.
+inline constexpr std::uint16_t kRecDeltaFlag = 0x8000;
+
+void write_rng_state(util::BinaryWriter& w, const util::RngState& st);
+util::RngState read_rng_state(util::BinaryReader& r);
+
+void write_links(util::BinaryWriter& w, const std::vector<net::LinkId>& links);
+std::vector<net::LinkId> read_links(util::BinaryReader& r);
+
+void write_epoch_record(util::BinaryWriter& w, const EpochRecord& rec);
+EpochRecord read_epoch_record(util::BinaryReader& r);
+
+/// In-flight epoch: which stages have durable records, and the
+/// reconstructed results of the ones that do.
+struct PendingEpoch {
+    std::size_t epoch = 0;
+    double demand_factor = 1.0;
+    bool have_begin = false;
+    bool have_auction = false;
+    bool have_provision = false;
+    bool have_flows = false;
+    bool have_settlement = false;
+
+    std::optional<market::AuctionResult> auction;
+    bool degraded = false;
+    bool breaker_open = false;
+    std::uint64_t attempts = 0;
+    std::vector<net::LinkId> selected;
+
+    double offered_gbps = 0.0;
+    double routed_gbps = 0.0;
+    double max_utilization = 0.0;
+    double stretch = 1.0;
+};
+
+/// One journal record with its delta flag resolved: full payload bytes
+/// plus the epoch every record type leads with.
+struct DecodedRecord {
+    std::uint16_t type = 0;  // base type, flag stripped
+    std::string payload;
+    std::uint64_t epoch = 0;
+};
+
+/// Resolve delta-encoded frames against the running per-type base map.
+/// Stops at the first record that cannot be resolved (unknown type,
+/// broken delta chain, malformed delta bytes, payload too short to
+/// carry an epoch); `out` holds exactly the clean prefix. `bases`
+/// ends up holding the last full payload per type of that prefix —
+/// the appender state matching the file.
+std::size_t decode_records(const std::vector<util::JournalRecord>& records,
+                           std::vector<DecodedRecord>& out,
+                           std::map<std::uint16_t, std::string>& bases);
+
+/// Configuration fingerprint stored in the journal header. Engine
+/// knobs that cannot change results (threads, cache, serving hooks)
+/// are excluded on purpose: a run may resume under a different engine
+/// config and still be bit-identical (DESIGN.md §5). Shared between
+/// EpochRuntime, materialize_state_at, and serve::Follower so every
+/// reader refuses foreign journals with the same rule the runtime
+/// uses.
+std::string runtime_meta_fingerprint(const market::OfferPool& pool,
+                                     const net::TrafficMatrix& tm,
+                                     const RuntimeOptions& opt);
+
+/// Replay state machine shared by crash recovery (EpochRuntime::Impl),
+/// read-only point-in-time materialization (materialize_state_at), and
+/// the journal-tailing follower (serve::Follower): a RuntimeState plus
+/// the in-flight epoch, advanced one decoded record at a time. apply()
+/// is parse-then-commit — a record that is semantically impossible
+/// against the current state (out-of-order epoch, duplicated stage,
+/// truncated fields) throws *before* mutating anything, so callers can
+/// stop at the last good prefix.
+struct ReplayCursor {
+    RuntimeState state;
+    PendingEpoch pending;
+    bool has_pending = false;
+    std::size_t replayed_epochs = 0;
+
+    void apply(const DecodedRecord& rec);
+};
+
+}  // namespace poc::sim

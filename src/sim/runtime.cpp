@@ -11,6 +11,7 @@
 #include "core/flow_sim.hpp"
 #include "market/delta_reclear.hpp"
 #include "obs/trace.hpp"
+#include "sim/replay.hpp"
 #include "util/fault_injection.hpp"
 #include "util/journal.hpp"
 
@@ -37,88 +38,8 @@ CrashInjected::CrashInjected(std::size_t epoch, Stage stage, HookPoint point)
 
 namespace {
 
-// Journal record types (kRec* values are part of the on-disk format;
-// never renumber).
-constexpr std::uint16_t kRecEpochBegin = 1;
-constexpr std::uint16_t kRecAuction = 2;
-constexpr std::uint16_t kRecProvision = 3;
-constexpr std::uint16_t kRecFlows = 4;
-constexpr std::uint16_t kRecSettlement = 5;
-constexpr std::uint16_t kRecEpochEnd = 6;
-
-/// High bit of the record type: the payload is an XOR delta
-/// (util::xor_delta_encode) against the previous *full* payload of the
-/// same base type in the file. Part of the on-disk format.
-constexpr std::uint16_t kRecDeltaFlag = 0x8000;
-
 /// Version tag leading every snapshot payload (on-disk format).
 constexpr std::uint64_t kStateVersion = 1;
-
-void write_rng_state(util::BinaryWriter& w, const util::RngState& st) {
-    for (const std::uint64_t s : st.s) w.u64(s);
-    w.boolean(st.have_spare_normal);
-    w.f64(st.spare_normal);
-}
-
-util::RngState read_rng_state(util::BinaryReader& r) {
-    util::RngState st;
-    for (std::uint64_t& s : st.s) s = r.u64();
-    st.have_spare_normal = r.boolean();
-    st.spare_normal = r.f64();
-    return st;
-}
-
-void write_links(util::BinaryWriter& w, const std::vector<net::LinkId>& links) {
-    w.u64(links.size());
-    for (const net::LinkId l : links) w.u32(l.value());
-}
-
-std::vector<net::LinkId> read_links(util::BinaryReader& r) {
-    const std::uint64_t n = r.u64();
-    std::vector<net::LinkId> links;
-    links.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) links.push_back(net::LinkId{r.u32()});
-    return links;
-}
-
-void write_epoch_record(util::BinaryWriter& w, const EpochRecord& rec) {
-    w.u64(rec.epoch);
-    w.boolean(rec.provisioned);
-    w.boolean(rec.degraded_mode);
-    w.boolean(rec.breaker_open);
-    w.f64(rec.demand_factor);
-    w.f64(rec.demand_gbps);
-    w.f64(rec.delivered_fraction);
-    w.f64(rec.max_utilization);
-    w.f64(rec.stretch);
-    w.i64(rec.outlay.micros());
-    w.u64(rec.retry_attempts);
-}
-
-EpochRecord read_epoch_record(util::BinaryReader& r) {
-    EpochRecord rec;
-    rec.epoch = r.u64();
-    rec.provisioned = r.boolean();
-    rec.degraded_mode = r.boolean();
-    rec.breaker_open = r.boolean();
-    rec.demand_factor = r.f64();
-    rec.demand_gbps = r.f64();
-    rec.delivered_fraction = r.f64();
-    rec.max_utilization = r.f64();
-    rec.stretch = r.f64();
-    rec.outlay = util::Money::from_micros(r.i64());
-    rec.retry_attempts = r.u64();
-    return rec;
-}
-
-/// Bit-pattern of a double, for exact fingerprint comparison.
-std::uint64_t f64_bits(double v) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof bits == sizeof v);
-    std::char_traits<char>::copy(reinterpret_cast<char*>(&bits),
-                                 reinterpret_cast<const char*>(&v), sizeof bits);
-    return bits;
-}
 
 /// Restores the fallible oracle's deadline pointer on every exit path
 /// of a clearing attempt (including TransientError unwinds), so a
@@ -137,92 +58,6 @@ private:
     market::FallibleOracle& oracle_;
 };
 
-/// In-flight epoch: which stages have durable records, and the
-/// reconstructed results of the ones that do.
-struct PendingEpoch {
-    std::size_t epoch = 0;
-    double demand_factor = 1.0;
-    bool have_begin = false;
-    bool have_auction = false;
-    bool have_provision = false;
-    bool have_flows = false;
-    bool have_settlement = false;
-
-    std::optional<market::AuctionResult> auction;
-    bool degraded = false;
-    bool breaker_open = false;
-    std::uint64_t attempts = 0;
-    std::vector<net::LinkId> selected;
-
-    double offered_gbps = 0.0;
-    double routed_gbps = 0.0;
-    double max_utilization = 0.0;
-    double stretch = 1.0;
-};
-
-/// One journal record with its delta flag resolved: full payload bytes
-/// plus the epoch every record type leads with.
-struct DecodedRecord {
-    std::uint16_t type = 0;  // base type, flag stripped
-    std::string payload;
-    std::uint64_t epoch = 0;
-};
-
-/// Resolve delta-encoded frames against the running per-type base map.
-/// Stops at the first record that cannot be resolved (unknown type,
-/// broken delta chain, malformed delta bytes, payload too short to
-/// carry an epoch); `out` holds exactly the clean prefix. `bases`
-/// ends up holding the last full payload per type of that prefix —
-/// the appender state matching the file.
-std::size_t decode_records(const std::vector<util::JournalRecord>& records,
-                           std::vector<DecodedRecord>& out,
-                           std::map<std::uint16_t, std::string>& bases) {
-    for (const util::JournalRecord& rec : records) {
-        const auto base_type = static_cast<std::uint16_t>(rec.type & ~kRecDeltaFlag);
-        if (base_type < kRecEpochBegin || base_type > kRecEpochEnd) return out.size();
-        std::string payload;
-        if ((rec.type & kRecDeltaFlag) != 0) {
-            const auto it = bases.find(base_type);
-            if (it == bases.end()) return out.size();
-            try {
-                payload = util::xor_delta_decode(it->second, rec.payload);
-            } catch (const util::StateHistoryError&) {
-                return out.size();
-            }
-        } else {
-            payload = rec.payload;
-        }
-        if (payload.size() < sizeof(std::uint64_t)) return out.size();
-        std::uint64_t epoch = 0;
-        std::memcpy(&epoch, payload.data(), sizeof epoch);
-        bases[base_type] = payload;
-        out.push_back({base_type, std::move(payload), epoch});
-    }
-    return out.size();
-}
-
-/// Configuration fingerprint stored in the journal header. Engine
-/// knobs that cannot change results (threads, cache, serving hooks)
-/// are excluded on purpose: a run may resume under a different engine
-/// config and still be bit-identical (DESIGN.md §5). Shared between
-/// EpochRuntime and materialize_state_at so point-in-time reads refuse
-/// foreign journals with the same rule the runtime uses.
-std::string runtime_meta_fingerprint(const market::OfferPool& pool,
-                                     const net::TrafficMatrix& tm,
-                                     const RuntimeOptions& opt) {
-    util::BinaryWriter w;
-    w.str("poc-runtime-v1");
-    w.u64(opt.epochs);
-    w.u64(opt.seed);
-    w.u64(f64_bits(opt.demand_jitter));
-    w.u8(static_cast<std::uint8_t>(opt.request.constraint));
-    w.boolean(opt.request.auction.exact);
-    w.u64(pool.offered_links().size());
-    w.u64(tm.size());
-    w.u64(f64_bits(net::total_demand(tm)));
-    return w.bytes();
-}
-
 }  // namespace
 
 std::string encode_runtime_state(const RuntimeState& state) {
@@ -240,122 +75,6 @@ std::string encode_runtime_state(const RuntimeState& state) {
     w.u64(state.breaker_open_epochs);
     return w.bytes();
 }
-
-namespace {
-
-/// Replay state machine shared by crash recovery (EpochRuntime::Impl)
-/// and read-only point-in-time materialization (materialize_state_at):
-/// a RuntimeState plus the in-flight epoch, advanced one decoded
-/// record at a time. apply() is parse-then-commit — a record that is
-/// semantically impossible against the current state (out-of-order
-/// epoch, duplicated stage, truncated fields) throws *before* mutating
-/// anything, so callers can stop at the last good prefix.
-struct ReplayCursor {
-    RuntimeState state;
-    PendingEpoch pending;
-    bool has_pending = false;
-    std::size_t replayed_epochs = 0;
-
-    void apply(const DecodedRecord& rec) {
-        util::BinaryReader r(rec.payload);
-        switch (rec.type) {
-            case kRecEpochBegin: {
-                const std::uint64_t epoch = r.u64();
-                const double demand_factor = r.f64();
-                const util::RngState st = read_rng_state(r);
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(!has_pending);
-                POC_EXPECTS(epoch == state.epochs.size());
-                pending = PendingEpoch{};
-                pending.epoch = epoch;
-                pending.demand_factor = demand_factor;
-                state.rng = st;
-                pending.have_begin = true;
-                has_pending = true;
-                break;
-            }
-            case kRecAuction: {
-                const std::uint64_t epoch = r.u64();
-                std::optional<market::AuctionResult> auction;
-                if (r.boolean()) auction = market::read_auction_result(r);
-                const bool degraded = r.boolean();
-                const bool breaker_open = r.boolean();
-                const std::uint64_t attempts = r.u64();
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(has_pending && epoch == pending.epoch);
-                POC_EXPECTS(!pending.have_auction);
-                pending.auction = std::move(auction);
-                pending.degraded = degraded;
-                pending.breaker_open = breaker_open;
-                pending.attempts = attempts;
-                pending.have_auction = true;
-                break;
-            }
-            case kRecProvision: {
-                const std::uint64_t epoch = r.u64();
-                std::vector<net::LinkId> selected = read_links(r);
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(has_pending && epoch == pending.epoch);
-                POC_EXPECTS(pending.have_auction && !pending.have_provision);
-                pending.selected = std::move(selected);
-                pending.have_provision = true;
-                break;
-            }
-            case kRecFlows: {
-                const std::uint64_t epoch = r.u64();
-                const double offered = r.f64();
-                const double routed = r.f64();
-                const double max_util = r.f64();
-                const double stretch = r.f64();
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(has_pending && epoch == pending.epoch);
-                POC_EXPECTS(pending.have_provision && !pending.have_flows);
-                pending.offered_gbps = offered;
-                pending.routed_gbps = routed;
-                pending.max_utilization = max_util;
-                pending.stretch = stretch;
-                pending.have_flows = true;
-                break;
-            }
-            case kRecSettlement: {
-                const std::uint64_t epoch = r.u64();
-                const std::uint64_t n = r.u64();
-                std::vector<core::Transfer> transfers;
-                transfers.reserve(n);
-                for (std::uint64_t i = 0; i < n; ++i) {
-                    transfers.push_back(core::read_transfer(r));
-                }
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(has_pending && epoch == pending.epoch);
-                POC_EXPECTS(pending.have_flows && !pending.have_settlement);
-                for (const core::Transfer& t : transfers) {
-                    state.ledger.record(t.from, t.to, t.kind, t.amount, t.memo);
-                }
-                pending.have_settlement = true;
-                break;
-            }
-            case kRecEpochEnd: {
-                EpochRecord done = read_epoch_record(r);
-                const util::RngState st = read_rng_state(r);
-                POC_EXPECTS(r.exhausted());
-                POC_EXPECTS(has_pending && pending.have_settlement);
-                POC_EXPECTS(done.epoch == pending.epoch);
-                state.rng = st;
-                if (done.breaker_open) ++state.breaker_open_epochs;
-                state.epochs.push_back(done);
-                state.auctions.push_back(std::move(pending.auction));
-                has_pending = false;
-                ++replayed_epochs;
-                break;
-            }
-            default:
-                throw util::JournalError("unknown journal record type " +
-                                         std::to_string(rec.type));
-        }
-    }
-};
-
-}  // namespace
 
 RuntimeState decode_runtime_state(std::string_view bytes) {
     util::BinaryReader r(bytes);

@@ -7,6 +7,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #define POC_JOURNAL_HAVE_FSYNC 1
 #else
@@ -160,6 +161,9 @@ std::size_t scan_bytes(const std::string& path, const std::string& bytes,
         scan.tail_truncated = true;
         scan.dropped_bytes = bytes.size() - valid_end;
     }
+    scan.header_end = meta_end;
+    scan.valid_end = valid_end;
+    scan.file_size = bytes.size();
     return valid_end;
 }
 
@@ -175,6 +179,20 @@ void Journal::scan_file(const std::string& path, ScanResult& scan) {
     scan = ScanResult{};
     const std::string bytes = slurp_or_throw(path);
     scan_bytes(path, bytes, scan);
+}
+
+std::uint64_t Journal::file_identity(const std::string& path) {
+#if POC_JOURNAL_HAVE_FSYNC
+    struct ::stat st{};
+    if (::stat(path.c_str(), &st) != 0) return 0;
+    // dev in the high bits, inode in the low: distinct inodes on one
+    // filesystem (the rewrite temp vs the old log) always differ.
+    return (static_cast<std::uint64_t>(st.st_dev) << 48) ^
+           static_cast<std::uint64_t>(st.st_ino);
+#else
+    (void)path;
+    return 0;
+#endif
 }
 
 Journal Journal::open(const std::string& path, ScanResult& scan, bool fsync_on_append) {

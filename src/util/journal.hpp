@@ -130,10 +130,20 @@ public:
     struct ScanResult {
         std::string meta;
         std::vector<JournalRecord> records;
-        /// True when a torn or checksum-failing tail was detected (and
-        /// physically truncated away).
+        /// True when a torn or checksum-failing tail was detected. The
+        /// bytes are physically truncated away by open() only;
+        /// scan_file() reports and leaves them in place.
         bool tail_truncated = false;
         std::uint64_t dropped_bytes = 0;
+        /// Byte offset just past the header (magic + meta + meta CRC):
+        /// where the first record frame starts.
+        std::uint64_t header_end = 0;
+        /// Byte offset of the end of the valid record prefix. A tailing
+        /// reader resumes its next incremental scan here; bytes in
+        /// (valid_end, file_size] are a torn or corrupt tail.
+        std::uint64_t valid_end = 0;
+        /// Total bytes the scan saw (the file image it read).
+        std::uint64_t file_size = 0;
     };
 
     /// Diagnostics from a rewrite() compaction pass.
@@ -164,11 +174,39 @@ public:
     /// exactly as open() does, but never truncate the file and never
     /// take an append handle. Safe to run against a journal the
     /// owning runtime still has open for append — the point-in-time
-    /// query path (util::HistoryReader) reads live journals this way.
+    /// query path (util::HistoryReader) and the journal-tailing
+    /// follower (serve::Follower) read live journals this way.
     /// A torn tail is reported in `scan`, not repaired. Throws
     /// JournalError when the file is missing or its header is
     /// unreadable, like open().
+    ///
+    /// Read-only live-tail contract (pinned by tests/util
+    /// regression tests; the replicated read tier depends on it):
+    ///  * The function performs no write, truncate, rename, or
+    ///    open-for-append on `path` — a reader can never damage the
+    ///    writer's log, and truncation authority stays with the
+    ///    writer (open()).
+    ///  * A torn tail — a frame whose declared length runs past EOF,
+    ///    exactly what a reader racing an in-progress append observes
+    ///    — stops the scan at the last complete valid frame and sets
+    ///    tail_truncated; it never throws. A later scan, after the
+    ///    writer finishes the append, extends the same valid prefix.
+    ///  * A corrupt tail (CRC mismatch: bit flip, overwritten bytes)
+    ///    is indistinguishable from a torn one at scan level and is
+    ///    handled identically: stop at the last good frame, report.
+    ///    Distinguishing "still being written" from "damaged" is the
+    ///    caller's job (poll again; no growth past valid_end = damage).
+    ///  * scan.records is always exactly the records of
+    ///    [header_end, valid_end) — a prefix closed under record
+    ///    boundaries, never a partial frame.
     static void scan_file(const std::string& path, ScanResult& scan);
+
+    /// Stable identity of the inode behind `path` (device + inode
+    /// hash), or 0 when the file is missing or the platform cannot
+    /// say. A tailing reader uses an identity change to detect that
+    /// rewrite() renamed a new generation over the path it is
+    /// following (the compaction race).
+    static std::uint64_t file_identity(const std::string& path);
 
     /// Atomically replace the journal at `path` with header(meta) +
     /// `records`: serialize to `<path>.tmp`, then rename over `path`.

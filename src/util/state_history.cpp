@@ -217,8 +217,10 @@ std::optional<LoadedSnapshot> read_snapshot_file(const std::string& path) {
     return snap;
 }
 
-SnapshotStore::SnapshotStore(std::string base_path, std::size_t keep)
-    : base_path_(std::move(base_path)), keep_(std::max<std::size_t>(1, keep)) {}
+SnapshotStore::SnapshotStore(std::string base_path, std::size_t keep, bool read_only)
+    : base_path_(std::move(base_path)),
+      keep_(std::max<std::size_t>(1, keep)),
+      read_only_(read_only) {}
 
 std::string SnapshotStore::path_for(std::uint64_t completed_epochs) const {
     char suffix[32];
@@ -229,6 +231,10 @@ std::string SnapshotStore::path_for(std::uint64_t completed_epochs) const {
 
 std::string SnapshotStore::write(std::uint64_t completed_epochs, std::string_view meta,
                                  std::string_view payload) const {
+    if (read_only_) {
+        throw StateHistoryError("snapshot write refused: store at " + base_path_ +
+                                " is read-only (reader side of the history)");
+    }
     const std::string path = path_for(completed_epochs);
     write_snapshot_file(path, completed_epochs, meta, payload);
     prune();
@@ -300,6 +306,7 @@ std::optional<LoadedSnapshot> SnapshotStore::load_at(std::uint64_t target_epochs
 }
 
 std::size_t SnapshotStore::prune() const {
+    if (read_only_) return 0;  // deletion authority stays with the writer
     const std::vector<SnapshotInfo> snaps = list();
     std::size_t removed = 0;
     if (snaps.size() <= keep_) return removed;
@@ -313,7 +320,9 @@ std::size_t SnapshotStore::prune() const {
 
 std::size_t SnapshotStore::sweep_stale_temps() const {
     std::size_t removed = 0;
-    if (base_path_.empty()) return removed;
+    // A reader cannot tell a stale temp from the writer's mid-install
+    // rename source; sweeping is the writer's recovery step only.
+    if (read_only_ || base_path_.empty()) return removed;
     const std::filesystem::path base(base_path_);
     const std::string prefix = base.filename().string() + ".snap-";
     std::error_code ec;

@@ -106,18 +106,25 @@ public:
     SnapshotStore() = default;
     /// `base_path` is the artifact the snapshots belong to (the
     /// journal path); snapshots land next to it. `keep` >= 1 newest
-    /// generations survive pruning.
-    explicit SnapshotStore(std::string base_path, std::size_t keep = 2);
+    /// generations survive pruning. A `read_only` store is a pure
+    /// observer: write() throws, prune()/sweep_stale_temps() are
+    /// no-ops — a follower bootstrapping from another process's
+    /// snapshots must never delete that writer's in-flight `.tmp`
+    /// files or old generations (temp-file ownership is writer-only).
+    explicit SnapshotStore(std::string base_path, std::size_t keep = 2,
+                           bool read_only = false);
 
     bool enabled() const noexcept { return !base_path_.empty(); }
     const std::string& base_path() const noexcept { return base_path_; }
     std::size_t keep() const noexcept { return keep_; }
+    bool read_only() const noexcept { return read_only_; }
 
     /// Path of the snapshot covering `completed_epochs` epochs.
     std::string path_for(std::uint64_t completed_epochs) const;
 
     /// Atomically install a snapshot, then prune old generations.
-    /// Returns the installed path.
+    /// Returns the installed path. Throws StateHistoryError on a
+    /// read-only store.
     std::string write(std::uint64_t completed_epochs, std::string_view meta,
                       std::string_view payload) const;
 
@@ -142,16 +149,19 @@ public:
                                           std::string_view expect_meta) const;
 
     /// Delete all but the newest `keep` snapshots. Returns how many
-    /// files were removed.
+    /// files were removed (always 0 on a read-only store).
     std::size_t prune() const;
 
     /// Remove `<base>.snap-*.tmp` leftovers from installs that died
-    /// before their rename. Returns how many were removed.
+    /// before their rename. Returns how many were removed (always 0
+    /// on a read-only store — only the writer knows whether a `.tmp`
+    /// is stale or mid-install).
     std::size_t sweep_stale_temps() const;
 
 private:
     std::string base_path_;
     std::size_t keep_ = 2;
+    bool read_only_ = false;
 };
 
 /// Emission interface the runtime calls every K completed epochs.
@@ -174,8 +184,12 @@ public:
     HistoryReader() = default;
     /// `journal_path` is the live journal; snapshots are discovered
     /// next to it via SnapshotStore's `<base>.snap-<epochs>` naming.
+    /// The store is read-only: a HistoryReader never writes, prunes,
+    /// or sweeps the writer's snapshot directory (a follower must
+    /// leave a mid-install leader `.tmp` intact).
     explicit HistoryReader(std::string journal_path, std::size_t keep = 2)
-        : journal_path_(std::move(journal_path)), store_(journal_path_, keep) {}
+        : journal_path_(std::move(journal_path)),
+          store_(journal_path_, keep, /*read_only=*/true) {}
 
     const std::string& journal_path() const noexcept { return journal_path_; }
     const SnapshotStore& store() const noexcept { return store_; }

@@ -386,5 +386,108 @@ TEST_F(JournalTest, RewriteCompactsAtomically) {
     EXPECT_TRUE(empty.records.empty());
 }
 
+// ---- live-tail contract (pinned for the follower read tier) --------
+//
+// scan_file is the one journal entry point replicas may use against a
+// file another process owns. These tests pin its read-only semantics:
+// it never throws on damaged tails, never writes, and its cursor
+// fields (header_end / valid_end / file_size) delimit exactly the
+// prefix a tailer may consume.
+
+TEST_F(JournalTest, ScanFileCursorFieldsDelimitTheValidPrefix) {
+    const std::string p = path("wal");
+    std::uint64_t header_end = 0;
+    {
+        Journal j = Journal::create(p, "cursor-meta");
+        header_end = j.size_bytes();
+        j.append(1, "alpha");
+        j.append(2, "beta-longer");
+    }
+    const std::string intact = slurp(p);
+    const std::uint64_t b1 = header_end + 10 + 5;
+    const std::uint64_t b2 = b1 + 10 + 11;
+    ASSERT_EQ(intact.size(), b2);
+
+    // Clean log: the valid prefix is the whole file.
+    Journal::ScanResult scan;
+    Journal::scan_file(p, scan);
+    EXPECT_EQ(scan.header_end, header_end);
+    EXPECT_EQ(scan.valid_end, b2);
+    EXPECT_EQ(scan.file_size, b2);
+
+    // In-progress append (torn tail): valid_end stops at the last
+    // record boundary, file_size reports the physical tail beyond it.
+    spit(p, intact + std::string(7, '\x7f'));
+    Journal::ScanResult torn;
+    ASSERT_NO_THROW(Journal::scan_file(p, torn));
+    EXPECT_EQ(torn.header_end, header_end);
+    EXPECT_EQ(torn.valid_end, b2);
+    EXPECT_EQ(torn.file_size, b2 + 7);
+    EXPECT_TRUE(torn.tail_truncated);
+    ASSERT_EQ(torn.records.size(), 2u);
+
+    // A tear *inside* a record pulls valid_end back to the previous
+    // boundary; a scan never rounds forward into damaged bytes.
+    spit(p, intact.substr(0, b2 - 3));
+    Journal::ScanResult mid;
+    ASSERT_NO_THROW(Journal::scan_file(p, mid));
+    EXPECT_EQ(mid.valid_end, b1);
+    EXPECT_EQ(mid.file_size, b2 - 3);
+    ASSERT_EQ(mid.records.size(), 1u);
+    EXPECT_EQ(mid.records[0].payload, "alpha");
+}
+
+TEST_F(JournalTest, ScanFileNeverRepairsTornOrCorruptTails) {
+    const std::string p = path("wal");
+    {
+        Journal j = Journal::create(p, "m");
+        j.append(1, "alpha");
+        j.append(2, "beta");
+    }
+    std::string bytes = slurp(p);
+    bytes.back() = static_cast<char>(bytes.back() ^ 0x10);  // corrupt last record
+    bytes += "and-a-torn-frame-behind-it";                  // plus torn garbage
+    spit(p, bytes);
+
+    // Repeated scans are stable, silent, and leave the file untouched:
+    // the tailer keeps the last good prefix, the *writer* decides
+    // whether to truncate (via open) — never the reader.
+    for (int round = 0; round < 3; ++round) {
+        Journal::ScanResult scan;
+        ASSERT_NO_THROW(Journal::scan_file(p, scan)) << "round " << round;
+        ASSERT_EQ(scan.records.size(), 1u) << "round " << round;
+        EXPECT_EQ(scan.records[0].payload, "alpha");
+        EXPECT_TRUE(scan.tail_truncated);
+        EXPECT_LT(scan.valid_end, scan.file_size);
+        EXPECT_EQ(slurp(p), bytes) << "scan_file wrote to the file";
+    }
+}
+
+TEST_F(JournalTest, FileIdentityPinsTheJournalGeneration) {
+    const std::string p = path("wal");
+    {
+        Journal j = Journal::create(p, "m");
+        j.append(1, "alpha");
+    }
+    const std::uint64_t id = Journal::file_identity(p);
+    EXPECT_NE(id, 0u);
+    EXPECT_EQ(Journal::file_identity(path("missing")), 0u);
+
+    // Appends and in-place corruption keep the identity: same inode,
+    // same generation — a tailer must not re-bootstrap over these.
+    {
+        Journal::ScanResult scan;
+        Journal j = Journal::open(p, scan);
+        j.append(2, "beta");
+    }
+    EXPECT_EQ(Journal::file_identity(p), id);
+    spit(p, slurp(p));  // in-place rewrite keeps the inode
+    EXPECT_EQ(Journal::file_identity(p), id);
+
+    // Compaction swaps a new file into place: new generation.
+    Journal::rewrite(p, "m", {JournalRecord{3, "compacted"}});
+    EXPECT_NE(Journal::file_identity(p), id);
+}
+
 }  // namespace
 }  // namespace poc::util

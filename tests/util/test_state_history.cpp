@@ -335,6 +335,40 @@ TEST_F(StateHistoryTest, SweepRemovesOnlyStaleTemps) {
     EXPECT_EQ(store.sweep_stale_temps(), 0u);
 }
 
+TEST_F(StateHistoryTest, ReadOnlyStoreObservesButNeverMutates) {
+    // Writer-only temp-file ownership: a follower's (HistoryReader's)
+    // store must never write, prune, or sweep — a "stale" .tmp next to
+    // the journal may be the live leader mid-install.
+    const SnapshotStore writer(path("journal"), /*keep=*/2);
+    writer.write(4, "m", "four");
+    writer.write(8, "m", "eight");
+    FaultyFile::make_stale_temp(writer.path_for(12), "leader mid-install");
+
+    const SnapshotStore ro(path("journal"), /*keep=*/1, /*read_only=*/true);
+    EXPECT_TRUE(ro.read_only());
+    EXPECT_FALSE(writer.read_only());
+
+    // Reads all work.
+    EXPECT_EQ(ro.list().size(), 2u);
+    auto snap = ro.load_newest_valid("m");
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->completed_epochs, 8u);
+
+    // Mutations are refused (write) or inert (prune/sweep) — even with
+    // keep=1, which would prune generation 4 on a writable store.
+    EXPECT_THROW(ro.write(12, "m", "twelve"), StateHistoryError);
+    EXPECT_EQ(ro.prune(), 0u);
+    EXPECT_EQ(ro.sweep_stale_temps(), 0u);
+    EXPECT_EQ(ro.list().size(), 2u);
+    EXPECT_TRUE(std::filesystem::exists(writer.path_for(12) + ".tmp"));
+
+    // The HistoryReader's store is always the read-only flavor.
+    const HistoryReader reader(path("journal"));
+    EXPECT_TRUE(reader.store().read_only());
+    EXPECT_EQ(reader.store().sweep_stale_temps(), 0u);
+    EXPECT_TRUE(std::filesystem::exists(writer.path_for(12) + ".tmp"));
+}
+
 TEST_F(StateHistoryTest, DisabledStoreIsInert) {
     const SnapshotStore store;
     EXPECT_FALSE(store.enabled());
