@@ -1,10 +1,40 @@
 #include "net/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace poc::net {
 
+namespace {
+
+/// The CSR adjacency stores one uint32 offset per node and two
+/// incidence slots per link; node and link ids themselves are uint32
+/// (with the top value reserved as the invalid sentinel). Cap both
+/// counts so the total incidence 2·L and every id fit without
+/// wrapping — at 10^5-node continental scale these are nowhere near
+/// binding, but a silent uint32 wrap would corrupt adjacency, not
+/// throw.
+constexpr std::size_t kMaxNodes = NodeId::kInvalid;          // ids 0 .. kInvalid-1
+constexpr std::size_t kMaxLinks =
+    std::numeric_limits<std::uint32_t>::max() / 2;           // 2·L fits uint32
+
+}  // namespace
+
+void Graph::reserve(std::size_t nodes, std::size_t links) {
+    POC_EXPECTS(nodes <= kMaxNodes);
+    POC_EXPECTS(links <= kMaxLinks);
+    node_labels_.reserve(nodes);
+    links_.reserve(links);
+    adj_offsets_.reserve(nodes + 1);
+    adj_links_.reserve(links * 2);
+    soa_a_.reserve(links);
+    soa_b_.reserve(links);
+    soa_capacity_.reserve(links);
+    soa_length_.reserve(links);
+}
+
 NodeId Graph::add_node(std::string label) {
+    POC_EXPECTS(node_labels_.size() < kMaxNodes);
     node_labels_.push_back(std::move(label));
     adjacency_dirty_ = true;
     return NodeId{node_labels_.size() - 1};
@@ -12,6 +42,7 @@ NodeId Graph::add_node(std::string label) {
 
 NodeId Graph::add_nodes(std::size_t count) {
     POC_EXPECTS(count > 0);
+    POC_EXPECTS(node_labels_.size() + count <= kMaxNodes);
     const NodeId first{node_labels_.size()};
     node_labels_.resize(node_labels_.size() + count);
     adjacency_dirty_ = true;
@@ -24,6 +55,7 @@ LinkId Graph::add_link(NodeId a, NodeId b, double capacity_gbps, double length_k
     POC_EXPECTS(a != b);
     POC_EXPECTS(capacity_gbps > 0.0);
     POC_EXPECTS(length_km >= 0.0);
+    POC_EXPECTS(links_.size() < kMaxLinks);
     links_.push_back(Link{a, b, capacity_gbps, length_km});
     adjacency_dirty_ = true;
     return LinkId{links_.size() - 1};
@@ -59,7 +91,71 @@ void Graph::ensure_adjacency_current() const {
         adj_links_[cursor[l.a.index()]++] = LinkId{i};
         adj_links_[cursor[l.b.index()]++] = LinkId{i};
     }
+    soa_a_.resize(links_.size());
+    soa_b_.resize(links_.size());
+    soa_capacity_.resize(links_.size());
+    soa_length_.resize(links_.size());
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        const Link& l = links_[i];
+        soa_a_[i] = l.a.value();
+        soa_b_[i] = l.b.value();
+        soa_capacity_[i] = l.capacity_gbps;
+        soa_length_[i] = l.length_km;
+    }
     adjacency_dirty_ = false;
+}
+
+void TrafficMatrixSoA::assign(const TrafficMatrix& tm) {
+    POC_EXPECTS(tm.size() <= std::numeric_limits<std::uint32_t>::max());
+    const std::size_t n = tm.size();
+    src_.resize(n);
+    dst_.resize(n);
+    gbps_.resize(n);
+    order_.resize(n);
+    sources_.clear();
+    block_begin_.clear();
+    if (n == 0) {
+        block_begin_.push_back(0);
+        return;
+    }
+
+    NodeId::underlying_type max_src = 0;
+    for (const Demand& d : tm) {
+        POC_EXPECTS(d.src.valid() && d.dst.valid());
+        max_src = std::max(max_src, d.src.value());
+    }
+
+    // Counting sort on the source id: stable (AoS order within a
+    // block) and allocation-free once `counts_` has grown to the id
+    // range.
+    counts_.assign(static_cast<std::size_t>(max_src) + 2, 0);
+    for (const Demand& d : tm) ++counts_[d.src.value() + 1];
+    for (std::size_t s = 1; s < counts_.size(); ++s) counts_[s] += counts_[s - 1];
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::uint32_t k = counts_[tm[j].src.value()]++;
+        src_[k] = tm[j].src.value();
+        dst_[k] = tm[j].dst.value();
+        gbps_[k] = tm[j].gbps;
+        order_[k] = static_cast<std::uint32_t>(j);
+    }
+
+    block_begin_.push_back(0);
+    for (std::uint32_t k = 0; k < n; ++k) {
+        if (k == 0 || src_[k] != src_[k - 1]) {
+            sources_.push_back(src_[k]);
+            if (k != 0) block_begin_.push_back(k);
+        }
+    }
+    block_begin_.push_back(static_cast<std::uint32_t>(n));
+    POC_ENSURES(block_begin_.size() == sources_.size() + 1);
+}
+
+TrafficMatrix TrafficMatrixSoA::to_aos() const {
+    TrafficMatrix out(size());
+    for (std::size_t k = 0; k < size(); ++k) {
+        out[order_[k]] = Demand{NodeId{src_[k]}, NodeId{dst_[k]}, gbps_[k]};
+    }
+    return out;
 }
 
 Subgraph::Subgraph(const Graph& graph)

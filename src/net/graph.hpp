@@ -38,10 +38,36 @@ struct Link {
     }
 };
 
+/// Flat struct-of-arrays view of a Graph's link table (DESIGN.md §9):
+/// parallel endpoint/capacity/length arrays indexed by link id, built
+/// alongside the CSR adjacency, so data-plane scans (Dijkstra inner
+/// loops, shard-local load accumulation) touch contiguous 4/8-byte
+/// lanes instead of striding through Link records. Values mirror the
+/// AoS `Link` fields exactly; spans are invalidated by the next
+/// add_node/add_link.
+struct LinkSoa {
+    std::span<const NodeId::underlying_type> a;
+    std::span<const NodeId::underlying_type> b;
+    std::span<const double> capacity_gbps;
+    std::span<const double> length_km;
+
+    /// The endpoint of link `l` that is not `from` (raw-id form of
+    /// Link::other). Requires from ∈ {a[l], b[l]}.
+    NodeId::underlying_type other(std::size_t l, NodeId::underlying_type from) const {
+        POC_EXPECTS(from == a[l] || from == b[l]);
+        return from == a[l] ? b[l] : a[l];
+    }
+};
+
 /// Immutable-after-build undirected multigraph.
 class Graph {
 public:
     Graph() = default;
+
+    /// Pre-size the node and link stores (plus the flat index arrays
+    /// warmed later), so building a 10^5-node synthetic topology does
+    /// not rehash/realloc its way up. Safe to call at any time.
+    void reserve(std::size_t nodes, std::size_t links);
 
     /// Create `count` nodes, returning the id of the first. Node labels
     /// are optional and for reporting only.
@@ -72,10 +98,17 @@ public:
     /// All link ids, in insertion order.
     std::vector<LinkId> all_links() const;
 
-    /// Build the lazy adjacency index now. It is otherwise built on the
-    /// first incident() call, which is not safe when concurrent readers
-    /// race to be that first call; the parallel auction engine warms it
-    /// before fanning out.
+    /// The flat SoA link arrays (built lazily with the adjacency).
+    LinkSoa link_soa() const {
+        ensure_adjacency_current();
+        return LinkSoa{soa_a_, soa_b_, soa_capacity_, soa_length_};
+    }
+
+    /// Build the lazy adjacency index (and the SoA link arrays) now.
+    /// They are otherwise built on the first incident()/link_soa()
+    /// call, which is not safe when concurrent readers race to be that
+    /// first call; the parallel auction engine and the shard engine
+    /// warm them before fanning out.
     void warm_adjacency() const { ensure_adjacency_current(); }
 
 private:
@@ -84,9 +117,13 @@ private:
     std::vector<std::string> node_labels_;
     std::vector<Link> links_;
 
-    // CSR adjacency, rebuilt lazily after link insertion.
+    // CSR adjacency + SoA link arrays, rebuilt lazily after insertion.
     mutable std::vector<std::uint32_t> adj_offsets_;
     mutable std::vector<LinkId> adj_links_;
+    mutable std::vector<NodeId::underlying_type> soa_a_;
+    mutable std::vector<NodeId::underlying_type> soa_b_;
+    mutable std::vector<double> soa_capacity_;
+    mutable std::vector<double> soa_length_;
     mutable bool adjacency_dirty_ = true;
 };
 
@@ -166,5 +203,58 @@ using TrafficMatrix = std::vector<Demand>;
 
 /// Sum of all demand volumes.
 double total_demand(const TrafficMatrix& tm);
+
+/// Flat struct-of-arrays traffic matrix, source-sorted (DESIGN.md §9).
+/// Demands are held in parallel src/dst/gbps arrays permuted into
+/// ascending-source order; ties keep their AoS order, so the
+/// permutation is stable and `original_index()` inverts it exactly.
+/// Equal-source demands form contiguous *blocks* (`sources()` /
+/// `block_begin()`), which is what lets the shard engine hand each
+/// shard a contiguous, cache-friendly range of whole source groups.
+class TrafficMatrixSoA {
+public:
+    TrafficMatrixSoA() = default;
+    explicit TrafficMatrixSoA(const TrafficMatrix& tm) { assign(tm); }
+
+    /// Rebuild from `tm` (counting sort on the source id: O(D + max
+    /// source)). Reuses capacity, so repeated epochs over same-shaped
+    /// matrices are allocation-free in the steady state.
+    void assign(const TrafficMatrix& tm);
+
+    std::size_t size() const noexcept { return gbps_.size(); }
+    bool empty() const noexcept { return gbps_.empty(); }
+
+    /// Sorted-order demand arrays: entry k is demand
+    /// (src()[k] -> dst()[k], gbps()[k]).
+    std::span<const NodeId::underlying_type> src() const noexcept { return src_; }
+    std::span<const NodeId::underlying_type> dst() const noexcept { return dst_; }
+    std::span<const double> gbps() const noexcept { return gbps_; }
+
+    /// original_index()[k] = position of sorted entry k in the AoS
+    /// list — the stable source-sorted permutation.
+    std::span<const std::uint32_t> original_index() const noexcept { return order_; }
+
+    /// Distinct sources in ascending id order; source s =
+    /// sources()[k]'s demands occupy sorted positions
+    /// [block_begin()[k], block_begin()[k+1]). block_begin() has
+    /// sources().size() + 1 entries; block_begin()[k] is also the
+    /// cumulative demand count of the first k blocks, which is what
+    /// the shard planner balances on.
+    std::span<const NodeId::underlying_type> sources() const noexcept { return sources_; }
+    std::span<const std::uint32_t> block_begin() const noexcept { return block_begin_; }
+
+    /// Reconstruct the AoS demand list in original order (the SoA↔AoS
+    /// round trip is exact: to_aos() == the assign() input).
+    TrafficMatrix to_aos() const;
+
+private:
+    std::vector<NodeId::underlying_type> src_;
+    std::vector<NodeId::underlying_type> dst_;
+    std::vector<double> gbps_;
+    std::vector<std::uint32_t> order_;
+    std::vector<NodeId::underlying_type> sources_;
+    std::vector<std::uint32_t> block_begin_;
+    std::vector<std::uint32_t> counts_;  // counting-sort scratch
+};
 
 }  // namespace poc::net

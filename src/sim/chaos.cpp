@@ -273,6 +273,9 @@ ChaosOutcome run_chaos(const market::OfferPool& base_pool, const net::TrafficMat
         request.oracle.path_cache = &path_cache;
         flow_opt.path_cache = &path_cache;
     }
+    flow_opt.routing = opt.flow_routing;
+    flow_opt.flow_shards = opt.flow_shards;
+    flow_opt.sssp_threads = opt.flow_threads;
     // One warm-start state across the run's auctions: off-cycle
     // re-auctions whose surviving offer set is within the delta
     // threshold of the previous clearing reuse its memo.

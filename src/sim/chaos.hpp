@@ -239,6 +239,16 @@ struct ChaosOptions {
     /// context reuse the previous clearing's verdict/solve memo.
     /// Bit-identical to cold re-clears either way (DESIGN.md §7).
     bool use_delta_reclear = true;
+    /// Data plane for the per-epoch flow measurement (DESIGN.md §9).
+    /// kGreedy is the seed behavior; kPrimary routes every demand on
+    /// its shortest path via the sharded engine. A *semantic* knob:
+    /// SLA records differ between modes (it is part of the journal
+    /// fingerprint, unlike the two engine knobs below).
+    core::FlowRouting flow_routing = core::FlowRouting::kGreedy;
+    /// Shard tasks / threads for the kPrimary data plane (net/shard.hpp).
+    /// Engine knobs: outcomes are bit-identical for every value.
+    std::size_t flow_shards = 1;
+    std::size_t flow_threads = 1;
 };
 
 /// Full-run outcome: the SLA time series plus aggregates.

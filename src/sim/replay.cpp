@@ -108,12 +108,17 @@ std::string runtime_meta_fingerprint(const market::OfferPool& pool,
                                      const net::TrafficMatrix& tm,
                                      const RuntimeOptions& opt) {
     util::BinaryWriter w;
-    w.str("poc-runtime-v1");
+    w.str("poc-runtime-v2");
     w.u64(opt.epochs);
     w.u64(opt.seed);
     w.u64(f64_bits(opt.demand_jitter));
     w.u8(static_cast<std::uint8_t>(opt.request.constraint));
     w.boolean(opt.request.auction.exact);
+    // Semantic data-plane selection (RuntimeOptions::flow_routing):
+    // epoch records differ between modes, so a resume must match. The
+    // shard/thread counts are deliberately NOT here — they are engine
+    // knobs, bit-identical at every value (DESIGN.md §9).
+    w.u8(static_cast<std::uint8_t>(opt.flow_routing));
     w.u64(pool.offered_links().size());
     w.u64(tm.size());
     w.u64(f64_bits(net::total_demand(tm)));

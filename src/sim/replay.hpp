@@ -90,9 +90,10 @@ std::size_t decode_records(const std::vector<util::JournalRecord>& records,
                            std::map<std::uint16_t, std::string>& bases);
 
 /// Configuration fingerprint stored in the journal header. Engine
-/// knobs that cannot change results (threads, cache, serving hooks)
-/// are excluded on purpose: a run may resume under a different engine
-/// config and still be bit-identical (DESIGN.md §5). Shared between
+/// knobs that cannot change results (threads, cache, shard count,
+/// serving hooks) are excluded on purpose: a run may resume under a
+/// different engine config and still be bit-identical (DESIGN.md §5).
+/// Semantic knobs that do change results (flow_routing) are included. Shared between
 /// EpochRuntime, materialize_state_at, and serve::Follower so every
 /// reader refuses foreign journals with the same rule the runtime
 /// uses.

@@ -226,6 +226,19 @@ struct RuntimeOptions {
     /// per-epoch oracle fault hook installed the oracle opts out of
     /// purity certification and every epoch clears cold regardless.
     bool use_delta_reclear = true;
+    /// Data plane for the per-epoch flow measurement (DESIGN.md §9):
+    /// kGreedy = seed water-filling, kPrimary = sharded shortest-path
+    /// routing. A *semantic* knob — epoch records differ between the
+    /// modes — so unlike every engine knob here it IS part of the
+    /// journal meta fingerprint: a journaled run cannot resume with it
+    /// flipped.
+    core::FlowRouting flow_routing = core::FlowRouting::kGreedy;
+    /// Shard task / thread counts for the kPrimary data plane
+    /// (net/shard.hpp). Engine knobs: results are bit-identical for
+    /// every value, so both are excluded from the meta fingerprint and
+    /// a journaled run may resume with them changed.
+    std::size_t flow_shards = 1;
+    std::size_t flow_threads = 1;
 
     // --- State-history knobs (DESIGN.md §4c). All of these are engine
     // knobs: results are bit-identical whatever their values, so they

@@ -69,6 +69,14 @@ struct ScenarioOptions {
     /// Carry one market::DeltaReclearState across the scenario's
     /// auctions (market/delta_reclear.hpp). Bit-identical either way.
     bool use_delta_reclear = true;
+    /// Data plane for the per-epoch flow measurement (DESIGN.md §9):
+    /// kGreedy = seed behavior, kPrimary = sharded shortest-path
+    /// routing. Semantic — epoch outcomes differ between modes.
+    core::FlowRouting flow_routing = core::FlowRouting::kGreedy;
+    /// kPrimary shard/thread counts (engine knobs: bit-identical for
+    /// every value; ignored under kGreedy).
+    std::size_t flow_shards = 1;
+    std::size_t flow_threads = 1;
     /// Called after each epoch's outcome is measured (examples use it
     /// to dump per-epoch observability snapshots). Must not mutate
     /// scenario state.

@@ -1,0 +1,79 @@
+// Synthetic continental topologies (DESIGN.md §9): a grid of
+// geographic regions with dense intra-region meshes and inter-region
+// trunks, sized by parameters instead of GraphML fixtures, so benches
+// and property tests can build 10^4–10^5-router instances in
+// milliseconds. Node ids are *region-major* — region r owns one
+// contiguous id range — which is what makes the shard engine's
+// contiguous source ranges geographically contiguous too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace poc::topo {
+
+struct SyntheticTopologyOptions {
+    /// Total routers. Spread as evenly as possible across regions
+    /// (every region gets at least one).
+    std::size_t nodes = 10000;
+    /// Regions, laid out on a near-square grid of cells. Clamped to
+    /// `nodes` so no region is empty.
+    std::size_t regions = 64;
+    /// Target mean degree; links beyond the connectivity skeleton
+    /// (intra-region chain + inter-region trunks) are random
+    /// intra-region chords up to this budget. Values below the
+    /// skeleton degree just yield the skeleton.
+    double avg_degree = 4.0;
+    /// Edge length of one region cell (km); node coordinates are
+    /// uniform within their cell, link lengths are planar euclidean
+    /// distances, so path lengths look continental.
+    double region_span_km = 600.0;
+    /// Parallel trunks added between each pair of grid-adjacent
+    /// regions (>= 1 keeps the whole graph connected).
+    std::size_t trunks_per_adjacency = 2;
+    /// Link capacities drawn uniformly from this range (Gbps).
+    double min_capacity_gbps = 400.0;
+    double max_capacity_gbps = 3200.0;
+    std::uint64_t seed = 7;
+};
+
+/// A generated continental instance. All vectors are indexed by node
+/// id; `region_of` is nondecreasing (region-major ids).
+struct SyntheticTopology {
+    net::Graph graph;
+    std::vector<std::uint32_t> region_of;
+    std::vector<double> x_km;
+    std::vector<double> y_km;
+    std::size_t region_count = 0;
+
+    /// Node ids of region r: the contiguous range [first, last).
+    std::pair<net::NodeId, net::NodeId> region_range(std::size_t r) const;
+};
+
+/// Build a continental instance. Deterministic in the options
+/// (including seed); the graph is connected whenever
+/// trunks_per_adjacency >= 1.
+SyntheticTopology build_synthetic_topology(const SyntheticTopologyOptions& opt = {});
+
+struct ContinentalTrafficOptions {
+    /// Demand count.
+    std::size_t demands = 100000;
+    /// Total offered volume (Gbps), split Pareto-heavy across demands.
+    double total_gbps = 50000.0;
+    /// Distinct demand sources (the SSSP count per epoch): evenly
+    /// spaced node ids, so sources cover every region. Clamped to the
+    /// node count; 0 means every node may source traffic.
+    std::size_t max_sources = 512;
+    std::uint64_t seed = 11;
+};
+
+/// A heavy-tailed demand list over a synthetic instance with a bounded
+/// distinct-source set (S << D, the shape the sharded data plane is
+/// built for). Deterministic in the options.
+net::TrafficMatrix continental_traffic(const SyntheticTopology& topo,
+                                       const ContinentalTrafficOptions& opt = {});
+
+}  // namespace poc::topo

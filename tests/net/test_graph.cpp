@@ -227,5 +227,50 @@ TEST(TrafficMatrix, TotalDemandSums) {
     EXPECT_DOUBLE_EQ(total_demand({}), 0.0);
 }
 
+TEST(Graph, ReservePreservesContentsAndSupportsGrowth) {
+    Graph g;
+    g.reserve(100, 300);
+    g.add_nodes(100);
+    util::Rng rng(17);
+    for (std::size_t e = 0; e < 300; ++e) {
+        const auto a = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{100}));
+        auto b = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{100}));
+        if (a == b) b = (b + 1) % 100;
+        g.add_link(NodeId{a}, NodeId{b}, 10.0, 1.0);
+    }
+    EXPECT_EQ(g.node_count(), 100u);
+    EXPECT_EQ(g.link_count(), 300u);
+    // Growing past the reservation stays valid.
+    const NodeId extra = g.add_node("extra");
+    g.add_link(NodeId{0u}, extra, 5.0, 2.0);
+    EXPECT_EQ(g.link_count(), 301u);
+    EXPECT_EQ(g.incident(extra).size(), 1u);
+}
+
+TEST(Graph, LinkSoaMirrorsLinkRecordsAfterIncrementalInsertion) {
+    util::Rng rng(19);
+    Graph g = test::random_connected(rng, 30, 20);
+    // Force a CSR/SoA build, then insert more links (invalidates it),
+    // then read again: the rebuilt arrays must mirror the link table.
+    (void)g.link_soa();
+    g.add_link(NodeId{3u}, NodeId{7u}, 42.0, 9.5);
+    g.add_link(NodeId{1u}, NodeId{2u}, 17.0, 0.25);
+    const LinkSoa soa = g.link_soa();
+    ASSERT_EQ(soa.a.size(), g.link_count());
+    ASSERT_EQ(soa.b.size(), g.link_count());
+    ASSERT_EQ(soa.capacity_gbps.size(), g.link_count());
+    ASSERT_EQ(soa.length_km.size(), g.link_count());
+    for (const LinkId l : g.all_links()) {
+        const Link& link = g.link(l);
+        EXPECT_EQ(soa.a[l.index()], link.a.value());
+        EXPECT_EQ(soa.b[l.index()], link.b.value());
+        EXPECT_EQ(soa.capacity_gbps[l.index()], link.capacity_gbps);
+        EXPECT_EQ(soa.length_km[l.index()], link.length_km);
+        // other() agrees with the AoS helper from both endpoints.
+        EXPECT_EQ(soa.other(l.index(), link.a.value()), link.b.value());
+        EXPECT_EQ(soa.other(l.index(), link.b.value()), link.a.value());
+    }
+}
+
 }  // namespace
 }  // namespace poc::net

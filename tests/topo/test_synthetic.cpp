@@ -1,0 +1,137 @@
+// Synthetic continental topology generator (DESIGN.md §9): region-major
+// id layout, connectivity, determinism, sizing, and the bounded-source
+// heavy-tailed traffic generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "net/connectivity.hpp"
+#include "topo/synthetic.hpp"
+
+using namespace poc;
+
+namespace {
+
+TEST(SyntheticTopology, RegionMajorLayoutAndCoordinates) {
+    topo::SyntheticTopologyOptions opt;
+    opt.nodes = 500;
+    opt.regions = 9;
+    const topo::SyntheticTopology t = topo::build_synthetic_topology(opt);
+
+    ASSERT_EQ(t.graph.node_count(), opt.nodes);
+    ASSERT_EQ(t.region_of.size(), opt.nodes);
+    ASSERT_EQ(t.x_km.size(), opt.nodes);
+    ASSERT_EQ(t.y_km.size(), opt.nodes);
+    EXPECT_EQ(t.region_count, opt.regions);
+
+    // region_of is nondecreasing (region-major ids) and covers every
+    // region; region_range agrees with it.
+    EXPECT_TRUE(std::is_sorted(t.region_of.begin(), t.region_of.end()));
+    EXPECT_EQ(t.region_of.front(), 0u);
+    EXPECT_EQ(t.region_of.back(), opt.regions - 1);
+    std::size_t covered = 0;
+    for (std::size_t r = 0; r < t.region_count; ++r) {
+        const auto [lo, hi] = t.region_range(r);
+        EXPECT_LT(lo, hi) << "region " << r << " empty";
+        covered += hi.index() - lo.index();
+        for (std::size_t i = lo.index(); i < hi.index(); ++i) {
+            EXPECT_EQ(t.region_of[i], r);
+        }
+    }
+    EXPECT_EQ(covered, opt.nodes);
+
+    // Coordinates live inside their region's grid cell.
+    const auto cols = static_cast<std::size_t>(std::ceil(std::sqrt(9.0)));
+    for (std::size_t i = 0; i < opt.nodes; ++i) {
+        const std::size_t r = t.region_of[i];
+        const double cx = static_cast<double>(r % cols) * opt.region_span_km;
+        const double cy = static_cast<double>(r / cols) * opt.region_span_km;
+        EXPECT_GE(t.x_km[i], cx);
+        EXPECT_LE(t.x_km[i], cx + opt.region_span_km);
+        EXPECT_GE(t.y_km[i], cy);
+        EXPECT_LE(t.y_km[i], cy + opt.region_span_km);
+    }
+}
+
+TEST(SyntheticTopology, ConnectedWithPositiveLengthsAndBoundedCapacities) {
+    topo::SyntheticTopologyOptions opt;
+    opt.nodes = 1200;
+    opt.regions = 16;
+    opt.avg_degree = 4.0;
+    const topo::SyntheticTopology t = topo::build_synthetic_topology(opt);
+
+    EXPECT_EQ(net::connected_components(net::Subgraph(t.graph)).count, 1u);
+    // Degree budget reached (the skeleton alone is smaller).
+    EXPECT_GE(t.graph.link_count(),
+              static_cast<std::size_t>(static_cast<double>(opt.nodes) * opt.avg_degree / 2.0));
+    for (const net::LinkId l : t.graph.all_links()) {
+        const net::Link& link = t.graph.link(l);
+        EXPECT_GE(link.length_km, 0.0);
+        EXPECT_GE(link.capacity_gbps, opt.min_capacity_gbps);
+        EXPECT_LE(link.capacity_gbps, opt.max_capacity_gbps);
+    }
+}
+
+TEST(SyntheticTopology, DeterministicInOptionsAndSeedSensitive) {
+    topo::SyntheticTopologyOptions opt;
+    opt.nodes = 300;
+    opt.regions = 4;
+    const topo::SyntheticTopology a = topo::build_synthetic_topology(opt);
+    const topo::SyntheticTopology b = topo::build_synthetic_topology(opt);
+    ASSERT_EQ(a.graph.link_count(), b.graph.link_count());
+    for (const net::LinkId l : a.graph.all_links()) {
+        EXPECT_EQ(a.graph.link(l).a, b.graph.link(l).a);
+        EXPECT_EQ(a.graph.link(l).b, b.graph.link(l).b);
+        EXPECT_EQ(a.graph.link(l).capacity_gbps, b.graph.link(l).capacity_gbps);
+        EXPECT_EQ(a.graph.link(l).length_km, b.graph.link(l).length_km);
+    }
+    EXPECT_EQ(a.x_km, b.x_km);
+
+    opt.seed += 1;
+    const topo::SyntheticTopology c = topo::build_synthetic_topology(opt);
+    EXPECT_NE(a.x_km, c.x_km);
+}
+
+TEST(SyntheticTopology, MoreRegionsThanNodesClampsAndStaysConnected) {
+    topo::SyntheticTopologyOptions opt;
+    opt.nodes = 5;
+    opt.regions = 64;
+    const topo::SyntheticTopology t = topo::build_synthetic_topology(opt);
+    EXPECT_EQ(t.region_count, opt.nodes);
+    EXPECT_EQ(net::connected_components(net::Subgraph(t.graph)).count, 1u);
+}
+
+TEST(ContinentalTraffic, BoundedSourcesExactTotalAndDeterminism) {
+    const topo::SyntheticTopology t = topo::build_synthetic_topology(
+        {.nodes = 400, .regions = 8, .seed = 5});
+    topo::ContinentalTrafficOptions opt;
+    opt.demands = 3000;
+    opt.total_gbps = 1234.5;
+    opt.max_sources = 32;
+    const net::TrafficMatrix tm = topo::continental_traffic(t, opt);
+
+    ASSERT_EQ(tm.size(), opt.demands);
+    std::set<net::NodeId> sources;
+    double total = 0.0;
+    for (const net::Demand& d : tm) {
+        EXPECT_NE(d.src, d.dst);
+        EXPECT_GT(d.gbps, 0.0);
+        sources.insert(d.src);
+        total += d.gbps;
+    }
+    EXPECT_LE(sources.size(), opt.max_sources);
+    EXPECT_GE(sources.size(), opt.max_sources / 2);  // nearly all hit at 3000 draws
+    EXPECT_NEAR(total, opt.total_gbps, 1e-6 * opt.total_gbps);
+
+    const net::TrafficMatrix again = topo::continental_traffic(t, opt);
+    ASSERT_EQ(again.size(), tm.size());
+    for (std::size_t j = 0; j < tm.size(); ++j) {
+        EXPECT_EQ(again[j].src, tm[j].src);
+        EXPECT_EQ(again[j].dst, tm[j].dst);
+        EXPECT_EQ(again[j].gbps, tm[j].gbps);
+    }
+}
+
+}  // namespace
